@@ -1,0 +1,264 @@
+// Command teslabench regenerates the tables and figures of the paper's
+// evaluation section on the simulated testbed. Tables print to stdout;
+// figures render as ASCII charts and are optionally exported as CSV.
+//
+// Usage:
+//
+//	teslabench -all                      # every table and figure
+//	teslabench -table 5 -hours 12        # just Table 5
+//	teslabench -fig 3 -out figures/      # Figure 3 + CSV export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tesla/internal/control"
+	"tesla/internal/experiment"
+	"tesla/internal/workload"
+)
+
+func main() {
+	scale := flag.String("scale", "ci", "training scale: ci|paper")
+	table := flag.Int("table", 0, "regenerate one table (3, 4 or 5)")
+	fig := flag.Int("fig", 0, "regenerate one figure (2, 3, 4, 8, 9, 10, 11 or 12)")
+	all := flag.Bool("all", false, "regenerate everything")
+	hours := flag.Float64("hours", 12, "end-to-end evaluation window (Table 5, Figures 9-12)")
+	out := flag.String("out", "", "directory for figure CSV exports")
+	report := flag.String("report", "", "write a markdown evaluation report (tables + ablations) to this path")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 && *report == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*scale, *table, *fig, *all, *hours, *out, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "teslabench:", err)
+		os.Exit(1)
+	}
+}
+
+type generator struct {
+	art   *experiment.Artifacts
+	hours float64
+	out   string
+}
+
+func run(scaleName string, table, fig int, all bool, hours float64, out, reportPath string) error {
+	var sc experiment.Scale
+	switch scaleName {
+	case "ci":
+		sc = experiment.CIScale()
+	case "paper":
+		sc = experiment.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	needWang := all || table == 3 || reportPath != ""
+	fmt.Printf("preparing models at %s scale...\n", scaleName)
+	start := time.Now()
+	art, err := experiment.Prepare(sc, needWang)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prepared in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	g := &generator{art: art, hours: hours, out: out}
+	jobs := []struct {
+		table int
+		fig   int
+		run   func() error
+	}{
+		{3, 0, g.table3},
+		{4, 0, g.table4},
+		{5, 0, g.table5},
+		{0, 2, g.figure2},
+		{0, 3, g.figure3},
+		{0, 4, g.figure4},
+		{0, 8, g.figure8},
+		{0, 9, func() error { return g.policyFigure("tesla", "fig9") }},
+		{0, 10, func() error { return g.policyFigure("fixed", "fig10") }},
+		{0, 11, func() error { return g.policyFigure("lazic", "fig11") }},
+		{0, 12, func() error { return g.policyFigure("tsrl", "fig12") }},
+	}
+	matched := false
+	for _, j := range jobs {
+		if all || (table != 0 && j.table == table) || (fig != 0 && j.fig == fig) {
+			matched = true
+			if err := j.run(); err != nil {
+				return err
+			}
+		}
+	}
+	if reportPath != "" {
+		matched = true
+		if err := g.writeReport(scaleName, reportPath); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("nothing matched -table %d -fig %d", table, fig)
+	}
+	return nil
+}
+
+// writeReport runs the full evaluation (tables, ablations, fault injection)
+// and renders it as markdown.
+func (g *generator) writeReport(scaleName, path string) error {
+	fmt.Printf("building report %s...\n", path)
+	t3, err := experiment.Table3(g.art, 9)
+	if err != nil {
+		return err
+	}
+	t4, err := experiment.Table4(g.art, 9)
+	if err != nil {
+		return err
+	}
+	t5cfg := experiment.DefaultTable5Config()
+	t5cfg.EvalS = g.hours * 3600
+	t5, err := experiment.Table5(g.art, t5cfg)
+	if err != nil {
+		return err
+	}
+	study, err := experiment.RunAblations(g.art, workload.Medium, g.hours*3600, 31)
+	if err != nil {
+		return err
+	}
+	fault, err := experiment.RunFaultInjection(g.art, workload.Medium, g.hours*3600, 17)
+	if err != nil {
+		return err
+	}
+	rep := &experiment.Report{
+		ScaleName: scaleName,
+		Generated: time.Now(),
+		Table3:    &t3, Table4: &t4, Table5: &t5,
+		Study: &study, Fault: &fault,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteMarkdown(f); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
+}
+
+func (g *generator) table3() error {
+	res, err := experiment.Table3(g.art, 9)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func (g *generator) table4() error {
+	res, err := experiment.Table4(g.art, 9)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func (g *generator) table5() error {
+	cfg := experiment.DefaultTable5Config()
+	cfg.EvalS = g.hours * 3600
+	res, err := experiment.Table5(g.art, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func (g *generator) emit(figs ...*experiment.Figure) error {
+	for _, f := range figs {
+		if err := f.RenderASCII(os.Stdout, 72, 14); err != nil {
+			return err
+		}
+		fmt.Println()
+		if g.out != "" {
+			if err := os.MkdirAll(g.out, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(g.out, f.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.WriteCSV(file); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("  exported %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func (g *generator) figure2() error {
+	f, err := experiment.Figure2(3)
+	if err != nil {
+		return err
+	}
+	return g.emit(f)
+}
+
+func (g *generator) figure3() error {
+	fa, fb, err := experiment.Figure3(4)
+	if err != nil {
+		return err
+	}
+	return g.emit(fa, fb)
+}
+
+func (g *generator) figure4() error {
+	fa, fb, err := experiment.Figure4(5)
+	if err != nil {
+		return err
+	}
+	return g.emit(fa, fb)
+}
+
+func (g *generator) figure8() error {
+	figs, err := experiment.Figure8(g.art, g.hours*3600, 7)
+	if err != nil {
+		return err
+	}
+	return g.emit(figs...)
+}
+
+func (g *generator) policyFigure(name, id string) error {
+	var p control.Policy
+	var err error
+	switch name {
+	case "fixed":
+		p = control.Fixed{SetpointC: 23}
+	case "tesla":
+		if p, err = g.art.NewTESLAPolicy(9); err != nil {
+			return err
+		}
+	case "lazic":
+		if p, err = g.art.NewLazicPolicy(); err != nil {
+			return err
+		}
+	case "tsrl":
+		p = g.art.TSRL
+	}
+	figs, m, err := experiment.PolicyFigures(p, id, g.hours*3600, 9)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	return g.emit(figs...)
+}

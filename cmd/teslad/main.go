@@ -1,0 +1,235 @@
+// Command teslad is the TESLA deployment daemon: it assembles the full §4
+// stack — simulated testbed, Modbus/TCP ACU bridge, Telegraf-style
+// collector feeding an InfluxDB-style store over HTTP — and runs the TESLA
+// control loop against it, exposing an operator endpoint with live status
+// and Prometheus-style metrics.
+//
+// Usage:
+//
+//	teslad -listen 127.0.0.1:8844 -load medium -minutes 120 [-speedup 0]
+//
+// With -speedup 0 (default) the simulation runs as fast as the CPU allows;
+// a positive value sleeps to pace the loop at speedup× real time.
+//
+// Endpoints:
+//
+//	GET /status   — JSON snapshot of the control loop
+//	GET /metrics  — Prometheus text exposition
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"tesla"
+	"tesla/internal/dataset"
+	"tesla/internal/modbus"
+	"tesla/internal/telemetry"
+	"tesla/internal/testbed"
+	"tesla/internal/workload"
+)
+
+// status is the operator-facing snapshot served at /status.
+type status struct {
+	StepMinutes   int     `json:"step_minutes"`
+	SetpointC     float64 `json:"setpoint_c"`
+	InletC        float64 `json:"inlet_c"`
+	MaxColdC      float64 `json:"max_cold_c"`
+	ACUPowerKW    float64 `json:"acu_power_kw"`
+	AvgServerKW   float64 `json:"avg_server_kw"`
+	EnergyKWh     float64 `json:"energy_kwh"`
+	Violations    int     `json:"violation_minutes"`
+	Interruptions int     `json:"interruption_minutes"`
+}
+
+type daemon struct {
+	mu sync.RWMutex
+	st status
+}
+
+func (d *daemon) update(fn func(*status)) {
+	d.mu.Lock()
+	fn(&d.st)
+	d.mu.Unlock()
+}
+
+func (d *daemon) snapshot() status {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.st
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(d.snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := d.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE tesla_setpoint_celsius gauge\ntesla_setpoint_celsius %g\n", s.SetpointC)
+	fmt.Fprintf(w, "# TYPE tesla_inlet_celsius gauge\ntesla_inlet_celsius %g\n", s.InletC)
+	fmt.Fprintf(w, "# TYPE tesla_max_cold_aisle_celsius gauge\ntesla_max_cold_aisle_celsius %g\n", s.MaxColdC)
+	fmt.Fprintf(w, "# TYPE tesla_acu_power_kw gauge\ntesla_acu_power_kw %g\n", s.ACUPowerKW)
+	fmt.Fprintf(w, "# TYPE tesla_cooling_energy_kwh counter\ntesla_cooling_energy_kwh %g\n", s.EnergyKWh)
+	fmt.Fprintf(w, "# TYPE tesla_violation_minutes counter\ntesla_violation_minutes %d\n", s.Violations)
+	fmt.Fprintf(w, "# TYPE tesla_interruption_minutes counter\ntesla_interruption_minutes %d\n", s.Interruptions)
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8844", "operator HTTP endpoint")
+	loadName := flag.String("load", "medium", "load setting: idle|medium|high")
+	minutes := flag.Int("minutes", 120, "control-loop duration in minutes (0 = forever)")
+	speedup := flag.Float64("speedup", 0, "0 = run flat out; N = pace at N× real time")
+	flag.Parse()
+
+	if err := run(*listen, *loadName, *minutes, *speedup); err != nil {
+		fmt.Fprintln(os.Stderr, "teslad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, loadName string, minutes int, speedup float64) error {
+	var load workload.Setting
+	switch loadName {
+	case "idle":
+		load = workload.Idle
+	case "medium":
+		load = workload.Medium
+	case "high":
+		load = workload.High
+	default:
+		return fmt.Errorf("unknown load %q", loadName)
+	}
+
+	fmt.Println("teslad: training models (ci scale)...")
+	sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
+	if err != nil {
+		return err
+	}
+	controller, err := sys.Artifacts().NewTESLAPolicy(uint64(time.Now().UnixNano())&0xffff | 1)
+	if err != nil {
+		return err
+	}
+
+	// Plant + buses.
+	tbCfg := testbed.DefaultConfig()
+	tb, err := testbed.New(tbCfg)
+	if err != nil {
+		return err
+	}
+	tb.UseProfile(workload.NewDiurnal(load, 43200, 7))
+	bridge := modbus.NewACUBridge(tb)
+	mbSrv := modbus.NewServer(bridge.Bank)
+	mbAddr, err := mbSrv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer mbSrv.Close()
+
+	db := telemetry.NewDB()
+	tsSrv := telemetry.NewServer(db)
+	tsAddr, err := tsSrv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer tsSrv.Close()
+	collector := telemetry.NewCollector(tb)
+	tsClient := telemetry.NewClient(tsAddr)
+	mbClient, err := modbus.Dial(mbAddr)
+	if err != nil {
+		return err
+	}
+	defer mbClient.Close()
+
+	// Operator endpoint.
+	d := &daemon{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", d.handleStatus)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	fmt.Printf("teslad: modbus %s, tsdb %s, operator http://%s\n", mbAddr, tsAddr, ln.Addr())
+
+	// Warm-up hour so the model has history.
+	view := dataset.NewTrace(tbCfg.SamplePeriodS, 2, 35)
+	if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(23)); err != nil {
+		return err
+	}
+	for i := 0; i < 60; i++ {
+		s, err := collector.CollectInto(tsClient)
+		if err != nil {
+			return err
+		}
+		bridge.Refresh(s)
+		view.Append(s)
+	}
+
+	fmt.Println("teslad: control loop running")
+	step := 0
+	for minutes == 0 || step < minutes {
+		sp := controller.Decide(view, view.Len()-1)
+		if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(sp)); err != nil {
+			return err
+		}
+		s, err := collector.CollectInto(tsClient)
+		if err != nil {
+			return err
+		}
+		bridge.Refresh(s)
+		view.Append(s)
+
+		step++
+		d.update(func(st *status) {
+			st.StepMinutes = step
+			st.SetpointC = s.SetpointC
+			st.InletC = mean(s.ACUTemps)
+			st.MaxColdC = s.MaxColdAisle
+			st.ACUPowerKW = s.ACUPowerKW
+			st.AvgServerKW = s.AvgServerKW
+			st.EnergyKWh += s.ACUPowerKW * tbCfg.SamplePeriodS / 3600
+			if s.MaxColdAisle > 22 {
+				st.Violations++
+			}
+			if s.Interrupted {
+				st.Interruptions++
+			}
+		})
+		if step%15 == 0 {
+			st := d.snapshot()
+			fmt.Printf("teslad: t=%dmin sp=%.2f°C inlet=%.2f°C maxCold=%.2f°C power=%.2fkW energy=%.2fkWh\n",
+				st.StepMinutes, st.SetpointC, st.InletC, st.MaxColdC, st.ACUPowerKW, st.EnergyKWh)
+		}
+		if speedup > 0 {
+			time.Sleep(time.Duration(float64(tbCfg.SamplePeriodS) / speedup * float64(time.Second)))
+		}
+	}
+	st := d.snapshot()
+	fmt.Printf("teslad: done after %d minutes, %.2f kWh, %d violation minutes\n",
+		st.StepMinutes, st.EnergyKWh, st.Violations)
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

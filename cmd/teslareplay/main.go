@@ -1,0 +1,125 @@
+// Command teslareplay evaluates trained models against a recorded telemetry
+// trace (CSV written by teslactl/teslatrain): it reports the multi-horizon
+// DC-temperature and cooling-energy MAPE of TESLA's model on that trace,
+// and scans the trace for sensor anomalies (stuck probes, spikes) with the
+// telemetry detector.
+//
+// Usage:
+//
+//	teslareplay -trace run.csv [-scale ci] [-stride 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/dataset"
+	"tesla/internal/experiment"
+	"tesla/internal/model"
+	"tesla/internal/stats"
+	"tesla/internal/telemetry"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace CSV to evaluate (required)")
+	scale := flag.String("scale", "ci", "training scale for the model: ci|paper")
+	stride := flag.Int("stride", 7, "evaluation window stride")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *scale, *stride); err != nil {
+		fmt.Fprintln(os.Stderr, "teslareplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, scaleName string, stride int) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := dataset.ReadCSV(f, 60)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d samples (%d ACU + %d DC sensors)\n", tr.Len(), tr.Na(), tr.Nd())
+
+	var sc experiment.Scale
+	switch scaleName {
+	case "ci":
+		sc = experiment.CIScale()
+	case "paper":
+		sc = experiment.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	fmt.Println("training TESLA's model on a fresh sweep...")
+	art, err := experiment.Prepare(sc, false)
+	if err != nil {
+		return err
+	}
+	if art.Model.Na() != tr.Na() || art.Model.Nd() != tr.Nd() {
+		return fmt.Errorf("trace sensors (%d/%d) do not match the model (%d/%d)",
+			tr.Na(), tr.Nd(), art.Model.Na(), art.Model.Nd())
+	}
+
+	L := art.Model.Config().L
+	var predT, truthT, predE, truthE []float64
+	for t := L - 1; t+L < tr.Len(); t += stride {
+		h, err := model.HistoryAt(tr, t, L)
+		if err != nil {
+			return err
+		}
+		p, err := art.Model.PredictSeq(h, tr.Setpoint[t+1:t+1+L])
+		if err != nil {
+			return err
+		}
+		for l := 1; l <= L; l++ {
+			for k := 0; k < tr.Nd(); k++ {
+				predT = append(predT, p.DCTemps.At(l-1, k))
+				truthT = append(truthT, tr.DCTemps[k][t+l])
+			}
+		}
+		predE = append(predE, p.EnergyKWh)
+		truthE = append(truthE, tr.EnergyKWh(t+1, t+1+L))
+	}
+	if len(predE) == 0 {
+		return fmt.Errorf("trace too short for horizon %d", L)
+	}
+	mapeT, err := stats.MAPE(predT, truthT)
+	if err != nil {
+		return err
+	}
+	mapeE, err := stats.MAPE(predE, truthE)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmodel accuracy on the replayed trace (%d windows):\n", len(predE))
+	fmt.Printf("  DC temperature MAPE: %6.2f%%\n", mapeT)
+	fmt.Printf("  cooling energy MAPE: %6.2f%%\n", mapeE)
+
+	// Sensor health scan over the recorded series.
+	db := telemetry.NewDB()
+	for i := 0; i < tr.Len(); i++ {
+		for k := 0; k < tr.Nd(); k++ {
+			db.Insert("dc_temp", map[string]string{"sensor": fmt.Sprint(k)},
+				telemetry.Point{TimeS: tr.TimeS[i], Value: tr.DCTemps[k][i]})
+		}
+	}
+	det := telemetry.NewDetector(db)
+	anomalies := det.ScanAll(tr.TimeS[tr.Len()-1])
+	fmt.Printf("\nsensor health: %d anomalies\n", len(anomalies))
+	for i, a := range anomalies {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(anomalies)-10)
+			break
+		}
+		fmt.Printf("  %-28s %-6s %s\n", a.Series, a.Kind, a.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command teslatrain collects a training sweep on the simulated testbed
+// (the §5.1 protocol: set-point swept 20→35 °C in 0.5 °C steps every five
+// minutes under stratified diurnal loads), trains TESLA's DC time-series
+// model plus every baseline, and reports the Table 3 / Table 4 accuracy
+// benchmarks on the held-out test split.
+//
+// Usage:
+//
+//	teslatrain -scale ci [-sweep out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tesla"
+)
+
+func main() {
+	scale := flag.String("scale", "ci", "training scale: ci|paper")
+	sweepPath := flag.String("sweep", "", "optional path for the raw sweep trace CSV")
+	flag.Parse()
+
+	if err := run(*scale, *sweepPath); err != nil {
+		fmt.Fprintln(os.Stderr, "teslatrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, sweepPath string) error {
+	start := time.Now()
+	fmt.Printf("collecting sweep and training at %s scale...\n", scale)
+	sys, err := tesla.Prepare(tesla.ScaleName(scale))
+	if err != nil {
+		return err
+	}
+	art := sys.Artifacts()
+	fmt.Printf("trained in %v: %d training samples, %d test samples\n",
+		time.Since(start).Round(time.Millisecond), art.Train.Len(), art.Test.Len())
+
+	acc, err := sys.ModelAccuracy()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nTable 3: DC temperature MAPE")
+	fmt.Printf("  %-22s %8.2f%%\n", "TESLA (ours)", acc.TempTESLA)
+	fmt.Printf("  %-22s %8.2f%%\n", "Lazic et al. [20]", acc.TempLazic)
+	fmt.Printf("  %-22s %8.2f%%\n", "Wang et al. [42]", acc.TempWang)
+	fmt.Println("\nTable 4: cooling energy MAPE")
+	fmt.Printf("  %-22s %8.2f%%\n", "TESLA (ours)", acc.EnergyTESLA)
+	fmt.Printf("  %-22s %8.2f%%\n", "MLP [38]", acc.EnergyMLP)
+	fmt.Printf("  %-22s %8.2f%%\n", "XGBoost [7]", acc.EnergyGBT)
+	fmt.Printf("  %-22s %8.2f%%\n", "Random Forest [26]", acc.EnergyForest)
+
+	if sweepPath != "" {
+		f, err := os.Create(sweepPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := art.Sweep.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nsweep trace written to %s (%d samples)\n", sweepPath, art.Sweep.Len())
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Diurnal comparison: run all four cooling policies (fixed 23 °C, TESLA,
+// Lazic et al. MPC, TSRL offline RL) through the same diurnal load and
+// print a Table 5-style comparison — who saves energy, and who pays for it
+// with thermal-safety violations.
+//
+//	go run ./examples/diurnal [-hours 6] [-load high]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"tesla"
+)
+
+func main() {
+	hours := flag.Float64("hours", 6, "evaluation window in hours (paper uses 12)")
+	load := flag.String("load", "medium", "load setting: idle|medium|high")
+	flag.Parse()
+
+	sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []tesla.PolicyName{tesla.PolicyFixed, tesla.PolicyTESLA, tesla.PolicyLazic, tesla.PolicyTSRL}
+	fmt.Printf("%-7s %9s %10s %8s %8s %9s\n", "policy", "CE(kWh)", "saving(%)", "TSV(%)", "CI(%)", "meanSp(°C)")
+	var fixCE float64
+	for _, p := range policies {
+		m, err := sys.Run(p, tesla.Load(*load), time.Duration(*hours*float64(time.Hour)), 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == tesla.PolicyFixed {
+			fixCE = m.CoolingEnergyKWh
+		}
+		saving := 0.0
+		if fixCE > 0 {
+			saving = 100 * (fixCE - m.CoolingEnergyKWh) / fixCE
+		}
+		fmt.Printf("%-7s %9.2f %10.2f %8.2f %8.2f %9.2f\n",
+			m.Policy, m.CoolingEnergyKWh, saving,
+			100*m.ThermalViolationFrac, 100*m.InterruptionFrac, m.MeanSetpointC)
+	}
+	fmt.Println("\nTESLA should save energy with zero TSV; Lazic/TSRL save more but violate (paper §5.3).")
+}

@@ -1,0 +1,42 @@
+// Model comparison: reproduce the paper's Table 3 and Table 4 — TESLA's
+// direct-strategy linear model against recursive OLS (Lazic et al.) and a
+// recursive MLP (Wang et al.) on DC-temperature prediction, and against
+// MLP/XGBoost/random-forest on cooling-energy prediction.
+//
+//	go run ./examples/modelcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tesla"
+)
+
+func main() {
+	// The Wang MLP baseline trains a network, so this example uses the full
+	// Prepare (a few extra seconds at CI scale).
+	sys, err := tesla.Prepare(tesla.ScaleCI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := sys.ModelAccuracy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Table 3 — DC temperature MAPE over the prediction horizon")
+	fmt.Printf("  %-26s %7.2f%%   (direct strategy, exogenous inputs modeled)\n", "TESLA (ours)", acc.TempTESLA)
+	fmt.Printf("  %-26s %7.2f%%   (recursive OLS — error compounds)\n", "Lazic et al. [20]", acc.TempLazic)
+	fmt.Printf("  %-26s %7.2f%%   (recursive MLP)\n", "Wang et al. [42]", acc.TempWang)
+
+	fmt.Println("\nTable 4 — cooling energy MAPE over the horizon window")
+	fmt.Printf("  %-26s %7.2f%%\n", "TESLA (ours)", acc.EnergyTESLA)
+	fmt.Printf("  %-26s %7.2f%%\n", "MLP [38]", acc.EnergyMLP)
+	fmt.Printf("  %-26s %7.2f%%\n", "XGBoost [7]", acc.EnergyGBT)
+	fmt.Printf("  %-26s %7.2f%%\n", "Random Forest [26]", acc.EnergyForest)
+
+	fmt.Println("\nThe orderings should match the paper: TESLA leads both tables because")
+	fmt.Println("its per-step regressions avoid recursive error compounding and its")
+	fmt.Println("energy features (set-point + predicted inlet) mirror the PID residual.")
+}

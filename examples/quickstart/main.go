@@ -1,0 +1,44 @@
+// Quickstart: train TESLA on the simulated testbed and let it control the
+// cooling for two hours of medium load, printing the end-to-end metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tesla"
+)
+
+func main() {
+	// Collect the training sweep (§5.1) and fit TESLA's DC time-series
+	// model plus all baselines. CI scale simulates three days and takes a
+	// few seconds; tesla.ScalePaper reproduces the paper's 44 days.
+	sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Closed loop: TESLA picks a set-point every minute via its Bayesian
+	// optimizer, smoothed and executed by the ACU's PID controller.
+	m, err := sys.Run(tesla.PolicyTESLA, tesla.LoadMedium, 2*time.Hour, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TESLA over %s load:\n", m.Load)
+	fmt.Printf("  cooling energy:      %.2f kWh\n", m.CoolingEnergyKWh)
+	fmt.Printf("  thermal violations:  %.1f%% of steps\n", 100*m.ThermalViolationFrac)
+	fmt.Printf("  cooling interrupts:  %.1f%% of steps\n", 100*m.InterruptionFrac)
+	fmt.Printf("  mean set-point:      %.2f °C\n", m.MeanSetpointC)
+	fmt.Printf("  worst cold aisle:    %.2f °C (limit 22)\n", m.MaxColdAisleC)
+
+	// The fixed 23 °C industry baseline for comparison.
+	fix, err := sys.Run(tesla.PolicyFixed, tesla.LoadMedium, 2*time.Hour, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving := 100 * (fix.CoolingEnergyKWh - m.CoolingEnergyKWh) / fix.CoolingEnergyKWh
+	fmt.Printf("\nfixed 23 °C uses %.2f kWh → TESLA saves %.1f%%\n", fix.CoolingEnergyKWh, saving)
+}

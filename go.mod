@@ -1,0 +1,3 @@
+module tesla
+
+go 1.22

@@ -1,0 +1,158 @@
+package acu
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/rng"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.SetpointMinC, bad.SetpointMaxC = 30, 20
+	if bad.Validate() == nil {
+		t.Fatalf("inverted set-point range should fail")
+	}
+	bad = good
+	bad.MaxCoolKW = 0
+	if bad.Validate() == nil {
+		t.Fatalf("zero capacity should fail")
+	}
+	bad = good
+	bad.COPBase = -1
+	if bad.Validate() == nil {
+		t.Fatalf("negative COP should fail")
+	}
+	if _, err := New(bad); err == nil {
+		t.Fatalf("New should propagate validation")
+	}
+}
+
+func TestSetpointClampedToPaperRange(t *testing.T) {
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.SetSetpoint(10); got != 20 {
+		t.Fatalf("below-range set-point latched %g, want 20", got)
+	}
+	if got := a.SetSetpoint(40); got != 35 {
+		t.Fatalf("above-range set-point latched %g, want 35", got)
+	}
+	if got := a.SetSetpoint(27.5); got != 27.5 {
+		t.Fatalf("in-range set-point latched %g", got)
+	}
+	if a.Setpoint() != 27.5 {
+		t.Fatalf("Setpoint() = %g", a.Setpoint())
+	}
+}
+
+func TestPowerFloorAndInterruption(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	a.SetSetpoint(35)
+	// Inlet far below the set-point: the PID idles the compressor.
+	for i := 0; i < 600; i++ {
+		a.Step(1, 20, nil)
+	}
+	if a.Duty() != 0 {
+		t.Fatalf("duty should be 0 when far below set-point, got %g", a.Duty())
+	}
+	if math.Abs(a.PowerKW()-DefaultConfig().FanKW) > 1e-9 {
+		t.Fatalf("idle power %g, want fan floor %g", a.PowerKW(), DefaultConfig().FanKW)
+	}
+	if !a.Interrupted() {
+		t.Fatalf("power below 100 W must register as cooling interruption")
+	}
+}
+
+func TestHighDemandApproachesPeakPower(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	a.SetSetpoint(20)
+	// Inlet far above the set-point: duty saturates.
+	for i := 0; i < 3600; i++ {
+		a.Step(1, 32, nil)
+	}
+	if a.Duty() < 0.999 {
+		t.Fatalf("duty should saturate at 1, got %g", a.Duty())
+	}
+	// Peak power ≈ fan + MaxCool/COP(32) — the ~5 kW regime of §2.1.
+	cfg := DefaultConfig()
+	want := cfg.FanKW + cfg.MaxCoolKW/a.COPAt(32)
+	if math.Abs(a.PowerKW()-want) > 1e-6 {
+		t.Fatalf("peak power %g, want %g", a.PowerKW(), want)
+	}
+	if a.PowerKW() < 2.5 {
+		t.Fatalf("peak power %g kW implausibly low", a.PowerKW())
+	}
+}
+
+func TestCOPImprovesWithWarmerReturn(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	if a.COPAt(28) <= a.COPAt(22) {
+		t.Fatalf("COP must improve with warmer return air: %g vs %g", a.COPAt(28), a.COPAt(22))
+	}
+	if a.COPAt(-100) < 0.8 {
+		t.Fatalf("COP floor violated")
+	}
+}
+
+func TestPowerNoiseVariesButStaysPositive(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	a.SetSetpoint(20)
+	r := rng.New(5)
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		a.Step(1, 30, r)
+		if a.PowerKW() < 0 {
+			t.Fatalf("negative power")
+		}
+		seen[a.PowerKW()] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("power noise produced only %d distinct values", len(seen))
+	}
+}
+
+func TestBillAchievedReducesPowerProportionally(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	a.SetSetpoint(20)
+	cool := 0.0
+	for i := 0; i < 600; i++ {
+		cool = a.Step(1, 30, nil)
+	}
+	full := a.PowerKW()
+	a.BillAchieved(cool/2, 30)
+	rebilled := a.PowerKW()
+	wantComp := (full - a.Config().FanKW) / 2
+	if math.Abs(rebilled-a.Config().FanKW-wantComp) > 1e-9 {
+		t.Fatalf("rebilled %g, want fan+%g", rebilled, wantComp)
+	}
+	if a.CoolKW() != cool/2 {
+		t.Fatalf("CoolKW not updated: %g", a.CoolKW())
+	}
+	// Achieving MORE than requested must be a no-op.
+	before := a.PowerKW()
+	a.BillAchieved(cool*2, 30)
+	if a.PowerKW() != before {
+		t.Fatalf("over-achievement should not change billing")
+	}
+}
+
+func TestResetRestoresIdle(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	a.SetSetpoint(20)
+	for i := 0; i < 100; i++ {
+		a.Step(1, 30, nil)
+	}
+	a.Reset()
+	if a.Duty() != 0 || a.CoolKW() != 0 {
+		t.Fatalf("Reset left duty %g cool %g", a.Duty(), a.CoolKW())
+	}
+	if a.PowerKW() != a.Config().FanKW {
+		t.Fatalf("Reset power %g", a.PowerKW())
+	}
+}

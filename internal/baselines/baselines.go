@@ -1,0 +1,186 @@
+// Package baselines implements the comparison models the paper evaluates
+// against (§5.2–5.3):
+//
+//   - Lazic et al. [20]: a single autoregressive linear model over all DC
+//     temperatures fitted with ordinary least squares, rolled out
+//     recursively over the horizon (Table 3, and the plant model of the
+//     Lazic MPC controller);
+//   - Wang et al. [42]: the same recursive architecture with an MLP
+//     regressor (Table 3);
+//   - MLP / XGBoost-style GBT / Random-Forest cooling-energy predictors on
+//     the same features as TESLA's cooling-energy sub-module (Table 4).
+//
+// The recursive models deliberately share the paper-criticized design: all
+// temperatures are modeled collectively together with the cooling demand
+// (server power) and provisioning (set-point), and multi-step prediction
+// feeds the model its own outputs, so error compounds along the horizon.
+package baselines
+
+import (
+	"fmt"
+
+	"tesla/internal/dataset"
+	"tesla/internal/linreg"
+	"tesla/internal/mat"
+	"tesla/internal/mlp"
+)
+
+// Regressor is the minimal multi-output prediction interface the recursive
+// roll-out needs.
+type Regressor interface {
+	Predict(x []float64) []float64
+}
+
+// Recursive is a one-step-ahead model over the stacked temperature vector
+// [ACU sensors..., DC sensors...], rolled out recursively.
+type Recursive struct {
+	W      int // autoregressive window (past steps)
+	Na, Nd int
+	Reg    Regressor
+}
+
+// featureLen returns the input dimensionality: set-point and server power
+// for the next step plus W lags of all temperatures.
+func (m *Recursive) featureLen() int { return 2 + m.W*(m.Na+m.Nd) }
+
+// buildRecursiveData assembles the one-step-ahead training set.
+func buildRecursiveData(tr *dataset.Trace, w, stride int) (x, y *mat.Dense, err error) {
+	na, nd := tr.Na(), tr.Nd()
+	dim := 2 + w*(na+nd)
+	var rows int
+	for t := w - 1; t+1 < tr.Len(); t += stride {
+		rows++
+	}
+	if rows < dim {
+		return nil, nil, fmt.Errorf("baselines: only %d training rows for %d features (underdetermined)", rows, dim)
+	}
+	x = mat.New(rows, dim)
+	y = mat.New(rows, na+nd)
+	i := 0
+	for t := w - 1; t+1 < tr.Len(); t += stride {
+		row := x.Row(i)
+		row[0] = tr.Setpoint[t+1]
+		row[1] = tr.AvgPower[t]
+		pos := 2
+		for j := 0; j < w; j++ { // lag j: time t-j
+			for a := 0; a < na; a++ {
+				row[pos] = tr.ACUTemps[a][t-j]
+				pos++
+			}
+			for k := 0; k < nd; k++ {
+				row[pos] = tr.DCTemps[k][t-j]
+				pos++
+			}
+		}
+		yr := y.Row(i)
+		for a := 0; a < na; a++ {
+			yr[a] = tr.ACUTemps[a][t+1]
+		}
+		for k := 0; k < nd; k++ {
+			yr[na+k] = tr.DCTemps[k][t+1]
+		}
+		i++
+	}
+	return x, y, nil
+}
+
+// TrainLazic fits the Lazic et al. model: one-step AR with ordinary least
+// squares (no regularization, per Dhillon et al. [9] as cited in §5.2).
+func TrainLazic(tr *dataset.Trace, w, stride int) (*Recursive, error) {
+	x, y, err := buildRecursiveData(tr, w, stride)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := linreg.Fit(x, y, 0)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Lazic OLS fit: %w", err)
+	}
+	return &Recursive{W: w, Na: tr.Na(), Nd: tr.Nd(), Reg: reg}, nil
+}
+
+// TrainWangMLP fits the Wang et al. model: the same one-step architecture
+// with an MLP regressor.
+func TrainWangMLP(tr *dataset.Trace, w, stride int, cfg mlp.Config) (*Recursive, error) {
+	x, y, err := buildRecursiveData(tr, w, stride)
+	if err != nil {
+		return nil, err
+	}
+	net, err := mlp.Train(x, y, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: Wang MLP fit: %w", err)
+	}
+	return &Recursive{W: w, Na: tr.Na(), Nd: tr.Nd(), Reg: net}, nil
+}
+
+// RolloutInput is the recursive model's conditioning information: the last W
+// temperature snapshots (oldest→newest) and the current server power, which
+// the model holds constant over the horizon (the load-unawareness the paper
+// criticizes).
+type RolloutInput struct {
+	ACUTemps [][]float64 // [Na][W]
+	DCTemps  [][]float64 // [Nd][W]
+	PowerKW  float64
+}
+
+// RolloutInputAt extracts conditioning information ending at step t.
+func RolloutInputAt(tr *dataset.Trace, t, w int) (*RolloutInput, error) {
+	if t-w+1 < 0 || t >= tr.Len() {
+		return nil, fmt.Errorf("baselines: window [%d,%d] outside trace of %d", t-w+1, t, tr.Len())
+	}
+	in := &RolloutInput{PowerKW: tr.AvgPower[t]}
+	in.ACUTemps = make([][]float64, tr.Na())
+	for a := range in.ACUTemps {
+		in.ACUTemps[a] = append([]float64(nil), tr.ACUTemps[a][t-w+1:t+1]...)
+	}
+	in.DCTemps = make([][]float64, tr.Nd())
+	for k := range in.DCTemps {
+		in.DCTemps[k] = append([]float64(nil), tr.DCTemps[k][t-w+1:t+1]...)
+	}
+	return in, nil
+}
+
+// Rollout predicts L steps ahead recursively under the given set-point
+// sequence, returning L×Na ACU and L×Nd DC temperature predictions.
+func (m *Recursive) Rollout(in *RolloutInput, setpoints []float64) (acuPred, dcPred *mat.Dense, err error) {
+	if len(in.ACUTemps) != m.Na || len(in.DCTemps) != m.Nd {
+		return nil, nil, fmt.Errorf("baselines: input has %d/%d series, model expects %d/%d",
+			len(in.ACUTemps), len(in.DCTemps), m.Na, m.Nd)
+	}
+	for _, s := range in.ACUTemps {
+		if len(s) != m.W {
+			return nil, nil, fmt.Errorf("baselines: need %d lags, got %d", m.W, len(s))
+		}
+	}
+	L := len(setpoints)
+	// lags[j] is the stacked temperature vector at lag j (0 = newest).
+	lags := make([][]float64, m.W)
+	for j := 0; j < m.W; j++ {
+		v := make([]float64, m.Na+m.Nd)
+		for a := 0; a < m.Na; a++ {
+			v[a] = in.ACUTemps[a][m.W-1-j]
+		}
+		for k := 0; k < m.Nd; k++ {
+			v[m.Na+k] = in.DCTemps[k][m.W-1-j]
+		}
+		lags[j] = v
+	}
+	acuPred = mat.New(L, m.Na)
+	dcPred = mat.New(L, m.Nd)
+	x := make([]float64, m.featureLen())
+	for l := 0; l < L; l++ {
+		x[0] = setpoints[l]
+		x[1] = in.PowerKW
+		pos := 2
+		for j := 0; j < m.W; j++ {
+			copy(x[pos:pos+m.Na+m.Nd], lags[j])
+			pos += m.Na + m.Nd
+		}
+		next := m.Reg.Predict(x)
+		copy(acuPred.Row(l), next[:m.Na])
+		copy(dcPred.Row(l), next[m.Na:])
+		// Shift lags: newest becomes the prediction.
+		copy(lags[1:], lags[:m.W-1])
+		lags[0] = append([]float64(nil), next...)
+	}
+	return acuPred, dcPred, nil
+}

@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/dataset"
+	"tesla/internal/mlp"
+	"tesla/internal/rng"
+	"tesla/internal/stats"
+	"tesla/internal/testbed"
+)
+
+// syntheticTrace mirrors the learnable dynamics used in the model tests.
+func syntheticTrace(n int, seed uint64) *dataset.Trace {
+	r := rng.New(seed)
+	tr := dataset.NewTrace(60, 2, 3)
+	a := []float64{24, 24}
+	sp := 24.0
+	p := 0.15
+	for i := 0; i < n; i++ {
+		if i%6 == 0 {
+			sp = 21 + 8*r.Float64()
+		}
+		p = stats.Clamp(p+0.004*r.Norm(), 0.1, 0.3)
+		for j := range a {
+			a[j] = 0.85*a[j] + 0.15*sp + 0.5*(p-0.2) + 0.02*r.Norm()
+		}
+		dc := make([]float64, 3)
+		for k := range dc {
+			dc[k] = a[0] - 2.5 + 0.3*float64(k) + p + 0.02*r.Norm()
+		}
+		power := math.Max(0.1, 1.8-0.45*(sp-a[0]))
+		tr.Append(testbed.Sample{
+			TimeS: float64(i) * 60, SetpointC: sp, AvgServerKW: p,
+			ACUPowerKW: power, ACUTemps: append([]float64(nil), a...),
+			DCTemps: dc, MaxColdAisle: dc[2],
+		})
+	}
+	return tr
+}
+
+func TestLazicOneStepAccuracy(t *testing.T) {
+	tr := syntheticTrace(600, 1)
+	train, test := tr.Split(0.7)
+	m, err := TrainLazic(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []float64
+	for ti := m.W - 1; ti+1 < test.Len(); ti += 3 {
+		in, err := RolloutInputAt(test, ti, m.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acu, dc, err := m.Rollout(in, []float64{test.Setpoint[ti+1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred = append(pred, acu.At(0, 0), dc.At(0, 1))
+		truth = append(truth, test.ACUTemps[0][ti+1], test.DCTemps[1][ti+1])
+	}
+	mape, err := stats.MAPE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 2 {
+		t.Fatalf("one-step OLS MAPE %g%% too high on linear dynamics", mape)
+	}
+}
+
+func TestRecursiveErrorCompoundsWithHorizon(t *testing.T) {
+	// The paper's core criticism of recursive baselines: multi-step error
+	// grows along the horizon.
+	tr := syntheticTrace(600, 2)
+	train, test := tr.Split(0.7)
+	m, err := TrainLazic(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := 10
+	var e1, eL []float64
+	for ti := m.W - 1; ti+L < test.Len(); ti += 5 {
+		in, _ := RolloutInputAt(test, ti, m.W)
+		_, dc, err := m.Rollout(in, test.Setpoint[ti+1:ti+1+L])
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1 = append(e1, math.Abs(dc.At(0, 0)-test.DCTemps[0][ti+1]))
+		eL = append(eL, math.Abs(dc.At(L-1, 0)-test.DCTemps[0][ti+L]))
+	}
+	if stats.Mean(eL) <= stats.Mean(e1) {
+		t.Fatalf("recursive rollout error should compound: step1 %g, step%d %g",
+			stats.Mean(e1), L, stats.Mean(eL))
+	}
+}
+
+func TestWangMLPTrainsAndRollsOut(t *testing.T) {
+	tr := syntheticTrace(500, 3)
+	train, test := tr.Split(0.7)
+	cfg := mlp.DefaultConfig()
+	cfg.Epochs = 15
+	m, err := TrainWangMLP(train, 3, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := RolloutInputAt(test, 10, m.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acu, dc, err := m.Rollout(in, []float64{24, 24, 24, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acu.Rows != 4 || acu.Cols != 2 || dc.Rows != 4 || dc.Cols != 3 {
+		t.Fatalf("rollout shapes wrong: %dx%d / %dx%d", acu.Rows, acu.Cols, dc.Rows, dc.Cols)
+	}
+	for _, v := range append(acu.Data, dc.Data...) {
+		if math.IsNaN(v) || v < -20 || v > 80 {
+			t.Fatalf("rollout produced implausible value %g", v)
+		}
+	}
+}
+
+func TestRolloutInputValidation(t *testing.T) {
+	tr := syntheticTrace(50, 4)
+	if _, err := RolloutInputAt(tr, 1, 3); err == nil {
+		t.Fatalf("window before start accepted")
+	}
+	if _, err := RolloutInputAt(tr, 60, 3); err == nil {
+		t.Fatalf("window past end accepted")
+	}
+	train, _ := tr.Split(0.8)
+	m, err := TrainLazic(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := RolloutInputAt(tr, 10, 3)
+	in.ACUTemps = in.ACUTemps[:1]
+	if _, _, err := m.Rollout(in, []float64{24}); err != nil {
+		// good: shape mismatch rejected
+	} else {
+		t.Fatalf("mismatched input accepted")
+	}
+	in2, _ := RolloutInputAt(tr, 10, 3)
+	in2.ACUTemps[0] = in2.ACUTemps[0][:1]
+	if _, _, err := m.Rollout(in2, []float64{24}); err == nil {
+		t.Fatalf("short lag window accepted")
+	}
+}
+
+func TestTrainLazicRejectsTinyTrace(t *testing.T) {
+	tr := syntheticTrace(8, 5)
+	if _, err := TrainLazic(tr, 3, 1); err == nil {
+		t.Fatalf("tiny trace accepted")
+	}
+}
+
+func TestBuildEnergyDataset(t *testing.T) {
+	tr := syntheticTrace(120, 6)
+	x, y, err := BuildEnergyDataset(tr, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cols != 8+2*8 {
+		t.Fatalf("feature width %d, want %d", x.Cols, 8+2*8)
+	}
+	if x.Rows != len(y) {
+		t.Fatalf("rows %d vs targets %d", x.Rows, len(y))
+	}
+	// Target of the first window must equal the trace integral.
+	if math.Abs(y[0]-tr.EnergyKWh(1, 9)) > 1e-12 {
+		t.Fatalf("target misaligned: %g vs %g", y[0], tr.EnergyKWh(1, 9))
+	}
+	// First feature is the set-point at t+1.
+	if x.At(0, 0) != tr.Setpoint[1] {
+		t.Fatalf("feature misaligned")
+	}
+	if _, _, err := BuildEnergyDataset(tr, 0, 1); err == nil {
+		t.Fatalf("zero horizon accepted")
+	}
+}
+
+func TestEnergyBaselinesLearnResidualRelation(t *testing.T) {
+	tr := syntheticTrace(900, 7)
+	train, test := tr.Split(0.7)
+	xTr, yTr, err := BuildEnergyDataset(train, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTe, yTe, err := BuildEnergyDataset(test, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mlp.DefaultConfig()
+	cfg.Epochs = 20
+	mlpM, err := TrainEnergyMLP(xTr, yTr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalMAPE := func(m EnergyModel) float64 {
+		var pred []float64
+		for i := 0; i < xTe.Rows; i++ {
+			pred = append(pred, m.PredictEnergy(xTe.Row(i)))
+		}
+		v, err := stats.MAPE(pred, yTe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := evalMAPE(mlpM); got > 20 {
+		t.Fatalf("MLP energy MAPE %g%% too high", got)
+	}
+}

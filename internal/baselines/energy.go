@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"fmt"
+
+	"tesla/internal/dataset"
+	"tesla/internal/forest"
+	"tesla/internal/gbt"
+	"tesla/internal/mat"
+	"tesla/internal/mlp"
+)
+
+// EnergyModel predicts the cooling energy over an L-step window — the
+// quantity of Table 4 — from the same features TESLA's cooling-energy
+// sub-module consumes (set-points and ACU inlet temperatures over the
+// window).
+type EnergyModel interface {
+	PredictEnergy(x []float64) float64
+}
+
+// BuildEnergyDataset assembles the Table 4 learning problem: for each anchor
+// step t, features are [s_{t+1..t+L}, a^{n_a}_{t+1..t+L}] and the target is
+// the integrated ACU energy over the window (kWh).
+func BuildEnergyDataset(tr *dataset.Trace, horizon, stride int) (x *mat.Dense, y []float64, err error) {
+	if horizon < 1 || stride < 1 {
+		return nil, nil, fmt.Errorf("baselines: invalid horizon %d / stride %d", horizon, stride)
+	}
+	na := tr.Na()
+	dim := horizon + na*horizon
+	var rows int
+	for t := 0; t+horizon < tr.Len(); t += stride {
+		rows++
+	}
+	if rows < 10 {
+		return nil, nil, fmt.Errorf("baselines: only %d energy windows", rows)
+	}
+	x = mat.New(rows, dim)
+	y = make([]float64, rows)
+	i := 0
+	for t := 0; t+horizon < tr.Len(); t += stride {
+		row := x.Row(i)
+		for j := 1; j <= horizon; j++ {
+			row[j-1] = tr.Setpoint[t+j]
+		}
+		for a := 0; a < na; a++ {
+			for j := 1; j <= horizon; j++ {
+				row[horizon+a*horizon+j-1] = tr.ACUTemps[a][t+j]
+			}
+		}
+		y[i] = tr.EnergyKWh(t+1, t+1+horizon)
+		i++
+	}
+	return x, y, nil
+}
+
+// mlpEnergy adapts an MLP to the EnergyModel interface.
+type mlpEnergy struct{ net *mlp.Network }
+
+// PredictEnergy implements EnergyModel.
+func (m mlpEnergy) PredictEnergy(x []float64) float64 { return m.net.Predict(x)[0] }
+
+// TrainEnergyMLP fits the Table 4 MLP baseline.
+func TrainEnergyMLP(x *mat.Dense, y []float64, cfg mlp.Config) (EnergyModel, error) {
+	ym := mat.NewFromSlice(len(y), 1, append([]float64(nil), y...))
+	net, err := mlp.Train(x, ym, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mlpEnergy{net}, nil
+}
+
+type gbtEnergy struct{ ens *gbt.Ensemble }
+
+// PredictEnergy implements EnergyModel.
+func (m gbtEnergy) PredictEnergy(x []float64) float64 { return m.ens.Predict(x) }
+
+// TrainEnergyGBT fits the Table 4 XGBoost-style baseline.
+func TrainEnergyGBT(x *mat.Dense, y []float64, cfg gbt.Config) (EnergyModel, error) {
+	ens, err := gbt.Train(x, y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gbtEnergy{ens}, nil
+}
+
+type forestEnergy struct{ f *forest.Forest }
+
+// PredictEnergy implements EnergyModel.
+func (m forestEnergy) PredictEnergy(x []float64) float64 { return m.f.Predict(x) }
+
+// TrainEnergyForest fits the Table 4 random-forest baseline.
+func TrainEnergyForest(x *mat.Dense, y []float64, cfg forest.Config) (EnergyModel, error) {
+	f, err := forest.Train(x, y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return forestEnergy{f}, nil
+}

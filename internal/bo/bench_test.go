@@ -1,0 +1,17 @@
+package bo
+
+import "testing"
+
+// BenchmarkOptimize measures one full constrained-NEI optimization — the
+// per-control-step cost of the TESLA optimizer (§3.3).
+func BenchmarkOptimize(b *testing.B) {
+	cfg := DefaultConfig(20, 35)
+	eval := quadraticProblem(27, 30, 0.1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Optimize(cfg, eval); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package bo implements TESLA's modeling-error-aware Bayesian optimizer
+// (paper §3.3): separate fixed-noise Gaussian processes for the objective
+// (cooling energy + interruption penalty) and the thermal-safety constraint,
+// a constrained Noisy Expected Improvement acquisition integrated with
+// quasi-Monte-Carlo (Sobol) function draws, and the paper's backstop of
+// returning S_min when no candidate set-point is predicted feasible.
+//
+// The optimizer minimizes the objective subject to constraint ≤ 0 over a
+// scalar domain [Min, Max] (the ACU's allowable set-point range).
+package bo
+
+import (
+	"fmt"
+	"math"
+
+	"tesla/internal/gp"
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+// Evaluation is one noisy probe of the black-box problem.
+type Evaluation struct {
+	X           float64 // set-point candidate
+	Obj         float64 // noisy objective observation Ô
+	Con         float64 // noisy constraint observation Ĉ
+	ObjNoiseVar float64 // bootstrap variance of the objective error
+	ConNoiseVar float64 // bootstrap variance of the constraint error
+}
+
+// Evaluator produces a noisy observation of the objective and constraint at
+// x along with their noise variances (from the prediction-error monitor).
+type Evaluator func(x float64) Evaluation
+
+// Config controls the optimization budget.
+type Config struct {
+	Min, Max   float64 // domain (S_min, S_max)
+	InitPoints int     // Sobol initial design size
+	Iterations int     // NEI-driven evaluations after the initial design
+	Candidates int     // acquisition grid resolution
+	QMCSamples int     // Sobol posterior draws per acquisition evaluation
+	// FeasProb is the posterior feasibility probability a candidate must
+	// reach to be recommended — the "modeling-error-aware" margin.
+	FeasProb float64
+	Seed     uint64
+}
+
+// DefaultConfig returns a budget suited to a per-minute control step.
+func DefaultConfig(min, max float64) Config {
+	return Config{
+		Min: min, Max: max,
+		InitPoints: 7,
+		Iterations: 8,
+		Candidates: 61,
+		QMCSamples: 64,
+		FeasProb:   0.975,
+		Seed:       1,
+	}
+}
+
+// Validate reports invalid configurations.
+func (c Config) Validate() error {
+	switch {
+	case !(c.Max > c.Min):
+		return fmt.Errorf("bo: empty domain [%g,%g]", c.Min, c.Max)
+	case c.InitPoints < 2:
+		return fmt.Errorf("bo: need at least 2 initial points, got %d", c.InitPoints)
+	case c.Candidates < 2:
+		return fmt.Errorf("bo: need at least 2 candidates, got %d", c.Candidates)
+	case c.QMCSamples < 1:
+		return fmt.Errorf("bo: need at least 1 QMC sample, got %d", c.QMCSamples)
+	case c.FeasProb <= 0 || c.FeasProb >= 1:
+		return fmt.Errorf("bo: FeasProb must lie in (0,1), got %g", c.FeasProb)
+	}
+	return nil
+}
+
+// Result reports the recommended set-point and the surrogate state.
+type Result struct {
+	X        float64 // recommended set-point (Min when infeasible)
+	Feasible bool    // false means the S_min backstop fired
+	Evals    []Evaluation
+	ObjGP    *gp.GP // fitted objective surrogate (for introspection, Fig. 8b)
+	ConGP    *gp.GP // fitted constraint surrogate
+}
+
+// Optimize runs the constrained NEI loop.
+func Optimize(cfg Config, eval Evaluator) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+
+	// Initial design: scrambled Sobol over the domain, plus the endpoints so
+	// the surrogate always brackets the feasible region.
+	var evals []Evaluation
+	evals = append(evals, eval(cfg.Min), eval(cfg.Max))
+	sob, err := rng.NewSobol(1)
+	if err != nil {
+		return nil, err
+	}
+	sob.Scramble(r)
+	for i := 0; i < cfg.InitPoints-2; i++ {
+		u := sob.Next(nil)[0]
+		evals = append(evals, eval(cfg.Min+u*(cfg.Max-cfg.Min)))
+	}
+
+	cands := linspace(cfg.Min, cfg.Max, cfg.Candidates)
+
+	var objGP, conGP *gp.GP
+	for it := 0; it < cfg.Iterations; it++ {
+		objGP, conGP, err = fitSurrogates(evals)
+		if err != nil {
+			return nil, err
+		}
+		acq := acquireNEI(objGP, conGP, evals, cands, cfg.QMCSamples, r)
+		next, ok := pickNext(acq, cands, evals, (cfg.Max-cfg.Min)/float64(4*cfg.Candidates))
+		if !ok {
+			break // acquisition exhausted: every candidate already probed
+		}
+		evals = append(evals, eval(next))
+	}
+	objGP, conGP, err = fitSurrogates(evals)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Evals: evals, ObjGP: objGP, ConGP: conGP}
+	res.X, res.Feasible = recommend(conGP, evals, cfg.FeasProb)
+	if !res.Feasible {
+		res.X = cfg.Min // paper backstop: pick S_min and recalibrate later
+	}
+	return res, nil
+}
+
+func fitSurrogates(evals []Evaluation) (objGP, conGP *gp.GP, err error) {
+	n := len(evals)
+	xs := make([]float64, n)
+	obj := make([]float64, n)
+	objN := make([]float64, n)
+	con := make([]float64, n)
+	conN := make([]float64, n)
+	for i, e := range evals {
+		xs[i] = e.X
+		obj[i] = e.Obj
+		objN[i] = floorVar(e.ObjNoiseVar)
+		con[i] = e.Con
+		conN[i] = floorVar(e.ConNoiseVar)
+	}
+	if objGP, err = gp.Fit(xs, obj, objN); err != nil {
+		return nil, nil, fmt.Errorf("bo: objective surrogate: %w", err)
+	}
+	if conGP, err = gp.Fit(xs, con, conN); err != nil {
+		return nil, nil, fmt.Errorf("bo: constraint surrogate: %w", err)
+	}
+	return objGP, conGP, nil
+}
+
+// acquireNEI estimates the constrained noisy-EI acquisition on the candidate
+// grid: QMC draws of the joint posterior at [observed ∪ candidates]
+// determine, per draw, the best feasible "true" objective among the observed
+// points (the noisy incumbent) and the improvement each feasible candidate
+// would deliver over it.
+func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSamples int, r *rng.Rand) []float64 {
+	nObs := len(evals)
+	pts := make([]float64, 0, nObs+len(cands))
+	for _, e := range evals {
+		pts = append(pts, e.X)
+	}
+	pts = append(pts, cands...)
+
+	objMean, objCov := objGP.JointPosterior(pts)
+	conMean, conCov := conGP.JointPosterior(pts)
+	objL := cholWithJitter(objCov)
+	conL := cholWithJitter(conCov)
+
+	m := len(pts)
+	draws := newQMCNormals(2*m, nSamples, r)
+	acq := make([]float64, len(cands))
+	fObj := make([]float64, m)
+	fCon := make([]float64, m)
+	for k := 0; k < nSamples; k++ {
+		z := draws.row(k)
+		sampleGaussian(objMean, objL, z[:m], fObj)
+		sampleGaussian(conMean, conL, z[m:], fCon)
+
+		// Noisy incumbent: best sampled objective among observed points that
+		// the same draw deems feasible.
+		incumbent := math.Inf(1)
+		for i := 0; i < nObs; i++ {
+			if fCon[i] <= 0 && fObj[i] < incumbent {
+				incumbent = fObj[i]
+			}
+		}
+		if math.IsInf(incumbent, 1) {
+			// No feasible observation in this draw: reward candidates for
+			// being feasible at all, scored by how good they look.
+			worst := maxOf(fObj[:nObs])
+			incumbent = worst
+		}
+		for j := range cands {
+			f := fObj[nObs+j]
+			if fCon[nObs+j] <= 0 && f < incumbent {
+				acq[j] += incumbent - f
+			}
+		}
+	}
+	for j := range acq {
+		acq[j] /= float64(nSamples)
+	}
+	return acq
+}
+
+// pickNext selects the acquisition maximizer that is not within tol of an
+// existing evaluation.
+func pickNext(acq, cands []float64, evals []Evaluation, tol float64) (float64, bool) {
+	type scored struct {
+		x, a float64
+	}
+	best := scored{a: math.Inf(-1)}
+	found := false
+	for j, x := range cands {
+		dup := false
+		for _, e := range evals {
+			if math.Abs(e.X-x) < tol {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if acq[j] > best.a {
+			best = scored{x, acq[j]}
+			found = true
+		}
+	}
+	return best.x, found
+}
+
+// recommend picks the best observed point whose posterior probability of
+// satisfying the constraint exceeds feasProb. Recommending among evaluated
+// points (rather than the posterior-mean minimizer over the whole grid)
+// avoids GP interpolation error around the objective's narrow minimum, while
+// the constraint GP still supplies the modeling-error-aware safety margin.
+func recommend(conGP *gp.GP, evals []Evaluation, feasProb float64) (float64, bool) {
+	bestX, bestObj := 0.0, math.Inf(1)
+	found := false
+	for _, e := range evals {
+		cm, cv := conGP.Posterior(e.X)
+		sd := math.Sqrt(cv)
+		var pFeas float64
+		if sd < 1e-12 {
+			if cm <= 0 {
+				pFeas = 1
+			}
+		} else {
+			pFeas = rng.NormCDF(-cm / sd)
+		}
+		if pFeas < feasProb {
+			continue
+		}
+		if e.Obj < bestObj {
+			bestObj = e.Obj
+			bestX = e.X
+			found = true
+		}
+	}
+	return bestX, found
+}
+
+// qmcNormals supplies rows of standard-normal variates: the first (at most)
+// rng.MaxSobolDim coordinates come from a scrambled Sobol sequence through
+// the inverse normal CDF, the remainder from the PRNG — a pragmatic hybrid
+// for joint draws wider than the Sobol table.
+type qmcNormals struct {
+	data []float64
+	dim  int
+}
+
+func newQMCNormals(dim, n int, r *rng.Rand) *qmcNormals {
+	q := &qmcNormals{data: make([]float64, dim*n), dim: dim}
+	sobDim := dim
+	if sobDim > rng.MaxSobolDim {
+		sobDim = rng.MaxSobolDim
+	}
+	sob, err := rng.NewSobol(sobDim)
+	if err != nil {
+		panic(err) // unreachable: sobDim validated above
+	}
+	sob.Scramble(r)
+	sob.Skip(1) // skip the origin
+	buf := make([]float64, sobDim)
+	for k := 0; k < n; k++ {
+		row := q.data[k*dim : (k+1)*dim]
+		sob.Next(buf)
+		for d := 0; d < sobDim; d++ {
+			u := buf[d]
+			if u <= 0 {
+				u = 0.5 / float64(n)
+			}
+			row[d] = rng.InvNormCDF(u)
+		}
+		for d := sobDim; d < dim; d++ {
+			row[d] = r.Norm()
+		}
+	}
+	return q
+}
+
+func (q *qmcNormals) row(k int) []float64 { return q.data[k*q.dim : (k+1)*q.dim] }
+
+// sampleGaussian computes out = mean + L·z.
+func sampleGaussian(mean []float64, l *mat.Dense, z, out []float64) {
+	n := len(mean)
+	for i := 0; i < n; i++ {
+		s := mean[i]
+		row := l.Row(i)
+		for j := 0; j <= i && j < n; j++ {
+			s += row[j] * z[j]
+		}
+		out[i] = s
+	}
+}
+
+// cholWithJitter factors a posterior covariance, escalating diagonal jitter
+// until it succeeds (posterior covariances are often numerically singular
+// when candidates coincide with observations).
+func cholWithJitter(cov *mat.Dense) *mat.Dense {
+	jitter := 0.0
+	base := 1e-10 * (1 + meanDiag(cov))
+	for attempt := 0; attempt < 12; attempt++ {
+		work := cov
+		if jitter > 0 {
+			work = cov.Clone()
+			for i := 0; i < work.Rows; i++ {
+				work.Data[i*work.Cols+i] += jitter
+			}
+		}
+		if ch, err := mat.NewCholesky(work); err == nil {
+			return ch.L
+		}
+		if jitter == 0 {
+			jitter = base
+		} else {
+			jitter *= 10
+		}
+	}
+	// Degenerate fallback: diagonal standard deviations only.
+	l := mat.New(cov.Rows, cov.Cols)
+	for i := 0; i < cov.Rows; i++ {
+		v := cov.Data[i*cov.Cols+i]
+		if v < 0 {
+			v = 0
+		}
+		l.Data[i*cov.Cols+i] = math.Sqrt(v)
+	}
+	return l
+}
+
+func meanDiag(a *mat.Dense) float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		s += math.Abs(a.Data[i*a.Cols+i])
+	}
+	return s / float64(a.Rows)
+}
+
+func floorVar(v float64) float64 {
+	if v < 1e-8 {
+		return 1e-8
+	}
+	return v
+}
+
+func linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,168 @@
+// Package cluster models the 21-server / 4-rack compute cluster of the TESLA
+// testbed (paper Table 1): eleven 112-core Xeon Gold 6330 machines and ten
+// 88-core Xeon E5-2699 machines, each with an idle→peak power curve linear
+// in CPU utilization plus a first-order electrical lag and measurement
+// noise. The cluster exposes per-rack heat output (for the room model) and
+// per-server telemetry (for the observability stack).
+package cluster
+
+import (
+	"fmt"
+
+	"tesla/internal/rng"
+	"tesla/internal/thermo"
+)
+
+// ServerClass describes a hardware SKU.
+type ServerClass struct {
+	Name     string
+	Cores    int
+	IdleKW   float64
+	PeakKW   float64
+	PowerTau float64 // electrical/thermal power lag in seconds
+}
+
+// Paper SKUs (power envelopes chosen to match dual-socket machines of those
+// generations; the paper does not publish per-server wattage).
+var (
+	ClassGold6330 = ServerClass{Name: "xeon-gold-6330", Cores: 112, IdleKW: 0.125, PeakKW: 0.46, PowerTau: 25}
+	ClassE52699   = ServerClass{Name: "xeon-e5-2699", Cores: 88, IdleKW: 0.105, PeakKW: 0.37, PowerTau: 25}
+)
+
+// Server is one machine: target utilization is set by the workload layer and
+// actual utilization/power follow with a lag.
+type Server struct {
+	Name  string
+	Class ServerClass
+	Rack  int
+
+	targetUtil float64
+	Util       float64 // achieved CPU utilization in [0,1]
+	MemUtil    float64 // memory utilization in [0,1] (telemetry only)
+	PowerKW    float64 // instantaneous power draw
+}
+
+// SetTargetUtil commands the load actuator (Gaetano-style controller).
+func (s *Server) SetTargetUtil(u float64) {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	s.targetUtil = u
+}
+
+// TargetUtil returns the commanded utilization.
+func (s *Server) TargetUtil() float64 { return s.targetUtil }
+
+// Step advances the server by dt seconds. Utilization slews toward the
+// target with a short time constant plus scheduling jitter; power follows
+// utilization through the electrical lag.
+func (s *Server) Step(dt float64, r *rng.Rand) {
+	const utilTau = 8.0 // seconds for the load generator to settle
+	s.Util += (s.targetUtil - s.Util) / utilTau * dt
+	jitter := 0.0
+	if r != nil {
+		jitter = 0.015 * r.Norm()
+	}
+	u := s.Util + jitter
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	s.MemUtil = 0.25 + 0.5*u // memory roughly tracks CPU in these workloads
+
+	want := s.Class.IdleKW + u*(s.Class.PeakKW-s.Class.IdleKW)
+	tau := s.Class.PowerTau
+	if tau <= 0 {
+		tau = 1
+	}
+	s.PowerKW += (want - s.PowerKW) / tau * dt
+}
+
+// Cluster is the full testbed fleet.
+type Cluster struct {
+	Servers []*Server
+}
+
+// NewTestbed builds the paper's fleet: 21 servers over 4 racks
+// (6+5+5+5), interleaving the two SKUs the way a real deployment racks them.
+func NewTestbed() *Cluster {
+	c := &Cluster{}
+	rackSizes := []int{6, 5, 5, 5}
+	idx := 0
+	for rack, n := range rackSizes {
+		for k := 0; k < n; k++ {
+			class := ClassGold6330
+			if idx >= 11 {
+				class = ClassE52699
+			}
+			srv := &Server{
+				Name:  fmt.Sprintf("node-%02d", idx),
+				Class: class,
+				Rack:  rack,
+			}
+			srv.PowerKW = class.IdleKW
+			c.Servers = append(c.Servers, srv)
+			idx++
+		}
+	}
+	return c
+}
+
+// Step advances every server.
+func (c *Cluster) Step(dt float64, r *rng.Rand) {
+	for _, s := range c.Servers {
+		s.Step(dt, r)
+	}
+}
+
+// RackPowerKW sums instantaneous power per rack — the heat source vector for
+// the room model.
+func (c *Cluster) RackPowerKW() [thermo.NumRacks]float64 {
+	var out [thermo.NumRacks]float64
+	for _, s := range c.Servers {
+		out[s.Rack] += s.PowerKW
+	}
+	return out
+}
+
+// TotalPowerKW sums the whole fleet.
+func (c *Cluster) TotalPowerKW() float64 {
+	var t float64
+	for _, s := range c.Servers {
+		t += s.PowerKW
+	}
+	return t
+}
+
+// AveragePowerKW is the per-server average — the quantity TESLA's ASP
+// sub-module predicts (paper §3.2, eq. 1).
+func (c *Cluster) AveragePowerKW() float64 {
+	if len(c.Servers) == 0 {
+		return 0
+	}
+	return c.TotalPowerKW() / float64(len(c.Servers))
+}
+
+// AverageUtil is fleet-average CPU utilization.
+func (c *Cluster) AverageUtil() float64 {
+	if len(c.Servers) == 0 {
+		return 0
+	}
+	var t float64
+	for _, s := range c.Servers {
+		t += s.Util
+	}
+	return t / float64(len(c.Servers))
+}
+
+// SetUniformTarget commands the same target utilization on every server.
+func (c *Cluster) SetUniformTarget(u float64) {
+	for _, s := range c.Servers {
+		s.SetTargetUtil(u)
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/rng"
+	"tesla/internal/thermo"
+)
+
+func TestTestbedMatchesPaperFleet(t *testing.T) {
+	c := NewTestbed()
+	if len(c.Servers) != 21 {
+		t.Fatalf("fleet size %d, want 21", len(c.Servers))
+	}
+	gold, e5 := 0, 0
+	racks := map[int]int{}
+	for _, s := range c.Servers {
+		switch s.Class.Name {
+		case ClassGold6330.Name:
+			gold++
+		case ClassE52699.Name:
+			e5++
+		default:
+			t.Fatalf("unknown class %q", s.Class.Name)
+		}
+		racks[s.Rack]++
+	}
+	if gold != 11 || e5 != 10 {
+		t.Fatalf("SKU split %d/%d, want 11/10", gold, e5)
+	}
+	if len(racks) != thermo.NumRacks {
+		t.Fatalf("%d racks, want %d", len(racks), thermo.NumRacks)
+	}
+	for rack, n := range racks {
+		if n < 5 || n > 6 {
+			t.Fatalf("rack %d has %d servers", rack, n)
+		}
+	}
+}
+
+func TestPowerConvergesToTarget(t *testing.T) {
+	c := NewTestbed()
+	c.SetUniformTarget(0.5)
+	for i := 0; i < 600; i++ {
+		c.Step(1, nil)
+	}
+	for _, s := range c.Servers {
+		want := s.Class.IdleKW + 0.5*(s.Class.PeakKW-s.Class.IdleKW)
+		if math.Abs(s.PowerKW-want) > 0.01 {
+			t.Fatalf("%s power %g, want %g", s.Name, s.PowerKW, want)
+		}
+		if math.Abs(s.Util-0.5) > 0.01 {
+			t.Fatalf("%s util %g, want 0.5", s.Name, s.Util)
+		}
+	}
+}
+
+func TestPowerStaysWithinEnvelope(t *testing.T) {
+	c := NewTestbed()
+	r := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		if i%100 == 0 {
+			c.SetUniformTarget(r.Float64())
+		}
+		c.Step(1, r)
+		for _, s := range c.Servers {
+			if s.PowerKW < s.Class.IdleKW-0.02 || s.PowerKW > s.Class.PeakKW+0.02 {
+				t.Fatalf("%s power %g outside [%g,%g]", s.Name, s.PowerKW, s.Class.IdleKW, s.Class.PeakKW)
+			}
+		}
+	}
+}
+
+func TestRackPowerSumsToTotal(t *testing.T) {
+	c := NewTestbed()
+	c.SetUniformTarget(0.3)
+	for i := 0; i < 300; i++ {
+		c.Step(1, nil)
+	}
+	rack := c.RackPowerKW()
+	var sum float64
+	for _, v := range rack {
+		sum += v
+	}
+	if math.Abs(sum-c.TotalPowerKW()) > 1e-9 {
+		t.Fatalf("rack sum %g != total %g", sum, c.TotalPowerKW())
+	}
+	if math.Abs(c.AveragePowerKW()*21-c.TotalPowerKW()) > 1e-9 {
+		t.Fatalf("average inconsistent with total")
+	}
+}
+
+func TestTargetClamping(t *testing.T) {
+	s := &Server{Class: ClassGold6330}
+	s.SetTargetUtil(1.7)
+	if s.TargetUtil() != 1 {
+		t.Fatalf("target should clamp to 1, got %g", s.TargetUtil())
+	}
+	s.SetTargetUtil(-0.5)
+	if s.TargetUtil() != 0 {
+		t.Fatalf("target should clamp to 0, got %g", s.TargetUtil())
+	}
+}
+
+func TestAverageUtilTracksTargets(t *testing.T) {
+	c := NewTestbed()
+	c.SetUniformTarget(0.25)
+	for i := 0; i < 600; i++ {
+		c.Step(1, nil)
+	}
+	if math.Abs(c.AverageUtil()-0.25) > 0.01 {
+		t.Fatalf("average util %g, want 0.25", c.AverageUtil())
+	}
+}
+
+func TestMemUtilTracksCPU(t *testing.T) {
+	c := NewTestbed()
+	c.SetUniformTarget(0.8)
+	for i := 0; i < 600; i++ {
+		c.Step(1, nil)
+	}
+	for _, s := range c.Servers {
+		if s.MemUtil < 0.25 || s.MemUtil > 0.75 {
+			t.Fatalf("memory util %g implausible", s.MemUtil)
+		}
+	}
+}
+
+func TestEmptyClusterAverages(t *testing.T) {
+	c := &Cluster{}
+	if c.AveragePowerKW() != 0 || c.AverageUtil() != 0 {
+		t.Fatalf("empty cluster should average to zero")
+	}
+}

@@ -1,0 +1,76 @@
+// Package control implements the cooling-control policies evaluated in the
+// paper (§5.3): the fixed-set-point industry baseline, the full TESLA
+// controller (DC time-series model + error monitor + constrained-NEI
+// Bayesian optimizer + smoothing buffer, §3.3–3.4), the Lazic et al. MPC
+// baseline (recursive AR model + gradient-descent set-point search), and the
+// TSRL offline-RL baseline (fitted Q-iteration on logged traces).
+//
+// Every policy sees the same interface: the telemetry trace recorded so far
+// and the index of the current step, and returns the set-point to execute —
+// exactly the information the real deployments draw from InfluxDB.
+package control
+
+import "tesla/internal/dataset"
+
+// Policy decides the ACU set-point at each control step.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Decide returns the set-point to execute given telemetry up to and
+	// including step t.
+	Decide(tr *dataset.Trace, t int) float64
+}
+
+// Fixed is the industry-practice baseline: a constant set-point (23 °C in
+// the paper's evaluation).
+type Fixed struct {
+	SetpointC float64
+}
+
+// Name implements Policy.
+func (f Fixed) Name() string { return "fixed" }
+
+// Decide implements Policy.
+func (f Fixed) Decide(*dataset.Trace, int) float64 { return f.SetpointC }
+
+// SmoothingBuffer is TESLA's set-point post-processor (§3.4): a length-N
+// running average acting as a low-pass filter over the optimizer's outputs,
+// suppressing the power peaks caused by executing set-points before the ACU
+// has settled (Figure 4).
+type SmoothingBuffer struct {
+	buf  []float64
+	next int
+	n    int
+}
+
+// NewSmoothingBuffer returns a buffer of capacity n (N=5 in Table 2).
+func NewSmoothingBuffer(n int) *SmoothingBuffer {
+	if n < 1 {
+		n = 1
+	}
+	return &SmoothingBuffer{buf: make([]float64, n)}
+}
+
+// Push inserts a computed set-point and returns the running average that
+// should actually be executed.
+func (s *SmoothingBuffer) Push(v float64) float64 {
+	s.buf[s.next] = v
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	var sum float64
+	for i := 0; i < s.n; i++ {
+		sum += s.buf[(s.next-1-i+2*len(s.buf))%len(s.buf)]
+	}
+	return sum / float64(s.n)
+}
+
+// Len returns the number of values currently buffered.
+func (s *SmoothingBuffer) Len() int { return s.n }
+
+// Reset empties the buffer.
+func (s *SmoothingBuffer) Reset() {
+	s.n = 0
+	s.next = 0
+}

@@ -1,0 +1,147 @@
+package control
+
+import (
+	"fmt"
+
+	"tesla/internal/baselines"
+	"tesla/internal/dataset"
+)
+
+// LazicConfig parameterizes the Lazic et al. [20] MPC baseline.
+type LazicConfig struct {
+	// L is the look-ahead horizon (matched to TESLA's for fairness).
+	L int
+	// SpMin and SpMax bound the search.
+	SpMin, SpMax float64
+	// ColdLimitC is the cold-aisle limit the predicted maximum must respect.
+	ColdLimitC float64
+	// ColdIdx are the cold-aisle sensor indices within the DC series.
+	ColdIdx []int
+	// GradIters and GradStep drive the gradient-descent set-point search the
+	// paper attributes to Lazic et al.
+	GradIters int
+	GradStep  float64
+	// InitialSetpointC is used before the model has enough history.
+	InitialSetpointC float64
+}
+
+// DefaultLazicConfig mirrors the paper's description: highest set-point such
+// that the predicted max cold-aisle temperature stays below 22 °C, S_min
+// backup when infeasible.
+func DefaultLazicConfig(spMin, spMax float64, coldIdx []int) LazicConfig {
+	return LazicConfig{
+		L:     20,
+		SpMin: spMin, SpMax: spMax,
+		ColdLimitC:       22,
+		ColdIdx:          coldIdx,
+		GradIters:        25,
+		GradStep:         0.8,
+		InitialSetpointC: 23,
+	}
+}
+
+// Lazic is the MPC controller: an autoregressive OLS plant model rolled out
+// recursively, and a gradient-descent search for the highest feasible
+// set-point. It has no interruption penalty and no modeling-error margin —
+// the two omissions §6.3 blames for its thermal-safety violations.
+type Lazic struct {
+	cfg   LazicConfig
+	model *baselines.Recursive
+}
+
+// NewLazic wires a trained recursive model into the controller.
+func NewLazic(m *baselines.Recursive, cfg LazicConfig) (*Lazic, error) {
+	if m == nil {
+		return nil, fmt.Errorf("control: Lazic needs a trained recursive model")
+	}
+	if cfg.L < 1 || cfg.GradIters < 1 || cfg.GradStep <= 0 {
+		return nil, fmt.Errorf("control: invalid Lazic config %+v", cfg)
+	}
+	if len(cfg.ColdIdx) == 0 {
+		return nil, fmt.Errorf("control: Lazic needs cold-aisle sensor indices")
+	}
+	return &Lazic{cfg: cfg, model: m}, nil
+}
+
+// Name implements Policy.
+func (lz *Lazic) Name() string { return "lazic" }
+
+// Decide implements Policy.
+func (lz *Lazic) Decide(tr *dataset.Trace, step int) float64 {
+	if step < lz.model.W-1 {
+		return lz.cfg.InitialSetpointC
+	}
+	in, err := baselines.RolloutInputAt(tr, step, lz.model.W)
+	if err != nil {
+		return lz.cfg.InitialSetpointC
+	}
+
+	// Gradient descent on J(s) = −s + μ·max(0, g(s))², i.e. climb toward the
+	// highest set-point while a quadratic penalty enforces the predicted
+	// cold-aisle constraint g(s) = maxCold(s) − limit ≤ 0.
+	const mu = 4.0
+	const h = 0.25 // finite-difference step
+	s := clampF(tr.Setpoint[step], lz.cfg.SpMin, lz.cfg.SpMax)
+	for it := 0; it < lz.cfg.GradIters; it++ {
+		gPlus := lz.penalty(in, s+h, mu)
+		gMinus := lz.penalty(in, s-h, mu)
+		grad := (gPlus - gMinus) / (2 * h)
+		s = clampF(s-lz.cfg.GradStep*grad, lz.cfg.SpMin, lz.cfg.SpMax)
+	}
+	// The quadratic penalty settles marginally above the limit; project back
+	// to the highest feasible set-point with a short backtracking walk.
+	for i := 0; i < 40 && s > lz.cfg.SpMin; i++ {
+		if lz.maxCold(in, s) <= lz.cfg.ColdLimitC {
+			return s
+		}
+		s = clampF(s-0.25, lz.cfg.SpMin, lz.cfg.SpMax)
+	}
+	// Paper behaviour: if no feasible set-point is found, fall back to
+	// S_min for re-calibration.
+	if lz.maxCold(in, s) > lz.cfg.ColdLimitC {
+		return lz.cfg.SpMin
+	}
+	return s
+}
+
+func (lz *Lazic) penalty(in *baselines.RolloutInput, s, mu float64) float64 {
+	g := lz.maxCold(in, s) - lz.cfg.ColdLimitC
+	j := -s
+	if g > 0 {
+		j += mu * g * g
+	}
+	return j
+}
+
+// maxCold predicts the maximum cold-aisle temperature over the horizon under
+// a constant set-point.
+func (lz *Lazic) maxCold(in *baselines.RolloutInput, s float64) float64 {
+	sps := make([]float64, lz.cfg.L)
+	for i := range sps {
+		sps[i] = s
+	}
+	_, dc, err := lz.model.Rollout(in, sps)
+	if err != nil {
+		return 1e9 // treat a broken rollout as infeasible
+	}
+	maxCold := -1e30
+	for l := 0; l < lz.cfg.L; l++ {
+		row := dc.Row(l)
+		for _, k := range lz.cfg.ColdIdx {
+			if row[k] > maxCold {
+				maxCold = row[k]
+			}
+		}
+	}
+	return maxCold
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

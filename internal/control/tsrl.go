@@ -1,0 +1,243 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"tesla/internal/dataset"
+)
+
+// TSRLConfig parameterizes the offline-RL baseline (Cheng et al. [8] as
+// evaluated in §5.3): batch Q-learning over discretized DC state with
+// cooling-energy saving as reward and thermal-safety violation as cost.
+type TSRLConfig struct {
+	// Action grid over the set-point range.
+	SpMin, SpMax, SpStep float64
+	// State discretization: bin widths.
+	ColdBinC  float64 // max cold-aisle temperature bin (°C)
+	InletBinC float64 // ACU inlet temperature bin (°C)
+	PowerBin  float64 // average server power bin (kW)
+	// Reward shaping: energy term is −power·Δt (kWh); ViolationCost is
+	// subtracted whenever the next step breaches the limit.
+	ColdLimitC    float64
+	ViolationCost float64
+	// Q-learning schedule.
+	Gamma  float64
+	Alpha  float64
+	Sweeps int // passes over the logged transitions
+	// MaxMoveC constrains the per-step set-point change to the data support
+	// (TSRL is a conservative offline-RL method; unconstrained action
+	// extrapolation would leave the logged distribution entirely).
+	MaxMoveC float64
+	// InitialSetpointC is used for unseen states.
+	InitialSetpointC float64
+}
+
+// DefaultTSRLConfig mirrors the evaluation setup.
+func DefaultTSRLConfig(spMin, spMax float64) TSRLConfig {
+	return TSRLConfig{
+		SpMin: spMin, SpMax: spMax, SpStep: 0.5,
+		ColdBinC:         0.5,
+		InletBinC:        1.0,
+		PowerBin:         0.03,
+		ColdLimitC:       22,
+		ViolationCost:    0.30,
+		Gamma:            0.95,
+		Alpha:            0.2,
+		Sweeps:           50,
+		MaxMoveC:         1.0,
+		InitialSetpointC: 23,
+	}
+}
+
+// TSRL is the trained offline-RL policy: it maps the discretized current
+// state directly to a set-point without modeling temperature or energy —
+// and, like Lazic, carries no interruption awareness, which is why it rides
+// the constraint boundary (§6.3).
+type TSRL struct {
+	cfg     TSRLConfig
+	actions []float64
+	q       map[stateKey][]float64
+	visits  map[stateKey][]int
+}
+
+type stateKey struct {
+	cold, inlet, power int
+}
+
+// TrainTSRL runs batch Q-learning on the logged trace.
+func TrainTSRL(tr *dataset.Trace, cfg TSRLConfig) (*TSRL, error) {
+	if tr.Len() < 10 {
+		return nil, fmt.Errorf("control: TSRL needs a longer trace (%d samples)", tr.Len())
+	}
+	if cfg.SpStep <= 0 || cfg.SpMax <= cfg.SpMin {
+		return nil, fmt.Errorf("control: invalid TSRL action grid")
+	}
+	if cfg.Gamma < 0 || cfg.Gamma >= 1 || cfg.Alpha <= 0 || cfg.Alpha > 1 || cfg.Sweeps < 1 {
+		return nil, fmt.Errorf("control: invalid TSRL learning schedule")
+	}
+	t := &TSRL{
+		cfg:    cfg,
+		q:      map[stateKey][]float64{},
+		visits: map[stateKey][]int{},
+	}
+	for s := cfg.SpMin; s <= cfg.SpMax+1e-9; s += cfg.SpStep {
+		t.actions = append(t.actions, s)
+	}
+
+	type transition struct {
+		s     stateKey
+		a     int
+		r     float64
+		sNext stateKey
+	}
+	var txs []transition
+	dtH := tr.PeriodS / 3600
+	for i := 0; i+1 < tr.Len(); i++ {
+		r := -tr.ACUPower[i+1] * dtH
+		if tr.MaxCold[i+1] > cfg.ColdLimitC {
+			r -= cfg.ViolationCost
+		}
+		txs = append(txs, transition{
+			s:     t.discretize(tr, i),
+			a:     t.actionIndex(tr.Setpoint[i+1]),
+			r:     r,
+			sNext: t.discretize(tr, i+1),
+		})
+	}
+
+	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+		for _, tx := range txs {
+			qs := t.row(tx.s)
+			next := t.row(tx.sNext)
+			best := math.Inf(-1)
+			for a, visited := range t.visits[tx.sNext] {
+				if visited > 0 && next[a] > best {
+					best = next[a]
+				}
+			}
+			if math.IsInf(best, -1) {
+				best = 0
+			}
+			target := tx.r + cfg.Gamma*best
+			qs[tx.a] += cfg.Alpha * (target - qs[tx.a])
+			t.visits[tx.s][tx.a]++
+		}
+	}
+	return t, nil
+}
+
+// Name implements Policy.
+func (t *TSRL) Name() string { return "tsrl" }
+
+// Decide implements Policy: greedy action over visited Q-values, preferring
+// the higher set-point on ties (the energy-saving incentive).
+func (t *TSRL) Decide(tr *dataset.Trace, step int) float64 {
+	if step < 0 || step >= tr.Len() {
+		return t.cfg.InitialSetpointC
+	}
+	s := t.discretize(tr, step)
+	cur := tr.Setpoint[step]
+	if qs, ok := t.q[s]; ok {
+		if a := t.greedy(qs, t.visits[s], cur); a >= 0 {
+			return t.actions[a]
+		}
+	}
+	return t.nearestKnown(tr, step)
+}
+
+// greedy returns the best visited action index within the move constraint,
+// preferring the higher set-point on ties; -1 when none qualifies.
+func (t *TSRL) greedy(qs []float64, visits []int, cur float64) int {
+	best, bestA := math.Inf(-1), -1
+	for a := range qs {
+		if visits[a] == 0 {
+			continue
+		}
+		if t.cfg.MaxMoveC > 0 && math.Abs(t.actions[a]-cur) > t.cfg.MaxMoveC+1e-9 {
+			continue
+		}
+		if qs[a] > best || (qs[a] == best && bestA >= 0 && t.actions[a] > t.actions[bestA]) {
+			best = qs[a]
+			bestA = a
+		}
+	}
+	return bestA
+}
+
+// nearestKnown falls back to a neighbouring cold bin when the exact state
+// was never logged (offline RL's distribution-shift problem).
+func (t *TSRL) nearestKnown(tr *dataset.Trace, step int) float64 {
+	base := t.discretize(tr, step)
+	cur := tr.Setpoint[step]
+	for d := 1; d <= 4; d++ {
+		for _, delta := range []int{-d, d} {
+			s := base
+			s.cold += delta
+			if qs, ok := t.q[s]; ok {
+				if a := t.greedy(qs, t.visits[s], cur); a >= 0 {
+					return t.actions[a]
+				}
+			}
+		}
+	}
+	// Far outside the logged distribution (e.g. overheated): retreat toward
+	// the training policy's default at the allowed rate.
+	if cur > t.cfg.InitialSetpointC {
+		return math.Max(cur-t.cfg.MaxMoveC, t.cfg.InitialSetpointC)
+	}
+	return math.Min(cur+t.cfg.MaxMoveC, t.cfg.InitialSetpointC)
+}
+
+func (t *TSRL) discretize(tr *dataset.Trace, i int) stateKey {
+	var inlet float64
+	for _, s := range tr.ACUTemps {
+		inlet += s[i]
+	}
+	inlet /= float64(len(tr.ACUTemps))
+	return stateKey{
+		cold:  int(math.Floor(tr.MaxCold[i] / t.cfg.ColdBinC)),
+		inlet: int(math.Floor(inlet / t.cfg.InletBinC)),
+		power: int(math.Floor(tr.AvgPower[i] / t.cfg.PowerBin)),
+	}
+}
+
+func (t *TSRL) actionIndex(sp float64) int {
+	i := int(math.Round((sp - t.cfg.SpMin) / t.cfg.SpStep))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.actions) {
+		i = len(t.actions) - 1
+	}
+	return i
+}
+
+func (t *TSRL) row(s stateKey) []float64 {
+	if q, ok := t.q[s]; ok {
+		return q
+	}
+	q := make([]float64, len(t.actions))
+	t.q[s] = q
+	t.visits[s] = make([]int, len(t.actions))
+	return q
+}
+
+// NumStates reports the visited state count (diagnostics).
+func (t *TSRL) NumStates() int { return len(t.q) }
+
+// Explain renders the Q-row for the current state (diagnostics).
+func (t *TSRL) Explain(tr *dataset.Trace, step int) string {
+	s := t.discretize(tr, step)
+	qs, ok := t.q[s]
+	if !ok {
+		return fmt.Sprintf("state %v UNSEEN -> fallback", s)
+	}
+	out := fmt.Sprintf("state %v:", s)
+	for a := range qs {
+		if t.visits[s][a] > 0 {
+			out += fmt.Sprintf(" %.1f:%.2f(n%d)", t.actions[a], qs[a], t.visits[s][a])
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package dataset handles trace collection and windowing for TESLA's
+// learning pipeline (paper §5.1): it records testbed telemetry in columnar
+// form, implements the training-data protocol (set-point swept across the
+// ACU range in 0.5 °C steps every 5 minutes while a random diurnal load
+// setting plays per 12-hour block), splits train/test chronologically, and
+// serializes traces to CSV for offline inspection.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tesla/internal/rng"
+	"tesla/internal/testbed"
+	"tesla/internal/workload"
+)
+
+// Trace is a columnar telemetry recording at the control granularity.
+type Trace struct {
+	PeriodS float64 // sampling period (60 s)
+
+	TimeS    []float64
+	Setpoint []float64
+	AvgPower []float64   // fleet-average server power (kW)
+	ACUPower []float64   // ACU instantaneous power (kW), period-averaged
+	ACUTemps [][]float64 // [Na][n] ACU inlet sensor series
+	DCTemps  [][]float64 // [Nd][n] DC sensor series
+	MaxCold  []float64   // max cold-aisle reading per step
+}
+
+// NewTrace allocates an empty trace for the given sensor counts.
+func NewTrace(periodS float64, na, nd int) *Trace {
+	t := &Trace{PeriodS: periodS}
+	t.ACUTemps = make([][]float64, na)
+	t.DCTemps = make([][]float64, nd)
+	return t
+}
+
+// Na returns the number of ACU inlet sensor series.
+func (t *Trace) Na() int { return len(t.ACUTemps) }
+
+// Nd returns the number of DC sensor series.
+func (t *Trace) Nd() int { return len(t.DCTemps) }
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.TimeS) }
+
+// Append records one telemetry sample.
+func (t *Trace) Append(s testbed.Sample) {
+	if len(s.ACUTemps) != t.Na() || len(s.DCTemps) != t.Nd() {
+		panic(fmt.Sprintf("dataset: sample has %d/%d sensors, trace expects %d/%d",
+			len(s.ACUTemps), len(s.DCTemps), t.Na(), t.Nd()))
+	}
+	t.TimeS = append(t.TimeS, s.TimeS)
+	t.Setpoint = append(t.Setpoint, s.SetpointC)
+	t.AvgPower = append(t.AvgPower, s.AvgServerKW)
+	t.ACUPower = append(t.ACUPower, s.ACUPowerKW)
+	for i, v := range s.ACUTemps {
+		t.ACUTemps[i] = append(t.ACUTemps[i], v)
+	}
+	for i, v := range s.DCTemps {
+		t.DCTemps[i] = append(t.DCTemps[i], v)
+	}
+	t.MaxCold = append(t.MaxCold, s.MaxColdAisle)
+}
+
+// Slice returns the sub-trace [lo, hi) sharing backing arrays.
+func (t *Trace) Slice(lo, hi int) *Trace {
+	out := &Trace{
+		PeriodS:  t.PeriodS,
+		TimeS:    t.TimeS[lo:hi],
+		Setpoint: t.Setpoint[lo:hi],
+		AvgPower: t.AvgPower[lo:hi],
+		ACUPower: t.ACUPower[lo:hi],
+		MaxCold:  t.MaxCold[lo:hi],
+	}
+	out.ACUTemps = make([][]float64, t.Na())
+	for i := range t.ACUTemps {
+		out.ACUTemps[i] = t.ACUTemps[i][lo:hi]
+	}
+	out.DCTemps = make([][]float64, t.Nd())
+	for i := range t.DCTemps {
+		out.DCTemps[i] = t.DCTemps[i][lo:hi]
+	}
+	return out
+}
+
+// Split divides the trace chronologically: the first frac goes to train,
+// the remainder to test (the paper trains on one month and tests on the
+// following two weeks, i.e. frac ≈ 0.68).
+func (t *Trace) Split(frac float64) (train, test *Trace) {
+	cut := int(frac * float64(t.Len()))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= t.Len() {
+		cut = t.Len() - 1
+	}
+	return t.Slice(0, cut), t.Slice(cut, t.Len())
+}
+
+// EnergyKWh integrates ACU power over the window of steps [lo, hi) into
+// kilowatt-hours — the target of the cooling-energy sub-module (eq. 4).
+func (t *Trace) EnergyKWh(lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += t.ACUPower[i]
+	}
+	return s * t.PeriodS / 3600
+}
+
+// SweepConfig parameterizes training-trace collection.
+type SweepConfig struct {
+	Days float64 // total duration in days
+	// StepC is the sweep increment (0.5 °C in the paper) and HoldS the hold
+	// time per value (5 min in the paper).
+	StepC float64
+	HoldS float64
+	Seed  uint64
+}
+
+// DefaultSweep mirrors §5.1 at a configurable duration.
+func DefaultSweep(days float64, seed uint64) SweepConfig {
+	return SweepConfig{Days: days, StepC: 0.5, HoldS: 300, Seed: seed}
+}
+
+// CollectSweep runs the §5.1 protocol on a fresh testbed: the load setting
+// is redrawn every 12 hours (random diurnal), and the set-point sweeps the
+// ACU range as a triangle wave in StepC increments held for HoldS seconds.
+func CollectSweep(tbCfg testbed.Config, sc SweepConfig) (*Trace, error) {
+	tbCfg.Seed = sc.Seed
+	tb, err := testbed.New(tbCfg)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(sc.Seed ^ 0x5eed)
+	totalS := sc.Days * 86400
+	tb.UseProfile(workload.NewRandomDiurnalSchedule(totalS, 43200, r))
+
+	lo := tb.ACU.Config().SetpointMinC
+	hi := tb.ACU.Config().SetpointMaxC
+	sp := lo
+	dir := 1.0
+	tb.SetSetpoint(sp)
+	tb.Warmup(1800)
+
+	tr := NewTrace(tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
+	steps := int(totalS / tbCfg.SamplePeriodS)
+	holdSteps := int(sc.HoldS / tbCfg.SamplePeriodS)
+	if holdSteps < 1 {
+		holdSteps = 1
+	}
+	for i := 0; i < steps; i++ {
+		if i%holdSteps == 0 && i > 0 {
+			sp += dir * sc.StepC
+			if sp > hi {
+				sp = hi - sc.StepC
+				dir = -1
+			} else if sp < lo {
+				sp = lo + sc.StepC
+				dir = 1
+			}
+			tb.SetSetpoint(sp)
+		}
+		tr.Append(tb.Advance())
+	}
+	return tr, nil
+}
+
+// WriteCSV serializes the trace with one row per sample.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := []string{"time_s", "setpoint_c", "avg_server_kw", "acu_power_kw", "max_cold_c"}
+	for i := range t.ACUTemps {
+		cols = append(cols, fmt.Sprintf("acu_temp_%d", i))
+	}
+	for i := range t.DCTemps {
+		cols = append(cols, fmt.Sprintf("dc_temp_%d", i))
+	}
+	if _, err := fmt.Fprintln(bw, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < t.Len(); i++ {
+		row := make([]string, 0, len(cols))
+		row = append(row,
+			format(t.TimeS[i]), format(t.Setpoint[i]), format(t.AvgPower[i]),
+			format(t.ACUPower[i]), format(t.MaxCold[i]))
+		for _, s := range t.ACUTemps {
+			row = append(row, format(s[i]))
+		}
+		for _, s := range t.DCTemps {
+			row = append(row, format(s[i]))
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader, periodS float64) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	na, nd := 0, 0
+	for _, h := range header {
+		if strings.HasPrefix(h, "acu_temp_") {
+			na++
+		}
+		if strings.HasPrefix(h, "dc_temp_") {
+			nd++
+		}
+	}
+	if len(header) != 5+na+nd {
+		return nil, fmt.Errorf("dataset: unexpected header %q", header)
+	}
+	t := NewTrace(periodS, na, nd)
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		t.TimeS = append(t.TimeS, vals[0])
+		t.Setpoint = append(t.Setpoint, vals[1])
+		t.AvgPower = append(t.AvgPower, vals[2])
+		t.ACUPower = append(t.ACUPower, vals[3])
+		t.MaxCold = append(t.MaxCold, vals[4])
+		for i := 0; i < na; i++ {
+			t.ACUTemps[i] = append(t.ACUTemps[i], vals[5+i])
+		}
+		for i := 0; i < nd; i++ {
+			t.DCTemps[i] = append(t.DCTemps[i], vals[5+na+i])
+		}
+	}
+	return t, sc.Err()
+}
+
+func format(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tesla/internal/rng"
+	"tesla/internal/testbed"
+)
+
+func syntheticTrace(n int, seed uint64) *Trace {
+	r := rng.New(seed)
+	tr := NewTrace(60, 2, 3)
+	for i := 0; i < n; i++ {
+		s := testbed.Sample{
+			TimeS:        float64(i) * 60,
+			SetpointC:    20 + 10*r.Float64(),
+			AvgServerKW:  0.1 + 0.2*r.Float64(),
+			ACUPowerKW:   0.5 + 2*r.Float64(),
+			ACUTemps:     []float64{20 + 5*r.Float64(), 20 + 5*r.Float64()},
+			DCTemps:      []float64{15 + 5*r.Float64(), 16 + 5*r.Float64(), 17 + 5*r.Float64()},
+			MaxColdAisle: 18 + 3*r.Float64(),
+		}
+		tr.Append(s)
+	}
+	return tr
+}
+
+func TestAppendAndAccessors(t *testing.T) {
+	tr := syntheticTrace(10, 1)
+	if tr.Len() != 10 || tr.Na() != 2 || tr.Nd() != 3 {
+		t.Fatalf("shape wrong: %d/%d/%d", tr.Len(), tr.Na(), tr.Nd())
+	}
+}
+
+func TestAppendPanicsOnShapeMismatch(t *testing.T) {
+	tr := NewTrace(60, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	tr.Append(testbed.Sample{ACUTemps: []float64{1}, DCTemps: []float64{1, 2, 3}})
+}
+
+func TestSliceSharesData(t *testing.T) {
+	tr := syntheticTrace(10, 2)
+	sub := tr.Slice(2, 5)
+	if sub.Len() != 3 {
+		t.Fatalf("slice length %d", sub.Len())
+	}
+	if sub.Setpoint[0] != tr.Setpoint[2] {
+		t.Fatalf("slice misaligned")
+	}
+	if sub.DCTemps[1][2] != tr.DCTemps[1][4] {
+		t.Fatalf("slice sensor series misaligned")
+	}
+}
+
+func TestSplitChronological(t *testing.T) {
+	tr := syntheticTrace(100, 3)
+	train, test := tr.Split(0.7)
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Fatalf("split %d/%d", train.Len(), test.Len())
+	}
+	if test.TimeS[0] <= train.TimeS[train.Len()-1] {
+		t.Fatalf("test should follow train in time")
+	}
+	// Degenerate fractions still leave both sides non-empty.
+	a, b := tr.Split(0)
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Fatalf("degenerate split emptied a side")
+	}
+	a, b = tr.Split(1)
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Fatalf("degenerate split emptied a side")
+	}
+}
+
+func TestEnergyKWh(t *testing.T) {
+	tr := NewTrace(60, 1, 1)
+	for i := 0; i < 10; i++ {
+		tr.Append(testbed.Sample{
+			TimeS: float64(i) * 60, ACUPowerKW: 3,
+			ACUTemps: []float64{20}, DCTemps: []float64{20},
+		})
+	}
+	// 3 kW for 5 minutes = 0.25 kWh.
+	if got := tr.EnergyKWh(0, 5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("EnergyKWh = %g, want 0.25", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := syntheticTrace(25, 4)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.Na() != tr.Na() || back.Nd() != tr.Nd() {
+		t.Fatalf("roundtrip shape mismatch")
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if math.Abs(back.Setpoint[i]-tr.Setpoint[i]) > 1e-6 {
+			t.Fatalf("setpoint roundtrip at %d", i)
+		}
+		for k := range tr.DCTemps {
+			if math.Abs(back.DCTemps[k][i]-tr.DCTemps[k][i]) > 1e-6 {
+				t.Fatalf("dc temp roundtrip at sensor %d step %d", k, i)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), 60); err == nil {
+		t.Fatalf("empty CSV accepted")
+	}
+	bad := "time_s,setpoint_c,avg_server_kw,acu_power_kw,max_cold_c,acu_temp_0,dc_temp_0\n1,2,3\n"
+	if _, err := ReadCSV(strings.NewReader(bad), 60); err == nil {
+		t.Fatalf("short row accepted")
+	}
+	bad2 := "time_s,setpoint_c,avg_server_kw,acu_power_kw,max_cold_c,acu_temp_0,dc_temp_0\n1,2,3,4,5,notanumber,7\n"
+	if _, err := ReadCSV(strings.NewReader(bad2), 60); err == nil {
+		t.Fatalf("non-numeric field accepted")
+	}
+}
+
+func TestCollectSweepProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep collection is a multi-second simulation")
+	}
+	tr, err := CollectSweep(testbed.DefaultConfig(), DefaultSweep(0.5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int(0.5 * 86400 / 60)
+	if tr.Len() != wantSamples {
+		t.Fatalf("collected %d samples, want %d", tr.Len(), wantSamples)
+	}
+	// The sweep must move in 0.5 °C steps within [20, 35] and hold each
+	// value for 5 samples.
+	lo, hi := 100.0, -100.0
+	changes := 0
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Setpoint[i] < lo {
+			lo = tr.Setpoint[i]
+		}
+		if tr.Setpoint[i] > hi {
+			hi = tr.Setpoint[i]
+		}
+		d := math.Abs(tr.Setpoint[i] - tr.Setpoint[i-1])
+		if d > 0 {
+			changes++
+			if math.Abs(d-0.5) > 1e-9 {
+				t.Fatalf("sweep step %g, want 0.5", d)
+			}
+		}
+	}
+	if lo < 20 || hi > 35 {
+		t.Fatalf("sweep range [%g,%g] outside the ACU limits", lo, hi)
+	}
+	if changes < tr.Len()/10 {
+		t.Fatalf("sweep barely moved: %d changes", changes)
+	}
+}

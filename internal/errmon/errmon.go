@@ -1,0 +1,125 @@
+// Package errmon implements TESLA's online prediction-error monitor
+// (paper §3.3): a sliding one-day window of the errors the DC time-series
+// model made on the objective (cooling energy + interruption) and the
+// constraint (max cold-aisle temperature), from which bootstrap resampling
+// produces the uncertainty estimates fed into the fixed-noise Gaussian
+// processes of the Bayesian optimizer.
+package errmon
+
+import (
+	"fmt"
+
+	"tesla/internal/rng"
+	"tesla/internal/stats"
+)
+
+// Monitor tracks a bounded history of prediction errors per channel.
+type Monitor struct {
+	capacity int
+	nBoot    int
+	r        *rng.Rand
+
+	obj ring
+	con ring
+}
+
+// New builds a monitor that keeps the most recent capacity errors per
+// channel (one day = 1440 one-minute steps in the paper) and draws nBoot
+// bootstrap resamples (N_b = 500 in Table 2).
+func New(capacity, nBoot int, seed uint64) (*Monitor, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("errmon: capacity must be positive, got %d", capacity)
+	}
+	if nBoot < 1 {
+		return nil, fmt.Errorf("errmon: bootstrap count must be positive, got %d", nBoot)
+	}
+	return &Monitor{
+		capacity: capacity,
+		nBoot:    nBoot,
+		r:        rng.New(seed),
+		obj:      ring{buf: make([]float64, 0, capacity)},
+		con:      ring{buf: make([]float64, 0, capacity)},
+	}, nil
+}
+
+// RecordObjective logs a matured objective prediction error
+// (predicted − realized).
+func (m *Monitor) RecordObjective(err float64) { m.obj.push(err, m.capacity) }
+
+// RecordConstraint logs a matured constraint prediction error.
+func (m *Monitor) RecordConstraint(err float64) { m.con.push(err, m.capacity) }
+
+// ObjectiveCount returns how many objective errors are currently tracked.
+func (m *Monitor) ObjectiveCount() int { return len(m.obj.buf) }
+
+// ConstraintCount returns how many constraint errors are currently tracked.
+func (m *Monitor) ConstraintCount() int { return len(m.con.buf) }
+
+// Uncertainty bundles the bootstrap characterization of one error channel.
+type Uncertainty struct {
+	// Variance is the bootstrap estimate of the error variance — the
+	// fixed observation noise handed to the GP surrogate.
+	Variance float64
+	// Bias is the bootstrap mean error (predicted − realized); the TESLA
+	// controller uses it to recenter constraint observations.
+	Bias float64
+	// N is the number of underlying error samples.
+	N int
+}
+
+// SampleObjective draws one bootstrap error sample for the objective channel
+// (used to create the N_b noisy versions of Ô).
+func (m *Monitor) SampleObjective() float64 { return m.obj.sample(m.r) }
+
+// SampleConstraint draws one bootstrap error sample for the constraint
+// channel.
+func (m *Monitor) SampleConstraint() float64 { return m.con.sample(m.r) }
+
+// Objective characterizes the objective-error channel via bootstrapping.
+func (m *Monitor) Objective() Uncertainty { return m.characterize(&m.obj) }
+
+// Constraint characterizes the constraint-error channel via bootstrapping.
+func (m *Monitor) Constraint() Uncertainty { return m.characterize(&m.con) }
+
+func (m *Monitor) characterize(rg *ring) Uncertainty {
+	n := len(rg.buf)
+	if n == 0 {
+		return Uncertainty{}
+	}
+	if n == 1 {
+		return Uncertainty{Bias: rg.buf[0], N: 1}
+	}
+	// Bootstrap: draw nBoot single-error resamples — these are the N_b
+	// "versions" of the prediction whose spread is the noise variance.
+	draws := make([]float64, m.nBoot)
+	for k := range draws {
+		draws[k] = rg.buf[m.r.Intn(n)]
+	}
+	return Uncertainty{
+		Variance: stats.Variance(draws),
+		Bias:     stats.Mean(draws),
+		N:        n,
+	}
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring struct {
+	buf  []float64
+	next int
+}
+
+func (r *ring) push(v float64, capacity int) {
+	if len(r.buf) < capacity {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % capacity
+}
+
+func (r *ring) sample(rnd *rng.Rand) float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	return r.buf[rnd.Intn(len(r.buf))]
+}

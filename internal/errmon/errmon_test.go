@@ -1,0 +1,108 @@
+package errmon
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, 1); err == nil {
+		t.Fatalf("zero capacity accepted")
+	}
+	if _, err := New(10, 0, 1); err == nil {
+		t.Fatalf("zero bootstrap accepted")
+	}
+}
+
+func TestCountsAndRingCapacity(t *testing.T) {
+	m, err := New(5, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		m.RecordObjective(float64(i))
+	}
+	if m.ObjectiveCount() != 5 {
+		t.Fatalf("ring should cap at 5, got %d", m.ObjectiveCount())
+	}
+	if m.ConstraintCount() != 0 {
+		t.Fatalf("constraint channel should be empty")
+	}
+	// After overflow only the most recent values remain: bias near the
+	// mean of {7..11}.
+	u := m.Objective()
+	if math.Abs(u.Bias-9) > 1.6 {
+		t.Fatalf("ring kept stale values: bias %g, want ~9", u.Bias)
+	}
+}
+
+func TestBootstrapBiasAndVariance(t *testing.T) {
+	m, err := New(1000, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	trueBias, trueStd := 0.7, 0.3
+	for i := 0; i < 800; i++ {
+		m.RecordConstraint(r.NormScaled(trueBias, trueStd))
+	}
+	u := m.Constraint()
+	if u.N != 800 {
+		t.Fatalf("N = %d", u.N)
+	}
+	if math.Abs(u.Bias-trueBias) > 0.05 {
+		t.Fatalf("bias %g, want ~%g", u.Bias, trueBias)
+	}
+	if math.Abs(math.Sqrt(u.Variance)-trueStd) > 0.05 {
+		t.Fatalf("std %g, want ~%g", math.Sqrt(u.Variance), trueStd)
+	}
+}
+
+func TestEmptyChannelsAreZero(t *testing.T) {
+	m, _ := New(10, 10, 4)
+	u := m.Objective()
+	if u.Variance != 0 || u.Bias != 0 || u.N != 0 {
+		t.Fatalf("empty channel should be zero: %+v", u)
+	}
+	if m.SampleObjective() != 0 {
+		t.Fatalf("sampling an empty channel should yield 0")
+	}
+}
+
+func TestSingleErrorChannel(t *testing.T) {
+	m, _ := New(10, 10, 5)
+	m.RecordObjective(0.42)
+	u := m.Objective()
+	if u.N != 1 || u.Bias != 0.42 || u.Variance != 0 {
+		t.Fatalf("single-sample characterization wrong: %+v", u)
+	}
+	if m.SampleObjective() != 0.42 {
+		t.Fatalf("sample should return the only value")
+	}
+}
+
+func TestSampleDrawsFromRecorded(t *testing.T) {
+	m, _ := New(10, 10, 6)
+	vals := map[float64]bool{1: true, 2: true, 3: true}
+	for v := range vals {
+		m.RecordConstraint(v)
+	}
+	for i := 0; i < 100; i++ {
+		if !vals[m.SampleConstraint()] {
+			t.Fatalf("sample outside recorded values")
+		}
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	m, _ := New(10, 500, 7)
+	for i := 0; i < 10; i++ {
+		m.RecordObjective(1)
+		m.RecordConstraint(-1)
+	}
+	if m.Objective().Bias != 1 || m.Constraint().Bias != -1 {
+		t.Fatalf("channels leaked into each other")
+	}
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure bundles the data behind one paper figure.
+type Figure struct {
+	ID      string // e.g. "fig3a"
+	Caption string
+	XLabel  string
+	YLabel  string
+	Series  []Series
+}
+
+// RenderASCII draws the figure as a fixed-size ASCII chart — enough to
+// eyeball the shapes the paper's figures show without a plotting stack.
+func (f *Figure) RenderASCII(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("experiment: figure %s has no data", f.ID)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s: %s\n", f.ID, f.Caption); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "  [%c] %s\n", marks[si%len(marks)], s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %8.3g ┤\n", ymax); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "           │%s\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %8.3g └%s\n", ymin, strings.Repeat("─", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "            %-12.4g %s %12.4g\n", xmin, center(f.XLabel, width-26), xmax)
+	return err
+}
+
+// WriteCSV emits the figure data in long format (series,x,y).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,%s\n", safeCSV(f.XLabel), safeCSV(f.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", safeCSV(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func safeCSV(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	if s == "" {
+		return "value"
+	}
+	return s
+}
+
+func center(s string, width int) string {
+	if width < len(s) {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

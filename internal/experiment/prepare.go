@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tesla/internal/baselines"
+	"tesla/internal/control"
+	"tesla/internal/dataset"
+	"tesla/internal/mlp"
+	"tesla/internal/model"
+	"tesla/internal/testbed"
+)
+
+// Scale trades experiment fidelity for wall-clock time. The paper collects
+// one month of training traces and two weeks of test traces; PaperScale
+// reproduces that, while CIScale keeps every pipeline stage identical but
+// shrinks the trace so the full suite runs in seconds.
+type Scale struct {
+	Name        string
+	SweepDays   float64 // training+test trace duration
+	TrainFrac   float64 // chronological train/test split
+	ModelStride int     // window subsampling for TESLA's model
+	RecursiveW  int     // AR window of the Lazic/Wang baselines
+	MLP         mlp.Config
+	Seed        uint64
+}
+
+// CIScale runs the full pipeline on a two-day trace.
+func CIScale() Scale {
+	cfg := mlp.DefaultConfig()
+	cfg.Epochs = 25
+	return Scale{
+		Name:        "ci",
+		SweepDays:   3,
+		TrainFrac:   0.67,
+		ModelStride: 1,
+		RecursiveW:  1,
+		MLP:         cfg,
+		Seed:        11,
+	}
+}
+
+// PaperScale mirrors §5.1: one month of training data, two weeks of test.
+func PaperScale() Scale {
+	return Scale{
+		Name:        "paper",
+		SweepDays:   44,
+		TrainFrac:   30.0 / 44.0,
+		ModelStride: 7, // coprime with the 5-step set-point hold
+
+		RecursiveW: 1,
+		MLP:        mlp.DefaultConfig(),
+		Seed:       11,
+	}
+}
+
+// Artifacts bundles everything trained from the sweep trace.
+type Artifacts struct {
+	Scale  Scale
+	Sweep  *dataset.Trace
+	Train  *dataset.Trace
+	Test   *dataset.Trace
+	Model  *model.Model         // TESLA's DC time-series model
+	Lazic  *baselines.Recursive // recursive OLS baseline (Table 3 + MPC)
+	Wang   *baselines.Recursive // recursive MLP baseline (Table 3)
+	TSRL   *control.TSRL        // offline-RL policy (Table 5)
+	TBConf testbed.Config
+}
+
+// Prepare collects the training sweep and fits every model the evaluation
+// needs. Pass wantWang=false to skip the (slow) MLP baseline when only the
+// end-to-end experiments are required.
+func Prepare(sc Scale, wantWang bool) (*Artifacts, error) {
+	tbCfg := testbed.DefaultConfig()
+	sweep, err := dataset.CollectSweep(tbCfg, dataset.DefaultSweep(sc.SweepDays, sc.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: collecting sweep: %w", err)
+	}
+	train, test := sweep.Split(sc.TrainFrac)
+
+	a := &Artifacts{Scale: sc, Sweep: sweep, Train: train, Test: test, TBConf: tbCfg}
+
+	mCfg := model.DefaultConfig(11)
+	mCfg.Stride = sc.ModelStride
+	if a.Model, err = model.Train(train, mCfg); err != nil {
+		return nil, fmt.Errorf("experiment: training TESLA model: %w", err)
+	}
+	if a.Lazic, err = baselines.TrainLazic(train, sc.RecursiveW, sc.ModelStride); err != nil {
+		return nil, fmt.Errorf("experiment: training Lazic baseline: %w", err)
+	}
+	if wantWang {
+		if a.Wang, err = baselines.TrainWangMLP(train, sc.RecursiveW, sc.ModelStride, sc.MLP); err != nil {
+			return nil, fmt.Errorf("experiment: training Wang baseline: %w", err)
+		}
+	}
+	tsrlCfg := control.DefaultTSRLConfig(tbCfg.ACU.SetpointMinC, tbCfg.ACU.SetpointMaxC)
+	if a.TSRL, err = control.TrainTSRL(train, tsrlCfg); err != nil {
+		return nil, fmt.Errorf("experiment: training TSRL baseline: %w", err)
+	}
+	return a, nil
+}
+
+// NewTESLAPolicy builds the full TESLA controller from the artifacts.
+func (a *Artifacts) NewTESLAPolicy(seed uint64) (*control.TESLA, error) {
+	cfg := control.DefaultTESLAConfig(a.TBConf.ACU.SetpointMinC, a.TBConf.ACU.SetpointMaxC)
+	cfg.Seed = seed
+	return control.NewTESLA(a.Model, cfg)
+}
+
+// NewLazicPolicy builds the Lazic MPC controller from the artifacts.
+func (a *Artifacts) NewLazicPolicy() (*control.Lazic, error) {
+	coldIdx := make([]int, 11)
+	for i := range coldIdx {
+		coldIdx[i] = i
+	}
+	cfg := control.DefaultLazicConfig(a.TBConf.ACU.SetpointMinC, a.TBConf.ACU.SetpointMaxC, coldIdx)
+	return control.NewLazic(a.Lazic, cfg)
+}

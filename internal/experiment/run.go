@@ -1,0 +1,118 @@
+// Package experiment is the evaluation harness: it runs closed-loop control
+// experiments on the simulated testbed, computes the paper's end-to-end
+// metrics (cooling energy, thermal-safety violation, cooling interruption),
+// and regenerates every table and figure of the evaluation section (§5–6).
+package experiment
+
+import (
+	"fmt"
+
+	"tesla/internal/control"
+	"tesla/internal/dataset"
+	"tesla/internal/testbed"
+	"tesla/internal/workload"
+)
+
+// Metrics are the end-to-end quantities of Table 5 for one 12-hour run.
+type Metrics struct {
+	Policy  string
+	Load    workload.Setting
+	Steps   int
+	HoursH  float64
+	CEkWh   float64 // cooling energy over the evaluation window
+	TSVFrac float64 // fraction of steps with max cold-aisle > limit
+	CIFrac  float64 // fraction of steps with ACU power < 100 W
+	MeanSp  float64 // mean executed set-point
+	MaxCold float64 // worst cold-aisle reading observed
+}
+
+// String renders the metrics like a Table 5 row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-6s %-7s CE=%6.2f kWh TSV=%5.1f%% CI=%5.1f%% meanSp=%5.2f°C maxCold=%5.2f°C",
+		m.Policy, m.Load, m.CEkWh, 100*m.TSVFrac, 100*m.CIFrac, m.MeanSp, m.MaxCold)
+}
+
+// RunConfig describes one closed-loop experiment.
+type RunConfig struct {
+	Testbed  testbed.Config
+	Profile  workload.Profile
+	Policy   control.Policy
+	WarmupS  float64 // recorded warm-up under the initial set-point
+	EvalS    float64 // evaluation window (43200 s = 12 h in the paper)
+	InitSpC  float64 // set-point during warm-up
+	ColdLimC float64 // TSV threshold (22 °C)
+}
+
+// DefaultRunConfig assembles the paper's 12-hour evaluation for one policy
+// and load setting.
+func DefaultRunConfig(p control.Policy, load workload.Setting, seed uint64) RunConfig {
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = seed
+	return RunConfig{
+		Testbed:  cfg,
+		Profile:  workload.NewDiurnal(load, 43200, seed),
+		Policy:   p,
+		WarmupS:  3600,
+		EvalS:    43200,
+		InitSpC:  23,
+		ColdLimC: 22,
+	}
+}
+
+// Run executes the closed loop and returns the recorded trace (warm-up
+// included; Metrics cover only the evaluation window) plus the metrics.
+func Run(rc RunConfig) (*dataset.Trace, Metrics, error) {
+	tb, err := testbed.New(rc.Testbed)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	tb.UseProfile(rc.Profile)
+	tb.SetSetpoint(rc.InitSpC)
+	return runLoopWithTrace(tb, rc)
+}
+
+// runLoopWithTrace drives a pre-built testbed (fault-injection experiments
+// configure the sensor array before entering the loop).
+func runLoopWithTrace(tb *testbed.Testbed, rc RunConfig) (*dataset.Trace, Metrics, error) {
+	tr := newTraceFor(tb, rc)
+	warmSteps := int(rc.WarmupS / rc.Testbed.SamplePeriodS)
+	evalSteps := int(rc.EvalS / rc.Testbed.SamplePeriodS)
+	if evalSteps < 1 {
+		return nil, Metrics{}, fmt.Errorf("experiment: evaluation window shorter than one step")
+	}
+
+	// Warm-up: record telemetry under the initial set-point so policies have
+	// history from the first evaluated step.
+	for i := 0; i < warmSteps; i++ {
+		tr.Append(tb.Advance())
+	}
+
+	m := Metrics{Policy: rc.Policy.Name(), HoursH: rc.EvalS / 3600}
+	if d, ok := rc.Profile.(*workload.Diurnal); ok {
+		m.Load = d.Setting
+	}
+	for i := 0; i < evalSteps; i++ {
+		t := tr.Len() - 1
+		sp := rc.Policy.Decide(tr, t)
+		tb.SetSetpoint(sp)
+		s := tb.Advance()
+		tr.Append(s)
+
+		m.Steps++
+		m.CEkWh += s.ACUPowerKW * rc.Testbed.SamplePeriodS / 3600
+		if s.MaxColdAisle > rc.ColdLimC {
+			m.TSVFrac++
+		}
+		if s.Interrupted {
+			m.CIFrac++
+		}
+		m.MeanSp += s.SetpointC
+		if s.MaxColdAisle > m.MaxCold {
+			m.MaxCold = s.MaxColdAisle
+		}
+	}
+	m.TSVFrac /= float64(m.Steps)
+	m.CIFrac /= float64(m.Steps)
+	m.MeanSp /= float64(m.Steps)
+	return tr, m, nil
+}

@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"tesla/internal/baselines"
+	"tesla/internal/control"
+	"tesla/internal/forest"
+	"tesla/internal/gbt"
+	"tesla/internal/model"
+	"tesla/internal/stats"
+	"tesla/internal/workload"
+)
+
+// Table3Result reports DC-temperature MAPE per model (paper Table 3).
+type Table3Result struct {
+	TESLAMape float64
+	LazicMape float64
+	WangMape  float64 // NaN-free only when the Wang baseline was trained
+	Windows   int
+}
+
+// String renders the table.
+func (t Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: DC temperature MAPE (%d test windows)\n", t.Windows)
+	fmt.Fprintf(&b, "  %-22s %8s\n", "Model", "MAPE(%)")
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "TESLA (ours)", t.TESLAMape)
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "Lazic et al. [20]", t.LazicMape)
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "Wang et al. [42]", t.WangMape)
+	return b.String()
+}
+
+// Table3 evaluates multi-horizon DC-temperature prediction on the test trace
+// under the actually executed set-point sequence.
+func Table3(a *Artifacts, stride int) (Table3Result, error) {
+	if a.Wang == nil {
+		return Table3Result{}, fmt.Errorf("experiment: Table 3 needs the Wang baseline (Prepare with wantWang=true)")
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	L := a.Model.Config().L
+	test := a.Test
+
+	var teslaP, lazicP, wangP, truth []float64
+	windows := 0
+	w := a.Lazic.W
+	if a.Wang.W > w {
+		w = a.Wang.W
+	}
+	start := L - 1
+	if w-1 > start {
+		start = w - 1
+	}
+	for t := start; t+L < test.Len(); t += stride {
+		h, err := model.HistoryAt(test, t, L)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		sps := test.Setpoint[t+1 : t+1+L]
+		p, err := a.Model.PredictSeq(h, sps)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		inL, err := baselines.RolloutInputAt(test, t, a.Lazic.W)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		_, dcLazic, err := a.Lazic.Rollout(inL, sps)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		inW, err := baselines.RolloutInputAt(test, t, a.Wang.W)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		_, dcWang, err := a.Wang.Rollout(inW, sps)
+		if err != nil {
+			return Table3Result{}, err
+		}
+		for l := 1; l <= L; l++ {
+			for k := 0; k < test.Nd(); k++ {
+				teslaP = append(teslaP, p.DCTemps.At(l-1, k))
+				lazicP = append(lazicP, dcLazic.At(l-1, k))
+				wangP = append(wangP, dcWang.At(l-1, k))
+				truth = append(truth, test.DCTemps[k][t+l])
+			}
+		}
+		windows++
+	}
+	res := Table3Result{Windows: windows}
+	var err error
+	if res.TESLAMape, err = stats.MAPE(teslaP, truth); err != nil {
+		return res, err
+	}
+	if res.LazicMape, err = stats.MAPE(lazicP, truth); err != nil {
+		return res, err
+	}
+	if res.WangMape, err = stats.MAPE(wangP, truth); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Table4Result reports cooling-energy MAPE per model (paper Table 4).
+type Table4Result struct {
+	TESLAMape  float64
+	MLPMape    float64
+	GBTMape    float64
+	ForestMape float64
+	Windows    int
+}
+
+// String renders the table.
+func (t Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: cooling energy MAPE (%d test windows)\n", t.Windows)
+	fmt.Fprintf(&b, "  %-22s %8s\n", "Model", "MAPE(%)")
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "TESLA (ours)", t.TESLAMape)
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "MLP [38]", t.MLPMape)
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "XGBoost [7]", t.GBTMape)
+	fmt.Fprintf(&b, "  %-22s %8.2f\n", "Random Forest [26]", t.ForestMape)
+	return b.String()
+}
+
+// Table4 trains the non-linear energy baselines on the training trace and
+// benchmarks everything on the test trace.
+func Table4(a *Artifacts, stride int) (Table4Result, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	L := a.Model.Config().L
+
+	xTrain, yTrain, err := baselines.BuildEnergyDataset(a.Train, L, stride)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	mlpCfg := a.Scale.MLP
+	mlpModel, err := baselines.TrainEnergyMLP(xTrain, yTrain, mlpCfg)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	gbtModel, err := baselines.TrainEnergyGBT(xTrain, yTrain, gbt.DefaultConfig())
+	if err != nil {
+		return Table4Result{}, err
+	}
+	rfModel, err := baselines.TrainEnergyForest(xTrain, yTrain, forest.DefaultConfig())
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	xTest, yTest, err := baselines.BuildEnergyDataset(a.Test, L, stride)
+	if err != nil {
+		return Table4Result{}, err
+	}
+	var teslaP, mlpP, gbtP, rfP []float64
+	// TESLA's predictions need the model's full history cascade.
+	i := 0
+	usable := make([]bool, len(yTest))
+	for t := 0; t+L < a.Test.Len(); t += stride {
+		if t >= L-1 {
+			h, err := model.HistoryAt(a.Test, t, L)
+			if err != nil {
+				return Table4Result{}, err
+			}
+			p, err := a.Model.PredictSeq(h, a.Test.Setpoint[t+1:t+1+L])
+			if err != nil {
+				return Table4Result{}, err
+			}
+			teslaP = append(teslaP, p.EnergyKWh)
+			usable[i] = true
+		}
+		i++
+	}
+	var truth []float64
+	for i := 0; i < xTest.Rows; i++ {
+		if !usable[i] {
+			continue
+		}
+		row := xTest.Row(i)
+		mlpP = append(mlpP, mlpModel.PredictEnergy(row))
+		gbtP = append(gbtP, gbtModel.PredictEnergy(row))
+		rfP = append(rfP, rfModel.PredictEnergy(row))
+		truth = append(truth, yTest[i])
+	}
+	res := Table4Result{Windows: len(truth)}
+	if res.TESLAMape, err = stats.MAPE(teslaP, truth); err != nil {
+		return res, err
+	}
+	if res.MLPMape, err = stats.MAPE(mlpP, truth); err != nil {
+		return res, err
+	}
+	if res.GBTMape, err = stats.MAPE(gbtP, truth); err != nil {
+		return res, err
+	}
+	if res.ForestMape, err = stats.MAPE(rfP, truth); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Table5Row is one policy×load cell group of the end-to-end benchmark.
+type Table5Row struct {
+	Metrics
+	SavingPct float64 // CE saving relative to the fixed 23 °C policy
+}
+
+// Table5Result is the full end-to-end benchmark (paper Table 5).
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// String renders the table grouped by load setting.
+func (t Table5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: end-to-end performance (CE, CE saving, TSV, CI)\n")
+	fmt.Fprintf(&b, "  %-7s %-7s %9s %10s %7s %7s\n", "Load", "Policy", "CE(kWh)", "Saving(%)", "TSV(%)", "CI(%)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-7s %-7s %9.2f %10.2f %7.2f %7.2f\n",
+			r.Load, r.Policy, r.CEkWh, r.SavingPct, 100*r.TSVFrac, 100*r.CIFrac)
+	}
+	return b.String()
+}
+
+// Table5Config controls the end-to-end benchmark.
+type Table5Config struct {
+	EvalS   float64 // 43200 = the paper's 12 h
+	WarmupS float64
+	Seed    uint64
+}
+
+// DefaultTable5Config is the paper's 12-hour setup.
+func DefaultTable5Config() Table5Config {
+	return Table5Config{EvalS: 43200, WarmupS: 3600, Seed: 100}
+}
+
+// Table5 runs the four policies under the three load settings.
+func Table5(a *Artifacts, cfg Table5Config) (Table5Result, error) {
+	var out Table5Result
+	for _, load := range []workload.Setting{workload.Idle, workload.Medium, workload.High} {
+		seed := cfg.Seed + uint64(load)
+		tesla, err := a.NewTESLAPolicy(seed)
+		if err != nil {
+			return out, err
+		}
+		lazic, err := a.NewLazicPolicy()
+		if err != nil {
+			return out, err
+		}
+		policies := []control.Policy{control.Fixed{SetpointC: 23}, tesla, lazic, a.TSRL}
+		var fixCE float64
+		for _, p := range policies {
+			rc := DefaultRunConfig(p, load, seed)
+			rc.EvalS = cfg.EvalS
+			rc.WarmupS = cfg.WarmupS
+			_, m, err := Run(rc)
+			if err != nil {
+				return out, fmt.Errorf("experiment: Table 5 %s/%s: %w", p.Name(), load, err)
+			}
+			if p.Name() == "fixed" {
+				fixCE = m.CEkWh
+			}
+			row := Table5Row{Metrics: m}
+			if fixCE > 0 {
+				row.SavingPct = 100 * (fixCE - m.CEkWh) / fixCE
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+// Package forest implements a random-forest regressor (the paper's Table 4
+// baseline): bagged CART trees grown on bootstrap resamples with per-split
+// random feature subsets, averaged at prediction time.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+// Config describes the forest.
+type Config struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	// MTryFrac is the fraction of features considered per split
+	// (√d/d is the classic regression default; we expose it directly).
+	MTryFrac float64
+	Seed     uint64
+}
+
+// DefaultConfig returns a standard regression forest.
+func DefaultConfig() Config {
+	return Config{Trees: 100, MaxDepth: 10, MinLeaf: 4, MTryFrac: 0.33, Seed: 1}
+}
+
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int
+	value       float64
+}
+
+type tree struct{ nodes []node }
+
+// Forest is a trained ensemble (single output).
+type Forest struct {
+	cfg   Config
+	trees []tree
+}
+
+// Train fits the forest on X (n×d) → y.
+func Train(x *mat.Dense, y []float64, cfg Config) (*Forest, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("forest: X has %d rows, y has %d", x.Rows, len(y))
+	}
+	if x.Rows < 2*cfg.MinLeaf {
+		return nil, fmt.Errorf("forest: too few rows (%d)", x.Rows)
+	}
+	if cfg.Trees < 1 || cfg.MaxDepth < 1 {
+		return nil, fmt.Errorf("forest: invalid config %+v", cfg)
+	}
+	f := &Forest{cfg: cfg}
+	r := rng.New(cfg.Seed)
+	mtry := int(cfg.MTryFrac * float64(x.Cols))
+	if mtry < 1 {
+		mtry = 1
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		rows := make([]int, x.Rows)
+		for i := range rows {
+			rows[i] = r.Intn(x.Rows)
+		}
+		sort.Ints(rows)
+		f.trees = append(f.trees, buildTree(x, y, rows, cfg, mtry, r))
+	}
+	return f, nil
+}
+
+// Predict averages all trees for one feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	var s float64
+	for i := range f.trees {
+		s += f.trees[i].predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// NumTrees reports the forest size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := t.nodes[i]
+		if n.left < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+func buildTree(x *mat.Dense, y []float64, rows []int, cfg Config, mtry int, r *rng.Rand) tree {
+	t := tree{}
+	var grow func(rows []int, depth int) int
+	grow = func(rows []int, depth int) int {
+		idx := len(t.nodes)
+		t.nodes = append(t.nodes, node{left: -1, right: -1})
+		var sum float64
+		for _, i := range rows {
+			sum += y[i]
+		}
+		t.nodes[idx].value = sum / float64(len(rows))
+
+		if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinLeaf {
+			return idx
+		}
+		feat, thr, ok := bestSplit(x, y, rows, cfg, mtry, r)
+		if !ok {
+			return idx
+		}
+		var left, right []int
+		for _, i := range rows {
+			if x.At(i, feat) <= thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+			return idx
+		}
+		t.nodes[idx].feature = feat
+		t.nodes[idx].threshold = thr
+		l := grow(left, depth+1)
+		rr := grow(right, depth+1)
+		t.nodes[idx].left = l
+		t.nodes[idx].right = rr
+		return idx
+	}
+	grow(rows, 0)
+	return t
+}
+
+// bestSplit minimizes the weighted child variance over a random feature
+// subset (equivalently maximizes variance reduction).
+func bestSplit(x *mat.Dense, y []float64, rows []int, cfg Config, mtry int, r *rng.Rand) (feat int, thr float64, ok bool) {
+	cols := r.Perm(x.Cols)[:mtry]
+	best := math.Inf(1)
+	type pair struct{ v, t float64 }
+	buf := make([]pair, len(rows))
+
+	var sumTot float64
+	for _, i := range rows {
+		sumTot += y[i]
+	}
+	for _, f := range cols {
+		for k, i := range rows {
+			buf[k] = pair{x.At(i, f), y[i]}
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].v < buf[b].v })
+		var sl, sl2 float64
+		var st2 float64
+		for _, p := range buf {
+			st2 += p.t * p.t
+		}
+		nl := 0.0
+		for k := 0; k < len(buf)-1; k++ {
+			sl += buf[k].t
+			sl2 += buf[k].t * buf[k].t
+			nl++
+			if buf[k].v == buf[k+1].v {
+				continue
+			}
+			nr := float64(len(buf)) - nl
+			if int(nl) < cfg.MinLeaf || int(nr) < cfg.MinLeaf {
+				continue
+			}
+			sr := sumTot - sl
+			sr2 := st2 - sl2
+			// SSE_left + SSE_right = Σy² − (Σy)²/n per side.
+			sse := (sl2 - sl*sl/nl) + (sr2 - sr*sr/nr)
+			if sse < best {
+				best = sse
+				feat = f
+				thr = (buf[k].v + buf[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}

@@ -1,0 +1,115 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+func TestFitsPiecewiseFunction(t *testing.T) {
+	r := rng.New(1)
+	n := 400
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 2*r.Float64() - 1
+		x.Set(i, 0, v)
+		if v > 0 {
+			y[i] = 5
+		} else {
+			y[i] = 1
+		}
+	}
+	f, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{0.6}); math.Abs(got-5) > 0.3 {
+		t.Fatalf("Predict(+) = %g", got)
+	}
+	if got := f.Predict([]float64{-0.6}); math.Abs(got-1) > 0.3 {
+		t.Fatalf("Predict(-) = %g", got)
+	}
+	if f.NumTrees() != DefaultConfig().Trees {
+		t.Fatalf("NumTrees = %d", f.NumTrees())
+	}
+}
+
+func TestAveragingSmoothsNoise(t *testing.T) {
+	// With noisy targets, a 100-tree forest's training-set prediction should
+	// sit close to the true function, not the noise.
+	r := rng.New(2)
+	n := 500
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 4*r.Float64() - 2
+		x.Set(i, 0, v)
+		y[i] = v + 0.5*r.Norm()
+	}
+	f, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	probes := 50
+	for i := 0; i < probes; i++ {
+		v := -1.8 + 3.6*float64(i)/float64(probes-1)
+		mae += math.Abs(f.Predict([]float64{v}) - v)
+	}
+	mae /= float64(probes)
+	if mae > 0.35 {
+		t.Fatalf("forest MAE %g too high for σ=0.5 noise", mae)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	r := rng.New(3)
+	x := mat.New(80, 2)
+	y := make([]float64, 80)
+	for i := 0; i < 80; i++ {
+		x.Set(i, 0, r.Norm())
+		x.Set(i, 1, r.Norm())
+		y[i] = x.At(i, 0) - x.At(i, 1)
+	}
+	a, _ := Train(x, y, DefaultConfig())
+	b, _ := Train(x, y, DefaultConfig())
+	in := []float64{0.1, 0.9}
+	if a.Predict(in) != b.Predict(in) {
+		t.Fatalf("same seed, different forests")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(mat.New(5, 1), make([]float64, 4), DefaultConfig()); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, err := Train(mat.New(3, 1), make([]float64, 3), DefaultConfig()); err == nil {
+		t.Fatalf("tiny dataset accepted")
+	}
+	bad := DefaultConfig()
+	bad.MaxDepth = 0
+	if _, err := Train(mat.New(50, 1), make([]float64, 50), bad); err == nil {
+		t.Fatalf("zero depth accepted")
+	}
+}
+
+func TestMTryFloor(t *testing.T) {
+	// MTryFrac so small it rounds to zero features must still work (floor 1).
+	r := rng.New(4)
+	x := mat.New(60, 3)
+	y := make([]float64, 60)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, r.Norm())
+		}
+		y[i] = x.At(i, 0)
+	}
+	cfg := DefaultConfig()
+	cfg.MTryFrac = 0.01
+	if _, err := Train(x, y, cfg); err != nil {
+		t.Fatalf("tiny MTryFrac failed: %v", err)
+	}
+}

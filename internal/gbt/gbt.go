@@ -1,0 +1,239 @@
+// Package gbt implements a gradient-boosted regression-tree ensemble in the
+// style of XGBoost (the paper's Table 4 baseline): squared-error boosting of
+// depth-limited CART trees with shrinkage, per-tree row subsampling and
+// per-split column subsampling. Splits are exact (sorted feature scan),
+// which is plenty for the testbed's feature counts.
+package gbt
+
+import (
+	"fmt"
+	"sort"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+// Config describes the ensemble.
+type Config struct {
+	Trees        int
+	MaxDepth     int
+	MinLeaf      int     // minimum samples per leaf
+	LearnRate    float64 // shrinkage η
+	SubsampleRow float64 // fraction of rows per tree
+	SubsampleCol float64 // fraction of columns per split
+	Lambda       float64 // L2 regularization on leaf values
+	Seed         uint64
+}
+
+// DefaultConfig mirrors common XGBoost defaults scaled to the testbed data.
+func DefaultConfig() Config {
+	return Config{
+		Trees:        150,
+		MaxDepth:     4,
+		MinLeaf:      8,
+		LearnRate:    0.1,
+		SubsampleRow: 0.8,
+		SubsampleCol: 0.8,
+		Lambda:       1.0,
+		Seed:         1,
+	}
+}
+
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int // child indices; -1 for leaf
+	value       float64
+}
+
+type tree struct {
+	nodes []node
+}
+
+// Ensemble is a trained boosted model (single output).
+type Ensemble struct {
+	cfg   Config
+	base  float64
+	trees []tree
+}
+
+// Train fits the ensemble on X (n×d) → y (length n).
+func Train(x *mat.Dense, y []float64, cfg Config) (*Ensemble, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("gbt: X has %d rows, y has %d", x.Rows, len(y))
+	}
+	if x.Rows < 2*cfg.MinLeaf {
+		return nil, fmt.Errorf("gbt: too few rows (%d) for MinLeaf %d", x.Rows, cfg.MinLeaf)
+	}
+	if cfg.Trees < 1 || cfg.MaxDepth < 1 || cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("gbt: invalid config %+v", cfg)
+	}
+	e := &Ensemble{cfg: cfg}
+	e.base = meanOf(y)
+	r := rng.New(cfg.Seed)
+
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = e.base
+	}
+	resid := make([]float64, len(y))
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		rows := sampleRows(x.Rows, cfg.SubsampleRow, r)
+		tr := buildTree(x, resid, rows, cfg, r)
+		e.trees = append(e.trees, tr)
+		for i := 0; i < x.Rows; i++ {
+			pred[i] += cfg.LearnRate * tr.predict(x.Row(i))
+		}
+	}
+	return e, nil
+}
+
+// Predict evaluates the ensemble on one feature vector.
+func (e *Ensemble) Predict(x []float64) float64 {
+	out := e.base
+	for _, t := range e.trees {
+		out += e.cfg.LearnRate * t.predict(x)
+	}
+	return out
+}
+
+// NumTrees reports the ensemble size.
+func (e *Ensemble) NumTrees() int { return len(e.trees) }
+
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := t.nodes[i]
+		if n.left < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// buildTree grows a depth-limited CART on the residuals over the row subset.
+func buildTree(x *mat.Dense, resid []float64, rows []int, cfg Config, r *rng.Rand) tree {
+	t := tree{}
+	var grow func(rows []int, depth int) int
+	grow = func(rows []int, depth int) int {
+		idx := len(t.nodes)
+		t.nodes = append(t.nodes, node{left: -1, right: -1})
+		sum := 0.0
+		for _, i := range rows {
+			sum += resid[i]
+		}
+		// Regularized leaf value G/(H+λ) with H = count for squared loss.
+		t.nodes[idx].value = sum / (float64(len(rows)) + cfg.Lambda)
+
+		if depth >= cfg.MaxDepth || len(rows) < 2*cfg.MinLeaf {
+			return idx
+		}
+		feat, thr, ok := bestSplit(x, resid, rows, cfg, r)
+		if !ok {
+			return idx
+		}
+		var left, right []int
+		for _, i := range rows {
+			if x.At(i, feat) <= thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+			return idx
+		}
+		t.nodes[idx].feature = feat
+		t.nodes[idx].threshold = thr
+		l := grow(left, depth+1)
+		rr := grow(right, depth+1)
+		t.nodes[idx].left = l
+		t.nodes[idx].right = rr
+		return idx
+	}
+	grow(rows, 0)
+	return t
+}
+
+// bestSplit scans a column subsample for the split maximizing the gain
+// GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ).
+func bestSplit(x *mat.Dense, resid []float64, rows []int, cfg Config, r *rng.Rand) (feat int, thr float64, ok bool) {
+	d := x.Cols
+	nCols := int(cfg.SubsampleCol * float64(d))
+	if nCols < 1 {
+		nCols = 1
+	}
+	cols := r.Perm(d)[:nCols]
+
+	var gTot float64
+	for _, i := range rows {
+		gTot += resid[i]
+	}
+	hTot := float64(len(rows))
+	parent := gTot * gTot / (hTot + cfg.Lambda)
+
+	bestGain := 1e-12
+	type pair struct {
+		v, g float64
+	}
+	buf := make([]pair, len(rows))
+	for _, f := range cols {
+		for k, i := range rows {
+			buf[k] = pair{x.At(i, f), resid[i]}
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].v < buf[b].v })
+		var gl, hl float64
+		for k := 0; k < len(buf)-1; k++ {
+			gl += buf[k].g
+			hl++
+			if buf[k].v == buf[k+1].v {
+				continue
+			}
+			if int(hl) < cfg.MinLeaf || len(buf)-int(hl) < cfg.MinLeaf {
+				continue
+			}
+			gr := gTot - gl
+			hr := hTot - hl
+			gain := gl*gl/(hl+cfg.Lambda) + gr*gr/(hr+cfg.Lambda) - parent
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (buf[k].v + buf[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func sampleRows(n int, frac float64, r *rng.Rand) []int {
+	k := int(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	perm := r.Perm(n)
+	rows := perm[:k]
+	sort.Ints(rows)
+	return rows
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

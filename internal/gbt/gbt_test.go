@@ -1,0 +1,128 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+func stepFunction(v float64) float64 {
+	if v > 0 {
+		return 3
+	}
+	return -1
+}
+
+func TestFitsStepFunction(t *testing.T) {
+	r := rng.New(1)
+	n := 300
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 2*r.Float64() - 1
+		x.Set(i, 0, v)
+		y[i] = stepFunction(v)
+	}
+	e, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Predict([]float64{0.5}); math.Abs(got-3) > 0.2 {
+		t.Fatalf("Predict(+) = %g, want ~3", got)
+	}
+	if got := e.Predict([]float64{-0.5}); math.Abs(got+1) > 0.2 {
+		t.Fatalf("Predict(-) = %g, want ~-1", got)
+	}
+	if e.NumTrees() != DefaultConfig().Trees {
+		t.Fatalf("NumTrees = %d", e.NumTrees())
+	}
+}
+
+func TestBoostingReducesTrainError(t *testing.T) {
+	r := rng.New(2)
+	n := 300
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Norm(), r.Norm()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = a*b + math.Sin(a)
+	}
+	few := DefaultConfig()
+	few.Trees = 5
+	many := DefaultConfig()
+	many.Trees = 200
+	mse := func(cfg Config) float64 {
+		e, err := Train(x, y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			d := e.Predict(x.Row(i)) - y[i]
+			s += d * d
+		}
+		return s / float64(n)
+	}
+	if m5, m200 := mse(few), mse(many); m200 >= m5 {
+		t.Fatalf("more boosting rounds should reduce train error: %g vs %g", m5, m200)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	r := rng.New(3)
+	x := mat.New(100, 2)
+	y := make([]float64, 100)
+	for i := 0; i < 100; i++ {
+		x.Set(i, 0, r.Norm())
+		x.Set(i, 1, r.Norm())
+		y[i] = x.At(i, 0)
+	}
+	a, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.2, -0.4}
+	if a.Predict(in) != b.Predict(in) {
+		t.Fatalf("same seed produced different ensembles")
+	}
+}
+
+func TestConstantTargetPredictsConstant(t *testing.T) {
+	x := mat.New(40, 1)
+	y := make([]float64, 40)
+	for i := range y {
+		x.Set(i, 0, float64(i))
+		y[i] = 7
+	}
+	e, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Predict([]float64{13}); math.Abs(got-7) > 0.05 {
+		t.Fatalf("constant target predicted %g", got)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	x := mat.New(4, 1)
+	if _, err := Train(x, make([]float64, 3), DefaultConfig()); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, err := Train(x, make([]float64, 4), DefaultConfig()); err == nil {
+		t.Fatalf("too-few rows accepted (MinLeaf)")
+	}
+	bad := DefaultConfig()
+	bad.Trees = 0
+	big := mat.New(100, 1)
+	if _, err := Train(big, make([]float64, 100), bad); err == nil {
+		t.Fatalf("zero trees accepted")
+	}
+}

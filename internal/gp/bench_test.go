@@ -1,0 +1,53 @@
+package gp
+
+import "testing"
+
+func benchData(n int) (xs, ys, noise []float64) {
+	for i := 0; i < n; i++ {
+		x := 20 + 15*float64(i)/float64(n-1)
+		xs = append(xs, x)
+		ys = append(ys, 0.05*(x-27)*(x-27))
+		noise = append(noise, 1e-4)
+	}
+	return
+}
+
+func BenchmarkFit16(b *testing.B) {
+	xs, ys, noise := benchData(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(xs, ys, noise); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPosterior(b *testing.B) {
+	xs, ys, noise := benchData(16)
+	g, err := Fit(xs, ys, noise)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Posterior(26.3)
+	}
+}
+
+func BenchmarkJointPosterior61(b *testing.B) {
+	xs, ys, noise := benchData(16)
+	g, err := Fit(xs, ys, noise)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]float64, 61)
+	for i := range pts {
+		pts[i] = 20 + 15*float64(i)/60
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.JointPosterior(pts)
+	}
+}

@@ -1,0 +1,195 @@
+// Package gp implements the fixed-noise Gaussian-process regression that
+// TESLA's modeling-error-aware Bayesian optimizer uses as its surrogate
+// (paper §3.3): a GP with a Matérn-5/2 covariance kernel and per-observation
+// noise variances supplied by the bootstrap-based prediction-error monitor.
+// Objective and constraint get separate GPs, mirroring the paper's use of
+// BoTorch's FixedNoiseGP.
+//
+// Hyperparameters (length scale, output scale, constant mean) are selected
+// by maximizing the exact log marginal likelihood over a small log-spaced
+// grid — ample for the optimizer's one-dimensional set-point domain and
+// deterministic, which keeps control decisions reproducible.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"tesla/internal/mat"
+)
+
+// Matern52 evaluates the Matérn-5/2 kernel for distance r, unit variance.
+func Matern52(r, lengthscale float64) float64 {
+	if lengthscale <= 0 {
+		panic("gp: non-positive lengthscale")
+	}
+	s := math.Sqrt(5) * math.Abs(r) / lengthscale
+	return (1 + s + s*s/3) * math.Exp(-s)
+}
+
+// GP is a fitted fixed-noise Gaussian process over scalar inputs.
+type GP struct {
+	x     []float64 // observed inputs
+	y     []float64 // observed targets
+	noise []float64 // per-point noise variances
+
+	// Hyperparameters.
+	Lengthscale float64
+	OutputScale float64 // kernel variance σ²
+	Mean        float64 // constant mean
+
+	chol  *mat.Cholesky // factor of K + diag(noise)
+	alpha []float64     // (K+Σ)⁻¹ (y − mean)
+}
+
+// Fit trains a fixed-noise GP on (x, y) with per-point noise variances.
+// Hyperparameters are picked by marginal likelihood over a grid scaled to
+// the data span. At least two observations are required.
+func Fit(x, y, noise []float64) (*GP, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("gp: need at least 2 observations, got %d", n)
+	}
+	if len(y) != n || len(noise) != n {
+		return nil, fmt.Errorf("gp: length mismatch x=%d y=%d noise=%d", n, len(y), len(noise))
+	}
+	span := spread(x)
+	if span <= 0 {
+		span = 1
+	}
+	yVar := variance(y)
+	if yVar <= 1e-12 {
+		yVar = 1e-12
+	}
+
+	mean := meanOf(y)
+	best := math.Inf(-1)
+	var bestGP *GP
+	for _, ls := range []float64{span / 24, span / 12, span / 6, span / 3, span} {
+		for _, os := range []float64{yVar / 4, yVar, 4 * yVar} {
+			g := &GP{x: x, y: y, noise: noise, Lengthscale: ls, OutputScale: os, Mean: mean}
+			ll, err := g.factorize()
+			if err != nil {
+				continue
+			}
+			if ll > best {
+				best = ll
+				bestGP = g
+			}
+		}
+	}
+	if bestGP == nil {
+		return nil, fmt.Errorf("gp: no hyperparameter setting produced a positive-definite kernel")
+	}
+	return bestGP, nil
+}
+
+// factorize builds and factors K + Σ and returns the log marginal
+// likelihood.
+func (g *GP) factorize() (float64, error) {
+	n := len(g.x)
+	k := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.OutputScale * Matern52(g.x[i]-g.x[j], g.Lengthscale)
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Data[i*n+i] += g.noise[i] + 1e-9*g.OutputScale
+	}
+	ch, err := mat.NewCholesky(k)
+	if err != nil {
+		return 0, err
+	}
+	g.chol = ch
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = g.y[i] - g.Mean
+	}
+	g.alpha = ch.SolveVec(resid)
+
+	ll := -0.5*mat.Dot(resid, g.alpha) - 0.5*ch.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+	return ll, nil
+}
+
+// Posterior returns the posterior mean and variance at a single input.
+func (g *GP) Posterior(x float64) (mean, variance float64) {
+	n := len(g.x)
+	kStar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kStar[i] = g.OutputScale * Matern52(x-g.x[i], g.Lengthscale)
+	}
+	mean = g.Mean + mat.Dot(kStar, g.alpha)
+	v := g.chol.SolveVec(kStar)
+	variance = g.OutputScale - mat.Dot(kStar, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// JointPosterior returns the posterior mean vector and covariance matrix at
+// the given inputs, for coherent function draws inside the QMC NEI
+// acquisition.
+func (g *GP) JointPosterior(xs []float64) (mean []float64, cov *mat.Dense) {
+	n := len(g.x)
+	m := len(xs)
+	kStar := mat.New(m, n) // cross-covariances
+	for a := 0; a < m; a++ {
+		row := kStar.Row(a)
+		for i := 0; i < n; i++ {
+			row[i] = g.OutputScale * Matern52(xs[a]-g.x[i], g.Lengthscale)
+		}
+	}
+	mean = make([]float64, m)
+	sol := mat.New(m, n) // rows: (K+Σ)⁻¹ kStar_a
+	for a := 0; a < m; a++ {
+		mean[a] = g.Mean + mat.Dot(kStar.Row(a), g.alpha)
+		copy(sol.Row(a), g.chol.SolveVec(kStar.Row(a)))
+	}
+	cov = mat.New(m, m)
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			v := g.OutputScale*Matern52(xs[a]-xs[b], g.Lengthscale) - mat.Dot(kStar.Row(a), sol.Row(b))
+			if a == b && v < 1e-10*g.OutputScale {
+				v = 1e-10 * g.OutputScale
+			}
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return mean, cov
+}
+
+// NumObs returns the number of observations in the GP.
+func (g *GP) NumObs() int { return len(g.x) }
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func variance(xs []float64) float64 {
+	m := meanOf(xs)
+	var s float64
+	for _, v := range xs {
+		s += (v - m) * (v - m)
+	}
+	return s / float64(len(xs))
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,180 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+func TestMatern52Properties(t *testing.T) {
+	if Matern52(0, 1) != 1 {
+		t.Fatalf("k(0) = %g, want 1", Matern52(0, 1))
+	}
+	// Monotone decreasing in |r|.
+	prev := 1.0
+	for r := 0.1; r < 5; r += 0.1 {
+		v := Matern52(r, 1)
+		if v >= prev {
+			t.Fatalf("kernel not decreasing at r=%g", r)
+		}
+		prev = v
+	}
+	// Symmetric.
+	if Matern52(1.5, 2) != Matern52(-1.5, 2) {
+		t.Fatalf("kernel not symmetric")
+	}
+}
+
+func TestMatern52PanicsOnBadLengthscale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Matern52(1, 0)
+}
+
+func TestPosteriorInterpolatesLowNoise(t *testing.T) {
+	x := []float64{20, 23, 26, 29, 32, 35}
+	y := make([]float64, len(x))
+	noise := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 0.1 * (v - 27) * (v - 27)
+		noise[i] = 1e-8
+	}
+	g, err := Fit(x, y, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		m, variance := g.Posterior(v)
+		if math.Abs(m-y[i]) > 0.05 {
+			t.Fatalf("posterior at observed x=%g is %g, want %g", v, m, y[i])
+		}
+		if variance > 0.01 {
+			t.Fatalf("posterior variance %g too large at an observed point", variance)
+		}
+	}
+	// Interpolation between points should roughly follow the parabola.
+	m, _ := g.Posterior(27.5)
+	want := 0.1 * 0.5 * 0.5
+	if math.Abs(m-want) > 0.3 {
+		t.Fatalf("interpolated mean %g, want ~%g", m, want)
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	x := []float64{24, 25, 26}
+	y := []float64{1, 1.1, 0.9}
+	noise := []float64{1e-6, 1e-6, 1e-6}
+	g, err := Fit(x, y, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Posterior(25)
+	_, vFar := g.Posterior(35)
+	if vFar <= vNear {
+		t.Fatalf("variance should grow away from data: near %g, far %g", vNear, vFar)
+	}
+}
+
+func TestHighNoiseShrinksTowardMean(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, -10, 10, -10}
+	lowN := []float64{1e-6, 1e-6, 1e-6, 1e-6}
+	highN := []float64{1e4, 1e4, 1e4, 1e4}
+	gLow, err := Fit(x, y, lowN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHigh, err := Fit(x, y, highN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLow, _ := gLow.Posterior(1)
+	mHigh, _ := gHigh.Posterior(1)
+	if math.Abs(mHigh-gHigh.Mean) > math.Abs(mLow-gLow.Mean) {
+		t.Fatalf("high noise should pull the posterior toward the mean")
+	}
+}
+
+func TestJointPosteriorConsistentWithMarginal(t *testing.T) {
+	x := []float64{20, 25, 30}
+	y := []float64{1, 2, 1.5}
+	noise := []float64{1e-4, 1e-4, 1e-4}
+	g, err := Fit(x, y, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []float64{22, 27, 33}
+	mean, cov := g.JointPosterior(pts)
+	for i, p := range pts {
+		m, v := g.Posterior(p)
+		if math.Abs(mean[i]-m) > 1e-9 {
+			t.Fatalf("joint mean[%d] = %g, marginal %g", i, mean[i], m)
+		}
+		if math.Abs(cov.At(i, i)-v) > 1e-6 {
+			t.Fatalf("joint var[%d] = %g, marginal %g", i, cov.At(i, i), v)
+		}
+	}
+	// Joint covariance must be (numerically) PSD: Cholesky with jitter works.
+	for i := 0; i < len(pts); i++ {
+		cov.Set(i, i, cov.At(i, i)+1e-9)
+	}
+	if _, err := mat.NewCholesky(cov); err != nil {
+		t.Fatalf("joint covariance not PSD: %v", err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Fatalf("single observation accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}, []float64{1, 1}); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+}
+
+func TestFitHandlesConstantTargets(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{5, 5, 5}
+	noise := []float64{1e-6, 1e-6, 1e-6}
+	g, err := Fit(x, y, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := g.Posterior(2.5)
+	if math.Abs(m-5) > 0.01 {
+		t.Fatalf("constant function posterior %g", m)
+	}
+	if g.NumObs() != 3 {
+		t.Fatalf("NumObs = %d", g.NumObs())
+	}
+}
+
+func TestFitRecoversSmoothFunctionUnderNoise(t *testing.T) {
+	r := rng.New(7)
+	var x, y, noise []float64
+	f := func(v float64) float64 { return math.Sin(v / 2) }
+	for v := 0.0; v <= 12; v += 0.5 {
+		x = append(x, v)
+		y = append(y, f(v)+0.05*r.Norm())
+		noise = append(noise, 0.05*0.05)
+	}
+	g, err := Fit(x, y, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	n := 0
+	for v := 1.0; v <= 11; v += 0.25 {
+		m, _ := g.Posterior(v)
+		mae += math.Abs(m - f(v))
+		n++
+	}
+	if mae/float64(n) > 0.08 {
+		t.Fatalf("posterior MAE %g too high", mae/float64(n))
+	}
+}

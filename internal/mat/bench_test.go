@@ -1,0 +1,60 @@
+package mat
+
+import (
+	"testing"
+
+	"tesla/internal/rng"
+)
+
+func randomDense(rows, cols int, seed uint64) *Dense {
+	r := rng.New(seed)
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Norm()
+	}
+	return m
+}
+
+func BenchmarkGram200x100(b *testing.B) {
+	x := randomDense(200, 100, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Gram(x)
+	}
+}
+
+func BenchmarkCholesky100(b *testing.B) {
+	a := randomSPD(100, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveVec100(b *testing.B) {
+	a := randomSPD(100, 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 100)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.SolveVec(rhs)
+	}
+}
+
+func BenchmarkMul100(b *testing.B) {
+	x := randomDense(100, 100, 4)
+	y := randomDense(100, 100, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

@@ -1,0 +1,309 @@
+// Package mat provides the small dense linear-algebra kernel used throughout
+// the TESLA reproduction: row-major float64 matrices, matrix products, Gram
+// accumulation, Cholesky factorization and triangular solves.
+//
+// The package is deliberately minimal — it implements exactly the operations
+// required by ridge regression (normal equations), Gaussian-process inference
+// and the neural/tree baselines, with cache-friendly loop orders but no
+// further micro-optimization. All operations are deterministic.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64.
+//
+// The zero value is an empty matrix. Use New or NewFromSlice to construct a
+// sized matrix. Data is stored in a single backing slice so that rows are
+// contiguous: element (i, j) lives at Data[i*Cols+j].
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewFromSlice wraps data as an r×c matrix. The slice is used directly (not
+// copied) and must have length r*c.
+func NewFromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: slice length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns the i-th row as a subslice sharing the matrix backing store.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// Mul computes a*b into a new matrix using an ikj loop order so the inner
+// loop walks both operands contiguously.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec computes a*x for a vector x of length a.Cols.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddScaled performs dst += alpha*src element-wise on equal-length vectors.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Gram computes Xᵀ·X (the Gram matrix) for the n×d design matrix X.
+// Only the upper triangle is accumulated, then mirrored; the accumulation is
+// rank-1 per row which keeps the working set to a single sample row.
+func Gram(x *Dense) *Dense {
+	d := x.Cols
+	g := New(d, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for a, va := range row {
+			if va == 0 {
+				continue
+			}
+			grow := g.Row(a)
+			for b := a; b < d; b++ {
+				grow[b] += va * row[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			g.Data[b*d+a] = g.Data[a*d+b]
+		}
+	}
+	return g
+}
+
+// XtY computes Xᵀ·Y where X is n×d and Y is n×m, producing d×m.
+func XtY(x, y *Dense) *Dense {
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("mat: XtY row mismatch %d vs %d", x.Rows, y.Rows))
+	}
+	out := New(x.Cols, y.Cols)
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		yrow := y.Row(i)
+		for a, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			orow := out.Row(a)
+			for b, yv := range yrow {
+				orow[b] += xv * yv
+			}
+		}
+	}
+	return out
+}
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	L *Dense
+}
+
+// NewCholesky factors the symmetric positive definite matrix a.
+// It returns an error if a pivot is non-positive (a not SPD within floating
+// point), in which case the caller typically retries with added jitter.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	l := a.Clone()
+	for j := 0; j < n; j++ {
+		ljj := l.Data[j*n+j]
+		lrowj := l.Row(j)[:j]
+		ljj -= Dot(lrowj, lrowj)
+		if ljj <= 0 || math.IsNaN(ljj) {
+			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (value %g)", j, ljj)
+		}
+		ljj = math.Sqrt(ljj)
+		l.Data[j*n+j] = ljj
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			v := l.Data[i*n+j] - Dot(l.Row(i)[:j], lrowj)
+			l.Data[i*n+j] = v * inv
+		}
+	}
+	// Zero the upper triangle so L is a clean lower factor.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l.Data[i*n+j] = 0
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// SolveVec solves A·x = b for x given the factorization of A.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveVec length %d vs order %d", len(b), n))
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = (b[i] - Dot(c.L.Row(i)[:i], y[:i])) / c.L.Data[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.Data[k*n+i] * x[k]
+		}
+		x[i] = s / c.L.Data[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A·X = B column-by-column for a d×m right-hand side.
+func (c *Cholesky) Solve(b *Dense) *Dense {
+	n := c.L.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("mat: Solve rhs rows %d vs order %d", b.Rows, n))
+	}
+	out := New(n, b.Cols)
+	col := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.Data[i*b.Cols+j]
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < n; i++ {
+			out.Data[i*out.Cols+j] = x[i]
+		}
+	}
+	return out
+}
+
+// LogDet returns log(det(A)) = 2·Σ log L_ii for the factored matrix.
+func (c *Cholesky) LogDet() float64 {
+	n := c.L.Rows
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Log(c.L.Data[i*n+i])
+	}
+	return 2 * s
+}
+
+// SolveSPD solves A·X = B for a symmetric positive definite A, adding
+// exponentially growing diagonal jitter on factorization failure. It is the
+// workhorse for ridge normal equations and GP inference where A is SPD by
+// construction but can be borderline in floating point.
+func SolveSPD(a, b *Dense) (*Dense, error) {
+	jitter := 0.0
+	base := meanDiag(a) * 1e-12
+	if base <= 0 {
+		base = 1e-12
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		work := a
+		if jitter > 0 {
+			work = a.Clone()
+			for i := 0; i < work.Rows; i++ {
+				work.Data[i*work.Cols+i] += jitter
+			}
+		}
+		ch, err := NewCholesky(work)
+		if err == nil {
+			return ch.Solve(b), nil
+		}
+		if jitter == 0 {
+			jitter = base
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, fmt.Errorf("mat: SolveSPD failed even with jitter %g", jitter)
+}
+
+func meanDiag(a *Dense) float64 {
+	n := a.Rows
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Abs(a.Data[i*a.Cols+i])
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,327 @@
+// Package mlp implements the multi-layer perceptron regressor used by the
+// paper's baselines: Wang et al.'s DC-temperature model (Table 3) and the
+// MLP cooling-energy predictor (Table 4). It is a plain fully-connected
+// network with ReLU hidden activations and a linear output head, trained by
+// mini-batch Adam on mean squared error. Inputs and targets are
+// standardized internally so callers can train on raw physical units.
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+// Config describes the network and the training run.
+type Config struct {
+	Hidden      []int   // hidden layer widths, e.g. {64, 64}
+	LearnRate   float64 // Adam step size
+	Epochs      int
+	BatchSize   int
+	WeightDecay float64 // L2 penalty coupled into the gradient
+	Seed        uint64
+}
+
+// DefaultConfig is a small network adequate for the testbed's feature sizes.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:      []int{64, 64},
+		LearnRate:   1e-3,
+		Epochs:      60,
+		BatchSize:   64,
+		WeightDecay: 1e-5,
+		Seed:        1,
+	}
+}
+
+// Network is a trained MLP.
+type Network struct {
+	cfg         Config
+	sizes       []int // layer widths including input and output
+	w           []*mat.Dense
+	b           [][]float64
+	xMean, xStd []float64
+	yMean, yStd []float64
+}
+
+type adamState struct {
+	mw, vw []*mat.Dense
+	mb, vb [][]float64
+	t      int
+}
+
+// Train fits the network on X (n×d) → Y (n×m).
+func Train(x, y *mat.Dense, cfg Config) (*Network, error) {
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("mlp: X has %d rows, Y has %d", x.Rows, y.Rows)
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("mlp: empty training set")
+	}
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 || cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("mlp: invalid training budget %+v", cfg)
+	}
+	n := &Network{cfg: cfg}
+	n.sizes = append([]int{x.Cols}, cfg.Hidden...)
+	n.sizes = append(n.sizes, y.Cols)
+
+	n.xMean, n.xStd = colStats(x)
+	n.yMean, n.yStd = colStats(y)
+	xs := standardize(x, n.xMean, n.xStd)
+	ys := standardize(y, n.yMean, n.yStd)
+
+	r := rng.New(cfg.Seed)
+	n.w = make([]*mat.Dense, len(n.sizes)-1)
+	n.b = make([][]float64, len(n.sizes)-1)
+	st := &adamState{}
+	for l := 0; l < len(n.w); l++ {
+		in, out := n.sizes[l], n.sizes[l+1]
+		n.w[l] = mat.New(in, out)
+		// He initialization for ReLU layers.
+		scale := math.Sqrt(2 / float64(in))
+		for i := range n.w[l].Data {
+			n.w[l].Data[i] = r.Norm() * scale
+		}
+		n.b[l] = make([]float64, out)
+		st.mw = append(st.mw, mat.New(in, out))
+		st.vw = append(st.vw, mat.New(in, out))
+		st.mb = append(st.mb, make([]float64, out))
+		st.vb = append(st.vb, make([]float64, out))
+	}
+
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	acts := n.newActivations()
+	grads := n.newGradients()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(idx)
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n.zeroGradients(grads)
+			for _, i := range idx[start:end] {
+				n.backprop(xs.Row(i), ys.Row(i), acts, grads)
+			}
+			n.adamStep(st, grads, end-start)
+		}
+	}
+	return n, nil
+}
+
+// Predict evaluates the network for one raw feature vector.
+func (n *Network) Predict(x []float64) []float64 {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("mlp: feature length %d, want %d", len(x), n.sizes[0]))
+	}
+	h := make([]float64, len(x))
+	for j, v := range x {
+		h[j] = (v - n.xMean[j]) / n.xStd[j]
+	}
+	for l := 0; l < len(n.w); l++ {
+		out := make([]float64, n.sizes[l+1])
+		copy(out, n.b[l])
+		for i, hv := range h {
+			if hv == 0 {
+				continue
+			}
+			row := n.w[l].Row(i)
+			for j, wv := range row {
+				out[j] += hv * wv
+			}
+		}
+		if l < len(n.w)-1 {
+			for j, v := range out {
+				if v < 0 {
+					out[j] = 0
+				}
+			}
+		}
+		h = out
+	}
+	for j := range h {
+		h[j] = h[j]*n.yStd[j] + n.yMean[j]
+	}
+	return h
+}
+
+// NumInputs returns the expected feature dimensionality.
+func (n *Network) NumInputs() int { return n.sizes[0] }
+
+// NumOutputs returns the output dimensionality.
+func (n *Network) NumOutputs() int { return n.sizes[len(n.sizes)-1] }
+
+type activations struct {
+	pre  [][]float64 // pre-activation per layer
+	post [][]float64 // post-activation (input is post[0])
+}
+
+func (n *Network) newActivations() *activations {
+	a := &activations{}
+	a.post = append(a.post, make([]float64, n.sizes[0]))
+	for l := 1; l < len(n.sizes); l++ {
+		a.pre = append(a.pre, make([]float64, n.sizes[l]))
+		a.post = append(a.post, make([]float64, n.sizes[l]))
+	}
+	return a
+}
+
+type gradients struct {
+	w []*mat.Dense
+	b [][]float64
+}
+
+func (n *Network) newGradients() *gradients {
+	g := &gradients{}
+	for l := 0; l < len(n.w); l++ {
+		g.w = append(g.w, mat.New(n.sizes[l], n.sizes[l+1]))
+		g.b = append(g.b, make([]float64, n.sizes[l+1]))
+	}
+	return g
+}
+
+func (n *Network) zeroGradients(g *gradients) {
+	for l := range g.w {
+		for i := range g.w[l].Data {
+			g.w[l].Data[i] = 0
+		}
+		for i := range g.b[l] {
+			g.b[l][i] = 0
+		}
+	}
+}
+
+// backprop accumulates gradients of the squared error for one sample.
+func (n *Network) backprop(x, y []float64, a *activations, g *gradients) {
+	copy(a.post[0], x)
+	for l := 0; l < len(n.w); l++ {
+		pre := a.pre[l]
+		copy(pre, n.b[l])
+		for i, hv := range a.post[l] {
+			if hv == 0 {
+				continue
+			}
+			row := n.w[l].Row(i)
+			for j, wv := range row {
+				pre[j] += hv * wv
+			}
+		}
+		post := a.post[l+1]
+		if l < len(n.w)-1 {
+			for j, v := range pre {
+				if v > 0 {
+					post[j] = v
+				} else {
+					post[j] = 0
+				}
+			}
+		} else {
+			copy(post, pre)
+		}
+	}
+
+	// Output delta: d(0.5·(ŷ−y)²)/dŷ.
+	last := len(n.w) - 1
+	delta := make([]float64, n.sizes[len(n.sizes)-1])
+	out := a.post[len(a.post)-1]
+	for j := range delta {
+		delta[j] = out[j] - y[j]
+	}
+	for l := last; l >= 0; l-- {
+		for i, hv := range a.post[l] {
+			if hv == 0 {
+				continue
+			}
+			grow := g.w[l].Row(i)
+			for j, dv := range delta {
+				grow[j] += hv * dv
+			}
+		}
+		for j, dv := range delta {
+			g.b[l][j] += dv
+		}
+		if l == 0 {
+			break
+		}
+		next := make([]float64, n.sizes[l])
+		for i := range next {
+			row := n.w[l].Row(i)
+			var s float64
+			for j, dv := range delta {
+				s += row[j] * dv
+			}
+			if a.pre[l-1][i] > 0 {
+				next[i] = s
+			}
+		}
+		delta = next
+	}
+}
+
+func (n *Network) adamStep(st *adamState, g *gradients, batch int) {
+	st.t++
+	lr := n.cfg.LearnRate
+	b1, b2, eps := 0.9, 0.999, 1e-8
+	c1 := 1 - math.Pow(b1, float64(st.t))
+	c2 := 1 - math.Pow(b2, float64(st.t))
+	inv := 1 / float64(batch)
+	for l := range n.w {
+		wd := n.cfg.WeightDecay
+		for i, grad := range g.w[l].Data {
+			gr := grad*inv + wd*n.w[l].Data[i]
+			st.mw[l].Data[i] = b1*st.mw[l].Data[i] + (1-b1)*gr
+			st.vw[l].Data[i] = b2*st.vw[l].Data[i] + (1-b2)*gr*gr
+			n.w[l].Data[i] -= lr * (st.mw[l].Data[i] / c1) / (math.Sqrt(st.vw[l].Data[i]/c2) + eps)
+		}
+		for i, grad := range g.b[l] {
+			gr := grad * inv
+			st.mb[l][i] = b1*st.mb[l][i] + (1-b1)*gr
+			st.vb[l][i] = b2*st.vb[l][i] + (1-b2)*gr*gr
+			n.b[l][i] -= lr * (st.mb[l][i] / c1) / (math.Sqrt(st.vb[l][i]/c2) + eps)
+		}
+	}
+}
+
+func colStats(a *mat.Dense) (mean, std []float64) {
+	mean = make([]float64, a.Cols)
+	std = make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(a.Rows))
+		if std[j] < 1e-9 {
+			std[j] = 1
+		}
+	}
+	return mean, std
+}
+
+func standardize(a *mat.Dense, mean, std []float64) *mat.Dense {
+	out := a.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - mean[j]) / std[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+func TestLearnsLinearFunction(t *testing.T) {
+	r := rng.New(1)
+	n := 400
+	x := mat.New(n, 2)
+	y := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		a, b := r.Norm(), r.Norm()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Set(i, 0, 2*a-3*b+1)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 80
+	net, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, sst float64
+	for i := 0; i < n; i++ {
+		p := net.Predict(x.Row(i))[0]
+		d := p - y.At(i, 0)
+		sse += d * d
+		sst += y.At(i, 0) * y.At(i, 0)
+	}
+	if r2 := 1 - sse/sst; r2 < 0.98 {
+		t.Fatalf("linear fit R² = %g, want > 0.98", r2)
+	}
+}
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	// |x| is not representable by a linear model; a ReLU net nails it.
+	r := rng.New(2)
+	n := 600
+	x := mat.New(n, 1)
+	y := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		v := 4*r.Float64() - 2
+		x.Set(i, 0, v)
+		y.Set(i, 0, math.Abs(v))
+	}
+	cfg := DefaultConfig()
+	cfg.Hidden = []int{32}
+	cfg.Epochs = 120
+	net, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := 0; i < n; i++ {
+		mae += math.Abs(net.Predict(x.Row(i))[0] - y.At(i, 0))
+	}
+	mae /= float64(n)
+	if mae > 0.1 {
+		t.Fatalf("|x| fit MAE = %g, want < 0.1", mae)
+	}
+}
+
+func TestMultiOutput(t *testing.T) {
+	r := rng.New(3)
+	n := 200
+	x := mat.New(n, 1)
+	y := mat.New(n, 2)
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		x.Set(i, 0, v)
+		y.Set(i, 0, v)
+		y.Set(i, 1, -v)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 60
+	net, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := net.Predict([]float64{1})
+	if len(p) != 2 {
+		t.Fatalf("output length %d", len(p))
+	}
+	if math.Abs(p[0]-1) > 0.2 || math.Abs(p[1]+1) > 0.2 {
+		t.Fatalf("multi-output predictions wrong: %v", p)
+	}
+	if net.NumInputs() != 1 || net.NumOutputs() != 2 {
+		t.Fatalf("accessors wrong")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	r := rng.New(4)
+	x := mat.New(50, 2)
+	y := mat.New(50, 1)
+	for i := 0; i < 50; i++ {
+		x.Set(i, 0, r.Norm())
+		x.Set(i, 1, r.Norm())
+		y.Set(i, 0, x.At(i, 0)+x.At(i, 1))
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	a, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.3, -0.7}
+	if a.Predict(in)[0] != b.Predict(in)[0] {
+		t.Fatalf("same seed, different networks")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(mat.New(3, 1), mat.New(4, 1), DefaultConfig()); err == nil {
+		t.Fatalf("row mismatch accepted")
+	}
+	if _, err := Train(mat.New(0, 1), mat.New(0, 1), DefaultConfig()); err == nil {
+		t.Fatalf("empty set accepted")
+	}
+	bad := DefaultConfig()
+	bad.Epochs = 0
+	if _, err := Train(mat.New(3, 1), mat.New(3, 1), bad); err == nil {
+		t.Fatalf("zero epochs accepted")
+	}
+}
+
+func TestPredictPanicsOnWrongLength(t *testing.T) {
+	x := mat.NewFromSlice(4, 2, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	y := mat.NewFromSlice(4, 1, []float64{1, 2, 3, 4})
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	net, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	net.Predict([]float64{1})
+}

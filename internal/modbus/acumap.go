@@ -1,0 +1,73 @@
+package modbus
+
+import "tesla/internal/testbed"
+
+// ACU register map, scaled the way industrial units encode floats in
+// 16-bit registers (×100 for temperatures, watts for power).
+const (
+	// Holding registers.
+	RegSetpoint uint16 = 0 // set-point °C × 100
+
+	// Input registers.
+	RegInletTemp0 uint16 = 0 // inlet sensor 0, °C × 100
+	RegInletTemp1 uint16 = 1 // inlet sensor 1, °C × 100
+	RegPowerW     uint16 = 2 // instantaneous draw, W
+	RegDuty       uint16 = 3 // compressor duty × 1000
+)
+
+// ACUBridge exposes a simulated testbed's ACU through a Modbus register
+// bank: controller writes to the set-point holding register are latched
+// into the device, and each telemetry sample refreshes the input registers.
+type ACUBridge struct {
+	Bank *MapBank
+	tb   *testbed.Testbed
+}
+
+// NewACUBridge wires a testbed to a fresh register bank.
+func NewACUBridge(tb *testbed.Testbed) *ACUBridge {
+	b := &ACUBridge{Bank: NewMapBank(), tb: tb}
+	b.Bank.SetHolding(RegSetpoint, encodeTempC(tb.ACU.Setpoint()))
+	for _, reg := range []uint16{RegInletTemp0, RegInletTemp1, RegPowerW, RegDuty} {
+		b.Bank.SetInput(reg, 0)
+	}
+	b.Bank.OnWrite = func(addr, value uint16) {
+		if addr == RegSetpoint {
+			latched := tb.SetSetpoint(decodeTempC(value))
+			// Reflect the clamped value so masters read back reality.
+			b.Bank.SetHolding(RegSetpoint, encodeTempC(latched))
+		}
+	}
+	return b
+}
+
+// Refresh publishes a telemetry sample into the input registers.
+func (b *ACUBridge) Refresh(s testbed.Sample) {
+	if len(s.ACUTemps) > 0 {
+		b.Bank.SetInput(RegInletTemp0, encodeTempC(s.ACUTemps[0]))
+	}
+	if len(s.ACUTemps) > 1 {
+		b.Bank.SetInput(RegInletTemp1, encodeTempC(s.ACUTemps[1]))
+	}
+	b.Bank.SetInput(RegPowerW, clampU16(s.ACUPowerKW*1000))
+	b.Bank.SetInput(RegDuty, clampU16(s.ACUDuty*1000))
+}
+
+func encodeTempC(c float64) uint16 { return clampU16(c * 100) }
+
+func decodeTempC(v uint16) float64 { return float64(v) / 100 }
+
+// DecodeTempC converts a ×100 register value to °C (for masters).
+func DecodeTempC(v uint16) float64 { return decodeTempC(v) }
+
+// EncodeTempC converts °C to the ×100 register encoding (for masters).
+func EncodeTempC(c float64) uint16 { return encodeTempC(c) }
+
+func clampU16(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v + 0.5)
+}

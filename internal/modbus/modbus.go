@@ -1,0 +1,340 @@
+// Package modbus implements the subset of Modbus/TCP the TESLA deployment
+// uses to talk to the ACU (paper §4): reading input registers (sensor
+// telemetry), reading holding registers, and writing a single holding
+// register (the set-point). Frames follow the standard MBAP header; the
+// server dispatches registers through pluggable handlers so the simulated
+// ACU can be mapped exactly like the vendor unit.
+package modbus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Function codes implemented.
+const (
+	FuncReadHolding = 0x03
+	FuncReadInput   = 0x04
+	FuncWriteSingle = 0x06
+)
+
+// Exception codes.
+const (
+	ExcIllegalFunction = 0x01
+	ExcIllegalAddress  = 0x02
+)
+
+// RegisterBank is the server-side register model.
+type RegisterBank interface {
+	// ReadInput returns the value of input register addr.
+	ReadInput(addr uint16) (uint16, bool)
+	// ReadHolding returns the value of holding register addr.
+	ReadHolding(addr uint16) (uint16, bool)
+	// WriteHolding stores value into holding register addr.
+	WriteHolding(addr, value uint16) bool
+}
+
+// MapBank is a simple RegisterBank over maps, safe for concurrent use.
+type MapBank struct {
+	mu      sync.RWMutex
+	input   map[uint16]uint16
+	holding map[uint16]uint16
+	// OnWrite, if set, observes successful holding-register writes.
+	OnWrite func(addr, value uint16)
+}
+
+// NewMapBank returns an empty bank.
+func NewMapBank() *MapBank {
+	return &MapBank{input: map[uint16]uint16{}, holding: map[uint16]uint16{}}
+}
+
+// SetInput updates an input register (device side).
+func (b *MapBank) SetInput(addr, value uint16) {
+	b.mu.Lock()
+	b.input[addr] = value
+	b.mu.Unlock()
+}
+
+// SetHolding updates a holding register (device side).
+func (b *MapBank) SetHolding(addr, value uint16) {
+	b.mu.Lock()
+	b.holding[addr] = value
+	b.mu.Unlock()
+}
+
+// Holding reads back a holding register (device side).
+func (b *MapBank) Holding(addr uint16) (uint16, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	v, ok := b.holding[addr]
+	return v, ok
+}
+
+// ReadInput implements RegisterBank.
+func (b *MapBank) ReadInput(addr uint16) (uint16, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	v, ok := b.input[addr]
+	return v, ok
+}
+
+// ReadHolding implements RegisterBank.
+func (b *MapBank) ReadHolding(addr uint16) (uint16, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	v, ok := b.holding[addr]
+	return v, ok
+}
+
+// WriteHolding implements RegisterBank.
+func (b *MapBank) WriteHolding(addr, value uint16) bool {
+	b.mu.Lock()
+	_, exists := b.holding[addr]
+	if exists {
+		b.holding[addr] = value
+	}
+	onWrite := b.OnWrite
+	b.mu.Unlock()
+	if exists && onWrite != nil {
+		onWrite(addr, value)
+	}
+	return exists
+}
+
+// Server accepts Modbus/TCP connections and serves a RegisterBank.
+type Server struct {
+	bank     RegisterBank
+	listener net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+}
+
+// NewServer wraps a bank.
+func NewServer(bank RegisterBank) *Server {
+	return &Server{bank: bank}
+}
+
+// Start listens on addr and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("modbus: listen: %w", err)
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and waits for connection handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn processes request frames until the peer disconnects.
+func (s *Server) serveConn(conn net.Conn) {
+	header := make([]byte, 7)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		txID := binary.BigEndian.Uint16(header[0:2])
+		length := binary.BigEndian.Uint16(header[4:6])
+		unit := header[6]
+		if length < 2 || length > 260 {
+			return // malformed frame; drop the connection
+		}
+		pdu := make([]byte, length-1)
+		if _, err := io.ReadFull(conn, pdu); err != nil {
+			return
+		}
+		resp := s.handlePDU(pdu)
+		frame := make([]byte, 7+len(resp))
+		binary.BigEndian.PutUint16(frame[0:2], txID)
+		binary.BigEndian.PutUint16(frame[2:4], 0) // protocol id
+		binary.BigEndian.PutUint16(frame[4:6], uint16(len(resp)+1))
+		frame[6] = unit
+		copy(frame[7:], resp)
+		if _, err := conn.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+func exception(fn, code byte) []byte { return []byte{fn | 0x80, code} }
+
+// handlePDU executes one request PDU and returns the response PDU.
+func (s *Server) handlePDU(pdu []byte) []byte {
+	if len(pdu) < 1 {
+		return exception(0, ExcIllegalFunction)
+	}
+	fn := pdu[0]
+	switch fn {
+	case FuncReadHolding, FuncReadInput:
+		if len(pdu) != 5 {
+			return exception(fn, ExcIllegalAddress)
+		}
+		addr := binary.BigEndian.Uint16(pdu[1:3])
+		count := binary.BigEndian.Uint16(pdu[3:5])
+		if count == 0 || count > 125 {
+			return exception(fn, ExcIllegalAddress)
+		}
+		out := make([]byte, 2+2*int(count))
+		out[0] = fn
+		out[1] = byte(2 * count)
+		for i := uint16(0); i < count; i++ {
+			var v uint16
+			var ok bool
+			if fn == FuncReadInput {
+				v, ok = s.bank.ReadInput(addr + i)
+			} else {
+				v, ok = s.bank.ReadHolding(addr + i)
+			}
+			if !ok {
+				return exception(fn, ExcIllegalAddress)
+			}
+			binary.BigEndian.PutUint16(out[2+2*i:], v)
+		}
+		return out
+	case FuncWriteSingle:
+		if len(pdu) != 5 {
+			return exception(fn, ExcIllegalAddress)
+		}
+		addr := binary.BigEndian.Uint16(pdu[1:3])
+		value := binary.BigEndian.Uint16(pdu[3:5])
+		if !s.bank.WriteHolding(addr, value) {
+			return exception(fn, ExcIllegalAddress)
+		}
+		return append([]byte(nil), pdu...) // echo on success
+	default:
+		return exception(fn, ExcIllegalFunction)
+	}
+}
+
+// Client is a Modbus/TCP master.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	txID uint16
+	unit byte
+}
+
+// Dial connects to a Modbus server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("modbus: dial: %w", err)
+	}
+	return &Client{conn: conn, unit: 1}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a PDU and returns the response PDU.
+func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.txID++
+	frame := make([]byte, 7+len(pdu))
+	binary.BigEndian.PutUint16(frame[0:2], c.txID)
+	binary.BigEndian.PutUint16(frame[2:4], 0)
+	binary.BigEndian.PutUint16(frame[4:6], uint16(len(pdu)+1))
+	frame[6] = c.unit
+	copy(frame[7:], pdu)
+	if _, err := c.conn.Write(frame); err != nil {
+		return nil, err
+	}
+	header := make([]byte, 7)
+	if _, err := io.ReadFull(c.conn, header); err != nil {
+		return nil, err
+	}
+	if got := binary.BigEndian.Uint16(header[0:2]); got != c.txID {
+		return nil, fmt.Errorf("modbus: transaction id mismatch: %d != %d", got, c.txID)
+	}
+	length := binary.BigEndian.Uint16(header[4:6])
+	if length < 2 || length > 260 {
+		return nil, fmt.Errorf("modbus: bad response length %d", length)
+	}
+	resp := make([]byte, length-1)
+	if _, err := io.ReadFull(c.conn, resp); err != nil {
+		return nil, err
+	}
+	if len(resp) >= 2 && resp[0]&0x80 != 0 {
+		return nil, fmt.Errorf("modbus: exception 0x%02x for function 0x%02x", resp[1], resp[0]&0x7f)
+	}
+	return resp, nil
+}
+
+func (c *Client) readRegisters(fn byte, addr, count uint16) ([]uint16, error) {
+	pdu := make([]byte, 5)
+	pdu[0] = fn
+	binary.BigEndian.PutUint16(pdu[1:3], addr)
+	binary.BigEndian.PutUint16(pdu[3:5], count)
+	resp, err := c.roundTrip(pdu)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 2 || resp[0] != fn || int(resp[1]) != 2*int(count) || len(resp) != 2+2*int(count) {
+		return nil, fmt.Errorf("modbus: malformed read response")
+	}
+	out := make([]uint16, count)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint16(resp[2+2*i:])
+	}
+	return out, nil
+}
+
+// ReadInput reads count input registers starting at addr.
+func (c *Client) ReadInput(addr, count uint16) ([]uint16, error) {
+	return c.readRegisters(FuncReadInput, addr, count)
+}
+
+// ReadHolding reads count holding registers starting at addr.
+func (c *Client) ReadHolding(addr, count uint16) ([]uint16, error) {
+	return c.readRegisters(FuncReadHolding, addr, count)
+}
+
+// WriteHolding writes one holding register.
+func (c *Client) WriteHolding(addr, value uint16) error {
+	pdu := make([]byte, 5)
+	pdu[0] = FuncWriteSingle
+	binary.BigEndian.PutUint16(pdu[1:3], addr)
+	binary.BigEndian.PutUint16(pdu[3:5], value)
+	resp, err := c.roundTrip(pdu)
+	if err != nil {
+		return err
+	}
+	if len(resp) != 5 || resp[0] != FuncWriteSingle {
+		return fmt.Errorf("modbus: malformed write response")
+	}
+	return nil
+}

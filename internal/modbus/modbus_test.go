@@ -1,0 +1,192 @@
+package modbus
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tesla/internal/testbed"
+	"tesla/internal/workload"
+)
+
+func startServer(t *testing.T, bank RegisterBank) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(bank)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestReadWriteRegisters(t *testing.T) {
+	bank := NewMapBank()
+	bank.SetHolding(0, 2300)
+	bank.SetInput(0, 2412)
+	bank.SetInput(1, 2398)
+	_, client := startServer(t, bank)
+
+	vals, err := client.ReadInput(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 2412 || vals[1] != 2398 {
+		t.Fatalf("ReadInput = %v", vals)
+	}
+	hold, err := client.ReadHolding(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hold[0] != 2300 {
+		t.Fatalf("ReadHolding = %v", hold)
+	}
+	if err := client.WriteHolding(0, 2550); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := bank.Holding(0); v != 2550 {
+		t.Fatalf("write did not land: %d", v)
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	bank := NewMapBank()
+	bank.SetHolding(0, 1)
+	_, client := startServer(t, bank)
+
+	if _, err := client.ReadInput(50, 1); err == nil {
+		t.Fatalf("unmapped input register accepted")
+	}
+	if err := client.WriteHolding(99, 1); err == nil {
+		t.Fatalf("unmapped holding register accepted")
+	}
+	if _, err := client.ReadHolding(0, 0); err == nil {
+		t.Fatalf("zero-count read accepted")
+	}
+}
+
+func TestOnWriteCallback(t *testing.T) {
+	bank := NewMapBank()
+	bank.SetHolding(0, 100)
+	var mu sync.Mutex
+	var got []uint16
+	bank.OnWrite = func(addr, value uint16) {
+		mu.Lock()
+		got = append(got, value)
+		mu.Unlock()
+	}
+	_, client := startServer(t, bank)
+	if err := client.WriteHolding(0, 777); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 777 {
+		t.Fatalf("OnWrite observed %v", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	bank := NewMapBank()
+	for i := uint16(0); i < 8; i++ {
+		bank.SetInput(i, i*10)
+	}
+	srv := NewServer(bank)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 50; i++ {
+				vals, err := client.ReadInput(0, 8)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if vals[3] != 30 {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTempEncoding(t *testing.T) {
+	for _, c := range []float64{20, 23.47, 35} {
+		if got := DecodeTempC(EncodeTempC(c)); math.Abs(got-c) > 0.005 {
+			t.Fatalf("encode/decode %g -> %g", c, got)
+		}
+	}
+	if EncodeTempC(-5) != 0 {
+		t.Fatalf("negative temperatures should clamp to 0")
+	}
+}
+
+func TestACUBridgeEndToEnd(t *testing.T) {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.UseProfile(workload.Constant{Util: 0.2})
+	bridge := NewACUBridge(tb)
+	_, client := startServer(t, bridge.Bank)
+
+	// Controller writes the set-point through Modbus...
+	if err := client.WriteHolding(RegSetpoint, EncodeTempC(26.5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.ACU.Setpoint(); math.Abs(got-26.5) > 0.01 {
+		t.Fatalf("set-point write did not reach the device: %g", got)
+	}
+	// ...out-of-range values are clamped by the device and read back.
+	if err := client.WriteHolding(RegSetpoint, EncodeTempC(60)); err != nil {
+		t.Fatal(err)
+	}
+	hold, err := client.ReadHolding(RegSetpoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeTempC(hold[0]); math.Abs(got-35) > 0.01 {
+		t.Fatalf("clamped set-point reads back %g, want 35", got)
+	}
+
+	// Telemetry flows into input registers.
+	s := tb.Advance()
+	bridge.Refresh(s)
+	vals, err := client.ReadInput(RegInletTemp0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeTempC(vals[0]); math.Abs(got-s.ACUTemps[0]) > 0.01 {
+		t.Fatalf("inlet register %g, sample %g", got, s.ACUTemps[0])
+	}
+	if got := float64(vals[2]) / 1000; math.Abs(got-s.ACUPowerKW) > 0.01 {
+		t.Fatalf("power register %g kW, sample %g", got, s.ACUPowerKW)
+	}
+}

@@ -1,0 +1,190 @@
+package model
+
+import (
+	"fmt"
+
+	"tesla/internal/dataset"
+	"tesla/internal/mat"
+)
+
+// Predict runs the full sub-module cascade for a candidate set-point held
+// constant over the horizon (the optimizer's shared-set-point constraint,
+// eq. 5): ASP → ACU → DCS → cooling energy, then derives the interruption
+// proxy D̂ (eqs. 6–7) and the thermal-safety constraint Ĉ (eq. 9).
+func (m *Model) Predict(h *History, setpoint float64) (*Prediction, error) {
+	sps := make([]float64, m.cfg.L)
+	for i := range sps {
+		sps[i] = setpoint
+	}
+	return m.PredictSeq(h, sps)
+}
+
+// PredictSeq is Predict for an arbitrary set-point sequence s_{t+1..t+L};
+// model-accuracy evaluation on historical traces uses it with the actually
+// executed sequence.
+func (m *Model) PredictSeq(h *History, setpoints []float64) (*Prediction, error) {
+	if err := m.ValidateHistory(h); err != nil {
+		return nil, err
+	}
+	if len(setpoints) != m.cfg.L {
+		return nil, fmt.Errorf("model: %d set-points for horizon %d", len(setpoints), m.cfg.L)
+	}
+	L, na, nd := m.cfg.L, m.na, m.nd
+	sc := m.scale
+
+	// ASP (eq. 1): normalized past powers, newest first (j=0 → time t).
+	xp := make([]float64, L)
+	for j := 0; j < L; j++ {
+		xp[j] = sc.pow(h.AvgPower[L-1-j])
+	}
+	pHatN := m.asp.Predict(xp) // normalized p̂_{t+1..t+L}
+
+	// ACU (eq. 2) per step l.
+	spN := make([]float64, L)
+	for i, s := range setpoints {
+		spN[i] = sc.sp(s)
+	}
+	zAcu := make([]float64, na*L)
+	for a := 0; a < na; a++ {
+		for j := 0; j < L; j++ {
+			zAcu[a*L+j] = sc.temp(h.ACUTemps[a][L-1-j])
+		}
+	}
+	aHatN := mat.New(L, na)
+	xa := make([]float64, 2+na*L)
+	copy(xa[2:], zAcu)
+	for l := 1; l <= L; l++ {
+		xa[0] = spN[l-1]
+		xa[1] = pHatN[l-1]
+		m.acu[l-1].PredictInto(xa, aHatN.Row(l-1))
+	}
+
+	// DCS (eq. 3) per step l, consuming the ACU predictions.
+	zDC := make([]float64, nd*L)
+	for k := 0; k < nd; k++ {
+		for j := 0; j < L; j++ {
+			zDC[k*L+j] = sc.temp(h.DCTemps[k][L-1-j])
+		}
+	}
+	dHatN := mat.New(L, nd)
+	xd := make([]float64, 1+na+nd*L)
+	copy(xd[1+na:], zDC)
+	for l := 1; l <= L; l++ {
+		xd[0] = pHatN[l-1]
+		copy(xd[1:1+na], aHatN.Row(l-1))
+		m.dcs[l-1].PredictInto(xd, dHatN.Row(l-1))
+	}
+
+	// Cooling energy (eq. 4) from the shared set-point and the predicted
+	// inlet temperatures.
+	xe := make([]float64, L+na*L)
+	copy(xe, spN)
+	for a := 0; a < na; a++ {
+		for j := 0; j < L; j++ {
+			xe[L+a*L+j] = aHatN.At(j, a)
+		}
+	}
+	eN := m.energy.Predict(xe)[0]
+
+	// Denormalize into physical units.
+	p := &Prediction{Setpoint: setpoints[len(setpoints)-1]}
+	p.AvgPower = make([]float64, L)
+	for l := 0; l < L; l++ {
+		p.AvgPower[l] = sc.unPow(pHatN[l])
+	}
+	p.ACUTemps = mat.New(L, na)
+	for l := 0; l < L; l++ {
+		for a := 0; a < na; a++ {
+			p.ACUTemps.Set(l, a, sc.unTemp(aHatN.At(l, a)))
+		}
+	}
+	p.DCTemps = mat.New(L, nd)
+	for l := 0; l < L; l++ {
+		for k := 0; k < nd; k++ {
+			p.DCTemps.Set(l, k, sc.unTemp(dHatN.At(l, k)))
+		}
+	}
+	p.EnergyKWh = sc.unEnergy(eN)
+	if p.EnergyKWh < 0 {
+		p.EnergyKWh = 0
+	}
+	p.EnergyNorm = sc.energy(p.EnergyKWh)
+
+	p.Interruption = m.interruption(setpoints, p.ACUTemps)
+	p.InterruptionNorm = p.Interruption / m.TempRangeC()
+	p.Constraint = m.constraint(p.DCTemps)
+	return p, nil
+}
+
+// TempRangeC returns the min-max span of the temperature normalization.
+func (m *Model) TempRangeC() float64 {
+	r := m.scale.TempMax - m.scale.TempMin
+	if r <= 0 {
+		return 1
+	}
+	return r
+}
+
+// EnergyRangeKWh returns the span of the energy normalization.
+func (m *Model) EnergyRangeKWh() float64 {
+	r := m.scale.EMax - m.scale.EMin
+	if r <= 0 {
+		return 1
+	}
+	return r
+}
+
+// NormEnergy maps a physical energy (kWh over the horizon) onto the
+// normalized objective scale (for the error monitor's realized values).
+func (m *Model) NormEnergy(kwh float64) float64 { return m.scale.energy(kwh) }
+
+// interruption computes D̂ (eqs. 6–7): per horizon step, the residual
+// s − avg(â) counts when it exceeds κ, signalling the PID controller would
+// deliver cold air at a reduced or zero rate.
+func (m *Model) interruption(setpoints []float64, aHat *mat.Dense) float64 {
+	var d float64
+	for l := 0; l < m.cfg.L; l++ {
+		row := aHat.Row(l)
+		var avg float64
+		for _, v := range row {
+			avg += v
+		}
+		avg /= float64(len(row))
+		if u := setpoints[l] - avg; u > m.cfg.KappaC {
+			d += u
+		}
+	}
+	return d
+}
+
+// constraint computes Ĉ (eq. 9): how far the maximum predicted cold-aisle
+// temperature over the horizon sits above d_allowed.
+func (m *Model) constraint(dHat *mat.Dense) float64 {
+	maxCold := -1e30
+	for l := 0; l < m.cfg.L; l++ {
+		row := dHat.Row(l)
+		for _, k := range m.cfg.ColdIdx {
+			if row[k] > maxCold {
+				maxCold = row[k]
+			}
+		}
+	}
+	return maxCold - m.cfg.AllowedColdC
+}
+
+// HistoryAt extracts the inference history ending at step t of a trace.
+func HistoryAt(tr *dataset.Trace, t, L int) (*History, error) {
+	if t-L+1 < 0 || t >= tr.Len() {
+		return nil, fmt.Errorf("model: history window [%d,%d] outside trace of %d samples", t-L+1, t, tr.Len())
+	}
+	h := &History{AvgPower: append([]float64(nil), tr.AvgPower[t-L+1:t+1]...)}
+	h.ACUTemps = make([][]float64, tr.Na())
+	for a := range h.ACUTemps {
+		h.ACUTemps[a] = append([]float64(nil), tr.ACUTemps[a][t-L+1:t+1]...)
+	}
+	h.DCTemps = make([][]float64, tr.Nd())
+	for k := range h.DCTemps {
+		h.DCTemps[k] = append([]float64(nil), tr.DCTemps[k][t-L+1:t+1]...)
+	}
+	return h, nil
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, train, _ := trainSmall(t, 21)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Na() != m.Na() || back.Nd() != m.Nd() || back.Config().L != m.Config().L {
+		t.Fatalf("shape lost in roundtrip")
+	}
+	// Predictions must be bit-identical.
+	L := m.Config().L
+	h, err := HistoryAt(train, train.Len()-1, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range []float64{21, 24.5, 28} {
+		a, err := m.Predict(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Predict(h, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.EnergyKWh != b.EnergyKWh || a.Constraint != b.Constraint || a.Interruption != b.Interruption {
+			t.Fatalf("roundtrip changed predictions at sp=%g", sp)
+		}
+		for i := range a.DCTemps.Data {
+			if a.DCTemps.Data[i] != b.DCTemps.Data[i] {
+				t.Fatalf("DC prediction drifted at %d", i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	m, _, _ := trainSmall(t, 22)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by round-tripping through the snapshot directly is
+	// awkward with gob; instead corrupt bytes mid-stream and expect an error
+	// (either decode failure or validation failure).
+	data := buf.Bytes()
+	if len(data) > 60 {
+		for i := 40; i < 60; i++ {
+			data[i] ^= 0xff
+		}
+	}
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatalf("corrupted stream accepted")
+	}
+}
+
+func TestSaveLoadEmptyPrediction(t *testing.T) {
+	// A loaded model must also validate history shapes.
+	m, _, _ := trainSmall(t, 23)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &History{AvgPower: make([]float64, 2)}
+	if err := back.ValidateHistory(bad); err == nil {
+		t.Fatalf("loaded model lost validation")
+	}
+	if math.Abs(back.TempRangeC()-m.TempRangeC()) > 1e-12 {
+		t.Fatalf("scaler lost in roundtrip")
+	}
+}

@@ -1,0 +1,112 @@
+// Package pid implements the proportional-integral-derivative controller
+// that drives the ACU compressor in the TESLA testbed (paper §2.1).
+//
+// The controller is generic: it tracks a set-point against a process value
+// and emits a clamped actuation signal. The ACU uses it in reverse-acting
+// mode (process value above set-point ⇒ more cooling). Anti-windup is
+// implemented by conditional integration: the integral term freezes whenever
+// the output is saturated in the direction that would deepen saturation —
+// this is what produces the slow recovery after a cooling interruption that
+// the paper highlights in Figure 3.
+package pid
+
+import "math"
+
+// Config holds the controller gains and output limits.
+type Config struct {
+	Kp, Ki, Kd float64 // proportional, integral, derivative gains
+	OutMin     float64 // lower output clamp (e.g. compressor duty 0)
+	OutMax     float64 // upper output clamp (e.g. compressor duty 1)
+	// ReverseActing flips the error sign so that a process value above the
+	// set-point drives the output up. Cooling loops are reverse acting.
+	ReverseActing bool
+	// DerivativeTau low-pass filters the derivative term (seconds); 0
+	// disables filtering.
+	DerivativeTau float64
+}
+
+// Controller is a discrete PID controller. The zero value is unusable; use
+// New.
+type Controller struct {
+	cfg      Config
+	integral float64
+	lastErr  float64
+	dFilt    float64
+	primed   bool
+}
+
+// New returns a controller with the given configuration.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg}
+}
+
+// Reset clears the integral and derivative state.
+func (c *Controller) Reset() {
+	c.integral = 0
+	c.lastErr = 0
+	c.dFilt = 0
+	c.primed = false
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Integral exposes the current integral accumulator (useful for tests and
+// for diagnosing windup).
+func (c *Controller) Integral() float64 { return c.integral }
+
+// Update advances the controller by dt seconds given the current set-point
+// and process value, returning the clamped output.
+func (c *Controller) Update(setpoint, process, dt float64) float64 {
+	if dt <= 0 {
+		panic("pid: non-positive dt")
+	}
+	err := setpoint - process
+	if c.cfg.ReverseActing {
+		err = process - setpoint
+	}
+
+	// Derivative on error with optional first-order filter.
+	var deriv float64
+	if c.primed {
+		raw := (err - c.lastErr) / dt
+		if c.cfg.DerivativeTau > 0 {
+			alpha := dt / (c.cfg.DerivativeTau + dt)
+			c.dFilt += alpha * (raw - c.dFilt)
+			deriv = c.dFilt
+		} else {
+			deriv = raw
+		}
+	}
+	c.lastErr = err
+	c.primed = true
+
+	// Tentative output with the present integral.
+	p := c.cfg.Kp * err
+	d := c.cfg.Kd * deriv
+	unsat := p + c.cfg.Ki*(c.integral+err*dt) + d
+
+	// Conditional integration anti-windup: only integrate when doing so does
+	// not push the output further past a saturated limit.
+	if (unsat > c.cfg.OutMax && err > 0) || (unsat < c.cfg.OutMin && err < 0) {
+		// hold integral
+	} else {
+		c.integral += err * dt
+	}
+
+	out := p + c.cfg.Ki*c.integral + d
+	return clamp(out, c.cfg.OutMin, c.cfg.OutMax)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

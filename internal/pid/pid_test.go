@@ -1,0 +1,134 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// firstOrderPlant integrates dx/dt = (gain·u − x)/tau.
+type firstOrderPlant struct {
+	x, gain, tau float64
+}
+
+func (p *firstOrderPlant) step(u, dt float64) {
+	p.x += (p.gain*u - p.x) / p.tau * dt
+}
+
+func TestConvergesToSetpoint(t *testing.T) {
+	c := New(Config{Kp: 0.5, Ki: 0.05, OutMin: 0, OutMax: 10})
+	plant := &firstOrderPlant{gain: 2, tau: 5}
+	sp := 4.0
+	for i := 0; i < 5000; i++ {
+		u := c.Update(sp, plant.x, 0.1)
+		plant.step(u, 0.1)
+	}
+	if math.Abs(plant.x-sp) > 0.05 {
+		t.Fatalf("did not converge: x=%g want %g", plant.x, sp)
+	}
+}
+
+func TestReverseActingCooling(t *testing.T) {
+	// Reverse acting: process ABOVE set-point must push output UP.
+	c := New(Config{Kp: 1, OutMin: 0, OutMax: 1, ReverseActing: true})
+	out := c.Update(20, 25, 1) // 5 degrees too warm
+	if out <= 0 {
+		t.Fatalf("reverse-acting controller should actuate when too warm, got %g", out)
+	}
+	c.Reset()
+	out = c.Update(25, 20, 1) // 5 degrees too cold
+	if out != 0 {
+		t.Fatalf("reverse-acting controller should idle when too cold, got %g", out)
+	}
+}
+
+func TestOutputClamped(t *testing.T) {
+	f := func(sp, pv float64) bool {
+		if math.IsNaN(sp) || math.IsInf(sp, 0) || math.IsNaN(pv) || math.IsInf(pv, 0) {
+			return true
+		}
+		c := New(Config{Kp: 100, Ki: 10, Kd: 1, OutMin: 0, OutMax: 1})
+		for i := 0; i < 10; i++ {
+			out := c.Update(sp, pv, 1)
+			if out < 0 || out > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAntiWindupBoundsIntegral(t *testing.T) {
+	c := New(Config{Kp: 1, Ki: 1, OutMin: 0, OutMax: 1})
+	// Saturate hard for a long time: the integral must not keep growing.
+	for i := 0; i < 1000; i++ {
+		c.Update(100, 0, 1)
+	}
+	saturatedIntegral := c.Integral()
+	for i := 0; i < 1000; i++ {
+		c.Update(100, 0, 1)
+	}
+	if c.Integral() > saturatedIntegral+1e-9 {
+		t.Fatalf("integral kept winding up: %g → %g", saturatedIntegral, c.Integral())
+	}
+	// After the error flips, recovery should be immediate rather than
+	// delayed by a huge stored integral.
+	out := c.Update(0, 100, 1)
+	if out > 0.5 {
+		t.Fatalf("windup residue: output %g after error reversal", out)
+	}
+}
+
+func TestDerivativeFilterSmooths(t *testing.T) {
+	raw := New(Config{Kp: 0, Kd: 10, OutMin: -100, OutMax: 100})
+	filt := New(Config{Kp: 0, Kd: 10, OutMin: -100, OutMax: 100, DerivativeTau: 10})
+	// Prime both, then apply a step in the process value.
+	raw.Update(0, 0, 1)
+	filt.Update(0, 0, 1)
+	rawOut := raw.Update(0, 1, 1)
+	filtOut := filt.Update(0, 1, 1)
+	if math.Abs(filtOut) >= math.Abs(rawOut) {
+		t.Fatalf("filtered derivative %g should be smaller than raw %g", filtOut, rawOut)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	c := New(Config{Kp: 1, Ki: 1, OutMin: -10, OutMax: 10})
+	for i := 0; i < 10; i++ {
+		c.Update(5, 0, 1)
+	}
+	if c.Integral() == 0 {
+		t.Fatalf("integral should be nonzero before reset")
+	}
+	c.Reset()
+	if c.Integral() != 0 {
+		t.Fatalf("Reset did not clear integral")
+	}
+}
+
+func TestUpdatePanicsOnBadDt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for dt <= 0")
+		}
+	}()
+	New(Config{Kp: 1, OutMax: 1}).Update(1, 0, 0)
+}
+
+func TestNaNProcessValueDoesNotPoisonOutput(t *testing.T) {
+	c := New(Config{Kp: 1, OutMin: 0, OutMax: 1})
+	out := c.Update(1, math.NaN(), 1)
+	if math.IsNaN(out) {
+		t.Fatalf("NaN escaped the clamp")
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{Kp: 2, Ki: 3, Kd: 4, OutMin: -1, OutMax: 1, ReverseActing: true}
+	if got := New(cfg).Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}

@@ -1,0 +1,117 @@
+// Package rng supplies the deterministic random-number machinery for the
+// TESLA reproduction: a xoshiro256** pseudo-random generator, Gaussian
+// variates, and a Sobol low-discrepancy sequence used for the quasi-Monte
+// Carlo integration inside the constrained noisy-EI acquisition function.
+//
+// Everything is seeded explicitly so that experiments, tests and benchmarks
+// are bit-reproducible without global state.
+package rng
+
+import "math"
+
+// Rand is a xoshiro256** generator. It is not safe for concurrent use; give
+// each goroutine its own instance (Split derives independent streams).
+type Rand struct {
+	s [4]uint64
+	// cached second normal variate from the Box–Muller transform
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded from the given seed via SplitMix64, which
+// guarantees a well-mixed non-zero internal state for any seed value.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives a statistically independent generator from r, advancing r.
+func (r *Rand) Split() *Rand { return New(r.Uint64() ^ 0xa0761d6478bd642f) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate via the Box–Muller transform.
+func (r *Rand) Norm() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// NormScaled returns mean + std·Norm().
+func (r *Rand) NormScaled(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes idx in place.
+func (r *Rand) Shuffle(idx []int) {
+	for i := len(idx) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}

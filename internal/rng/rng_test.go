@@ -1,0 +1,174 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between independent streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(8)
+	var sum, sum2 float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %g far from 0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Fatalf("uniform variance %g far from 1/12", variance)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(9)
+	var sum, sum2 float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %g far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %g far from 1", variance)
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for Intn(0)")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(20, 35)
+		if v < 20 || v >= 35 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%20)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(12)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatalf("split streams should differ")
+	}
+}
+
+func TestInvNormCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		x := InvNormCDF(p)
+		back := NormCDF(x)
+		if math.Abs(back-p) > 1e-9 {
+			t.Fatalf("roundtrip at p=%g: Φ(Φ⁻¹(p)) = %g", p, back)
+		}
+	}
+}
+
+func TestInvNormCDFEdges(t *testing.T) {
+	if !math.IsInf(InvNormCDF(0), -1) || !math.IsInf(InvNormCDF(1), 1) {
+		t.Fatalf("edges should map to ±Inf")
+	}
+	if !math.IsNaN(InvNormCDF(-0.1)) || !math.IsNaN(InvNormCDF(1.1)) {
+		t.Fatalf("out-of-range p should be NaN")
+	}
+	if InvNormCDF(0.5) != 0 && math.Abs(InvNormCDF(0.5)) > 1e-12 {
+		t.Fatalf("median should be ~0, got %g", InvNormCDF(0.5))
+	}
+}
+
+func TestNormPDFKnown(t *testing.T) {
+	if math.Abs(NormPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatalf("φ(0) wrong: %g", NormPDF(0))
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(13)
+	idx := []int{1, 2, 3, 4, 5}
+	r.Shuffle(idx)
+	sorted := append([]int(nil), idx...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i+1 {
+			t.Fatalf("shuffle lost elements: %v", idx)
+		}
+	}
+}

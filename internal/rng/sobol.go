@@ -1,0 +1,150 @@
+package rng
+
+import "fmt"
+
+// Sobol generates a Sobol' low-discrepancy sequence in up to MaxSobolDim
+// dimensions using Gray-code construction with Joe–Kuo direction numbers.
+// An optional random digital shift (XOR scramble) turns the deterministic
+// sequence into a randomized QMC estimator, which is what the constrained
+// noisy-EI acquisition function uses to integrate over the GP posterior.
+type Sobol struct {
+	dim   int
+	count uint64
+	v     [][]uint64 // v[d][bit] direction numbers, 32 bits
+	x     []uint64   // current integer state per dimension
+	shift []uint64   // digital shift per dimension (0 = unscrambled)
+}
+
+// MaxSobolDim is the largest supported dimensionality.
+const MaxSobolDim = 32
+
+const sobolBits = 32
+
+// sobolPoly encodes, per dimension d >= 2, the primitive polynomial degree s,
+// the coefficient word a, and the initial direction numbers m (Joe–Kuo).
+var sobolPoly = []struct {
+	s, a uint
+	m    []uint64
+}{
+	{1, 0, []uint64{1}},
+	{2, 1, []uint64{1, 3}},
+	{3, 1, []uint64{1, 3, 1}},
+	{3, 2, []uint64{1, 1, 1}},
+	{4, 1, []uint64{1, 1, 3, 3}},
+	{4, 4, []uint64{1, 3, 5, 13}},
+	{5, 2, []uint64{1, 1, 5, 5, 17}},
+	{5, 4, []uint64{1, 1, 5, 5, 5}},
+	{5, 7, []uint64{1, 1, 7, 11, 19}},
+	{5, 11, []uint64{1, 1, 5, 1, 1}},
+	{5, 13, []uint64{1, 1, 1, 3, 11}},
+	{5, 14, []uint64{1, 3, 5, 5, 31}},
+	{6, 1, []uint64{1, 3, 3, 9, 7, 49}},
+	{6, 13, []uint64{1, 1, 1, 15, 21, 21}},
+	{6, 16, []uint64{1, 3, 1, 13, 27, 49}},
+	{6, 19, []uint64{1, 1, 1, 15, 7, 5}},
+	{6, 22, []uint64{1, 3, 1, 15, 13, 25}},
+	{6, 25, []uint64{1, 1, 5, 5, 19, 61}},
+	{7, 1, []uint64{1, 3, 7, 11, 23, 15, 103}},
+	{7, 4, []uint64{1, 3, 7, 13, 13, 15, 69}},
+	{7, 7, []uint64{1, 1, 3, 13, 7, 35, 63}},
+	{7, 8, []uint64{1, 3, 5, 9, 1, 25, 53}},
+	{7, 14, []uint64{1, 3, 1, 13, 9, 35, 107}},
+	{7, 19, []uint64{1, 3, 1, 5, 27, 61, 31}},
+	{7, 21, []uint64{1, 1, 5, 11, 19, 41, 61}},
+	{7, 28, []uint64{1, 3, 5, 3, 3, 13, 69}},
+	{7, 31, []uint64{1, 1, 7, 13, 1, 19, 1}},
+	{7, 32, []uint64{1, 3, 7, 5, 13, 19, 59}},
+	{7, 37, []uint64{1, 1, 3, 9, 25, 29, 41}},
+	{7, 41, []uint64{1, 3, 5, 13, 23, 1, 55}},
+	{7, 42, []uint64{1, 3, 7, 3, 13, 59, 17}},
+}
+
+// NewSobol returns a Sobol sequence over the unit hypercube [0,1)^dim.
+func NewSobol(dim int) (*Sobol, error) {
+	if dim < 1 || dim > MaxSobolDim {
+		return nil, fmt.Errorf("rng: Sobol dimension %d outside [1,%d]", dim, MaxSobolDim)
+	}
+	s := &Sobol{
+		dim:   dim,
+		v:     make([][]uint64, dim),
+		x:     make([]uint64, dim),
+		shift: make([]uint64, dim),
+	}
+	// Dimension 0 is the van der Corput sequence: v[bit] = 2^(31-bit).
+	s.v[0] = make([]uint64, sobolBits)
+	for b := 0; b < sobolBits; b++ {
+		s.v[0][b] = 1 << (sobolBits - 1 - b)
+	}
+	for d := 1; d < dim; d++ {
+		p := sobolPoly[d-1]
+		deg := int(p.s)
+		v := make([]uint64, sobolBits)
+		for i := 0; i < deg && i < sobolBits; i++ {
+			v[i] = p.m[i] << (sobolBits - 1 - i)
+		}
+		for i := deg; i < sobolBits; i++ {
+			vi := v[i-deg] ^ (v[i-deg] >> uint(deg))
+			for k := 1; k < deg; k++ {
+				if (p.a>>(uint(deg)-1-uint(k)))&1 == 1 {
+					vi ^= v[i-k]
+				}
+			}
+			v[i] = vi
+		}
+		s.v[d] = v
+	}
+	return s, nil
+}
+
+// Scramble applies an independent random digital shift per dimension drawn
+// from r, converting the sequence into a randomized QMC point set. Call it
+// before generating points.
+func (s *Sobol) Scramble(r *Rand) {
+	for d := range s.shift {
+		s.shift[d] = r.Uint64() >> (64 - sobolBits)
+	}
+}
+
+// Next writes the next point of the sequence into dst (len >= dim) and
+// returns dst[:dim]. The very first point of an unscrambled sequence is the
+// origin; callers wanting a strictly interior point set may Skip(1).
+func (s *Sobol) Next(dst []float64) []float64 {
+	if len(dst) < s.dim {
+		dst = make([]float64, s.dim)
+	}
+	for d := 0; d < s.dim; d++ {
+		dst[d] = float64(s.x[d]^s.shift[d]) / float64(uint64(1)<<sobolBits)
+	}
+	// Gray-code update: flip by the direction number of the lowest zero bit.
+	c := 0
+	n := s.count
+	for n&1 == 1 {
+		n >>= 1
+		c++
+	}
+	for d := 0; d < s.dim; d++ {
+		s.x[d] ^= s.v[d][c]
+	}
+	s.count++
+	return dst[:s.dim]
+}
+
+// Skip advances the sequence by n points without emitting them.
+func (s *Sobol) Skip(n int) {
+	var buf []float64
+	for i := 0; i < n; i++ {
+		buf = s.Next(buf)
+	}
+}
+
+// Points returns n consecutive points as an n×dim slice-of-slices.
+func (s *Sobol) Points(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = append([]float64(nil), s.Next(nil)...)
+	}
+	return out
+}
+
+// Dim reports the dimensionality of the sequence.
+func (s *Sobol) Dim() int { return s.dim }

@@ -1,0 +1,149 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSobolDim1IsVanDerCorput(t *testing.T) {
+	s, err := NewSobol(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125}
+	for i, w := range want {
+		got := s.Next(nil)[0]
+		if math.Abs(got-w) > 1e-12 {
+			t.Fatalf("van der Corput point %d = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestSobolRange(t *testing.T) {
+	for _, dim := range []int{1, 2, 5, 16, 32} {
+		s, err := NewSobol(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 256; i++ {
+			p := s.Next(nil)
+			if len(p) != dim {
+				t.Fatalf("dim %d point has length %d", dim, len(p))
+			}
+			for _, v := range p {
+				if v < 0 || v >= 1 {
+					t.Fatalf("dim %d point outside [0,1): %g", dim, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSobolDimValidation(t *testing.T) {
+	if _, err := NewSobol(0); err == nil {
+		t.Fatalf("dim 0 should error")
+	}
+	if _, err := NewSobol(MaxSobolDim + 1); err == nil {
+		t.Fatalf("dim %d should error", MaxSobolDim+1)
+	}
+}
+
+func TestSobolUniformityBeatsExpectedError(t *testing.T) {
+	// The mean of n Sobol points converges as ~1/n, far better than the
+	// 1/√n Monte-Carlo rate; with 1024 points the mean must be very close
+	// to 0.5 in every dimension.
+	s, err := NewSobol(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1024
+	sums := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		p := s.Next(nil)
+		for d, v := range p {
+			sums[d] += v
+		}
+	}
+	for d, sum := range sums {
+		mean := sum / float64(n)
+		if math.Abs(mean-0.5) > 0.01 {
+			t.Fatalf("dim %d mean %g too far from 0.5 for a low-discrepancy set", d, mean)
+		}
+	}
+}
+
+func TestSobolScrambleStaysInRangeAndChangesPoints(t *testing.T) {
+	a, _ := NewSobol(4)
+	b, _ := NewSobol(4)
+	b.Scramble(New(99))
+	differ := false
+	for i := 0; i < 64; i++ {
+		pa := append([]float64(nil), a.Next(nil)...)
+		pb := append([]float64(nil), b.Next(nil)...)
+		for d := range pb {
+			if pb[d] < 0 || pb[d] >= 1 {
+				t.Fatalf("scrambled point outside range: %g", pb[d])
+			}
+			if pa[d] != pb[d] {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Fatalf("scramble changed nothing")
+	}
+}
+
+func TestSobolSkip(t *testing.T) {
+	a, _ := NewSobol(2)
+	b, _ := NewSobol(2)
+	b.Skip(5)
+	a.Skip(3)
+	a.Skip(2)
+	pa := a.Next(nil)
+	pb := b.Next(nil)
+	for d := range pa {
+		if pa[d] != pb[d] {
+			t.Fatalf("Skip paths diverged: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func TestSobolPoints(t *testing.T) {
+	s, _ := NewSobol(3)
+	pts := s.Points(10)
+	if len(pts) != 10 || len(pts[0]) != 3 {
+		t.Fatalf("Points shape wrong")
+	}
+	if s.Dim() != 3 {
+		t.Fatalf("Dim() = %d", s.Dim())
+	}
+	// Points must be distinct (after the origin, every point differs).
+	for i := 1; i < len(pts); i++ {
+		same := true
+		for d := range pts[i] {
+			if pts[i][d] != pts[i-1][d] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("consecutive Sobol points identical at %d", i)
+		}
+	}
+}
+
+func TestSobolStratification2D(t *testing.T) {
+	// The first 4 points of a 2-D Sobol sequence after the origin land in
+	// distinct quadrants — a defining property of (t,m,s)-nets.
+	s, _ := NewSobol(2)
+	s.Skip(0)
+	quadrants := map[[2]int]int{}
+	for i := 0; i < 4; i++ {
+		p := s.Next(nil)
+		q := [2]int{int(p[0] * 2), int(p[1] * 2)}
+		quadrants[q]++
+	}
+	if len(quadrants) != 4 {
+		t.Fatalf("first 4 points occupy %d quadrants, want 4", len(quadrants))
+	}
+}

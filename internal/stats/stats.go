@@ -1,0 +1,245 @@
+// Package stats collects the statistical utilities shared by the TESLA
+// pipeline: summary statistics, error metrics (MAPE/MAE/RMSE), min-max
+// normalization, bootstrap resampling for the prediction-error monitor, and
+// trapezoidal integration for converting instantaneous ACU power traces into
+// cooling energy (kWh).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tesla/internal/rng"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than 2 values).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MAPE returns the mean absolute percentage error (in percent) between
+// predictions and ground truth, skipping targets whose magnitude is below
+// eps to avoid division blow-ups; this mirrors the paper's accuracy metric.
+func MAPE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: MAPE length mismatch %d vs %d", len(pred), len(truth))
+	}
+	const eps = 1e-9
+	var s float64
+	n := 0
+	for i, t := range truth {
+		if math.Abs(t) < eps {
+			continue
+		}
+		s += math.Abs(pred[i]-t) / math.Abs(t)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: MAPE has no usable targets")
+	}
+	return 100 * s / float64(n), nil
+}
+
+// MAE returns the mean absolute error between pred and truth.
+func MAE(pred, truth []float64) float64 {
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE returns the root mean squared error between pred and truth.
+func RMSE(pred, truth []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// TrapezoidKWh integrates an instantaneous power trace (kW) sampled every
+// dtSeconds into energy in kilowatt-hours using the trapezoidal rule.
+func TrapezoidKWh(powerKW []float64, dtSeconds float64) float64 {
+	if len(powerKW) < 2 {
+		return 0
+	}
+	var s float64
+	for i := 1; i < len(powerKW); i++ {
+		s += (powerKW[i-1] + powerKW[i]) / 2
+	}
+	return s * dtSeconds / 3600
+}
+
+// Normalizer performs per-feature min-max normalization to [0, 1], matching
+// the preprocessing step in the paper (§5.1). Features with zero range map
+// to 0.5 so they carry no information but stay bounded.
+type Normalizer struct {
+	Min, Max []float64
+}
+
+// FitNormalizer computes per-column min and max over rows.
+func FitNormalizer(rows [][]float64) *Normalizer {
+	if len(rows) == 0 {
+		return &Normalizer{}
+	}
+	d := len(rows[0])
+	n := &Normalizer{Min: make([]float64, d), Max: make([]float64, d)}
+	copy(n.Min, rows[0])
+	copy(n.Max, rows[0])
+	for _, r := range rows[1:] {
+		for j, v := range r {
+			if v < n.Min[j] {
+				n.Min[j] = v
+			}
+			if v > n.Max[j] {
+				n.Max[j] = v
+			}
+		}
+	}
+	return n
+}
+
+// Apply normalizes row in place and returns it.
+func (n *Normalizer) Apply(row []float64) []float64 {
+	for j, v := range row {
+		span := n.Max[j] - n.Min[j]
+		if span <= 0 {
+			row[j] = 0.5
+			continue
+		}
+		row[j] = (v - n.Min[j]) / span
+	}
+	return row
+}
+
+// Invert maps a normalized value of column j back to the original scale.
+func (n *Normalizer) Invert(j int, v float64) float64 {
+	span := n.Max[j] - n.Min[j]
+	if span <= 0 {
+		return n.Min[j]
+	}
+	return n.Min[j] + v*span
+}
+
+// Bootstrap draws nResamples bootstrap means from the sample xs using r and
+// returns them. The TESLA prediction-error monitor uses the spread of these
+// resampled means as the fixed observation noise fed to the GP surrogates.
+func Bootstrap(xs []float64, nResamples int, r *rng.Rand) []float64 {
+	if len(xs) == 0 || nResamples <= 0 {
+		return nil
+	}
+	out := make([]float64, nResamples)
+	for k := 0; k < nResamples; k++ {
+		var s float64
+		for i := 0; i < len(xs); i++ {
+			s += xs[r.Intn(len(xs))]
+		}
+		out[k] = s / float64(len(xs))
+	}
+	return out
+}
+
+// BootstrapSample draws a single resample-with-replacement of xs into dst.
+func BootstrapSample(xs []float64, dst []float64, r *rng.Rand) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	for i := range dst {
+		dst[i] = xs[r.Intn(len(xs))]
+	}
+	return dst
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

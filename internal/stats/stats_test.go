@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tesla/internal/rng"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %g", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %g", Variance(xs))
+	}
+	if Std(xs) != 2 {
+		t.Fatalf("Std = %g", Std(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatalf("degenerate cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max wrong: %g %g", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMAPEKnown(t *testing.T) {
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %g, want 10", got)
+	}
+}
+
+func TestMAPESkipsZeroTargets(t *testing.T) {
+	got, err := MAPE([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE with zero target = %g, want 10", got)
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Fatalf("all-zero targets should error")
+	}
+	if _, err := MAPE([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatalf("length mismatch should error")
+	}
+}
+
+func TestMAEAndRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{2, 2, 5}
+	if MAE(pred, truth) != 1 {
+		t.Fatalf("MAE = %g", MAE(pred, truth))
+	}
+	want := math.Sqrt((1.0 + 0 + 4) / 3)
+	if math.Abs(RMSE(pred, truth)-want) > 1e-12 {
+		t.Fatalf("RMSE = %g, want %g", RMSE(pred, truth), want)
+	}
+	if MAE(nil, nil) != 0 || RMSE(nil, nil) != 0 {
+		t.Fatalf("empty metrics should be 0")
+	}
+}
+
+func TestTrapezoidKWh(t *testing.T) {
+	// Constant 2 kW for 3600 s sampled every 600 s → 2 kWh.
+	power := []float64{2, 2, 2, 2, 2, 2, 2}
+	got := TrapezoidKWh(power, 600)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("TrapezoidKWh = %g, want 2", got)
+	}
+	if TrapezoidKWh([]float64{5}, 60) != 0 {
+		t.Fatalf("single sample should integrate to 0")
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 30}, {2, 20}}
+	n := FitNormalizer(rows)
+	row := []float64{2, 20}
+	n.Apply(row)
+	if math.Abs(row[0]-0.5) > 1e-12 || math.Abs(row[1]-0.5) > 1e-12 {
+		t.Fatalf("Apply wrong: %v", row)
+	}
+	if got := n.Invert(0, 0.5); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Invert = %g, want 2", got)
+	}
+}
+
+func TestNormalizerZeroRange(t *testing.T) {
+	n := FitNormalizer([][]float64{{5}, {5}})
+	row := []float64{5}
+	n.Apply(row)
+	if row[0] != 0.5 {
+		t.Fatalf("zero-range feature should map to 0.5, got %g", row[0])
+	}
+	if n.Invert(0, 0.9) != 5 {
+		t.Fatalf("zero-range invert should return min")
+	}
+}
+
+func TestNormalizerProperty(t *testing.T) {
+	// Property: Apply maps every fitted value into [0,1] and Invert undoes it.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows := make([][]float64, 8)
+		for i := range rows {
+			rows[i] = []float64{r.NormScaled(10, 5), r.NormScaled(-3, 2)}
+		}
+		n := FitNormalizer(rows)
+		for _, row := range rows {
+			orig := append([]float64(nil), row...)
+			cp := append([]float64(nil), row...)
+			n.Apply(cp)
+			for j, v := range cp {
+				if v < 0 || v > 1 {
+					return false
+				}
+				if math.Abs(n.Invert(j, v)-orig[j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapMeanConcentratesOnSampleMean(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormScaled(3, 1)
+	}
+	means := Bootstrap(xs, 500, r)
+	if len(means) != 500 {
+		t.Fatalf("want 500 resamples, got %d", len(means))
+	}
+	if math.Abs(Mean(means)-Mean(xs)) > 0.05 {
+		t.Fatalf("bootstrap mean %g far from sample mean %g", Mean(means), Mean(xs))
+	}
+	// Std of the bootstrap mean ≈ σ/√n.
+	want := Std(xs) / math.Sqrt(float64(len(xs)))
+	if got := Std(means); got < want/2 || got > want*2 {
+		t.Fatalf("bootstrap std %g inconsistent with %g", got, want)
+	}
+}
+
+func TestBootstrapEdgeCases(t *testing.T) {
+	r := rng.New(6)
+	if Bootstrap(nil, 10, r) != nil {
+		t.Fatalf("empty input should yield nil")
+	}
+	if Bootstrap([]float64{1}, 0, r) != nil {
+		t.Fatalf("zero resamples should yield nil")
+	}
+}
+
+func TestBootstrapSample(t *testing.T) {
+	r := rng.New(7)
+	xs := []float64{1, 2, 3}
+	dst := BootstrapSample(xs, nil, r)
+	if len(dst) != 3 {
+		t.Fatalf("sample length %d", len(dst))
+	}
+	for _, v := range dst {
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("sample value %g not from source", v)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatalf("Clamp wrong")
+	}
+}

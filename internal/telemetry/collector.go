@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"tesla/internal/testbed"
+)
+
+// Collector converts testbed samples into line-protocol records — the
+// Telegraf role in §4. It tracks per-server metrics, ACU metrics and every
+// temperature sensor.
+type Collector struct {
+	tb *testbed.Testbed
+}
+
+// NewCollector scrapes the given testbed.
+func NewCollector(tb *testbed.Testbed) *Collector {
+	return &Collector{tb: tb}
+}
+
+// Scrape renders the current sample as line-protocol records.
+func (c *Collector) Scrape(s testbed.Sample) string {
+	var b strings.Builder
+	// Per-server metrics (power, CPU, memory) as Telegraf would emit them.
+	for _, srv := range c.tb.Cluster.Servers {
+		fmt.Fprintln(&b, FormatLine("server",
+			map[string]string{"host": srv.Name, "rack": fmt.Sprint(srv.Rack)},
+			map[string]float64{
+				"power_kw": srv.PowerKW,
+				"cpu":      srv.Util,
+				"mem":      srv.MemUtil,
+			}, s.TimeS))
+	}
+	// ACU metrics via the Modbus path.
+	fmt.Fprintln(&b, FormatLine("acu", nil, map[string]float64{
+		"power_kw":   s.ACUPowerKW,
+		"setpoint_c": s.SetpointC,
+		"duty":       s.ACUDuty,
+	}, s.TimeS))
+	for i, v := range s.ACUTemps {
+		fmt.Fprintln(&b, FormatLine("acu_temp",
+			map[string]string{"sensor": fmt.Sprint(i)},
+			map[string]float64{"c": v}, s.TimeS))
+	}
+	for i, v := range s.DCTemps {
+		fmt.Fprintln(&b, FormatLine("dc_temp",
+			map[string]string{"sensor": fmt.Sprint(i)},
+			map[string]float64{"c": v}, s.TimeS))
+	}
+	return b.String()
+}
+
+// CollectInto advances the testbed one control period, pushes the scrape to
+// the DB client, and returns the sample.
+func (c *Collector) CollectInto(client *Client) (testbed.Sample, error) {
+	s := c.tb.Advance()
+	if err := client.WriteLines(c.Scrape(s)); err != nil {
+		return s, err
+	}
+	return s, nil
+}

@@ -1,0 +1,219 @@
+// Package telemetry reproduces the paper's observability stack (§4) in
+// miniature: an in-memory time-series database with InfluxDB-style line
+// protocol ingestion and range queries (served over HTTP), plus a polling
+// collector that scrapes the simulated testbed the way Telegraf scrapes
+// servers and Modbus devices.
+//
+// The production TESLA deployment decouples data collection from control
+// through this layer — a producer pushes testbed telemetry into the store
+// and the consumer (the controller) reads it back. The observability
+// example and the integration tests wire the full loop over real TCP
+// sockets using only the standard library.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Point is one sample of one series.
+type Point struct {
+	TimeS float64
+	Value float64
+}
+
+// seriesKey identifies a series by measurement and canonicalized tag string.
+type seriesKey struct {
+	measurement string
+	tags        string
+}
+
+// DB is a thread-safe in-memory time-series store.
+type DB struct {
+	mu     sync.RWMutex
+	series map[seriesKey][]Point
+}
+
+// NewDB returns an empty store.
+func NewDB() *DB {
+	return &DB{series: map[seriesKey][]Point{}}
+}
+
+// canonTags renders a tag map in sorted key=value form.
+func canonTags(tags map[string]string) string {
+	if len(tags) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(tags[k])
+	}
+	return b.String()
+}
+
+// Insert appends one point to a series. Out-of-order timestamps are
+// tolerated (they are sorted lazily at query time).
+func (db *DB) Insert(measurement string, tags map[string]string, p Point) {
+	key := seriesKey{measurement, canonTags(tags)}
+	db.mu.Lock()
+	db.series[key] = append(db.series[key], p)
+	db.mu.Unlock()
+}
+
+// Query returns the points of a series within [fromS, toS], sorted by time.
+func (db *DB) Query(measurement string, tags map[string]string, fromS, toS float64) []Point {
+	key := seriesKey{measurement, canonTags(tags)}
+	db.mu.RLock()
+	pts := append([]Point(nil), db.series[key]...)
+	db.mu.RUnlock()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].TimeS < pts[j].TimeS })
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].TimeS >= fromS })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].TimeS > toS })
+	return pts[lo:hi]
+}
+
+// Latest returns the most recent point of a series.
+func (db *DB) Latest(measurement string, tags map[string]string) (Point, bool) {
+	key := seriesKey{measurement, canonTags(tags)}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[key]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.TimeS >= best.TimeS {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// Series lists all stored series as "measurement,tags" strings.
+func (db *DB) Series() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.series))
+	for k := range db.series {
+		if k.tags == "" {
+			out = append(out, k.measurement)
+		} else {
+			out = append(out, k.measurement+","+k.tags)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of stored points.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, pts := range db.series {
+		n += len(pts)
+	}
+	return n
+}
+
+// IngestLine parses one line-protocol record:
+//
+//	measurement[,tag=value...] field=value[,field=value...] timestampSeconds
+//
+// Each field becomes its own series tagged with field=<name>, matching how
+// the collector stores multi-field scrapes.
+func (db *DB) IngestLine(line string) error {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return fmt.Errorf("telemetry: line needs 'series fields timestamp', got %q", line)
+	}
+	head := strings.Split(parts[0], ",")
+	measurement := head[0]
+	if measurement == "" {
+		return fmt.Errorf("telemetry: empty measurement in %q", line)
+	}
+	tags := map[string]string{}
+	for _, kv := range head[1:] {
+		i := strings.IndexByte(kv, '=')
+		if i <= 0 {
+			return fmt.Errorf("telemetry: malformed tag %q", kv)
+		}
+		tags[kv[:i]] = kv[i+1:]
+	}
+	ts, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad timestamp in %q: %w", line, err)
+	}
+	for _, fv := range strings.Split(parts[1], ",") {
+		i := strings.IndexByte(fv, '=')
+		if i <= 0 {
+			return fmt.Errorf("telemetry: malformed field %q", fv)
+		}
+		v, err := strconv.ParseFloat(fv[i+1:], 64)
+		if err != nil {
+			return fmt.Errorf("telemetry: bad field value in %q: %w", fv, err)
+		}
+		withField := map[string]string{"field": fv[:i]}
+		for k, val := range tags {
+			withField[k] = val
+		}
+		db.Insert(measurement, withField, Point{TimeS: ts, Value: v})
+	}
+	return nil
+}
+
+// IngestLines parses a batch of newline-separated line-protocol records.
+func (db *DB) IngestLines(lines string) error {
+	start := 0
+	for i := 0; i <= len(lines); i++ {
+		if i == len(lines) || lines[i] == '\n' {
+			if err := db.IngestLine(lines[start:i]); err != nil {
+				return err
+			}
+			start = i + 1
+		}
+	}
+	return nil
+}
+
+// FormatLine renders a record in the line protocol accepted by IngestLine.
+func FormatLine(measurement string, tags map[string]string, fields map[string]float64, timeS float64) string {
+	var b strings.Builder
+	b.WriteString(measurement)
+	if t := canonTags(tags); t != "" {
+		b.WriteByte(',')
+		b.WriteString(t)
+	}
+	b.WriteByte(' ')
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%g", k, fields[k])
+	}
+	fmt.Fprintf(&b, " %g", timeS)
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package testbed
+
+import (
+	"testing"
+
+	"tesla/internal/workload"
+)
+
+// BenchmarkAdvance measures one control period (60 physics steps, full
+// sensor sweep) — the simulation side of every control step.
+func BenchmarkAdvance(b *testing.B) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.UseProfile(workload.Constant{Util: 0.3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Advance()
+	}
+}
+
+// BenchmarkTwelveHourRun measures a full fixed-policy 12-hour evaluation —
+// the plant-side cost of one Table 5 cell.
+func BenchmarkTwelveHourRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.UseProfile(workload.NewDiurnal(workload.Medium, 43200, 1))
+		tb.SetSetpoint(23)
+		for s := 0; s < 720; s++ {
+			tb.Advance()
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package testbed assembles the simulated equivalent of the paper's physical
+// deployment (§4): the 21-server cluster, the zonal room model, the
+// PID-driven ACU and the sensor array, advanced together on a fine physics
+// time step and sampled at the 1-minute control granularity (Δt in Table 2).
+//
+// Everything above this package — trace collection, the TESLA controller,
+// the baselines, the experiment harness — interacts with the testbed only
+// through set-point commands and sampled telemetry, mirroring how the real
+// system is driven through Modbus registers and InfluxDB queries.
+package testbed
+
+import (
+	"fmt"
+
+	"tesla/internal/acu"
+	"tesla/internal/cluster"
+	"tesla/internal/rng"
+	"tesla/internal/thermo"
+	"tesla/internal/workload"
+)
+
+// Config assembles a testbed.
+type Config struct {
+	Room acu1Room
+	ACU  acu.Config
+	// PhysicsDtS is the integration step in seconds.
+	PhysicsDtS float64
+	// SamplePeriodS is the telemetry/control period (60 s in the paper).
+	SamplePeriodS float64
+	// Seed drives all stochastic components (sensor noise, power noise,
+	// load jitter).
+	Seed uint64
+}
+
+// acu1Room aliases the room config to keep the struct literal readable.
+type acu1Room = thermo.RoomConfig
+
+// DefaultConfig returns the calibrated testbed used by every experiment.
+func DefaultConfig() Config {
+	return Config{
+		Room:          thermo.DefaultRoomConfig(),
+		ACU:           acu.DefaultConfig(),
+		PhysicsDtS:    1.0,
+		SamplePeriodS: 60.0,
+		Seed:          1,
+	}
+}
+
+// Sample is one telemetry row at the control granularity — the union of the
+// metrics the paper collects through Telegraf (§4).
+type Sample struct {
+	TimeS float64 // simulation time in seconds
+
+	DCTemps  []float64 // N_d rack-installed sensor readings (°C)
+	ACUTemps []float64 // N_a ACU inlet sensor readings (°C)
+
+	SetpointC    float64 // latched ACU set-point
+	ACUPowerKW   float64 // instantaneous ACU draw
+	ACUDuty      float64 // compressor duty [0,1]
+	Interrupted  bool    // power < 100 W (paper's CI definition)
+	SupplyC      float64 // ACU supply air temperature
+	AvgServerKW  float64 // fleet-average server power (ASP input)
+	TotalIT      float64 // total IT power (kW)
+	AvgUtil      float64 // fleet-average CPU utilization
+	MaxColdAisle float64 // max cold-aisle sensor reading (constraint, eq. 9)
+}
+
+// Clone deep-copies the sample (slices included).
+func (s Sample) Clone() Sample {
+	out := s
+	out.DCTemps = append([]float64(nil), s.DCTemps...)
+	out.ACUTemps = append([]float64(nil), s.ACUTemps...)
+	return out
+}
+
+// Testbed is the live simulation.
+type Testbed struct {
+	cfg     Config
+	Cluster *cluster.Cluster
+	Room    *thermo.Room
+	ACU     *acu.ACU
+	Sensors *thermo.Array
+
+	rand   *rng.Rand
+	timeS  float64
+	driver *workload.Driver
+	orch   *workload.Orchestrator
+}
+
+// New builds a testbed.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.PhysicsDtS <= 0 || cfg.SamplePeriodS <= 0 {
+		return nil, fmt.Errorf("testbed: time steps must be positive")
+	}
+	if cfg.SamplePeriodS < cfg.PhysicsDtS {
+		return nil, fmt.Errorf("testbed: sample period %gs below physics step %gs", cfg.SamplePeriodS, cfg.PhysicsDtS)
+	}
+	room, err := thermo.NewRoom(cfg.Room)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := acu.New(cfg.ACU)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{
+		cfg:     cfg,
+		Cluster: cluster.NewTestbed(),
+		Room:    room,
+		ACU:     unit,
+		Sensors: thermo.DefaultArray(),
+		rand:    rng.New(cfg.Seed),
+	}
+	return tb, nil
+}
+
+// Config returns the testbed configuration.
+func (t *Testbed) Config() Config { return t.cfg }
+
+// Rand exposes the testbed RNG for components that must share its stream.
+func (t *Testbed) Rand() *rng.Rand { return t.rand }
+
+// TimeS returns the current simulation time.
+func (t *Testbed) TimeS() float64 { return t.timeS }
+
+// UseProfile drives the cluster from a workload profile (with per-server
+// skew). It replaces any previously installed driver or orchestrator.
+func (t *Testbed) UseProfile(p workload.Profile) {
+	t.driver = workload.NewDriver(p, t.Cluster, t.rand.Split())
+	t.orch = nil
+}
+
+// UseOrchestrator drives the cluster from a job orchestrator instead of a
+// profile.
+func (t *Testbed) UseOrchestrator(o *workload.Orchestrator) {
+	t.orch = o
+	t.driver = nil
+}
+
+// SetSetpoint commands the ACU set-point (clamped to the unit's range) and
+// returns the latched value.
+func (t *Testbed) SetSetpoint(c float64) float64 { return t.ACU.SetSetpoint(c) }
+
+// Advance runs the physics for one sample period and returns the telemetry
+// sample observed at its end. Power-integrating quantities (mean ACU power
+// over the period) are folded into the sample so trapezoidal energy
+// integration at the sample granularity stays accurate.
+func (t *Testbed) Advance() Sample {
+	steps := int(t.cfg.SamplePeriodS/t.cfg.PhysicsDtS + 0.5)
+	var powerAcc float64
+	for i := 0; i < steps; i++ {
+		t.stepOnce()
+		powerAcc += t.ACU.PowerKW()
+	}
+	s := t.sampleNow()
+	s.ACUPowerKW = powerAcc / float64(steps)
+	s.Interrupted = s.ACUPowerKW < 0.100
+	return s
+}
+
+// stepOnce advances one physics step.
+func (t *Testbed) stepOnce() {
+	dt := t.cfg.PhysicsDtS
+	if t.driver != nil {
+		t.driver.Apply(t.Cluster, t.timeS)
+	}
+	if t.orch != nil {
+		t.orch.Tick(t.timeS)
+	}
+	t.Cluster.Step(dt, t.rand)
+
+	inlet := mean(t.Sensors.ReadACU(t.Room, t.rand, nil))
+	cool := t.ACU.Step(dt, inlet, t.rand)
+	achieved := t.Room.Step(dt, t.Cluster.RackPowerKW(), cool)
+	t.ACU.BillAchieved(achieved, inlet)
+
+	t.timeS += dt
+}
+
+// sampleNow reads all sensors into a fresh Sample.
+func (t *Testbed) sampleNow() Sample {
+	s := Sample{TimeS: t.timeS}
+	s.DCTemps = t.Sensors.ReadDC(t.Room, t.rand, nil)
+	s.ACUTemps = t.Sensors.ReadACU(t.Room, t.rand, nil)
+	s.SetpointC = t.ACU.Setpoint()
+	s.ACUPowerKW = t.ACU.PowerKW()
+	s.ACUDuty = t.ACU.Duty()
+	s.Interrupted = t.ACU.Interrupted()
+	s.SupplyC = t.Room.SupplyC
+	s.AvgServerKW = t.Cluster.AveragePowerKW()
+	s.TotalIT = t.Cluster.TotalPowerKW()
+	s.AvgUtil = t.Cluster.AverageUtil()
+	s.MaxColdAisle = t.Sensors.MaxColdAisle(s.DCTemps)
+	return s
+}
+
+// Warmup runs the testbed for the given duration (discarding samples) so
+// experiments start from a settled thermal state.
+func (t *Testbed) Warmup(seconds float64) {
+	n := int(seconds / t.cfg.SamplePeriodS)
+	for i := 0; i < n; i++ {
+		t.Advance()
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,156 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PhysicsDtS = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("zero physics step accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SamplePeriodS = 0.5 // below the physics step
+	if _, err := New(cfg); err == nil {
+		t.Fatalf("sample period below physics step accepted")
+	}
+}
+
+func TestAdvanceProducesFullTelemetry(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.UseProfile(workload.Constant{Util: 0.3})
+	s := tb.Advance()
+	if len(s.DCTemps) != 35 || len(s.ACUTemps) != 2 {
+		t.Fatalf("sensor counts %d/%d, want 35/2", len(s.DCTemps), len(s.ACUTemps))
+	}
+	if s.TimeS != 60 {
+		t.Fatalf("one advance should move 60 s, got %g", s.TimeS)
+	}
+	if s.ACUPowerKW <= 0 {
+		t.Fatalf("ACU power %g", s.ACUPowerKW)
+	}
+	if s.AvgServerKW <= 0 || s.TotalIT <= 0 {
+		t.Fatalf("server power missing: %g %g", s.AvgServerKW, s.TotalIT)
+	}
+	if s.MaxColdAisle == 0 {
+		t.Fatalf("max cold aisle not computed")
+	}
+}
+
+func TestPIDTracksSetpointClosedLoop(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.UseProfile(workload.Constant{Util: 0.25})
+	tb.SetSetpoint(24)
+	tb.Warmup(4 * 3600)
+	s := tb.Advance()
+	inlet := (s.ACUTemps[0] + s.ACUTemps[1]) / 2
+	if math.Abs(inlet-24) > 0.5 {
+		t.Fatalf("PID failed to track: inlet %g, set-point 24", inlet)
+	}
+	// No interruption and no limit cycling at a comfortably trackable point.
+	if s.Interrupted {
+		t.Fatalf("unexpected interruption at steady state")
+	}
+}
+
+func TestHigherSetpointUsesLessPower(t *testing.T) {
+	measure := func(sp float64) float64 {
+		tb, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.UseProfile(workload.Constant{Util: 0.3})
+		tb.SetSetpoint(sp)
+		tb.Warmup(4 * 3600)
+		var sum float64
+		for i := 0; i < 60; i++ {
+			sum += tb.Advance().ACUPowerKW
+		}
+		return sum / 60
+	}
+	p22 := measure(22)
+	p27 := measure(27)
+	if p27 >= p22 {
+		t.Fatalf("raising the set-point must save power: P(22)=%g P(27)=%g", p22, p27)
+	}
+}
+
+func TestHigherLoadNeedsMorePower(t *testing.T) {
+	measure := func(util float64) float64 {
+		tb, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.UseProfile(workload.Constant{Util: util})
+		tb.SetSetpoint(23)
+		tb.Warmup(4 * 3600)
+		var sum float64
+		for i := 0; i < 60; i++ {
+			sum += tb.Advance().ACUPowerKW
+		}
+		return sum / 60
+	}
+	if lo, hi := measure(0.05), measure(0.6); hi <= lo {
+		t.Fatalf("more IT heat must need more cooling power: %g vs %g", lo, hi)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = 77
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.UseProfile(workload.NewDiurnal(workload.Medium, 43200, 3))
+		var out []float64
+		for i := 0; i < 30; i++ {
+			s := tb.Advance()
+			out = append(out, s.ACUPowerKW, s.MaxColdAisle)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleClone(t *testing.T) {
+	tb, _ := New(DefaultConfig())
+	s := tb.Advance()
+	c := s.Clone()
+	c.DCTemps[0] = -100
+	if s.DCTemps[0] == -100 {
+		t.Fatalf("Clone shares slices")
+	}
+}
+
+func TestOrchestratorDrivesLoad(t *testing.T) {
+	tb, _ := New(DefaultConfig())
+	orch := workload.NewOrchestrator(tb.Cluster)
+	if err := orch.Submit(workload.Job{Name: "j", Level: 0.5, DurationS: 3600, Parallelism: 21}, 0); err != nil {
+		t.Fatal(err)
+	}
+	tb.UseOrchestrator(orch)
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s = tb.Advance()
+	}
+	if s.AvgUtil < 0.3 {
+		t.Fatalf("orchestrated load not applied: util %g", s.AvgUtil)
+	}
+}

@@ -1,0 +1,32 @@
+package thermo
+
+import "testing"
+
+// BenchmarkRoomStep measures one physics step of the zonal network — the
+// inner loop of every simulation second.
+func BenchmarkRoomStep(b *testing.B) {
+	room, err := NewRoom(DefaultRoomConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rack := [NumRacks]float64{1, 1, 1, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		room.Step(1, rack, 5)
+	}
+}
+
+// BenchmarkSensorSweep measures a full 37-sensor read.
+func BenchmarkSensorSweep(b *testing.B) {
+	room, err := NewRoom(DefaultRoomConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := DefaultArray()
+	buf := make([]float64, len(a.DC))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ReadDC(room, nil, buf)
+	}
+}

@@ -1,0 +1,206 @@
+// Package thermo simulates the thermal behaviour of the air-contained data
+// center room used as the TESLA testbed (paper §2, Figure 1): a cold aisle
+// fed by the ACU, a hot aisle heated by the servers, four rack thermal
+// nodes, and a return duct that introduces the sensing lag the PID
+// controller acts on.
+//
+// The model is a lumped-parameter (zonal) RC network integrated with forward
+// Euler at a sub-second to second time step. It is calibrated to reproduce
+// the phenomena that motivate TESLA rather than absolute testbed numbers:
+//
+//   - cooling interruption drives the cold aisle up at ≈1 °C/min while
+//     recovery proceeds at roughly half that rate (Figure 3);
+//   - the air loop couples cold-aisle temperature to the set-point through
+//     the supply temperature, so higher set-points erode the thermal-safety
+//     margin;
+//   - containment leakage and envelope gains keep the network strictly
+//     dissipative, so temperatures stay bounded for bounded inputs.
+package thermo
+
+import "fmt"
+
+// NumRacks is the number of rack thermal nodes (the paper's testbed has 4).
+const NumRacks = 4
+
+// RoomConfig parameterizes the zonal network. DefaultRoomConfig returns the
+// calibrated values used by all experiments.
+type RoomConfig struct {
+	// AirLoopKWPerK is ṁ·c_p of the main containment air loop (kW/K): the
+	// ACU moves this much heat per kelvin of supply/return difference.
+	AirLoopKWPerK float64
+	// LeakKWPerK is the containment leakage conductance between aisles.
+	LeakKWPerK float64
+	// BuoyancyKWPerK2 adds natural-convection leakage proportional to the
+	// aisle temperature difference (effective conductance = LeakKWPerK +
+	// BuoyancyKWPerK2·|ΔT|). This is the mild nonlinearity real rooms show:
+	// hotter hot aisles drive more recirculation over the containment.
+	BuoyancyKWPerK2 float64
+	// EnvelopeKWPerK couples each aisle to the building ambient.
+	EnvelopeKWPerK float64
+	// AmbientC is the building temperature outside the containment.
+	AmbientC float64
+	// ColdCapKJPerK and HotCapKJPerK are aisle air+structure capacitances.
+	ColdCapKJPerK float64
+	HotCapKJPerK  float64
+	// RackCapKJPerK is the per-rack node capacitance.
+	RackCapKJPerK float64
+	// RackCoupleKWPerK couples each rack node to the aisle air stream.
+	RackCoupleKWPerK float64
+	// ReturnTauS is the return-duct first-order lag (seconds); it is the lag
+	// the ACU inlet sensors see.
+	ReturnTauS float64
+	// SupplyMinC is the lowest achievable supply temperature (evaporator
+	// limit); cooling beyond it is wasted.
+	SupplyMinC float64
+	// MiscHeatKW is the constant non-IT heat load released into the hot
+	// aisle (UPS losses, lighting, switch gear, server fans at idle). It
+	// keeps the hot/cold split open even when the servers idle.
+	MiscHeatKW float64
+}
+
+// DefaultRoomConfig returns the calibrated room used throughout the
+// reproduction.
+func DefaultRoomConfig() RoomConfig {
+	return RoomConfig{
+		AirLoopKWPerK:    0.70,
+		LeakKWPerK:       0.05,
+		BuoyancyKWPerK2:  0.008,
+		EnvelopeKWPerK:   0.175,
+		AmbientC:         29.0,
+		ColdCapKJPerK:    300,
+		HotCapKJPerK:     560,
+		RackCapKJPerK:    900,
+		RackCoupleKWPerK: 0.35,
+		ReturnTauS:       35,
+		SupplyMinC:       7,
+		MiscHeatKW:       1.5,
+	}
+}
+
+// Validate reports configuration errors that would make the network
+// non-physical (zero capacitances or a non-dissipative loop).
+func (c RoomConfig) Validate() error {
+	switch {
+	case c.AirLoopKWPerK <= 0:
+		return fmt.Errorf("thermo: AirLoopKWPerK must be positive, got %g", c.AirLoopKWPerK)
+	case c.ColdCapKJPerK <= 0 || c.HotCapKJPerK <= 0 || c.RackCapKJPerK <= 0:
+		return fmt.Errorf("thermo: capacitances must be positive")
+	case c.LeakKWPerK < 0 || c.EnvelopeKWPerK < 0 || c.RackCoupleKWPerK < 0 || c.BuoyancyKWPerK2 < 0:
+		return fmt.Errorf("thermo: conductances must be non-negative")
+	case c.ReturnTauS <= 0:
+		return fmt.Errorf("thermo: ReturnTauS must be positive, got %g", c.ReturnTauS)
+	}
+	return nil
+}
+
+// Room is the zonal thermal state. Construct with NewRoom.
+type Room struct {
+	cfg RoomConfig
+
+	ColdC   float64           // cold aisle air temperature (°C)
+	HotC    float64           // hot aisle air temperature (°C)
+	ReturnC float64           // ACU return/inlet air temperature (°C)
+	SupplyC float64           // ACU supply air temperature (°C, algebraic)
+	RackC   [NumRacks]float64 // rack node temperatures (°C)
+}
+
+// NewRoom returns a room initialized to a mild equilibrium-like state.
+func NewRoom(cfg RoomConfig) (*Room, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Room{cfg: cfg}
+	r.ColdC = 18
+	r.HotC = 24
+	r.ReturnC = 24
+	r.SupplyC = 16
+	for i := range r.RackC {
+		r.RackC[i] = 20
+	}
+	return r, nil
+}
+
+// Config returns the room configuration.
+func (r *Room) Config() RoomConfig { return r.cfg }
+
+// Step advances the network by dt seconds.
+//
+// rackKW is the IT heat injected per rack (kW); coolKW is the heat the ACU
+// currently extracts from the return air stream (kW). The achieved cooling
+// may be less than requested when the supply temperature saturates at the
+// evaporator limit; the achieved value is returned so the ACU can bill
+// energy for what was actually delivered.
+func (r *Room) Step(dt float64, rackKW [NumRacks]float64, coolKW float64) (achievedKW float64) {
+	if dt <= 0 {
+		panic("thermo: non-positive dt")
+	}
+	c := r.cfg
+
+	// Supply temperature follows from an energy balance across the ACU coil.
+	supply := r.ReturnC - coolKW/c.AirLoopKWPerK
+	achievedKW = coolKW
+	if supply < c.SupplyMinC {
+		supply = c.SupplyMinC
+		achievedKW = (r.ReturnC - supply) * c.AirLoopKWPerK
+		if achievedKW < 0 {
+			achievedKW = 0
+		}
+	}
+	r.SupplyC = supply
+
+	var totalIT float64
+	for _, q := range rackKW {
+		totalIT += q
+	}
+
+	// Rack nodes: heated by their share of IT power, cooled by cold-aisle
+	// air moving across them.
+	var rackToAir float64
+	for i := range r.RackC {
+		toAir := c.RackCoupleKWPerK * (r.RackC[i] - r.ColdC)
+		rackToAir += toAir
+		dT := (rackKW[i] - toAir) / c.RackCapKJPerK
+		r.RackC[i] += dT * dt
+	}
+
+	// Containment leakage grows with the aisle split (buoyancy-driven
+	// recirculation over the containment).
+	dT := r.HotC - r.ColdC
+	if dT < 0 {
+		dT = -dT
+	}
+	leak := c.LeakKWPerK + c.BuoyancyKWPerK2*dT
+
+	// Cold aisle: supply air in, server intake out, leakage and envelope.
+	qCold := c.AirLoopKWPerK*(r.SupplyC-r.ColdC) +
+		leak*(r.HotC-r.ColdC) +
+		c.EnvelopeKWPerK*(c.AmbientC-r.ColdC) +
+		rackToAir*0.25 // a quarter of rack surface heat spills to the cold side
+	r.ColdC += qCold / c.ColdCapKJPerK * dt
+
+	// Hot aisle: receives server exhaust (cold-aisle air plus the remaining
+	// rack heat), loses return air to the ACU, leaks back to the cold aisle.
+	qHot := c.AirLoopKWPerK*(r.ColdC-r.HotC) + rackToAir*0.75 +
+		(totalIT - rackToAir) + // heat carried directly by server exhaust air
+		c.MiscHeatKW +
+		leak*(r.ColdC-r.HotC) +
+		c.EnvelopeKWPerK*(c.AmbientC-r.HotC)
+	r.HotC += qHot / c.HotCapKJPerK * dt
+
+	// Return duct lag: what the ACU inlet sensors eventually see.
+	r.ReturnC += (r.HotC - r.ReturnC) / c.ReturnTauS * dt
+
+	return achievedKW
+}
+
+// MaxAchievableReturnC estimates the steady-state return temperature if the
+// ACU delivered zero cooling forever given the present IT load — the
+// float-up asymptote used by tests.
+func (r *Room) MaxAchievableReturnC(totalITKW float64) float64 {
+	// With no cooling the whole room converges to ambient + Q/UA_total.
+	ua := 2 * r.cfg.EnvelopeKWPerK
+	if ua <= 0 {
+		return r.cfg.AmbientC + 1000
+	}
+	return r.cfg.AmbientC + totalITKW/ua
+}

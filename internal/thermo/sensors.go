@@ -1,0 +1,182 @@
+package thermo
+
+import (
+	"fmt"
+
+	"tesla/internal/rng"
+)
+
+// Node identifies which thermal node a sensor samples.
+type Node int
+
+// Thermal node kinds a sensor can be attached to.
+const (
+	NodeColdAisle Node = iota
+	NodeHotAisle
+	NodeRack // uses Sensor.Rack to pick the rack index
+	NodeReturn
+)
+
+// String implements fmt.Stringer.
+func (n Node) String() string {
+	switch n {
+	case NodeColdAisle:
+		return "cold-aisle"
+	case NodeHotAisle:
+		return "hot-aisle"
+	case NodeRack:
+		return "rack"
+	case NodeReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("node(%d)", int(n))
+	}
+}
+
+// Sensor models one physical temperature probe: it reads a node temperature
+// plus a fixed spatial offset (stratification along rack height) and
+// zero-mean Gaussian measurement noise. A failed sensor reports a stuck
+// value — the dominant failure mode of cheap rack probes, and the fault the
+// controller-robustness tests inject.
+type Sensor struct {
+	Name     string
+	Node     Node
+	Rack     int     // rack index when Node == NodeRack
+	OffsetC  float64 // systematic spatial offset
+	NoiseStd float64 // measurement noise (°C)
+
+	Failed  bool    // true: the probe reports StuckAtC regardless of state
+	StuckAt float64 // the frozen reading while Failed
+}
+
+// Read samples the sensor against the current room state.
+func (s Sensor) Read(room *Room, r *rng.Rand) float64 {
+	if s.Failed {
+		return s.StuckAt
+	}
+	var base float64
+	switch s.Node {
+	case NodeColdAisle:
+		base = room.ColdC
+	case NodeHotAisle:
+		base = room.HotC
+	case NodeRack:
+		base = room.RackC[s.Rack]
+	case NodeReturn:
+		base = room.ReturnC
+	default:
+		panic(fmt.Sprintf("thermo: unknown sensor node %d", s.Node))
+	}
+	v := base + s.OffsetC
+	if s.NoiseStd > 0 && r != nil {
+		v += r.NormScaled(0, s.NoiseStd)
+	}
+	return v
+}
+
+// Array is the testbed sensor deployment: Nd rack-installed DC sensors of
+// which the first NumColdAisle monitor the cold aisle (the thermal-safety
+// constraint set, paper §3.3 eq. 9), plus Na ACU-internal inlet sensors.
+type Array struct {
+	DC  []Sensor // rack-installed DC sensors (N_d = 35 in the paper)
+	ACU []Sensor // ACU internal inlet sensors (N_a = 2 in the paper)
+	// NumColdAisle is the count of leading DC sensors located in the cold
+	// aisle (11 in the paper); their indices form I_cold.
+	NumColdAisle int
+}
+
+// DefaultArray builds the paper's deployment: 11 cold-aisle probes at
+// different heights, 12 hot-aisle probes, 12 rack probes (3 per rack), and 2
+// ACU inlet sensors.
+func DefaultArray() *Array {
+	a := &Array{NumColdAisle: 11}
+	for i := 0; i < 11; i++ {
+		// Stratification: probes higher on the rack read warmer; spread the
+		// offsets over [0, 1.5] °C so the max cold-aisle sensor is ~1.5 °C
+		// above the bulk cold-aisle temperature.
+		off := 1.5 * float64(i) / 10
+		a.DC = append(a.DC, Sensor{
+			Name:    fmt.Sprintf("cold-%02d", i),
+			Node:    NodeColdAisle,
+			OffsetC: off, NoiseStd: 0.08,
+		})
+	}
+	for i := 0; i < 12; i++ {
+		off := -1.0 + 2.0*float64(i)/11
+		a.DC = append(a.DC, Sensor{
+			Name:    fmt.Sprintf("hot-%02d", i),
+			Node:    NodeHotAisle,
+			OffsetC: off, NoiseStd: 0.1,
+		})
+	}
+	for i := 0; i < 12; i++ {
+		a.DC = append(a.DC, Sensor{
+			Name: fmt.Sprintf("rack-%d-%d", i%NumRacks, i/NumRacks),
+			Node: NodeRack, Rack: i % NumRacks,
+			OffsetC: 0.4 * float64(i/NumRacks), NoiseStd: 0.1,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		a.ACU = append(a.ACU, Sensor{
+			Name: fmt.Sprintf("acu-inlet-%d", i),
+			Node: NodeReturn,
+			// The two inlet probes sit at opposite corners of the intake.
+			OffsetC: -0.15 + 0.3*float64(i), NoiseStd: 0.06,
+		})
+	}
+	return a
+}
+
+// ReadDC samples every DC sensor into dst (reused if large enough).
+func (a *Array) ReadDC(room *Room, r *rng.Rand, dst []float64) []float64 {
+	if cap(dst) < len(a.DC) {
+		dst = make([]float64, len(a.DC))
+	}
+	dst = dst[:len(a.DC)]
+	for i, s := range a.DC {
+		dst[i] = s.Read(room, r)
+	}
+	return dst
+}
+
+// ReadACU samples every ACU inlet sensor into dst.
+func (a *Array) ReadACU(room *Room, r *rng.Rand, dst []float64) []float64 {
+	if cap(dst) < len(a.ACU) {
+		dst = make([]float64, len(a.ACU))
+	}
+	dst = dst[:len(a.ACU)]
+	for i, s := range a.ACU {
+		dst[i] = s.Read(room, r)
+	}
+	return dst
+}
+
+// ColdAisleIndices returns I_cold, the DC-sensor indices that participate in
+// the thermal-safety constraint.
+func (a *Array) ColdAisleIndices() []int {
+	idx := make([]int, a.NumColdAisle)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// FailDC freezes DC sensor i at the given reading (fault injection).
+func (a *Array) FailDC(i int, stuckAtC float64) {
+	a.DC[i].Failed = true
+	a.DC[i].StuckAt = stuckAtC
+}
+
+// RestoreDC clears a DC sensor fault.
+func (a *Array) RestoreDC(i int) { a.DC[i].Failed = false }
+
+// MaxColdAisle returns the maximum reading among cold-aisle sensors.
+func (a *Array) MaxColdAisle(readings []float64) float64 {
+	m := readings[0]
+	for _, v := range readings[1:a.NumColdAisle] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

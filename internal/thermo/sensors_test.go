@@ -1,0 +1,119 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/rng"
+)
+
+func TestDefaultArrayMatchesPaperDeployment(t *testing.T) {
+	a := DefaultArray()
+	if len(a.DC) != 35 {
+		t.Fatalf("N_d = %d, want 35", len(a.DC))
+	}
+	if len(a.ACU) != 2 {
+		t.Fatalf("N_a = %d, want 2", len(a.ACU))
+	}
+	if a.NumColdAisle != 11 {
+		t.Fatalf("cold aisle sensors = %d, want 11", a.NumColdAisle)
+	}
+	for i := 0; i < a.NumColdAisle; i++ {
+		if a.DC[i].Node != NodeColdAisle {
+			t.Fatalf("sensor %d should be cold-aisle, got %v", i, a.DC[i].Node)
+		}
+	}
+	idx := a.ColdAisleIndices()
+	if len(idx) != 11 || idx[0] != 0 || idx[10] != 10 {
+		t.Fatalf("ColdAisleIndices wrong: %v", idx)
+	}
+}
+
+func TestSensorReadsNodePlusOffset(t *testing.T) {
+	room, _ := NewRoom(DefaultRoomConfig())
+	room.ColdC = 18
+	room.HotC = 26
+	room.ReturnC = 25
+	room.RackC[2] = 21
+
+	cases := []struct {
+		s    Sensor
+		want float64
+	}{
+		{Sensor{Node: NodeColdAisle, OffsetC: 1.5}, 19.5},
+		{Sensor{Node: NodeHotAisle, OffsetC: -1}, 25},
+		{Sensor{Node: NodeReturn}, 25},
+		{Sensor{Node: NodeRack, Rack: 2, OffsetC: 0.5}, 21.5},
+	}
+	for _, c := range cases {
+		if got := c.s.Read(room, nil); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%v reads %g, want %g", c.s.Node, got, c.want)
+		}
+	}
+}
+
+func TestSensorNoiseIsZeroMean(t *testing.T) {
+	room, _ := NewRoom(DefaultRoomConfig())
+	room.ColdC = 20
+	s := Sensor{Node: NodeColdAisle, NoiseStd: 0.2}
+	r := rng.New(3)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += s.Read(room, r)
+	}
+	if math.Abs(sum/float64(n)-20) > 0.01 {
+		t.Fatalf("noisy sensor mean %g, want ~20", sum/float64(n))
+	}
+}
+
+func TestReadDCAndACUShapes(t *testing.T) {
+	a := DefaultArray()
+	room, _ := NewRoom(DefaultRoomConfig())
+	dc := a.ReadDC(room, nil, nil)
+	if len(dc) != 35 {
+		t.Fatalf("ReadDC length %d", len(dc))
+	}
+	acu := a.ReadACU(room, nil, nil)
+	if len(acu) != 2 {
+		t.Fatalf("ReadACU length %d", len(acu))
+	}
+	// Buffer reuse must not reallocate.
+	buf := make([]float64, 40)
+	dc2 := a.ReadDC(room, nil, buf)
+	if &dc2[0] != &buf[0] {
+		t.Fatalf("ReadDC ignored the provided buffer")
+	}
+}
+
+func TestMaxColdAisle(t *testing.T) {
+	a := DefaultArray()
+	readings := make([]float64, len(a.DC))
+	for i := range readings {
+		readings[i] = 15
+	}
+	readings[7] = 21.5  // cold-aisle sensor
+	readings[20] = 30.0 // hot-aisle sensor must NOT count
+	if got := a.MaxColdAisle(readings); got != 21.5 {
+		t.Fatalf("MaxColdAisle = %g, want 21.5 (hot-aisle readings must be excluded)", got)
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	room, _ := NewRoom(DefaultRoomConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for unknown node")
+		}
+	}()
+	Sensor{Node: Node(99)}.Read(room, nil)
+}
+
+func TestNodeString(t *testing.T) {
+	if NodeColdAisle.String() != "cold-aisle" || NodeReturn.String() != "return" {
+		t.Fatalf("Node.String wrong")
+	}
+	if Node(42).String() == "" {
+		t.Fatalf("unknown node should stringify")
+	}
+}

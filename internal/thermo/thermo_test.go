@@ -1,0 +1,217 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tesla/internal/rng"
+)
+
+func steadyRack(totalKW float64) [NumRacks]float64 {
+	var out [NumRacks]float64
+	for i := range out {
+		out[i] = totalKW / NumRacks
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultRoomConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.AirLoopKWPerK = 0
+	if bad.Validate() == nil {
+		t.Fatalf("zero air loop should be invalid")
+	}
+	bad = good
+	bad.ColdCapKJPerK = -1
+	if bad.Validate() == nil {
+		t.Fatalf("negative capacitance should be invalid")
+	}
+	bad = good
+	bad.ReturnTauS = 0
+	if bad.Validate() == nil {
+		t.Fatalf("zero duct lag should be invalid")
+	}
+	bad = good
+	bad.LeakKWPerK = -0.1
+	if bad.Validate() == nil {
+		t.Fatalf("negative conductance should be invalid")
+	}
+	if _, err := NewRoom(bad); err == nil {
+		t.Fatalf("NewRoom should propagate validation errors")
+	}
+}
+
+// settle integrates until the room reaches an approximate steady state under
+// constant inputs (cooling tracks a fixed return target via a simple P loop).
+func settle(t *testing.T, room *Room, itKW float64, coolKW float64, seconds int) {
+	t.Helper()
+	for i := 0; i < seconds; i++ {
+		room.Step(1, steadyRack(itKW), coolKW)
+	}
+}
+
+func TestSteadyStateEnergyBalance(t *testing.T) {
+	cfg := DefaultRoomConfig()
+	room, err := NewRoom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itKW := 4.0
+	// Find the cooling that holds the room steady by letting a slow
+	// integral loop trim it, then verify the heat balance.
+	cool := itKW
+	for i := 0; i < 40000; i++ {
+		room.Step(1, steadyRack(itKW), cool)
+		// trim cooling to hold the return temperature at 24 °C
+		cool += 0.0005 * (room.ReturnC - 24)
+		if cool < 0 {
+			cool = 0
+		}
+	}
+	// At steady state: cooling = IT + misc + envelope gains.
+	envelope := cfg.EnvelopeKWPerK * ((cfg.AmbientC - room.ColdC) + (cfg.AmbientC - room.HotC))
+	want := itKW + cfg.MiscHeatKW + envelope
+	if math.Abs(cool-want) > 0.15 {
+		t.Fatalf("steady-state cooling %g kW, heat balance wants %g kW", cool, want)
+	}
+	if math.Abs(room.ReturnC-24) > 0.2 {
+		t.Fatalf("trim loop failed: return %g", room.ReturnC)
+	}
+	// Hot aisle must be warmer than cold aisle whenever IT heat flows.
+	if room.HotC <= room.ColdC {
+		t.Fatalf("aisle inversion: hot %g <= cold %g", room.HotC, room.ColdC)
+	}
+}
+
+func TestInterruptionRiseRate(t *testing.T) {
+	room, err := NewRoom(DefaultRoomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	itKW := 5.0
+	// Settle near a realistic operating point first.
+	cool := itKW + 2
+	for i := 0; i < 30000; i++ {
+		room.Step(1, steadyRack(itKW), cool)
+		cool += 0.0005 * (room.ReturnC - 24)
+		if cool < 0 {
+			cool = 0
+		}
+	}
+	before := room.ColdC
+	// Cooling interruption: no cold air for 5 minutes.
+	for i := 0; i < 300; i++ {
+		room.Step(1, steadyRack(itKW), 0)
+	}
+	risePerMin := (room.ColdC - before) / 5
+	// The paper reports ≈1 °C/min; the calibrated model must land in a
+	// credible band around it.
+	if risePerMin < 0.3 || risePerMin > 2.0 {
+		t.Fatalf("interruption rise %g °C/min outside [0.3, 2.0]", risePerMin)
+	}
+}
+
+func TestRecoverySlowerThanRise(t *testing.T) {
+	room, err := NewRoom(DefaultRoomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	itKW := 5.0
+	cool := itKW + 2
+	for i := 0; i < 30000; i++ {
+		room.Step(1, steadyRack(itKW), cool)
+		cool += 0.0005 * (room.ReturnC - 24)
+		if cool < 0 {
+			cool = 0
+		}
+	}
+	base := room.ColdC
+	for i := 0; i < 600; i++ {
+		room.Step(1, steadyRack(itKW), 0)
+	}
+	riseRate := (room.ColdC - base) / 10
+	peak := room.ColdC
+	// Recovery at the steady cooling level (the PID ramps up slowly in the
+	// real loop; here the heat-balance cooling is restored directly).
+	recoverCool := cool
+	steps := 0
+	for room.ColdC > base+0.2 && steps < 36000 {
+		room.Step(1, steadyRack(itKW), recoverCool)
+		steps++
+	}
+	if steps == 36000 {
+		t.Fatalf("never recovered from interruption")
+	}
+	recoveryRate := (peak - room.ColdC) / (float64(steps) / 60)
+	if recoveryRate >= riseRate {
+		t.Fatalf("recovery (%g °C/min) should be slower than the rise (%g °C/min)", recoveryRate, riseRate)
+	}
+}
+
+func TestSupplySaturationReportsAchieved(t *testing.T) {
+	cfg := DefaultRoomConfig()
+	room, err := NewRoom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand far beyond what the air loop can carry at this return temp.
+	achieved := room.Step(1, steadyRack(3), 100)
+	maxPossible := (room.ReturnC - cfg.SupplyMinC + 1) * cfg.AirLoopKWPerK
+	if achieved > maxPossible {
+		t.Fatalf("achieved %g exceeds the physical limit %g", achieved, maxPossible)
+	}
+	if room.SupplyC < cfg.SupplyMinC-1e-9 {
+		t.Fatalf("supply %g below evaporator limit", room.SupplyC)
+	}
+}
+
+func TestStepPanicsOnBadDt(t *testing.T) {
+	room, _ := NewRoom(DefaultRoomConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for dt <= 0")
+		}
+	}()
+	room.Step(0, steadyRack(1), 1)
+}
+
+func TestTemperaturesBoundedProperty(t *testing.T) {
+	// Property: for bounded random inputs the network stays bounded —
+	// the RC network is dissipative.
+	f := func(seed uint64) bool {
+		room, err := NewRoom(DefaultRoomConfig())
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 5000; i++ {
+			it := 8 * r.Float64()
+			cool := 13 * r.Float64()
+			room.Step(1, steadyRack(it), cool)
+			for _, temp := range []float64{room.ColdC, room.HotC, room.ReturnC} {
+				if math.IsNaN(temp) || temp < -30 || temp > 120 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAchievableReturn(t *testing.T) {
+	room, _ := NewRoom(DefaultRoomConfig())
+	cfg := room.Config()
+	got := room.MaxAchievableReturnC(3)
+	want := cfg.AmbientC + 3/(2*cfg.EnvelopeKWPerK)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxAchievableReturnC = %g, want %g", got, want)
+	}
+}

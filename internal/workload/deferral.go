@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's stated next step (§8) is integrating TESLA with server-side
+// optimization such as energy-aware workload scheduling. DeferringScheduler
+// implements that extension: batch jobs marked deferrable are held back
+// while the cooling system is thermally stressed (little cold-aisle
+// headroom), flattening the heat-generation peaks the cooling system must
+// chase. Interactive (non-deferrable) jobs always run immediately.
+
+// ThermalSignal reports the current cold-aisle headroom in °C (limit −
+// max cold-aisle reading). The scheduler treats small or negative headroom
+// as stress.
+type ThermalSignal func() (headroomC float64)
+
+// DeferredJob wraps a Job with deferral policy.
+type DeferredJob struct {
+	Job
+	// Deferrable jobs wait while the room is stressed; others run at once.
+	Deferrable bool
+	// MaxDeferS bounds starvation: the job runs unconditionally once it has
+	// waited this long (0 = may wait forever).
+	MaxDeferS float64
+}
+
+// queued tracks a waiting job.
+type queued struct {
+	job         DeferredJob
+	submittedAt float64
+	seq         int
+}
+
+// DeferringScheduler gates job admission on a thermal signal and delegates
+// running jobs to an Orchestrator.
+type DeferringScheduler struct {
+	orch   *Orchestrator
+	signal ThermalSignal
+	// HeadroomC is the minimum cold-aisle headroom required to admit
+	// deferrable work (default 1 °C).
+	HeadroomC float64
+
+	queue    []queued
+	seq      int
+	admitted map[string]int
+	deferred map[string]int
+}
+
+// NewDeferringScheduler wires the scheduler to an orchestrator and a
+// thermal signal.
+func NewDeferringScheduler(orch *Orchestrator, signal ThermalSignal) *DeferringScheduler {
+	return &DeferringScheduler{
+		orch:      orch,
+		signal:    signal,
+		HeadroomC: 1.0,
+		admitted:  map[string]int{},
+		deferred:  map[string]int{},
+	}
+}
+
+// Submit queues or admits a job at time now.
+func (s *DeferringScheduler) Submit(j DeferredJob, now float64) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if !j.Deferrable {
+		s.admitted[j.Name]++
+		return s.orch.Submit(j.Job, now)
+	}
+	s.queue = append(s.queue, queued{job: j, submittedAt: now, seq: s.seq})
+	s.seq++
+	return nil
+}
+
+// Tick admits eligible deferred jobs (oldest first), then drives the
+// orchestrator. Call once per control step.
+func (s *DeferringScheduler) Tick(now float64) error {
+	headroom := s.signal()
+	sort.Slice(s.queue, func(a, b int) bool { return s.queue[a].seq < s.queue[b].seq })
+	kept := s.queue[:0]
+	for _, q := range s.queue {
+		overdue := q.job.MaxDeferS > 0 && now-q.submittedAt >= q.job.MaxDeferS
+		if headroom >= s.HeadroomC || overdue {
+			if err := s.orch.Submit(q.job.Job, now); err != nil {
+				return fmt.Errorf("workload: admitting deferred job %q: %w", q.job.Name, err)
+			}
+			s.admitted[q.job.Name]++
+			// Admitting a job consumes headroom; be conservative about
+			// flooding the room in a single tick.
+			headroom -= 0.2 * q.job.Level * float64(q.job.Parallelism)
+			continue
+		}
+		s.deferred[q.job.Name]++
+		kept = append(kept, q)
+	}
+	s.queue = kept
+	s.orch.Tick(now)
+	return nil
+}
+
+// Waiting returns the number of queued (not yet admitted) jobs.
+func (s *DeferringScheduler) Waiting() int { return len(s.queue) }
+
+// Admitted returns how many submissions of the named job have been admitted.
+func (s *DeferringScheduler) Admitted(name string) int { return s.admitted[name] }
+
+// DeferTicks returns how many ticks submissions of the named job spent
+// waiting in total (a starvation diagnostic).
+func (s *DeferringScheduler) DeferTicks(name string) int { return s.deferred[name] }

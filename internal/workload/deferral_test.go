@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"tesla/internal/cluster"
+)
+
+func TestDeferringSchedulerAdmitsImmediatelyWhenCool(t *testing.T) {
+	c := cluster.NewTestbed()
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return 3.0 })
+	job := DeferredJob{Job: Job{Name: "batch", Level: 0.3, DurationS: 100, Parallelism: 2}, Deferrable: true}
+	if err := s.Submit(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("cool room should admit immediately, %d waiting", s.Waiting())
+	}
+	if s.Admitted("batch") != 1 {
+		t.Fatalf("Admitted = %d", s.Admitted("batch"))
+	}
+}
+
+func TestDeferringSchedulerHoldsUnderStress(t *testing.T) {
+	c := cluster.NewTestbed()
+	headroom := 0.2 // stressed
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return headroom })
+	job := DeferredJob{Job: Job{Name: "batch", Level: 0.3, DurationS: 100, Parallelism: 2}, Deferrable: true}
+	if err := s.Submit(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Tick(float64(i) * 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Waiting() != 1 {
+		t.Fatalf("stressed room should hold the job, %d waiting", s.Waiting())
+	}
+	if s.DeferTicks("batch") != 5 {
+		t.Fatalf("DeferTicks = %d", s.DeferTicks("batch"))
+	}
+	// Stress clears → admitted on the next tick.
+	headroom = 2.5
+	if err := s.Tick(300); err != nil {
+		t.Fatal(err)
+	}
+	if s.Waiting() != 0 || s.Admitted("batch") != 1 {
+		t.Fatalf("job not admitted after stress cleared")
+	}
+}
+
+func TestNonDeferrableAlwaysRuns(t *testing.T) {
+	c := cluster.NewTestbed()
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return -5 })
+	job := DeferredJob{Job: Job{Name: "interactive", Level: 0.4, DurationS: 100, Parallelism: 1}}
+	if err := s.Submit(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Admitted("interactive") != 1 {
+		t.Fatalf("non-deferrable job held back")
+	}
+}
+
+func TestMaxDeferBoundsStarvation(t *testing.T) {
+	c := cluster.NewTestbed()
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return -5 })
+	job := DeferredJob{
+		Job:        Job{Name: "bounded", Level: 0.3, DurationS: 100, Parallelism: 1},
+		Deferrable: true, MaxDeferS: 120,
+	}
+	if err := s.Submit(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick(60); err != nil {
+		t.Fatal(err)
+	}
+	if s.Waiting() != 1 {
+		t.Fatalf("job should still wait at 60 s")
+	}
+	if err := s.Tick(120); err != nil {
+		t.Fatal(err)
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("MaxDeferS must force admission")
+	}
+}
+
+func TestAdmissionOrderFIFO(t *testing.T) {
+	c := cluster.NewTestbed()
+	headroom := 0.0
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return headroom })
+	for i, name := range []string{"first", "second"} {
+		job := DeferredJob{Job: Job{Name: name, Level: 0.2, DurationS: 100, Parallelism: 1}, Deferrable: true}
+		if err := s.Submit(job, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enough headroom for exactly one admission this tick (each admission
+	// consumes 0.2·level·parallelism = 0.04 of headroom).
+	headroom = 1.02
+	if err := s.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Admitted("first") != 1 || s.Admitted("second") != 0 {
+		t.Fatalf("FIFO violated: first=%d second=%d", s.Admitted("first"), s.Admitted("second"))
+	}
+}
+
+func TestDeferringSchedulerRejectsInvalidJob(t *testing.T) {
+	c := cluster.NewTestbed()
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return 3 })
+	if err := s.Submit(DeferredJob{}, 0); err == nil {
+		t.Fatalf("invalid job accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tesla/internal/cluster"
+)
+
+// Job is a batch load-generation job in the style of the Kubernetes Job
+// resource the paper deploys (§4): Parallelism pods, each running a
+// Gaetano-style CPU load controller that holds Level utilization on its node
+// for DurationS seconds.
+type Job struct {
+	Name        string
+	Level       float64 // target CPU utilization contribution per pod, [0,1]
+	DurationS   float64
+	Parallelism int
+}
+
+// Validate reports malformed job specs.
+func (j Job) Validate() error {
+	switch {
+	case j.Name == "":
+		return fmt.Errorf("workload: job needs a name")
+	case j.Level < 0 || j.Level > 1:
+		return fmt.Errorf("workload: job %q level %g outside [0,1]", j.Name, j.Level)
+	case j.DurationS <= 0:
+		return fmt.Errorf("workload: job %q duration must be positive", j.Name)
+	case j.Parallelism <= 0:
+		return fmt.Errorf("workload: job %q parallelism must be positive", j.Name)
+	}
+	return nil
+}
+
+// pod is one running load-controller instance bound to a node.
+type pod struct {
+	job    string
+	node   int
+	level  float64
+	endsAt float64
+}
+
+// Orchestrator is a minimal scheduler: pods are bound to the nodes with the
+// lowest current committed load (spreading), run for their duration and are
+// then reaped. It owns the servers' target utilization while in use.
+type Orchestrator struct {
+	cluster *cluster.Cluster
+	pods    []pod
+	// Completed counts pods that ran to completion, per job name.
+	Completed map[string]int
+}
+
+// NewOrchestrator wires an orchestrator to a cluster.
+func NewOrchestrator(c *cluster.Cluster) *Orchestrator {
+	return &Orchestrator{cluster: c, Completed: map[string]int{}}
+}
+
+// committed returns the total level currently bound to each node.
+func (o *Orchestrator) committed() []float64 {
+	out := make([]float64, len(o.cluster.Servers))
+	for _, p := range o.pods {
+		out[p.node] += p.level
+	}
+	return out
+}
+
+// Submit schedules all pods of a job at time now. It returns an error if the
+// spec is invalid; scheduling itself always succeeds (load levels above 1
+// are clamped at apply time, like an oversubscribed node).
+func (o *Orchestrator) Submit(j Job, now float64) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	load := o.committed()
+	// Bind each pod to the currently least-committed node.
+	type nodeLoad struct {
+		idx  int
+		load float64
+	}
+	for p := 0; p < j.Parallelism; p++ {
+		nodes := make([]nodeLoad, len(load))
+		for i, l := range load {
+			nodes[i] = nodeLoad{i, l}
+		}
+		sort.Slice(nodes, func(a, b int) bool {
+			if nodes[a].load != nodes[b].load {
+				return nodes[a].load < nodes[b].load
+			}
+			return nodes[a].idx < nodes[b].idx
+		})
+		pick := nodes[0].idx
+		o.pods = append(o.pods, pod{job: j.Name, node: pick, level: j.Level, endsAt: now + j.DurationS})
+		load[pick] += j.Level
+	}
+	return nil
+}
+
+// Tick reaps finished pods and applies the committed load to the cluster.
+// Call once per control step with the current simulation time.
+func (o *Orchestrator) Tick(now float64) {
+	kept := o.pods[:0]
+	for _, p := range o.pods {
+		if now >= p.endsAt {
+			o.Completed[p.job]++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	o.pods = kept
+
+	committed := o.committed()
+	for i, s := range o.cluster.Servers {
+		u := committed[i]
+		if u > 0.98 {
+			u = 0.98
+		}
+		s.SetTargetUtil(u)
+	}
+}
+
+// Running returns the number of live pods.
+func (o *Orchestrator) Running() int { return len(o.pods) }
+
+// NodePods returns the number of live pods per node (for tests and the
+// observability example).
+func (o *Orchestrator) NodePods() []int {
+	out := make([]int, len(o.cluster.Servers))
+	for _, p := range o.pods {
+		out[p.node]++
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"tesla/internal/cluster"
+)
+
+func TestJobValidation(t *testing.T) {
+	good := Job{Name: "load", Level: 0.5, DurationS: 60, Parallelism: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []Job{
+		{Level: 0.5, DurationS: 60, Parallelism: 1},             // no name
+		{Name: "x", Level: 1.5, DurationS: 60, Parallelism: 1},  // bad level
+		{Name: "x", Level: 0.5, DurationS: 0, Parallelism: 1},   // bad duration
+		{Name: "x", Level: 0.5, DurationS: 60, Parallelism: 0},  // bad parallelism
+		{Name: "x", Level: -0.1, DurationS: 60, Parallelism: 1}, // negative level
+	}
+	for i, j := range cases {
+		if j.Validate() == nil {
+			t.Fatalf("case %d should be invalid: %+v", i, j)
+		}
+	}
+}
+
+func TestSubmitSpreadsPods(t *testing.T) {
+	c := cluster.NewTestbed()
+	o := NewOrchestrator(c)
+	if err := o.Submit(Job{Name: "spread", Level: 0.4, DurationS: 100, Parallelism: 21}, 0); err != nil {
+		t.Fatal(err)
+	}
+	pods := o.NodePods()
+	for i, n := range pods {
+		if n != 1 {
+			t.Fatalf("node %d has %d pods, spreading should give exactly 1", i, n)
+		}
+	}
+	if o.Running() != 21 {
+		t.Fatalf("Running() = %d", o.Running())
+	}
+}
+
+func TestTickAppliesAndReaps(t *testing.T) {
+	c := cluster.NewTestbed()
+	o := NewOrchestrator(c)
+	if err := o.Submit(Job{Name: "short", Level: 0.6, DurationS: 50, Parallelism: 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	o.Tick(10)
+	var loaded int
+	for _, s := range c.Servers {
+		if s.TargetUtil() > 0 {
+			loaded++
+		}
+	}
+	if loaded != 3 {
+		t.Fatalf("%d servers loaded, want 3", loaded)
+	}
+	// After the duration, pods complete and the load clears.
+	o.Tick(60)
+	if o.Running() != 0 {
+		t.Fatalf("pods not reaped: %d running", o.Running())
+	}
+	if o.Completed["short"] != 3 {
+		t.Fatalf("Completed = %d, want 3", o.Completed["short"])
+	}
+	for _, s := range c.Servers {
+		if s.TargetUtil() != 0 {
+			t.Fatalf("target not cleared on %s", s.Name)
+		}
+	}
+}
+
+func TestOversubscriptionClamped(t *testing.T) {
+	c := cluster.NewTestbed()
+	o := NewOrchestrator(c)
+	// 63 pods of 0.5 on 21 nodes = 1.5 per node — must clamp at apply time.
+	if err := o.Submit(Job{Name: "big", Level: 0.5, DurationS: 100, Parallelism: 63}, 0); err != nil {
+		t.Fatal(err)
+	}
+	o.Tick(1)
+	for _, s := range c.Servers {
+		if s.TargetUtil() > 0.98 {
+			t.Fatalf("oversubscribed target %g not clamped", s.TargetUtil())
+		}
+	}
+}
+
+func TestSubmitRejectsInvalid(t *testing.T) {
+	o := NewOrchestrator(cluster.NewTestbed())
+	if err := o.Submit(Job{}, 0); err == nil {
+		t.Fatalf("invalid job accepted")
+	}
+}
+
+func TestLeastLoadedBinding(t *testing.T) {
+	c := cluster.NewTestbed()
+	o := NewOrchestrator(c)
+	// First job occupies node 0 (deterministic tie-break by index).
+	if err := o.Submit(Job{Name: "a", Level: 0.9, DurationS: 100, Parallelism: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second pod must avoid the loaded node.
+	if err := o.Submit(Job{Name: "b", Level: 0.9, DurationS: 100, Parallelism: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	pods := o.NodePods()
+	if pods[0] != 1 {
+		t.Fatalf("first pod not on node 0: %v", pods)
+	}
+	total := 0
+	for _, n := range pods {
+		if n > 1 {
+			t.Fatalf("scheduler stacked pods: %v", pods)
+		}
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("pod count %d", total)
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Replay plays back a recorded utilization trace (e.g. exported from a
+// production cluster the way the paper draws on the Alibaba cluster data),
+// linearly interpolating between samples and optionally looping.
+type Replay struct {
+	TimesS []float64
+	Utils  []float64
+	Loop   bool
+	Label  string
+}
+
+// NewReplay validates and wraps a (time, util) trace. Times must be
+// strictly increasing and utilizations within [0, 1].
+func NewReplay(timesS, utils []float64, loop bool) (*Replay, error) {
+	if len(timesS) != len(utils) {
+		return nil, fmt.Errorf("workload: replay has %d times but %d utils", len(timesS), len(utils))
+	}
+	if len(timesS) < 2 {
+		return nil, fmt.Errorf("workload: replay needs at least 2 samples")
+	}
+	for i := range timesS {
+		if i > 0 && timesS[i] <= timesS[i-1] {
+			return nil, fmt.Errorf("workload: replay times not increasing at %d", i)
+		}
+		if utils[i] < 0 || utils[i] > 1 {
+			return nil, fmt.Errorf("workload: replay util %g outside [0,1] at %d", utils[i], i)
+		}
+	}
+	return &Replay{TimesS: timesS, Utils: utils, Loop: loop}, nil
+}
+
+// ReadReplayCSV parses "time_s,util" rows (a header row is allowed).
+func ReadReplayCSV(r io.Reader, loop bool) (*Replay, error) {
+	sc := bufio.NewScanner(r)
+	var times, utils []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: replay line %d needs 'time_s,util'", line)
+		}
+		t, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		u, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("workload: replay line %d is not numeric", line)
+		}
+		times = append(times, t)
+		utils = append(utils, u)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewReplay(times, utils, loop)
+}
+
+// UtilAt implements Profile with linear interpolation.
+func (p *Replay) UtilAt(t float64) float64 {
+	t0, t1 := p.TimesS[0], p.TimesS[len(p.TimesS)-1]
+	if p.Loop {
+		span := t1 - t0
+		t = t0 + mod(t-t0, span)
+	}
+	if t <= t0 {
+		return p.Utils[0]
+	}
+	if t >= t1 {
+		return p.Utils[len(p.Utils)-1]
+	}
+	i := sort.SearchFloat64s(p.TimesS, t)
+	// p.TimesS[i-1] < t <= p.TimesS[i]
+	lo, hi := p.TimesS[i-1], p.TimesS[i]
+	frac := (t - lo) / (hi - lo)
+	return p.Utils[i-1]*(1-frac) + p.Utils[i]*frac
+}
+
+// Name implements Profile.
+func (p *Replay) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "replay"
+}
+
+func mod(a, b float64) float64 {
+	m := a - float64(int(a/b))*b
+	if m < 0 {
+		m += b
+	}
+	return m
+}

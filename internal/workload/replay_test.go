@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReplayInterpolation(t *testing.T) {
+	p, err := NewReplay([]float64{0, 100, 200}, []float64{0, 0.5, 0.1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{-10, 0}, {0, 0}, {50, 0.25}, {100, 0.5}, {150, 0.3}, {200, 0.1}, {500, 0.1},
+	}
+	for _, c := range cases {
+		if got := p.UtilAt(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("UtilAt(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if p.Name() != "replay" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestReplayLooping(t *testing.T) {
+	p, err := NewReplay([]float64{0, 100}, []float64{0, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UtilAt(150); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("looped UtilAt(150) = %g, want 0.5", got)
+	}
+	if got := p.UtilAt(250); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("looped UtilAt(250) = %g, want 0.5", got)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay([]float64{0}, []float64{0}, false); err == nil {
+		t.Fatalf("single sample accepted")
+	}
+	if _, err := NewReplay([]float64{0, 0}, []float64{0, 1}, false); err == nil {
+		t.Fatalf("non-increasing times accepted")
+	}
+	if _, err := NewReplay([]float64{0, 1}, []float64{0, 2}, false); err == nil {
+		t.Fatalf("util > 1 accepted")
+	}
+	if _, err := NewReplay([]float64{0, 1, 2}, []float64{0, 1}, false); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+}
+
+func TestReadReplayCSV(t *testing.T) {
+	csv := "time_s,util\n0,0.1\n60,0.3\n# comment\n120,0.2\n"
+	p, err := ReadReplayCSV(strings.NewReader(csv), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.TimesS) != 3 {
+		t.Fatalf("parsed %d samples", len(p.TimesS))
+	}
+	if got := p.UtilAt(30); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("UtilAt(30) = %g", got)
+	}
+	if _, err := ReadReplayCSV(strings.NewReader("a,b,c\n1,2,3\n"), false); err == nil {
+		t.Fatalf("3-column CSV accepted")
+	}
+	if _, err := ReadReplayCSV(strings.NewReader("0,0.1\nbad,row\n"), false); err == nil {
+		t.Fatalf("non-numeric row accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/cluster"
+	"tesla/internal/rng"
+)
+
+func TestSettingStringsAndMeans(t *testing.T) {
+	if Idle.String() != "idle" || Medium.String() != "medium" || High.String() != "high" {
+		t.Fatalf("setting names wrong")
+	}
+	if Idle.MeanUtil() != 0 || Medium.MeanUtil() != 0.20 || High.MeanUtil() != 0.40 {
+		t.Fatalf("setting means wrong")
+	}
+	if Setting(9).String() == "" {
+		t.Fatalf("unknown setting should stringify")
+	}
+}
+
+func TestDiurnalAverageMatchesSetting(t *testing.T) {
+	for _, set := range []Setting{Medium, High} {
+		d := NewDiurnal(set, 43200, 3)
+		var sum float64
+		n := 720
+		for i := 0; i < n; i++ {
+			u := d.UtilAt(float64(i) * 60)
+			if u < 0 || u > 0.95 {
+				t.Fatalf("util %g out of range", u)
+			}
+			sum += u
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-set.MeanUtil()) > 0.05 {
+			t.Fatalf("%s diurnal mean %g, want ~%g", set, mean, set.MeanUtil())
+		}
+	}
+}
+
+func TestDiurnalIdleIsZero(t *testing.T) {
+	d := NewDiurnal(Idle, 43200, 1)
+	for i := 0; i < 100; i++ {
+		if d.UtilAt(float64(i)*432) != 0 {
+			t.Fatalf("idle profile must stay at zero")
+		}
+	}
+}
+
+func TestDiurnalRisesAndFalls(t *testing.T) {
+	d := NewDiurnal(High, 43200, 5)
+	start := d.UtilAt(0)
+	mid := d.UtilAt(21600)
+	end := d.UtilAt(43100)
+	if !(mid > start && mid > end) {
+		t.Fatalf("diurnal shape wrong: start %g mid %g end %g", start, mid, end)
+	}
+}
+
+func TestConstantAndStepsProfiles(t *testing.T) {
+	c := Constant{Util: 0.4}
+	if c.UtilAt(0) != 0.4 || c.UtilAt(1e6) != 0.4 {
+		t.Fatalf("constant profile not constant")
+	}
+	if c.Name() == "" {
+		t.Fatalf("constant profile needs a name")
+	}
+	s := Steps{BoundariesS: []float64{0, 100, 200}, Utils: []float64{0.1, 0.5, 0.2}}
+	cases := []struct{ t, want float64 }{{0, 0.1}, {99, 0.1}, {100, 0.5}, {150, 0.5}, {250, 0.2}}
+	for _, cse := range cases {
+		if got := s.UtilAt(cse.t); got != cse.want {
+			t.Fatalf("steps at %g = %g, want %g", cse.t, got, cse.want)
+		}
+	}
+	if s.Name() != "steps" {
+		t.Fatalf("steps default name wrong")
+	}
+}
+
+func TestStratifiedScheduleCoversAllSettings(t *testing.T) {
+	r := rng.New(9)
+	s := NewRandomDiurnalSchedule(3*43200, 43200, r)
+	blocks := s.Blocks()
+	if len(blocks) != 3 {
+		t.Fatalf("%d blocks, want 3", len(blocks))
+	}
+	seen := map[string]bool{}
+	for _, b := range blocks {
+		seen[b] = true
+	}
+	for _, want := range []string{"diurnal-idle", "diurnal-medium", "diurnal-high"} {
+		if !seen[want] {
+			t.Fatalf("stratified schedule missing %s: %v", want, blocks)
+		}
+	}
+}
+
+func TestScheduleUtilClampsOutOfRangeTime(t *testing.T) {
+	r := rng.New(10)
+	s := NewRandomDiurnalSchedule(2*43200, 43200, r)
+	// Asking past the end must not panic and should use the last block.
+	_ = s.UtilAt(10 * 43200)
+	_ = s.UtilAt(-5)
+	if s.Name() != "random-diurnal" {
+		t.Fatalf("schedule name wrong")
+	}
+}
+
+func TestDriverSkewIsMeanOne(t *testing.T) {
+	c := cluster.NewTestbed()
+	d := NewDriver(Constant{Util: 0.5}, c, rng.New(4))
+	d.Apply(c, 0)
+	var sum float64
+	for _, s := range c.Servers {
+		sum += s.TargetUtil()
+	}
+	mean := sum / float64(len(c.Servers))
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("driver mean target %g, want ~0.5", mean)
+	}
+	// Skew must differentiate servers.
+	if c.Servers[0].TargetUtil() == c.Servers[1].TargetUtil() {
+		t.Fatalf("expected per-server skew")
+	}
+}
+
+func TestDriverClampsHighSkew(t *testing.T) {
+	c := cluster.NewTestbed()
+	d := NewDriver(Constant{Util: 0.95}, c, rng.New(5))
+	d.Apply(c, 0)
+	for _, s := range c.Servers {
+		if s.TargetUtil() > 0.98 {
+			t.Fatalf("target %g exceeds clamp", s.TargetUtil())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package tesla
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tesla/internal/experiment"
+	"tesla/internal/model"
+)
+
+var (
+	sysOnce sync.Once
+	sysVal  *System
+	sysErr  error
+)
+
+func sharedSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysVal, sysErr = Prepare(ScaleCI)
+	})
+	if sysErr != nil {
+		t.Fatalf("Prepare: %v", sysErr)
+	}
+	return sysVal
+}
+
+func TestPrepareRejectsUnknownScale(t *testing.T) {
+	if _, err := Prepare(ScaleName("bogus")); err == nil {
+		t.Fatalf("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsUnknownInputs(t *testing.T) {
+	sys := sharedSystem(t)
+	if _, err := sys.Run(PolicyName("bogus"), LoadMedium, time.Hour, 1); err == nil {
+		t.Fatalf("unknown policy accepted")
+	}
+	if _, err := sys.Run(PolicyTESLA, Load("bogus"), time.Hour, 1); err == nil {
+		t.Fatalf("unknown load accepted")
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	sys := sharedSystem(t)
+	for _, p := range []PolicyName{PolicyFixed, PolicyTESLA, PolicyLazic, PolicyTSRL} {
+		m, err := sys.Run(p, LoadMedium, 90*time.Minute, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if m.Policy != string(p) {
+			t.Fatalf("policy label %q, want %q", m.Policy, p)
+		}
+		if m.CoolingEnergyKWh <= 0 {
+			t.Fatalf("%s recorded no energy", p)
+		}
+		if m.MeanSetpointC < 20 || m.MeanSetpointC > 35 {
+			t.Fatalf("%s mean set-point %g outside the ACU range", p, m.MeanSetpointC)
+		}
+	}
+}
+
+func TestModelAccuracyOrdering(t *testing.T) {
+	sys := sharedSystem(t)
+	acc, err := sys.ModelAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.TempTESLA <= 0 || acc.EnergyTESLA <= 0 {
+		t.Fatalf("MAPEs must be positive: %+v", acc)
+	}
+	// On the near-linear simulator the recursive OLS baseline is much
+	// stronger than on the paper's room; parity is acceptable there while
+	// the MLP ordering must hold strictly.
+	if acc.TempTESLA > acc.TempLazic*1.05 || acc.TempTESLA >= acc.TempWang {
+		t.Fatalf("TESLA should lead Table 3: %+v", acc)
+	}
+	if acc.EnergyTESLA >= acc.EnergyMLP || acc.EnergyTESLA >= acc.EnergyGBT || acc.EnergyTESLA >= acc.EnergyForest {
+		t.Fatalf("TESLA should lead Table 4: %+v", acc)
+	}
+}
+
+func TestEndToEndMatrix(t *testing.T) {
+	sys := sharedSystem(t)
+	rows, err := sys.EndToEnd(45*time.Minute, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("want 12 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Policy == "fixed" && r.SavingPct != 0 {
+			t.Fatalf("fixed baseline saving must be 0, got %g", r.SavingPct)
+		}
+		if r.CoolingEnergyKWh <= 0 {
+			t.Fatalf("%s/%s recorded no energy", r.Load, r.Policy)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	sys := sharedSystem(t)
+	var buf strings.Builder
+	if err := sys.WriteReport(&buf, 45*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 3", "Table 4", "Table 5", "Ablations", "Fault injection"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestArtifactsExposed(t *testing.T) {
+	sys := sharedSystem(t)
+	if sys.Artifacts() == nil || sys.Artifacts().Model == nil {
+		t.Fatalf("artifacts missing")
+	}
+}
+
+// historyFromTest is shared with bench_test.go.
+func TestHistoryFromTestHelper(t *testing.T) {
+	sys := sharedSystem(t)
+	h, err := historyFromTest(sys.Artifacts(), sys.Artifacts().Model.Config().L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Artifacts().Model.ValidateHistory(h); err != nil {
+		t.Fatalf("helper produced invalid history: %v", err)
+	}
+}
+
+// historyFromTest extracts a model inference history from the end of the
+// held-out test trace.
+func historyFromTest(art *experiment.Artifacts, L int) (*model.History, error) {
+	return model.HistoryAt(art.Test, art.Test.Len()-L-1, L)
+}
