@@ -10,14 +10,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
-	"tesla/internal/control"
 	"tesla/internal/experiment"
+	"tesla/internal/parallel"
 	"tesla/internal/workload"
 )
 
@@ -70,7 +72,7 @@ func run(scaleName string, table, fig int, all bool, hours float64, out, reportP
 	jobs := []struct {
 		table int
 		fig   int
-		run   func() error
+		run   func(w io.Writer) error
 	}{
 		{3, 0, g.table3},
 		{4, 0, g.table4},
@@ -79,27 +81,39 @@ func run(scaleName string, table, fig int, all bool, hours float64, out, reportP
 		{0, 3, g.figure3},
 		{0, 4, g.figure4},
 		{0, 8, g.figure8},
-		{0, 9, func() error { return g.policyFigure("tesla", "fig9") }},
-		{0, 10, func() error { return g.policyFigure("fixed", "fig10") }},
-		{0, 11, func() error { return g.policyFigure("lazic", "fig11") }},
-		{0, 12, func() error { return g.policyFigure("tsrl", "fig12") }},
+		{0, 9, func(w io.Writer) error { return g.policyFigure(w, "tesla", "fig9") }},
+		{0, 10, func(w io.Writer) error { return g.policyFigure(w, "fixed", "fig10") }},
+		{0, 11, func(w io.Writer) error { return g.policyFigure(w, "lazic", "fig11") }},
+		{0, 12, func(w io.Writer) error { return g.policyFigure(w, "tsrl", "fig12") }},
 	}
-	matched := false
+	var matched []func(w io.Writer) error
 	for _, j := range jobs {
 		if all || (table != 0 && j.table == table) || (fig != 0 && j.fig == fig) {
-			matched = true
-			if err := j.run(); err != nil {
-				return err
-			}
+			matched = append(matched, j.run)
 		}
 	}
-	if reportPath != "" {
-		matched = true
-		if err := g.writeReport(scaleName, reportPath); err != nil {
+	// The matched generators are independent simulations; fan them out and
+	// print their renderings in job order so -all output stays stable.
+	outputs, err := parallel.MapErr(0, len(matched), func(i int) (*bytes.Buffer, error) {
+		var buf bytes.Buffer
+		if err := matched[i](&buf); err != nil {
+			return nil, err
+		}
+		return &buf, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, buf := range outputs {
+		if _, err := io.Copy(os.Stdout, buf); err != nil {
 			return err
 		}
 	}
-	if !matched {
+	if reportPath != "" {
+		if err := g.writeReport(scaleName, reportPath); err != nil {
+			return err
+		}
+	} else if len(matched) == 0 {
 		return fmt.Errorf("nothing matched -table %d -fig %d", table, fig)
 	}
 	return nil
@@ -149,41 +163,41 @@ func (g *generator) writeReport(scaleName, path string) error {
 	return nil
 }
 
-func (g *generator) table3() error {
+func (g *generator) table3(w io.Writer) error {
 	res, err := experiment.Table3(g.art, 9)
 	if err != nil {
 		return err
 	}
-	fmt.Println(res)
+	fmt.Fprintln(w, res)
 	return nil
 }
 
-func (g *generator) table4() error {
+func (g *generator) table4(w io.Writer) error {
 	res, err := experiment.Table4(g.art, 9)
 	if err != nil {
 		return err
 	}
-	fmt.Println(res)
+	fmt.Fprintln(w, res)
 	return nil
 }
 
-func (g *generator) table5() error {
+func (g *generator) table5(w io.Writer) error {
 	cfg := experiment.DefaultTable5Config()
 	cfg.EvalS = g.hours * 3600
 	res, err := experiment.Table5(g.art, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(res)
+	fmt.Fprintln(w, res)
 	return nil
 }
 
-func (g *generator) emit(figs ...*experiment.Figure) error {
+func (g *generator) emit(w io.Writer, figs ...*experiment.Figure) error {
 	for _, f := range figs {
-		if err := f.RenderASCII(os.Stdout, 72, 14); err != nil {
+		if err := f.RenderASCII(w, 72, 14); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if g.out != "" {
 			if err := os.MkdirAll(g.out, 0o755); err != nil {
 				return err
@@ -200,65 +214,53 @@ func (g *generator) emit(figs ...*experiment.Figure) error {
 			if err := file.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("  exported %s\n\n", path)
+			fmt.Fprintf(w, "  exported %s\n\n", path)
 		}
 	}
 	return nil
 }
 
-func (g *generator) figure2() error {
+func (g *generator) figure2(w io.Writer) error {
 	f, err := experiment.Figure2(3)
 	if err != nil {
 		return err
 	}
-	return g.emit(f)
+	return g.emit(w, f)
 }
 
-func (g *generator) figure3() error {
+func (g *generator) figure3(w io.Writer) error {
 	fa, fb, err := experiment.Figure3(4)
 	if err != nil {
 		return err
 	}
-	return g.emit(fa, fb)
+	return g.emit(w, fa, fb)
 }
 
-func (g *generator) figure4() error {
+func (g *generator) figure4(w io.Writer) error {
 	fa, fb, err := experiment.Figure4(5)
 	if err != nil {
 		return err
 	}
-	return g.emit(fa, fb)
+	return g.emit(w, fa, fb)
 }
 
-func (g *generator) figure8() error {
+func (g *generator) figure8(w io.Writer) error {
 	figs, err := experiment.Figure8(g.art, g.hours*3600, 7)
 	if err != nil {
 		return err
 	}
-	return g.emit(figs...)
+	return g.emit(w, figs...)
 }
 
-func (g *generator) policyFigure(name, id string) error {
-	var p control.Policy
-	var err error
-	switch name {
-	case "fixed":
-		p = control.Fixed{SetpointC: 23}
-	case "tesla":
-		if p, err = g.art.NewTESLAPolicy(9); err != nil {
-			return err
-		}
-	case "lazic":
-		if p, err = g.art.NewLazicPolicy(); err != nil {
-			return err
-		}
-	case "tsrl":
-		p = g.art.TSRL
+func (g *generator) policyFigure(w io.Writer, name, id string) error {
+	p, err := g.art.NewPolicy(name, 9)
+	if err != nil {
+		return err
 	}
 	figs, m, err := experiment.PolicyFigures(p, id, g.hours*3600, 9)
 	if err != nil {
 		return err
 	}
-	fmt.Println(m)
-	return g.emit(figs...)
+	fmt.Fprintln(w, m)
+	return g.emit(w, figs...)
 }

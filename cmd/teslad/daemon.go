@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// status is the operator-facing snapshot served at /status.
+type status struct {
+	StepMinutes   int     `json:"step_minutes"`
+	SetpointC     float64 `json:"setpoint_c"`
+	InletC        float64 `json:"inlet_c"`
+	MaxColdC      float64 `json:"max_cold_c"`
+	ACUPowerKW    float64 `json:"acu_power_kw"`
+	AvgServerKW   float64 `json:"avg_server_kw"`
+	EnergyKWh     float64 `json:"energy_kwh"`
+	Violations    int     `json:"violation_minutes"`
+	Interruptions int     `json:"interruption_minutes"`
+}
+
+// daemon holds the shared snapshot: the control loop writes it once a step,
+// the operator endpoints read it from arbitrary HTTP goroutines.
+type daemon struct {
+	mu sync.RWMutex
+	st status
+}
+
+func (d *daemon) update(fn func(*status)) {
+	d.mu.Lock()
+	fn(&d.st)
+	d.mu.Unlock()
+}
+
+func (d *daemon) snapshot() status {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.st
+}
+
+func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(d.snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := d.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE tesla_setpoint_celsius gauge\ntesla_setpoint_celsius %g\n", s.SetpointC)
+	fmt.Fprintf(w, "# TYPE tesla_inlet_celsius gauge\ntesla_inlet_celsius %g\n", s.InletC)
+	fmt.Fprintf(w, "# TYPE tesla_max_cold_aisle_celsius gauge\ntesla_max_cold_aisle_celsius %g\n", s.MaxColdC)
+	fmt.Fprintf(w, "# TYPE tesla_acu_power_kw gauge\ntesla_acu_power_kw %g\n", s.ACUPowerKW)
+	fmt.Fprintf(w, "# TYPE tesla_cooling_energy_kwh counter\ntesla_cooling_energy_kwh %g\n", s.EnergyKWh)
+	fmt.Fprintf(w, "# TYPE tesla_violation_minutes counter\ntesla_violation_minutes %d\n", s.Violations)
+	fmt.Fprintf(w, "# TYPE tesla_interruption_minutes counter\ntesla_interruption_minutes %d\n", s.Interruptions)
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

@@ -11,6 +11,9 @@
 // With -speedup 0 (default) the simulation runs as fast as the CPU allows;
 // a positive value sleeps to pace the loop at speedup× real time.
 //
+// SIGINT/SIGTERM stop the control loop at the next step boundary, drain the
+// operator HTTP server gracefully and print the final summary.
+//
 // Endpoints:
 //
 //	GET /status   — JSON snapshot of the control loop
@@ -18,13 +21,14 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tesla"
@@ -35,55 +39,6 @@ import (
 	"tesla/internal/workload"
 )
 
-// status is the operator-facing snapshot served at /status.
-type status struct {
-	StepMinutes   int     `json:"step_minutes"`
-	SetpointC     float64 `json:"setpoint_c"`
-	InletC        float64 `json:"inlet_c"`
-	MaxColdC      float64 `json:"max_cold_c"`
-	ACUPowerKW    float64 `json:"acu_power_kw"`
-	AvgServerKW   float64 `json:"avg_server_kw"`
-	EnergyKWh     float64 `json:"energy_kwh"`
-	Violations    int     `json:"violation_minutes"`
-	Interruptions int     `json:"interruption_minutes"`
-}
-
-type daemon struct {
-	mu sync.RWMutex
-	st status
-}
-
-func (d *daemon) update(fn func(*status)) {
-	d.mu.Lock()
-	fn(&d.st)
-	d.mu.Unlock()
-}
-
-func (d *daemon) snapshot() status {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.st
-}
-
-func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(d.snapshot()); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s := d.snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# TYPE tesla_setpoint_celsius gauge\ntesla_setpoint_celsius %g\n", s.SetpointC)
-	fmt.Fprintf(w, "# TYPE tesla_inlet_celsius gauge\ntesla_inlet_celsius %g\n", s.InletC)
-	fmt.Fprintf(w, "# TYPE tesla_max_cold_aisle_celsius gauge\ntesla_max_cold_aisle_celsius %g\n", s.MaxColdC)
-	fmt.Fprintf(w, "# TYPE tesla_acu_power_kw gauge\ntesla_acu_power_kw %g\n", s.ACUPowerKW)
-	fmt.Fprintf(w, "# TYPE tesla_cooling_energy_kwh counter\ntesla_cooling_energy_kwh %g\n", s.EnergyKWh)
-	fmt.Fprintf(w, "# TYPE tesla_violation_minutes counter\ntesla_violation_minutes %d\n", s.Violations)
-	fmt.Fprintf(w, "# TYPE tesla_interruption_minutes counter\ntesla_interruption_minutes %d\n", s.Interruptions)
-}
-
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8844", "operator HTTP endpoint")
 	loadName := flag.String("load", "medium", "load setting: idle|medium|high")
@@ -91,13 +46,29 @@ func main() {
 	speedup := flag.Float64("speedup", 0, "0 = run flat out; N = pace at N× real time")
 	flag.Parse()
 
-	if err := run(*listen, *loadName, *minutes, *speedup); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *listen, *loadName, *minutes, *speedup); err != nil {
 		fmt.Fprintln(os.Stderr, "teslad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, loadName string, minutes int, speedup float64) error {
+// sleepCtx pauses for d unless the context is cancelled first; it reports
+// whether the full pause elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func run(ctx context.Context, listen, loadName string, minutes int, speedup float64) error {
 	var load workload.Setting
 	switch loadName {
 	case "idle":
@@ -150,7 +121,9 @@ func run(listen, loadName string, minutes int, speedup float64) error {
 	}
 	defer mbClient.Close()
 
-	// Operator endpoint.
+	// Operator endpoint. Serve errors land on a channel so a broken listener
+	// is reported rather than silently swallowed; on exit the server drains
+	// in-flight operator requests before the process ends.
 	d := &daemon{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", d.handleStatus)
@@ -160,8 +133,13 @@ func run(listen, loadName string, minutes int, speedup float64) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: mux}
-	go func() { _ = httpSrv.Serve(ln) }()
-	defer httpSrv.Close()
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- httpSrv.Serve(ln) }()
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}()
 	fmt.Printf("teslad: modbus %s, tsdb %s, operator http://%s\n", mbAddr, tsAddr, ln.Addr())
 
 	// Warm-up hour so the model has history.
@@ -170,6 +148,10 @@ func run(listen, loadName string, minutes int, speedup float64) error {
 		return err
 	}
 	for i := 0; i < 60; i++ {
+		if ctx.Err() != nil {
+			fmt.Println("teslad: interrupted during warm-up")
+			return nil
+		}
 		s, err := collector.CollectInto(tsClient)
 		if err != nil {
 			return err
@@ -180,7 +162,16 @@ func run(listen, loadName string, minutes int, speedup float64) error {
 
 	fmt.Println("teslad: control loop running")
 	step := 0
+loop:
 	for minutes == 0 || step < minutes {
+		select {
+		case <-ctx.Done():
+			fmt.Println("teslad: signal received, shutting down")
+			break loop
+		case err := <-srvErr:
+			return fmt.Errorf("operator endpoint: %w", err)
+		default:
+		}
 		sp := controller.Decide(view, view.Len()-1)
 		if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(sp)); err != nil {
 			return err
@@ -214,22 +205,14 @@ func run(listen, loadName string, minutes int, speedup float64) error {
 				st.StepMinutes, st.SetpointC, st.InletC, st.MaxColdC, st.ACUPowerKW, st.EnergyKWh)
 		}
 		if speedup > 0 {
-			time.Sleep(time.Duration(float64(tbCfg.SamplePeriodS) / speedup * float64(time.Second)))
+			if !sleepCtx(ctx, time.Duration(float64(tbCfg.SamplePeriodS)/speedup*float64(time.Second))) {
+				fmt.Println("teslad: signal received, shutting down")
+				break
+			}
 		}
 	}
 	st := d.snapshot()
 	fmt.Printf("teslad: done after %d minutes, %.2f kWh, %d violation minutes\n",
 		st.StepMinutes, st.EnergyKWh, st.Violations)
 	return nil
-}
-
-func mean(xs []float64) float64 {
-	var s float64
-	for _, v := range xs {
-		s += v
-	}
-	if len(xs) == 0 {
-		return 0
-	}
-	return s / float64(len(xs))
 }

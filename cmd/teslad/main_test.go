@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlersConcurrentWithUpdates hammers /status and /metrics while the
+// control loop's update path mutates the snapshot — run under -race this is
+// the daemon's data-race regression test.
+func TestHandlersConcurrentWithUpdates(t *testing.T) {
+	d := &daemon{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d.update(func(st *status) {
+				st.StepMinutes = i
+				st.SetpointC = 23 + float64(i%5)
+				st.EnergyKWh += 0.01
+				st.Violations = i / 10
+			})
+		}
+	}()
+
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec := httptest.NewRecorder()
+				d.handleStatus(rec, httptest.NewRequest("GET", "/status", nil))
+				var st status
+				if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+					t.Errorf("bad /status body: %v", err)
+					return
+				}
+				rec = httptest.NewRecorder()
+				d.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if !strings.Contains(rec.Body.String(), "tesla_setpoint_celsius") {
+					t.Errorf("metrics missing gauge: %q", rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handlers deadlocked against updates")
+	}
+}
+
+func TestStatusSnapshotIsConsistent(t *testing.T) {
+	d := &daemon{}
+	d.update(func(st *status) {
+		st.StepMinutes = 42
+		st.SetpointC = 24.5
+		st.EnergyKWh = 3.25
+	})
+	st := d.snapshot()
+	if st.StepMinutes != 42 || st.SetpointC != 24.5 || st.EnergyKWh != 3.25 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+}
+
+func TestSleepCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if sleepCtx(ctx, time.Minute) {
+		t.Fatal("cancelled sleep reported a full pause")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled sleep still slept")
+	}
+	if !sleepCtx(context.Background(), time.Millisecond) {
+		t.Fatal("uncancelled sleep did not complete")
+	}
+}

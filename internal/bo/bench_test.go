@@ -1,9 +1,15 @@
 package bo
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+
+	"tesla/internal/rng"
+)
 
 // BenchmarkOptimize measures one full constrained-NEI optimization — the
-// per-control-step cost of the TESLA optimizer (§3.3).
+// per-control-step cost of the TESLA optimizer (§3.3) — at the default
+// (auto) worker count.
 func BenchmarkOptimize(b *testing.B) {
 	cfg := DefaultConfig(20, 35)
 	eval := quadraticProblem(27, 30, 0.1, 1)
@@ -13,5 +19,49 @@ func BenchmarkOptimize(b *testing.B) {
 		if _, err := Optimize(cfg, eval); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOptimizeWorkers compares the serial reference against the
+// parallel acquisition at increasing pool sizes (identical output by the
+// determinism guarantee, so this measures pure scheduling cost/benefit).
+func BenchmarkOptimizeWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig(20, 35)
+			cfg.Workers = workers
+			eval := quadraticProblem(27, 30, 0.1, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := Optimize(cfg, eval); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAcquireNEI isolates the acquisition hot loop (61 candidates × 64
+// QMC draws over two Cholesky-sampled GPs) that the worker pool fans out.
+func BenchmarkAcquireNEI(b *testing.B) {
+	eval := quadraticProblem(26, 29, 0.3, 5)
+	var evals []Evaluation
+	for _, x := range []float64{20, 22.5, 25, 27.5, 30, 32.5, 35} {
+		evals = append(evals, eval(x))
+	}
+	objGP, conGP, err := fitSurrogates(evals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := linspace(20, 35, 61)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := rng.New(77)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				acquireNEI(objGP, conGP, evals, cands, 64, workers, r)
+			}
+		})
 	}
 }

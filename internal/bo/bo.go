@@ -15,6 +15,7 @@ import (
 
 	"tesla/internal/gp"
 	"tesla/internal/mat"
+	"tesla/internal/parallel"
 	"tesla/internal/rng"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// reach to be recommended — the "modeling-error-aware" margin.
 	FeasProb float64
 	Seed     uint64
+	// Workers bounds the goroutines scoring the acquisition (<= 0 selects
+	// GOMAXPROCS). The result is bit-identical for every worker count: the
+	// QMC draws are generated serially from Seed and each posterior draw's
+	// improvement contribution is reduced in draw order.
+	Workers int
 }
 
 // DefaultConfig returns a budget suited to a per-minute control step.
@@ -112,7 +118,7 @@ func Optimize(cfg Config, eval Evaluator) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		acq := acquireNEI(objGP, conGP, evals, cands, cfg.QMCSamples, r)
+		acq := acquireNEI(objGP, conGP, evals, cands, cfg.QMCSamples, cfg.Workers, r)
 		next, ok := pickNext(acq, cands, evals, (cfg.Max-cfg.Min)/float64(4*cfg.Candidates))
 		if !ok {
 			break // acquisition exhausted: every candidate already probed
@@ -155,12 +161,25 @@ func fitSurrogates(evals []Evaluation) (objGP, conGP *gp.GP, err error) {
 	return objGP, conGP, nil
 }
 
+// acqChunk is the number of posterior draws one pool task scores. It is a
+// fixed constant — never derived from the worker count — so the work
+// partition (and with it every floating-point grouping) is identical no
+// matter how many workers run.
+const acqChunk = 8
+
 // acquireNEI estimates the constrained noisy-EI acquisition on the candidate
 // grid: QMC draws of the joint posterior at [observed ∪ candidates]
 // determine, per draw, the best feasible "true" objective among the observed
 // points (the noisy incumbent) and the improvement each feasible candidate
 // would deliver over it.
-func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSamples int, r *rng.Rand) []float64 {
+//
+// The draw loop fans out over a bounded worker pool. Determinism: the QMC
+// normals are generated serially from r before the fan-out (the PRNG is
+// consumed exactly as in a serial run), each draw writes its improvement
+// contributions into its own row of a draws×candidates matrix, and the rows
+// are reduced serially in draw order — so the result is bit-identical to the
+// single-threaded loop for any worker count.
+func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSamples, workers int, r *rng.Rand) []float64 {
 	nObs := len(evals)
 	pts := make([]float64, 0, nObs+len(cands))
 	for _, e := range evals {
@@ -174,33 +193,47 @@ func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSampl
 	conL := cholWithJitter(conCov)
 
 	m := len(pts)
+	nc := len(cands)
 	draws := newQMCNormals(2*m, nSamples, r)
-	acq := make([]float64, len(cands))
-	fObj := make([]float64, m)
-	fCon := make([]float64, m)
-	for k := 0; k < nSamples; k++ {
-		z := draws.row(k)
-		sampleGaussian(objMean, objL, z[:m], fObj)
-		sampleGaussian(conMean, conL, z[m:], fCon)
+	contrib := make([]float64, nSamples*nc)
+	parallel.Chunks(workers, nSamples, acqChunk, func(_, lo, hi int) {
+		fObj := make([]float64, m)
+		fCon := make([]float64, m)
+		for k := lo; k < hi; k++ {
+			z := draws.row(k)
+			sampleGaussian(objMean, objL, z[:m], fObj)
+			sampleGaussian(conMean, conL, z[m:], fCon)
 
-		// Noisy incumbent: best sampled objective among observed points that
-		// the same draw deems feasible.
-		incumbent := math.Inf(1)
-		for i := 0; i < nObs; i++ {
-			if fCon[i] <= 0 && fObj[i] < incumbent {
-				incumbent = fObj[i]
+			// Noisy incumbent: best sampled objective among observed points
+			// that the same draw deems feasible.
+			incumbent := math.Inf(1)
+			for i := 0; i < nObs; i++ {
+				if fCon[i] <= 0 && fObj[i] < incumbent {
+					incumbent = fObj[i]
+				}
+			}
+			if math.IsInf(incumbent, 1) {
+				// No feasible observation in this draw: reward candidates for
+				// being feasible at all, scored by how good they look.
+				worst := maxOf(fObj[:nObs])
+				incumbent = worst
+			}
+			row := contrib[k*nc : (k+1)*nc]
+			for j := range cands {
+				f := fObj[nObs+j]
+				if fCon[nObs+j] <= 0 && f < incumbent {
+					row[j] = incumbent - f
+				}
 			}
 		}
-		if math.IsInf(incumbent, 1) {
-			// No feasible observation in this draw: reward candidates for
-			// being feasible at all, scored by how good they look.
-			worst := maxOf(fObj[:nObs])
-			incumbent = worst
-		}
-		for j := range cands {
-			f := fObj[nObs+j]
-			if fCon[nObs+j] <= 0 && f < incumbent {
-				acq[j] += incumbent - f
+	})
+
+	acq := make([]float64, nc)
+	for k := 0; k < nSamples; k++ {
+		row := contrib[k*nc : (k+1)*nc]
+		for j, v := range row {
+			if v != 0 {
+				acq[j] += v
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package bo
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"tesla/internal/rng"
@@ -173,5 +174,111 @@ func TestAcquisitionPrefersPromisingRegion(t *testing.T) {
 	}
 	if math.Abs(res.X-27) > 1 {
 		t.Fatalf("recommendation %g should sit near the optimum", res.X)
+	}
+}
+
+// optimizeX runs a fixed noisy problem at the given worker count and returns
+// the recommendation plus every evaluation (probe order is part of the
+// contract: a single acquisition bit-flip would change the probe sequence).
+func optimizeX(t *testing.T, workers int) (float64, []Evaluation) {
+	t.Helper()
+	cfg := DefaultConfig(20, 35)
+	cfg.Seed = 21
+	cfg.Workers = workers
+	res, err := Optimize(cfg, quadraticProblem(27, 30, 0.5, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.X, res.Evals
+}
+
+// TestParallelMatchesSerial is the determinism guarantee of the parallel
+// acquisition: for any worker count the optimizer output is bit-identical to
+// the single-worker (serial) reference.
+func TestParallelMatchesSerial(t *testing.T) {
+	refX, refEvals := optimizeX(t, 1)
+	for _, workers := range []int{2, 3, 4, 8, 16, 0} {
+		x, evals := optimizeX(t, workers)
+		if x != refX {
+			t.Fatalf("workers=%d: recommendation %v != serial %v", workers, x, refX)
+		}
+		if len(evals) != len(refEvals) {
+			t.Fatalf("workers=%d: %d evals != serial %d", workers, len(evals), len(refEvals))
+		}
+		for i := range evals {
+			if evals[i] != refEvals[i] {
+				t.Fatalf("workers=%d: eval %d = %+v != serial %+v", workers, i, evals[i], refEvals[i])
+			}
+		}
+	}
+}
+
+// TestAcquireNEIParallelBitIdentical exercises the acquisition function
+// directly: identical RNG state in, bit-identical scores out per worker count.
+func TestAcquireNEIParallelBitIdentical(t *testing.T) {
+	eval := quadraticProblem(26, 29, 0.3, 5)
+	var evals []Evaluation
+	for _, x := range []float64{20, 22.5, 25, 27.5, 30, 32.5, 35} {
+		evals = append(evals, eval(x))
+	}
+	objGP, conGP, err := fitSurrogates(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := linspace(20, 35, 61)
+	score := func(workers int) []float64 {
+		return acquireNEI(objGP, conGP, evals, cands, 64, workers, rng.New(77))
+	}
+	ref := score(1)
+	for _, workers := range []int{2, 5, 8, 0} {
+		got := score(workers)
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("workers=%d: acq[%d] = %v != serial %v", workers, j, got[j], ref[j])
+			}
+		}
+	}
+	nonzero := 0
+	for _, v := range ref {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatalf("degenerate acquisition: every candidate scored zero")
+	}
+}
+
+// TestOptimizeIdenticalAcrossCPU pins the GOMAXPROCS-independence the
+// concurrency model promises: with Workers=0 (auto) the result must match
+// the serial reference no matter what -cpu this test runs under.
+func TestOptimizeIdenticalAcrossCPU(t *testing.T) {
+	refX, _ := optimizeX(t, 1)
+	autoX, _ := optimizeX(t, 0)
+	if autoX != refX {
+		t.Fatalf("auto workers gave %v, serial reference %v", autoX, refX)
+	}
+}
+
+// TestOptimizeConcurrentCallers runs independent optimizations concurrently
+// (the -race companion of the worker-pool conversion).
+func TestOptimizeConcurrentCallers(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := DefaultConfig(20, 35)
+			cfg.Seed = uint64(g + 1)
+			if _, err := Optimize(cfg, quadraticProblem(27, 100, 0, uint64(g+1))); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -128,11 +128,11 @@ func (t *TESLA) Decide(tr *dataset.Trace, step int) float64 {
 	objU := t.monitor.Objective()
 	conU := t.monitor.Constraint()
 	objVar := objU.Variance
-	if objU.N < 8 {
+	if !objU.Reliable {
 		objVar = t.cfg.DefaultObjVar
 	}
 	conVar := conU.Variance
-	if conU.N < 8 {
+	if !conU.Reliable {
 		conVar = t.cfg.DefaultConVar
 	}
 
@@ -152,10 +152,10 @@ func (t *TESLA) Decide(tr *dataset.Trace, step int) float64 {
 		// observation noise. Injecting a single random draw here instead
 		// would add a random walk on top of the recommendation — the GP
 		// already accounts for the spread through the noise variance.
-		if objU.N >= 8 {
+		if objU.Reliable {
 			obj -= objU.Bias
 		}
-		if conU.N >= 8 {
+		if conU.Reliable {
 			con -= conU.Bias
 		}
 		return bo.Evaluation{X: x, Obj: obj, Con: con, ObjNoiseVar: objVar, ConNoiseVar: conVar}

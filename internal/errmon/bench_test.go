@@ -1,0 +1,33 @@
+package errmon
+
+import (
+	"fmt"
+	"testing"
+
+	"tesla/internal/rng"
+)
+
+// BenchmarkCharacterize measures the 500-draw bootstrap (N_b in Table 2)
+// over a full one-day error window at several pool sizes.
+func BenchmarkCharacterize(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m, err := New(1440, 500, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.SetWorkers(workers)
+			r := rng.New(4)
+			for i := 0; i < 1440; i++ {
+				m.RecordConstraint(r.NormScaled(0.1, 0.4))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var u Uncertainty
+			for i := 0; i < b.N; i++ {
+				u = m.Constraint()
+			}
+			b.ReportMetric(u.Variance, "boot_var")
+		})
+	}
+}

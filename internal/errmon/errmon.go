@@ -9,14 +9,30 @@ package errmon
 import (
 	"fmt"
 
+	"tesla/internal/parallel"
 	"tesla/internal/rng"
 	"tesla/internal/stats"
 )
+
+// MinSamples is the minimum number of recorded errors a channel needs before
+// its bootstrap bias/variance are considered reliable. Below it the bootstrap
+// mostly re-reads the same handful of values — in the degenerate one-sample
+// case it would report the sample as a zero-variance bias and recenter the
+// BO constraint with full confidence — so the characterization is flagged
+// unreliable and the controller keeps its configured default variances.
+const MinSamples = 8
+
+// bootChunk is the fixed batch of bootstrap draws one pool task generates.
+// Chunk boundaries (and the per-chunk RNG substreams keyed on the chunk
+// index) depend only on the draw count, making the bootstrap bit-identical
+// for any worker count.
+const bootChunk = 128
 
 // Monitor tracks a bounded history of prediction errors per channel.
 type Monitor struct {
 	capacity int
 	nBoot    int
+	workers  int
 	r        *rng.Rand
 
 	obj ring
@@ -65,6 +81,9 @@ type Uncertainty struct {
 	Bias float64
 	// N is the number of underlying error samples.
 	N int
+	// Reliable reports whether N reached MinSamples. Consumers must treat an
+	// unreliable Bias/Variance as absent and fall back to their defaults.
+	Reliable bool
 }
 
 // SampleObjective draws one bootstrap error sample for the objective channel
@@ -81,24 +100,36 @@ func (m *Monitor) Objective() Uncertainty { return m.characterize(&m.obj) }
 // Constraint characterizes the constraint-error channel via bootstrapping.
 func (m *Monitor) Constraint() Uncertainty { return m.characterize(&m.con) }
 
+// SetWorkers bounds the bootstrap's worker pool (<= 0 selects GOMAXPROCS).
+// The characterization is bit-identical for every worker count.
+func (m *Monitor) SetWorkers(w int) { m.workers = w }
+
 func (m *Monitor) characterize(rg *ring) Uncertainty {
 	n := len(rg.buf)
-	if n == 0 {
-		return Uncertainty{}
-	}
-	if n == 1 {
-		return Uncertainty{Bias: rg.buf[0], N: 1}
+	if n < 2 {
+		// Zero samples say nothing; one sample pins the bias with zero
+		// variance — equally useless to a fixed-noise GP. Report the count
+		// and nothing else.
+		return Uncertainty{N: n}
 	}
 	// Bootstrap: draw nBoot single-error resamples — these are the N_b
 	// "versions" of the prediction whose spread is the noise variance.
+	// Each fixed-size chunk of draws comes from its own seed-derived
+	// substream, so the fan-out below is deterministic per seed regardless
+	// of how many workers execute it.
+	base := m.r.Uint64()
 	draws := make([]float64, m.nBoot)
-	for k := range draws {
-		draws[k] = rg.buf[m.r.Intn(n)]
-	}
+	parallel.Chunks(m.workers, m.nBoot, bootChunk, func(c, lo, hi int) {
+		r := rng.NewStream(base, uint64(c))
+		for k := lo; k < hi; k++ {
+			draws[k] = rg.buf[r.Intn(n)]
+		}
+	})
 	return Uncertainty{
 		Variance: stats.Variance(draws),
 		Bias:     stats.Mean(draws),
 		N:        n,
+		Reliable: n >= MinSamples,
 	}
 }
 

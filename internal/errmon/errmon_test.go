@@ -72,14 +72,62 @@ func TestEmptyChannelsAreZero(t *testing.T) {
 }
 
 func TestSingleErrorChannel(t *testing.T) {
+	// A single sample must NOT be reported as a zero-variance bias: that
+	// would recenter the BO constraint with full confidence off one
+	// observation. The characterization stays empty and unreliable.
 	m, _ := New(10, 10, 5)
 	m.RecordObjective(0.42)
 	u := m.Objective()
-	if u.N != 1 || u.Bias != 0.42 || u.Variance != 0 {
+	if u.N != 1 || u.Bias != 0 || u.Variance != 0 || u.Reliable {
 		t.Fatalf("single-sample characterization wrong: %+v", u)
 	}
 	if m.SampleObjective() != 0.42 {
 		t.Fatalf("sample should return the only value")
+	}
+}
+
+func TestReliabilityGate(t *testing.T) {
+	m, _ := New(100, 200, 8)
+	for i := 0; i < MinSamples-1; i++ {
+		m.RecordConstraint(1.5)
+	}
+	if u := m.Constraint(); u.Reliable {
+		t.Fatalf("%d samples flagged reliable, gate is %d: %+v", u.N, MinSamples, u)
+	}
+	m.RecordConstraint(1.5)
+	u := m.Constraint()
+	if !u.Reliable || u.N != MinSamples {
+		t.Fatalf("gate should open at %d samples: %+v", MinSamples, u)
+	}
+	if u.Bias != 1.5 || u.Variance != 0 {
+		t.Fatalf("constant channel should bootstrap to its value: %+v", u)
+	}
+}
+
+func TestBootstrapWorkerCountIndependent(t *testing.T) {
+	build := func(workers int) *Monitor {
+		m, err := New(500, 2000, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetWorkers(workers)
+		r := rng.New(12)
+		for i := 0; i < 300; i++ {
+			m.RecordObjective(r.NormScaled(0.2, 0.5))
+			m.RecordConstraint(r.NormScaled(-0.1, 0.3))
+		}
+		return m
+	}
+	ref := build(1)
+	refObj, refCon := ref.Objective(), ref.Constraint()
+	for _, workers := range []int{2, 4, 16, 0} {
+		m := build(workers)
+		if obj := m.Objective(); obj != refObj {
+			t.Fatalf("workers=%d: objective %+v != serial %+v", workers, obj, refObj)
+		}
+		if con := m.Constraint(); con != refCon {
+			t.Fatalf("workers=%d: constraint %+v != serial %+v", workers, con, refCon)
+		}
 	}
 }
 

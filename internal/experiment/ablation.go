@@ -7,6 +7,7 @@ import (
 
 	"tesla/internal/control"
 	"tesla/internal/dataset"
+	"tesla/internal/parallel"
 	"tesla/internal/testbed"
 	"tesla/internal/workload"
 )
@@ -84,19 +85,23 @@ func (s AblationStudy) String() string {
 	return b.String()
 }
 
-// RunAblations executes the study with identical testbeds per variant.
+// RunAblations executes the study with identical testbeds per variant. The
+// variants are independent closed-loop runs off the same seed, so they fan
+// out over the worker pool; results come back in AllAblations order.
 func RunAblations(a *Artifacts, load workload.Setting, evalS float64, seed uint64) (AblationStudy, error) {
 	study := AblationStudy{Load: load}
-	for _, ab := range AllAblations() {
+	abs := AllAblations()
+	results, err := parallel.MapErr(0, len(abs), func(i int) (AblationResult, error) {
+		ab := abs[i]
 		p, err := a.NewAblatedTESLA(ab, seed)
 		if err != nil {
-			return study, err
+			return AblationResult{}, err
 		}
 		rc := DefaultRunConfig(p, load, seed)
 		rc.EvalS = evalS
 		tr, m, err := Run(rc)
 		if err != nil {
-			return study, fmt.Errorf("experiment: ablation %q: %w", ab, err)
+			return AblationResult{}, fmt.Errorf("experiment: ablation %q: %w", ab, err)
 		}
 		res := AblationResult{Ablation: ab, Metrics: m}
 		// Set-point churn: mean absolute step-to-step change over the
@@ -110,8 +115,12 @@ func RunAblations(a *Artifacts, load workload.Setting, evalS float64, seed uint6
 			churn /= float64(m.Steps - 1)
 		}
 		res.SetpointChurnC = churn
-		study.Results = append(study.Results, res)
+		return res, nil
+	})
+	if err != nil {
+		return study, err
 	}
+	study.Results = results
 	return study, nil
 }
 
@@ -152,13 +161,15 @@ func RunFaultInjection(a *Artifacts, load workload.Setting, evalS float64, seed 
 		return m, err
 	}
 
-	var err error
-	if out.Healthy, err = runOnce(false); err != nil {
+	// The healthy and faulty runs share nothing but the (immutable) trained
+	// artifacts, so they run concurrently.
+	ms, err := parallel.MapErr(0, 2, func(i int) (Metrics, error) {
+		return runOnce(i == 1)
+	})
+	if err != nil {
 		return out, err
 	}
-	if out.Faulty, err = runOnce(true); err != nil {
-		return out, err
-	}
+	out.Healthy, out.Faulty = ms[0], ms[1]
 	return out, nil
 }
 

@@ -107,6 +107,25 @@ func (a *Artifacts) NewTESLAPolicy(seed uint64) (*control.TESLA, error) {
 	return control.NewTESLA(a.Model, cfg)
 }
 
+// NewPolicy builds a fresh policy instance by table name ("fixed", "tesla",
+// "lazic", "tsrl"). Sweeps that fan runs out in parallel call it once per
+// run: tesla and lazic controllers carry per-run state so each run needs its
+// own instance, while the returned TSRL policy is the shared trained table
+// (its Decide only reads) and Fixed is a value.
+func (a *Artifacts) NewPolicy(name string, seed uint64) (control.Policy, error) {
+	switch name {
+	case "fixed":
+		return control.Fixed{SetpointC: 23}, nil
+	case "tesla":
+		return a.NewTESLAPolicy(seed)
+	case "lazic":
+		return a.NewLazicPolicy()
+	case "tsrl":
+		return a.TSRL, nil
+	}
+	return nil, fmt.Errorf("experiment: unknown policy %q", name)
+}
+
 // NewLazicPolicy builds the Lazic MPC controller from the artifacts.
 func (a *Artifacts) NewLazicPolicy() (*control.Lazic, error) {
 	coldIdx := make([]int, 11)

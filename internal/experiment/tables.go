@@ -5,10 +5,10 @@ import (
 	"strings"
 
 	"tesla/internal/baselines"
-	"tesla/internal/control"
 	"tesla/internal/forest"
 	"tesla/internal/gbt"
 	"tesla/internal/model"
+	"tesla/internal/parallel"
 	"tesla/internal/stats"
 	"tesla/internal/workload"
 )
@@ -236,38 +236,53 @@ func DefaultTable5Config() Table5Config {
 	return Table5Config{EvalS: 43200, WarmupS: 3600, Seed: 100}
 }
 
-// Table5 runs the four policies under the three load settings.
+// Table5 runs the four policies under the three load settings. The twelve
+// policy×load cells are independent closed-loop simulations (each gets its
+// own testbed, workload profile and policy instance from its cell seed), so
+// they fan out over the worker pool; the CE-saving column is derived from
+// the collected rows afterwards. Row order and values match the serial
+// sweep exactly.
 func Table5(a *Artifacts, cfg Table5Config) (Table5Result, error) {
-	var out Table5Result
-	for _, load := range []workload.Setting{workload.Idle, workload.Medium, workload.High} {
-		seed := cfg.Seed + uint64(load)
-		tesla, err := a.NewTESLAPolicy(seed)
-		if err != nil {
-			return out, err
-		}
-		lazic, err := a.NewLazicPolicy()
-		if err != nil {
-			return out, err
-		}
-		policies := []control.Policy{control.Fixed{SetpointC: 23}, tesla, lazic, a.TSRL}
-		var fixCE float64
-		for _, p := range policies {
-			rc := DefaultRunConfig(p, load, seed)
-			rc.EvalS = cfg.EvalS
-			rc.WarmupS = cfg.WarmupS
-			_, m, err := Run(rc)
-			if err != nil {
-				return out, fmt.Errorf("experiment: Table 5 %s/%s: %w", p.Name(), load, err)
-			}
-			if p.Name() == "fixed" {
-				fixCE = m.CEkWh
-			}
-			row := Table5Row{Metrics: m}
-			if fixCE > 0 {
-				row.SavingPct = 100 * (fixCE - m.CEkWh) / fixCE
-			}
-			out.Rows = append(out.Rows, row)
+	loads := []workload.Setting{workload.Idle, workload.Medium, workload.High}
+	policies := []string{"fixed", "tesla", "lazic", "tsrl"}
+	type cell struct {
+		load   workload.Setting
+		policy string
+		seed   uint64
+	}
+	var cells []cell
+	for _, load := range loads {
+		for _, name := range policies {
+			cells = append(cells, cell{load: load, policy: name, seed: cfg.Seed + uint64(load)})
 		}
 	}
-	return out, nil
+	rows, err := parallel.MapErr(0, len(cells), func(i int) (Table5Row, error) {
+		c := cells[i]
+		p, err := a.NewPolicy(c.policy, c.seed)
+		if err != nil {
+			return Table5Row{}, err
+		}
+		rc := DefaultRunConfig(p, c.load, c.seed)
+		rc.EvalS = cfg.EvalS
+		rc.WarmupS = cfg.WarmupS
+		_, m, err := Run(rc)
+		if err != nil {
+			return Table5Row{}, fmt.Errorf("experiment: Table 5 %s/%s: %w", c.policy, c.load, err)
+		}
+		return Table5Row{Metrics: m}, nil
+	})
+	if err != nil {
+		return Table5Result{}, err
+	}
+	for li := range loads {
+		fixCE := rows[li*len(policies)].CEkWh
+		if fixCE <= 0 {
+			continue
+		}
+		for pi := range policies {
+			r := &rows[li*len(policies)+pi]
+			r.SavingPct = 100 * (fixCE - r.CEkWh) / fixCE
+		}
+	}
+	return Table5Result{Rows: rows}, nil
 }

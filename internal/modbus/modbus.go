@@ -8,10 +8,12 @@ package modbus
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Function codes implemented.
@@ -239,37 +241,131 @@ func (s *Server) handlePDU(pdu []byte) []byte {
 	}
 }
 
+// ExceptionError is a Modbus exception response — a well-formed answer from
+// the device, not a transport failure, so the client never retries it.
+type ExceptionError struct {
+	Function byte
+	Code     byte
+}
+
+func (e *ExceptionError) Error() string {
+	return fmt.Sprintf("modbus: exception 0x%02x for function 0x%02x", e.Code, e.Function)
+}
+
+// ClientOptions configure the master's robustness behavior. A control loop
+// polling an ACU bridge over a flaky network must never hang forever on a
+// stalled peer: every request gets an I/O deadline, and transient transport
+// failures are retried over a fresh connection with exponential backoff.
+type ClientOptions struct {
+	// Timeout bounds one request round-trip (write + response read) and the
+	// TCP (re)connect. 0 disables deadlines — only suitable for tests.
+	Timeout time.Duration
+	// Retries is how many additional attempts a transient failure gets.
+	// Exception responses are never retried.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per attempt.
+	Backoff time.Duration
+	// Unit is the Modbus unit identifier stamped on every request.
+	Unit byte
+}
+
+// DefaultClientOptions suit a one-minute control step talking to an ACU
+// bridge on the local network.
+func DefaultClientOptions() ClientOptions {
+	return ClientOptions{
+		Timeout: 2 * time.Second,
+		Retries: 2,
+		Backoff: 50 * time.Millisecond,
+		Unit:    1,
+	}
+}
+
 // Client is a Modbus/TCP master.
 type Client struct {
 	mu   sync.Mutex
-	conn net.Conn
+	addr string
+	opts ClientOptions
+	conn net.Conn // nil after a transport failure until the next redial
 	txID uint16
-	unit byte
 }
 
-// Dial connects to a Modbus server.
+// Dial connects to a Modbus server with DefaultClientOptions.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, DefaultClientOptions())
+}
+
+// DialOptions connects to a Modbus server with explicit options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("modbus: dial: %w", err)
 	}
-	return &Client{conn: conn, unit: 1}, nil
+	return &Client{addr: addr, opts: opts, conn: conn}, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
-// roundTrip sends a PDU and returns the response PDU.
+// roundTrip sends a PDU and returns the response PDU, retrying transient
+// transport failures over a fresh connection. After a mid-frame timeout the
+// TCP stream may hold a stale half-response, so the failed connection is
+// always dropped rather than reused.
 func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	backoff := c.opts.Backoff
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+			if err != nil {
+				lastErr = fmt.Errorf("redial: %w", err)
+				continue
+			}
+			c.conn = conn
+		}
+		resp, err := c.exchange(pdu)
+		if err == nil {
+			return resp, nil
+		}
+		var exc *ExceptionError
+		if errors.As(err, &exc) {
+			return nil, err
+		}
+		lastErr = err
+		c.conn.Close()
+		c.conn = nil
+	}
+	return nil, fmt.Errorf("modbus: request failed after %d attempt(s): %w", c.opts.Retries+1, lastErr)
+}
+
+// exchange performs one framed request/response on the live connection.
+func (c *Client) exchange(pdu []byte) ([]byte, error) {
 	c.txID++
 	frame := make([]byte, 7+len(pdu))
 	binary.BigEndian.PutUint16(frame[0:2], c.txID)
 	binary.BigEndian.PutUint16(frame[2:4], 0)
 	binary.BigEndian.PutUint16(frame[4:6], uint16(len(pdu)+1))
-	frame[6] = c.unit
+	frame[6] = c.opts.Unit
 	copy(frame[7:], pdu)
+	if c.opts.Timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+			return nil, err
+		}
+	}
 	if _, err := c.conn.Write(frame); err != nil {
 		return nil, err
 	}
@@ -289,7 +385,7 @@ func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 		return nil, err
 	}
 	if len(resp) >= 2 && resp[0]&0x80 != 0 {
-		return nil, fmt.Errorf("modbus: exception 0x%02x for function 0x%02x", resp[1], resp[0]&0x7f)
+		return nil, &ExceptionError{Function: resp[0] & 0x7f, Code: resp[1]}
 	}
 	return resp, nil
 }

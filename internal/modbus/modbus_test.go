@@ -1,9 +1,15 @@
 package modbus
 
 import (
+	"encoding/binary"
+	"errors"
+	"io"
 	"math"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tesla/internal/testbed"
 	"tesla/internal/workload"
@@ -134,6 +140,156 @@ func TestConcurrentClients(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// startStallProxy listens on a fresh port and black-holes the first `stall`
+// connections (bytes read and discarded, nothing written back). Later
+// connections are proxied byte-for-byte to backend.
+func startStallProxy(t *testing.T, backend string, stall int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var n int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if int(atomic.AddInt32(&n, 1)) <= stall {
+				go func() {
+					io.Copy(io.Discard, conn)
+					conn.Close()
+				}()
+				continue
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { io.Copy(up, conn); up.Close() }()
+			go func() { io.Copy(conn, up); conn.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestStalledServerTimesOut(t *testing.T) {
+	// A server that accepts and reads but never answers must not hang the
+	// control loop: every attempt has a deadline, and the attempts are
+	// bounded, so the request fails in bounded time.
+	addr := startStallProxy(t, "", 1000)
+	opts := ClientOptions{Timeout: 80 * time.Millisecond, Retries: 1, Backoff: 5 * time.Millisecond, Unit: 1}
+	client, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	start := time.Now()
+	_, err = client.ReadInput(0, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("request against a stalled server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	// 2 attempts x 80ms + 5ms backoff, with slack for a slow CI box.
+	if elapsed > 2*time.Second {
+		t.Fatalf("bounded retries took %v", elapsed)
+	}
+}
+
+func TestRetryReconnectsAfterStall(t *testing.T) {
+	// First connection stalls mid-request; the retry must drop it, redial
+	// through the proxy and complete against the live server.
+	bank := NewMapBank()
+	bank.SetInput(0, 4242)
+	srv := NewServer(bank)
+	backend, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	addr := startStallProxy(t, backend, 1)
+	opts := ClientOptions{Timeout: 80 * time.Millisecond, Retries: 2, Backoff: 5 * time.Millisecond, Unit: 1}
+	client, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	vals, err := client.ReadInput(0, 1)
+	if err != nil {
+		t.Fatalf("retry over a fresh connection failed: %v", err)
+	}
+	if vals[0] != 4242 {
+		t.Fatalf("ReadInput = %v, want [4242]", vals)
+	}
+}
+
+func TestExceptionNotRetried(t *testing.T) {
+	// Exceptions are answers, not transport failures: exactly one request
+	// must reach the server and the typed error must surface.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var reqs int32
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			header := make([]byte, 7)
+			if _, err := io.ReadFull(conn, header); err != nil {
+				return
+			}
+			pdu := make([]byte, binary.BigEndian.Uint16(header[4:6])-1)
+			if _, err := io.ReadFull(conn, pdu); err != nil {
+				return
+			}
+			atomic.AddInt32(&reqs, 1)
+			resp := []byte{pdu[0] | 0x80, 0x02} // illegal data address
+			out := make([]byte, 7+len(resp))
+			copy(out[0:2], header[0:2])
+			binary.BigEndian.PutUint16(out[4:6], uint16(len(resp)+1))
+			out[6] = header[6]
+			copy(out[7:], resp)
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+
+	opts := ClientOptions{Timeout: time.Second, Retries: 3, Backoff: time.Millisecond, Unit: 1}
+	client, err := DialOptions(ln.Addr().String(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	_, err = client.ReadInput(7, 1)
+	var exc *ExceptionError
+	if !errors.As(err, &exc) {
+		t.Fatalf("want *ExceptionError, got %v", err)
+	}
+	if exc.Code != 0x02 || exc.Function != 0x04 {
+		t.Fatalf("exception = %+v", exc)
+	}
+	if got := atomic.LoadInt32(&reqs); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on exceptions)", got)
 	}
 }
 

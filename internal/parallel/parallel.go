@@ -1,0 +1,137 @@
+// Package parallel is the repo's bounded fan-out helper: a fixed-size
+// worker pool over an index space with ordered result collection and
+// panic-safe workers. It exists so the hot paths (the constrained-NEI
+// acquisition in internal/bo, the bootstrap in internal/errmon, the
+// policy×load sweeps in internal/experiment) can share one tested
+// concurrency primitive instead of hand-rolled goroutine plumbing.
+//
+// Determinism contract: every helper assigns work by index and writes
+// results by index, so as long as the per-index function is itself
+// deterministic (e.g. it derives its RNG stream from the index via
+// rng.SeedFor, never from which worker ran it), the output is identical
+// for any worker count — including 1, which degrades to a plain loop.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// GOMAXPROCS, anything else is returned unchanged.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Panic wraps a panic recovered in a worker so the caller sees the worker's
+// stack, not just the re-panic site.
+type Panic struct {
+	Value any    // the original panic value
+	Stack []byte // the panicking worker's stack
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). It returns after every call finished.
+// If any fn panics, the first recovered panic is re-raised in the caller as
+// a *Panic after all workers have stopped.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  *Panic
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicked = &Panic{Value: r, Stack: debug.Stack()}
+					})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over [0, n) on the pool and collects the results in index
+// order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible work. All n calls run to completion; the
+// returned error is the lowest-index failure, so the reported error does not
+// depend on goroutine scheduling.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	For(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Chunks splits [0, n) into fixed-size chunks and runs fn(c, lo, hi) for
+// chunk c covering [lo, hi). Chunk boundaries depend only on n and size,
+// never on the worker count, so per-chunk RNG substreams keyed on c produce
+// worker-count-independent results. A chunk also gives fn a natural place to
+// allocate scratch space once per batch instead of once per item.
+func Chunks(workers, n, size int, fn func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	nChunks := (n + size - 1) / size
+	For(workers, nChunks, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(c, lo, hi)
+	})
+}

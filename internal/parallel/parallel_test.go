@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatalf("explicit count not respected")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatalf("auto worker count must be at least 1")
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatalf("fn must not run for empty index spaces")
+	}
+}
+
+func TestForBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int32
+	For(3, 100, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d concurrent workers, want <= 3", peak.Load())
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	got := Map(8, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d out of order: %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReportsLowestIndexFailure(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := MapErr(4, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errB
+		case 2:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("want lowest-index error %v, got %v", errA, err)
+	}
+	out, err := MapErr(4, 5, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != 5 {
+		t.Fatalf("results lost: %v", out)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if workers > 1 {
+					p, ok := r.(*Panic)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want *Panic", workers, r)
+					}
+					if fmt.Sprint(p.Value) != "boom" || len(p.Stack) == 0 {
+						t.Fatalf("workers=%d: panic lost its value or stack: %v", workers, p)
+					}
+				}
+			}()
+			For(workers, 50, func(i int) {
+				if i == 17 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestChunksCoverExactlyOnceAndFixedBoundaries(t *testing.T) {
+	n, size := 103, 10
+	for _, workers := range []int{1, 5} {
+		hits := make([]int32, n)
+		Chunks(workers, n, size, func(c, lo, hi int) {
+			if lo != c*size {
+				t.Errorf("chunk %d starts at %d, want %d", c, lo, c*size)
+			}
+			if hi-lo > size || hi > n {
+				t.Errorf("chunk %d range [%d,%d) malformed", c, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, h)
+			}
+		}
+	}
+}

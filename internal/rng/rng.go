@@ -36,6 +36,22 @@ func New(seed uint64) *Rand {
 // Split derives a statistically independent generator from r, advancing r.
 func (r *Rand) Split() *Rand { return New(r.Uint64() ^ 0xa0761d6478bd642f) }
 
+// SeedFor derives the seed of substream `stream` of a base seed via a
+// SplitMix64 finalizer over base⊕mix(stream). Unlike Split it is a pure
+// function of (base, stream), which is what parallel fan-outs need: worker
+// k of a pool seeds its generator with SeedFor(base, k) and the ensemble of
+// streams is identical no matter how many workers ran or in what order.
+func SeedFor(base, stream uint64) uint64 {
+	z := base + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewStream returns New(SeedFor(base, stream)): the canonical way to build
+// per-task generators inside a parallel region.
+func NewStream(base, stream uint64) *Rand { return New(SeedFor(base, stream)) }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -172,3 +172,40 @@ func TestShuffleKeepsElements(t *testing.T) {
 		}
 	}
 }
+
+func TestSeedForDeterministicAndDistinct(t *testing.T) {
+	if SeedFor(7, 3) != SeedFor(7, 3) {
+		t.Fatalf("SeedFor must be a pure function")
+	}
+	seen := map[uint64]bool{}
+	for stream := uint64(0); stream < 1000; stream++ {
+		s := SeedFor(42, stream)
+		if seen[s] {
+			t.Fatalf("substream collision at stream %d", stream)
+		}
+		seen[s] = true
+	}
+	if SeedFor(1, 0) == SeedFor(2, 0) {
+		t.Fatalf("different bases must give different streams")
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	// Streams of the same base must not be trivially correlated: compare the
+	// first draws of many substreams for repeats.
+	seen := map[uint64]bool{}
+	for stream := uint64(0); stream < 200; stream++ {
+		v := NewStream(99, stream).Uint64()
+		if seen[v] {
+			t.Fatalf("substreams share their first draw (stream %d)", stream)
+		}
+		seen[v] = true
+	}
+	// And a substream is reproducible.
+	a, b := NewStream(5, 17), NewStream(5, 17)
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("substream not reproducible at draw %d", i)
+		}
+	}
+}
