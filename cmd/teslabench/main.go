@@ -30,14 +30,15 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	hours := flag.Float64("hours", 12, "end-to-end evaluation window (Table 5, Figures 9-12)")
 	out := flag.String("out", "", "directory for figure CSV exports")
-	report := flag.String("report", "", "write a markdown evaluation report (tables + ablations) to this path")
+	report := flag.String("report", "", "write a markdown evaluation report (tables + ablations + fault matrix) to this path")
+	faultMatrix := flag.Bool("faultmatrix", false, "run the fault-matrix sweep (supervised TESLA vs every fault class)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*scale, *table, *fig, *all, *hours, *out, *report); err != nil {
+	if err := run(*scale, *table, *fig, *all, *hours, *out, *report, *faultMatrix); err != nil {
 		fmt.Fprintln(os.Stderr, "teslabench:", err)
 		os.Exit(1)
 	}
@@ -49,7 +50,7 @@ type generator struct {
 	out   string
 }
 
-func run(scaleName string, table, fig int, all bool, hours float64, out, reportPath string) error {
+func run(scaleName string, table, fig int, all bool, hours float64, out, reportPath string, faultMatrix bool) error {
 	var sc experiment.Scale
 	switch scaleName {
 	case "ci":
@@ -109,17 +110,24 @@ func run(scaleName string, table, fig int, all bool, hours float64, out, reportP
 			return err
 		}
 	}
+	if faultMatrix {
+		fm, err := experiment.RunFaultMatrix(g.art, workload.Medium, hours*3600, 17)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fm)
+	}
 	if reportPath != "" {
 		if err := g.writeReport(scaleName, reportPath); err != nil {
 			return err
 		}
-	} else if len(matched) == 0 {
+	} else if len(matched) == 0 && !faultMatrix {
 		return fmt.Errorf("nothing matched -table %d -fig %d", table, fig)
 	}
 	return nil
 }
 
-// writeReport runs the full evaluation (tables, ablations, fault injection)
+// writeReport runs the full evaluation (tables, ablations, fault matrix)
 // and renders it as markdown.
 func (g *generator) writeReport(scaleName, path string) error {
 	fmt.Printf("building report %s...\n", path)
@@ -141,7 +149,7 @@ func (g *generator) writeReport(scaleName, path string) error {
 	if err != nil {
 		return err
 	}
-	fault, err := experiment.RunFaultInjection(g.art, workload.Medium, g.hours*3600, 17)
+	matrix, err := experiment.RunFaultMatrix(g.art, workload.Medium, g.hours*3600, 17)
 	if err != nil {
 		return err
 	}
@@ -149,7 +157,7 @@ func (g *generator) writeReport(scaleName, path string) error {
 		ScaleName: scaleName,
 		Generated: time.Now(),
 		Table3:    &t3, Table4: &t4, Table5: &t5,
-		Study: &study, Fault: &fault,
+		Study: &study, Matrix: &matrix,
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
+
+	"tesla/internal/telemetry"
 )
 
 // status is the operator-facing snapshot served at /status.
@@ -18,13 +21,27 @@ type status struct {
 	EnergyKWh     float64 `json:"energy_kwh"`
 	Violations    int     `json:"violation_minutes"`
 	Interruptions int     `json:"interruption_minutes"`
+
+	// Safety-supervisor view: current and peak fallback stage, cumulative
+	// escalations, policy outputs replaced, probes currently quarantined.
+	SafetyLevel        string `json:"safety_level"`
+	SafetyMaxLevel     string `json:"safety_max_level"`
+	SafetyEscalations  uint64 `json:"safety_escalations"`
+	PolicyOverrides    uint64 `json:"policy_overrides"`
+	QuarantinedSensors int    `json:"quarantined_sensors"`
+
+	// TESLA decision diagnostics (internal fallbacks inside the policy).
+	PolicyDecisions          uint64 `json:"policy_decisions"`
+	PolicyHistoryFallbacks   uint64 `json:"policy_history_fallbacks"`
+	PolicyOptimizerFallbacks uint64 `json:"policy_optimizer_fallbacks"`
 }
 
 // daemon holds the shared snapshot: the control loop writes it once a step,
 // the operator endpoints read it from arbitrary HTTP goroutines.
 type daemon struct {
-	mu sync.RWMutex
-	st status
+	mu     sync.RWMutex
+	st     status
+	events *telemetry.EventLog
 }
 
 func (d *daemon) update(fn func(*status)) {
@@ -40,8 +57,15 @@ func (d *daemon) snapshot() status {
 }
 
 func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		status
+		RecentEvents []telemetry.Entry `json:"recent_events"`
+	}{status: d.snapshot()}
+	if d.events != nil {
+		out.RecentEvents = d.events.Recent(16)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(d.snapshot()); err != nil {
+	if err := json.NewEncoder(w).Encode(out); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -56,6 +80,39 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE tesla_cooling_energy_kwh counter\ntesla_cooling_energy_kwh %g\n", s.EnergyKWh)
 	fmt.Fprintf(w, "# TYPE tesla_violation_minutes counter\ntesla_violation_minutes %d\n", s.Violations)
 	fmt.Fprintf(w, "# TYPE tesla_interruption_minutes counter\ntesla_interruption_minutes %d\n", s.Interruptions)
+	fmt.Fprintf(w, "# TYPE tesla_safety_level gauge\ntesla_safety_level %d\n", levelOrdinal(s.SafetyLevel))
+	fmt.Fprintf(w, "# TYPE tesla_safety_escalations_total counter\ntesla_safety_escalations_total %d\n", s.SafetyEscalations)
+	fmt.Fprintf(w, "# TYPE tesla_policy_overrides_total counter\ntesla_policy_overrides_total %d\n", s.PolicyOverrides)
+	fmt.Fprintf(w, "# TYPE tesla_quarantined_sensors gauge\ntesla_quarantined_sensors %d\n", s.QuarantinedSensors)
+	fmt.Fprintf(w, "# TYPE tesla_policy_history_fallbacks_total counter\ntesla_policy_history_fallbacks_total %d\n", s.PolicyHistoryFallbacks)
+	fmt.Fprintf(w, "# TYPE tesla_policy_optimizer_fallbacks_total counter\ntesla_policy_optimizer_fallbacks_total %d\n", s.PolicyOptimizerFallbacks)
+	if d.events != nil {
+		counts := d.events.Counts()
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "# TYPE tesla_safety_events_total counter\n")
+		for _, k := range kinds {
+			fmt.Fprintf(w, "tesla_safety_events_total{kind=%q} %d\n", k, counts[k])
+		}
+	}
+}
+
+// levelOrdinal maps the supervisor stage name back to its numeric ordinal for
+// the gauge (0 normal … 3 emergency).
+func levelOrdinal(name string) int {
+	switch name {
+	case "hold-last-safe":
+		return 1
+	case "backstop":
+		return 2
+	case "emergency":
+		return 3
+	default:
+		return 0
+	}
 }
 
 func mean(xs []float64) float64 {

@@ -34,6 +34,7 @@ import (
 	"tesla"
 	"tesla/internal/dataset"
 	"tesla/internal/modbus"
+	"tesla/internal/safety"
 	"tesla/internal/telemetry"
 	"tesla/internal/testbed"
 	"tesla/internal/workload"
@@ -121,10 +122,28 @@ func run(ctx context.Context, listen, loadName string, minutes int, speedup floa
 	}
 	defer mbClient.Close()
 
+	// The daemon never runs the policy bare: the safety supervisor validates
+	// every telemetry step and owns the staged fallbacks, its events flow
+	// into the operator event log and the time-series store.
+	events := telemetry.NewEventLog(256)
+	sup, err := safety.Wrap(controller, safety.DefaultConfig(22, tbCfg.ACU.SetpointMinC, tbCfg.ACU.SetpointMaxC))
+	if err != nil {
+		return err
+	}
+	sup.SetSink(func(e safety.Event) {
+		detail := e.Detail
+		if e.Sensor >= 0 {
+			detail = fmt.Sprintf("sensor %d: %s", e.Sensor, e.Detail)
+		}
+		events.Append(telemetry.Entry{TimeS: e.TimeS, Kind: string(e.Kind), Detail: detail})
+		db.Insert("safety_events", map[string]string{"kind": string(e.Kind)},
+			telemetry.Point{TimeS: e.TimeS, Value: float64(e.Level)})
+	})
+
 	// Operator endpoint. Serve errors land on a channel so a broken listener
 	// is reported rather than silently swallowed; on exit the server drains
 	// in-flight operator requests before the process ends.
-	d := &daemon{}
+	d := &daemon{events: events}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", d.handleStatus)
 	mux.HandleFunc("/metrics", d.handleMetrics)
@@ -172,7 +191,7 @@ loop:
 			return fmt.Errorf("operator endpoint: %w", err)
 		default:
 		}
-		sp := controller.Decide(view, view.Len()-1)
+		sp := sup.Decide(view, view.Len()-1)
 		if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(sp)); err != nil {
 			return err
 		}
@@ -182,8 +201,11 @@ loop:
 		}
 		bridge.Refresh(s)
 		view.Append(s)
+		db.Insert("safety_level", nil, telemetry.Point{TimeS: s.TimeS, Value: float64(sup.Level())})
 
 		step++
+		sst := sup.Stats()
+		diag := controller.Diagnostics()
 		d.update(func(st *status) {
 			st.StepMinutes = step
 			st.SetpointC = s.SetpointC
@@ -198,11 +220,19 @@ loop:
 			if s.Interrupted {
 				st.Interruptions++
 			}
+			st.SafetyLevel = sup.Level().String()
+			st.SafetyMaxLevel = sup.MaxLevel().String()
+			st.SafetyEscalations = sst.Escalations
+			st.PolicyOverrides = sst.Overrides
+			st.QuarantinedSensors = len(sup.Quarantined())
+			st.PolicyDecisions = diag.Decisions
+			st.PolicyHistoryFallbacks = diag.HistoryFallbacks
+			st.PolicyOptimizerFallbacks = diag.OptimizerFallbacks
 		})
 		if step%15 == 0 {
 			st := d.snapshot()
-			fmt.Printf("teslad: t=%dmin sp=%.2f°C inlet=%.2f°C maxCold=%.2f°C power=%.2fkW energy=%.2fkWh\n",
-				st.StepMinutes, st.SetpointC, st.InletC, st.MaxColdC, st.ACUPowerKW, st.EnergyKWh)
+			fmt.Printf("teslad: t=%dmin sp=%.2f°C inlet=%.2f°C maxCold=%.2f°C power=%.2fkW energy=%.2fkWh safety=%s\n",
+				st.StepMinutes, st.SetpointC, st.InletC, st.MaxColdC, st.ACUPowerKW, st.EnergyKWh, st.SafetyLevel)
 		}
 		if speedup > 0 {
 			if !sleepCtx(ctx, time.Duration(float64(tbCfg.SamplePeriodS)/speedup*float64(time.Second))) {
@@ -212,7 +242,7 @@ loop:
 		}
 	}
 	st := d.snapshot()
-	fmt.Printf("teslad: done after %d minutes, %.2f kWh, %d violation minutes\n",
-		st.StepMinutes, st.EnergyKWh, st.Violations)
+	fmt.Printf("teslad: done after %d minutes, %.2f kWh, %d violation minutes, %d safety escalations (peak %s)\n",
+		st.StepMinutes, st.EnergyKWh, st.Violations, st.SafetyEscalations, sup.MaxLevel())
 	return nil
 }

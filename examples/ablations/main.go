@@ -5,9 +5,10 @@
 //   - the §3.4 smoothing buffer,
 //   - the modeling-error awareness of the Bayesian optimizer (§3.3).
 //
-// A sensor fault-injection run rounds the study out: a cold-aisle probe
-// stuck near the limit must push the controller toward safety, not
-// instability.
+// A fault-matrix sweep rounds the study out: every fault class in
+// internal/faults runs against the supervised controller, which must keep
+// the true plant safe on corrupted telemetry and recover after actuator
+// failures.
 //
 //	go run ./examples/ablations [-hours 6] [-load medium]
 package main
@@ -55,13 +56,14 @@ func main() {
 	fmt.Println("  no-smoothing            → higher set-point churn (sp-std column)")
 	fmt.Println("  no-error-awareness      → rides the raw model prediction at the limit")
 
-	fi, err := experiment.RunFaultInjection(art, load, *hours*3600, 17)
+	fm, err := experiment.RunFaultMatrix(art, load, *hours*3600, 17)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nFault injection: cold-aisle sensor %d stuck at %.1f °C\n", fi.StuckSensor, fi.StuckAtC)
-	fmt.Printf("  healthy: %s\n", fi.Healthy)
-	fmt.Printf("  faulty:  %s\n", fi.Faulty)
-	fmt.Println("A stuck-high probe biases the measured constraint pessimistic; TESLA")
-	fmt.Println("responds by cooling harder — paying energy, never safety.")
+	fmt.Println()
+	fmt.Println(fm)
+	fmt.Println("Every row runs TESLA behind the safety supervisor while one fault class")
+	fmt.Println("is injected mid-window. \"true\" scores ground-truth violations (immune to")
+	fmt.Println("the corrupted telemetry): sensor and telemetry faults must keep it at 0,")
+	fmt.Println("actuator faults are judged on recovery time and energy cost instead.")
 }

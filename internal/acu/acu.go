@@ -91,6 +91,14 @@ type ACU struct {
 	duty      float64
 	powerKW   float64
 	coolKW    float64
+
+	// Fault-injection state (see internal/faults): a forced interruption cuts
+	// the compressor, a failed latch ignores set-point commands, and a
+	// capacity factor below 1 derates delivered cooling at full electrical
+	// draw (degraded refrigerant cycle).
+	forcedOff      bool
+	latchFailed    bool
+	capacityFactor float64
 }
 
 // New returns an ACU with the commanded set-point initialized to 23 °C (the
@@ -99,7 +107,7 @@ func New(cfg Config) (*ACU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &ACU{cfg: cfg, ctrl: pid.New(cfg.PID)}
+	a := &ACU{cfg: cfg, ctrl: pid.New(cfg.PID), capacityFactor: 1}
 	a.setpointC = clamp(23, cfg.SetpointMinC, cfg.SetpointMaxC)
 	a.powerKW = cfg.FanKW
 	return a, nil
@@ -109,11 +117,46 @@ func New(cfg Config) (*ACU, error) {
 func (a *ACU) Config() Config { return a.cfg }
 
 // SetSetpoint commands a new inlet-temperature set-point, clamped to the
-// unit's allowable range, and returns the value actually latched.
+// unit's allowable range, and returns the value actually latched. While the
+// set-point latch is failed the command is ignored and the previously latched
+// value is returned — exactly what a wedged Modbus register looks like.
 func (a *ACU) SetSetpoint(c float64) float64 {
+	if a.latchFailed {
+		return a.setpointC
+	}
 	a.setpointC = clamp(c, a.cfg.SetpointMinC, a.cfg.SetpointMaxC)
 	return a.setpointC
 }
+
+// ForceInterruption cuts (or restores) the compressor regardless of the PID
+// demand, reproducing the paper's cooling-interruption windows (Fig. 3) on
+// command. The fan floor keeps drawing, so the unit reports Interrupted.
+func (a *ACU) ForceInterruption(on bool) { a.forcedOff = on }
+
+// ForcedInterruption reports whether a forced interruption is active.
+func (a *ACU) ForcedInterruption() bool { return a.forcedOff }
+
+// SetLatchFailed wedges (or frees) the set-point latch.
+func (a *ACU) SetLatchFailed(on bool) { a.latchFailed = on }
+
+// LatchFailed reports whether the set-point latch is wedged.
+func (a *ACU) LatchFailed() bool { return a.latchFailed }
+
+// SetCapacityFactor derates delivered cooling to f in (0, 1] while the
+// compressor keeps drawing its commanded power — a degraded refrigerant
+// cycle. Passing 1 restores the healthy unit; values outside (0, 1] clamp.
+func (a *ACU) SetCapacityFactor(f float64) {
+	if f <= 0 {
+		f = 0.01
+	}
+	if f > 1 {
+		f = 1
+	}
+	a.capacityFactor = f
+}
+
+// CapacityFactor returns the current cooling derating factor.
+func (a *ACU) CapacityFactor() float64 { return a.capacityFactor }
 
 // Setpoint returns the currently latched set-point.
 func (a *ACU) Setpoint() float64 { return a.setpointC }
@@ -149,10 +192,23 @@ func (a *ACU) COPAt(returnC float64) float64 {
 // temperature-dependent COP, with multiplicative cycle noise; pass nil r for
 // a noise-free device.
 func (a *ACU) Step(dt float64, measuredInletC float64, r *rng.Rand) (coolKW float64) {
+	// The PID keeps running even through a forced interruption (the
+	// controller board stays powered; only the compressor contactor is open),
+	// so its state on restart is realistic.
 	a.duty = a.ctrl.Update(a.setpointC, measuredInletC, dt)
-	a.coolKW = a.duty * a.cfg.MaxCoolKW
+	if a.forcedOff {
+		a.duty = 0
+		a.coolKW = 0
+		a.powerKW = a.cfg.FanKW
+		return 0
+	}
+	commandedKW := a.duty * a.cfg.MaxCoolKW
+	a.coolKW = commandedKW * a.capacityFactor
 
-	comp := a.coolKW / a.COPAt(measuredInletC)
+	// Electrical draw follows the commanded (undegraded) duty: a derated
+	// cycle wastes the shortfall, which is what makes degradation an
+	// efficiency fault rather than a free capacity cut.
+	comp := commandedKW / a.COPAt(measuredInletC)
 	if a.cfg.PowerNoiseFrac > 0 && r != nil && comp > 0 {
 		comp *= 1 + a.cfg.PowerNoiseFrac*r.Norm()
 		if comp < 0 {
@@ -179,12 +235,16 @@ func (a *ACU) BillAchieved(achievedKW, measuredInletC float64) {
 	a.coolKW = achievedKW
 }
 
-// Reset restores the PID state (used between experiments).
+// Reset restores the PID state and clears any injected fault (used between
+// experiments).
 func (a *ACU) Reset() {
 	a.ctrl.Reset()
 	a.duty = 0
 	a.coolKW = 0
 	a.powerKW = a.cfg.FanKW
+	a.forcedOff = false
+	a.latchFailed = false
+	a.capacityFactor = 1
 }
 
 func clamp(v, lo, hi float64) float64 {

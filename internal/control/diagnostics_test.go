@@ -1,0 +1,95 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/dataset"
+	"tesla/internal/testbed"
+)
+
+// emptyACUTrace builds a trace with DC series but no ACU inlet series — what
+// a mis-provisioned collector (or a total ACU sensor outage) delivers.
+func emptyACUTrace(n int) *dataset.Trace {
+	tr := dataset.NewTrace(60, 0, 3)
+	for i := 0; i < n; i++ {
+		tr.Append(testbed.Sample{
+			TimeS: float64(i) * 60, SetpointC: 24, AvgServerKW: 0.2,
+			ACUPowerKW: 1.2, ACUTemps: nil,
+			DCTemps: []float64{20, 20.3, 20.6}, MaxColdAisle: 20.6,
+		})
+	}
+	return tr
+}
+
+// TestMatureGuardsEmptyACUSeries is the regression test for the divide-by-
+// zero in mature: a trace with no ACU series used to mature windows into
+// NaN errors, poisoning the error monitor for the rest of the run.
+func TestMatureGuardsEmptyACUSeries(t *testing.T) {
+	m := smallModel(t, 11)
+	ctrl, err := NewTESLA(m, fastTESLAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate pending predictions on a healthy trace.
+	tr := learnableTrace(40, 12)
+	for step := 6; step < 20; step++ {
+		ctrl.Decide(tr, step)
+	}
+	if len(ctrl.pending) == 0 {
+		t.Fatal("no pending predictions to mature")
+	}
+
+	objBefore := ctrl.Monitor().ObjectiveCount()
+	conBefore := ctrl.Monitor().ConstraintCount()
+
+	// Mature every pending window against a trace with no ACU series.
+	bad := emptyACUTrace(60)
+	ctrl.mature(bad, 59)
+
+	if len(ctrl.pending) != 0 {
+		t.Fatalf("%d windows still pending; the guard must drop them", len(ctrl.pending))
+	}
+	if ctrl.Monitor().ObjectiveCount() != objBefore || ctrl.Monitor().ConstraintCount() != conBefore {
+		t.Fatalf("invalid windows reached the monitor: obj %d→%d con %d→%d",
+			objBefore, ctrl.Monitor().ObjectiveCount(), conBefore, ctrl.Monitor().ConstraintCount())
+	}
+	if ctrl.Diagnostics().InvalidMaturations == 0 {
+		t.Fatal("dropped windows not counted in diagnostics")
+	}
+	// The monitor must still report finite statistics.
+	if u := ctrl.Monitor().Objective(); math.IsNaN(u.Bias) || math.IsNaN(u.Variance) {
+		t.Fatalf("monitor poisoned: bias=%g var=%g", u.Bias, u.Variance)
+	}
+}
+
+func TestDiagnosticsCountFallbacks(t *testing.T) {
+	m := smallModel(t, 13)
+	ctrl, err := NewTESLA(m, fastTESLAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := learnableTrace(20, 14)
+
+	ctrl.Decide(tr, 2) // warmup: counted as a decision, not a fallback
+	d := ctrl.Diagnostics()
+	if d.Decisions != 1 || d.HistoryFallbacks != 0 {
+		t.Fatalf("warmup counters wrong: %+v", d)
+	}
+
+	// A step beyond the trace makes HistoryAt fail → initial-set-point
+	// fallback, counted.
+	got := ctrl.Decide(tr, tr.Len()+5)
+	if d = ctrl.Diagnostics(); d.Decisions != 2 || d.HistoryFallbacks != 1 {
+		t.Fatalf("history-fallback counters wrong: %+v", d)
+	}
+	if math.IsNaN(got) {
+		t.Fatalf("fallback decision is NaN")
+	}
+
+	// A normal decision leaves the fallback counters alone.
+	ctrl.Decide(tr, 10)
+	if d = ctrl.Diagnostics(); d.Decisions != 3 || d.HistoryFallbacks != 1 || d.OptimizerFallbacks != 0 {
+		t.Fatalf("normal-decision counters wrong: %+v", d)
+	}
+}

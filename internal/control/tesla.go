@@ -2,6 +2,7 @@ package control
 
 import (
 	"fmt"
+	"math"
 
 	"tesla/internal/bo"
 	"tesla/internal/dataset"
@@ -53,6 +54,25 @@ func DefaultTESLAConfig(spMin, spMax float64) TESLAConfig {
 	}
 }
 
+// Diagnostics are TESLA's cumulative decision counters, exported so operators
+// can see how often the controller ran on its fallbacks instead of the
+// optimizer (surfaced through teslad's status endpoint).
+type Diagnostics struct {
+	// Decisions counts every Decide call, warmup included.
+	Decisions uint64
+	// HistoryFallbacks counts decisions that returned InitialSetpointC
+	// because the trace could not supply a valid model history window.
+	HistoryFallbacks uint64
+	// OptimizerFallbacks counts decisions that returned the S_min backstop
+	// because the Bayesian optimizer failed.
+	OptimizerFallbacks uint64
+	// InvalidMaturations counts matured prediction windows dropped because
+	// the realized telemetry was unusable (no ACU series, or non-finite
+	// realizations) — windows that would otherwise have poisoned the error
+	// monitor with NaN.
+	InvalidMaturations uint64
+}
+
 // pendingPrediction is a decision awaiting maturation: once its horizon has
 // elapsed the realized objective/constraint are compared against what the
 // model predicted and the errors land in the monitor.
@@ -73,6 +93,7 @@ type TESLA struct {
 	lastResult *bo.Result
 	lastRaw    float64
 	step       uint64
+	diag       Diagnostics
 }
 
 // NewTESLA wires a trained DC time-series model into a controller.
@@ -111,9 +132,13 @@ func (t *TESLA) LastResult() *bo.Result { return t.lastResult }
 // Monitor exposes the prediction-error monitor (for diagnostics and tests).
 func (t *TESLA) Monitor() *errmon.Monitor { return t.monitor }
 
+// Diagnostics returns the cumulative decision counters.
+func (t *TESLA) Diagnostics() Diagnostics { return t.diag }
+
 // Decide implements Policy: mature pending predictions, run the
 // model-error-aware BO, and smooth the computed set-point (Figure 7).
 func (t *TESLA) Decide(tr *dataset.Trace, step int) float64 {
+	t.diag.Decisions++
 	L := t.model.Config().L
 	if step < L-1 {
 		return t.smooth.Push(t.cfg.InitialSetpointC)
@@ -122,6 +147,7 @@ func (t *TESLA) Decide(tr *dataset.Trace, step int) float64 {
 
 	h, err := model.HistoryAt(tr, step, L)
 	if err != nil {
+		t.diag.HistoryFallbacks++
 		return t.smooth.Push(t.cfg.InitialSetpointC)
 	}
 
@@ -167,6 +193,7 @@ func (t *TESLA) Decide(tr *dataset.Trace, step int) float64 {
 	res, err := bo.Optimize(boCfg, eval)
 	if err != nil {
 		// Optimizer failure: fall back to the paper's S_min backstop.
+		t.diag.OptimizerFallbacks++
 		t.lastResult = nil
 		return t.smooth.Push(boCfg.Min)
 	}
@@ -199,6 +226,14 @@ func (t *TESLA) mature(tr *dataset.Trace, step int) {
 			kept = append(kept, p)
 			continue
 		}
+		// A trace with no ACU series cannot realize the interruption proxy:
+		// the average below would divide by zero and feed NaN into the error
+		// monitor, silently disabling modeling-error awareness for the rest
+		// of the run. Drop the window instead.
+		if tr.Na() == 0 {
+			t.diag.InvalidMaturations++
+			continue
+		}
 		lo, hi := p.decidedAt+1, p.decidedAt+1+L
 		realizedE := tr.EnergyKWh(lo, hi)
 		// Realized interruption proxy from executed set-points and inlets.
@@ -221,8 +256,16 @@ func (t *TESLA) mature(tr *dataset.Trace, step int) {
 				realizedMaxCold = tr.MaxCold[i]
 			}
 		}
-		t.monitor.RecordObjective(p.predObj - realizedObj)
-		t.monitor.RecordConstraint(p.predMaxCold - realizedMaxCold)
+		// Corrupted telemetry (dropout gaps) can surface as NaN realizations;
+		// those windows carry no usable error signal.
+		objErr := p.predObj - realizedObj
+		conErr := p.predMaxCold - realizedMaxCold
+		if math.IsNaN(objErr) || math.IsInf(objErr, 0) || math.IsNaN(conErr) || math.IsInf(conErr, 0) {
+			t.diag.InvalidMaturations++
+			continue
+		}
+		t.monitor.RecordObjective(objErr)
+		t.monitor.RecordConstraint(conErr)
 	}
 	t.pending = kept
 }

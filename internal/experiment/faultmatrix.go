@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"tesla/internal/faults"
+	"tesla/internal/parallel"
+	"tesla/internal/rng"
+	"tesla/internal/safety"
+	"tesla/internal/testbed"
+	"tesla/internal/workload"
+)
+
+// FaultRow is one scenario's outcome under the supervised controller.
+type FaultRow struct {
+	Scenario string
+	Class    string // sensor / actuator / telemetry
+	Metrics         // measured from the *delivered* (possibly corrupted) telemetry
+
+	// TrueTSVFrac is the fraction of evaluation steps whose ground-truth
+	// cold-aisle maximum exceeded the limit — the physical violation rate,
+	// immune to the injected telemetry corruption. For sensor and telemetry
+	// faults a correct supervisor keeps this at zero; actuator faults remove
+	// real cooling, so there it measures the physical exposure instead.
+	TrueTSVFrac float64
+	// RecoverySteps counts control steps from the fault clearing until the
+	// supervisor is back at its normal stage with the true cold-aisle maximum
+	// inside the limit; -1 if that never happens within the window.
+	RecoverySteps int
+	// EnergyDeltaKWh is the cooling-energy cost of surviving the fault,
+	// relative to the healthy supervised baseline of the same seed.
+	EnergyDeltaKWh float64
+
+	Escalations uint64
+	Quarantines uint64
+	MaxLevel    safety.Level
+}
+
+// FaultMatrix is the full sweep: one healthy baseline plus one row per
+// faults.Matrix scenario, all under the supervised TESLA controller.
+type FaultMatrix struct {
+	Load    workload.Setting
+	Healthy Metrics
+	// HealthyTrueTSV is the ground-truth violation fraction of the fault-free
+	// baseline — the floor against which the per-scenario true(%) column is
+	// judged: only the excess over it is attributable to the fault.
+	HealthyTrueTSV float64
+	Rows           []FaultRow
+}
+
+// String renders the matrix as a fixed-width table.
+func (fm FaultMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault matrix (%s load, supervised tesla; healthy CE=%.2f kWh, true TSV=%.2f%%)\n",
+		fm.Load, fm.Healthy.CEkWh, 100*fm.HealthyTrueTSV)
+	fmt.Fprintf(&b, "  %-18s %-9s %8s %8s %8s %9s %5s %-14s\n",
+		"scenario", "class", "TSV(%)", "true(%)", "ΔCE", "recovery", "esc", "max level")
+	for _, r := range fm.Rows {
+		rec := "—"
+		if r.RecoverySteps >= 0 {
+			rec = fmt.Sprintf("%d min", r.RecoverySteps)
+		}
+		fmt.Fprintf(&b, "  %-18s %-9s %8.2f %8.2f %+8.2f %9s %5d %-14s\n",
+			r.Scenario, r.Class, 100*r.TSVFrac, 100*r.TrueTSVFrac, r.EnergyDeltaKWh,
+			rec, r.Escalations, r.MaxLevel)
+	}
+	return b.String()
+}
+
+// supervisedRun is the closed loop of runLoopWithTrace with three additions:
+// the policy is wrapped in a safety.Supervisor, an optional fault engine is
+// attached to the testbed, and ground-truth violation / recovery bookkeeping
+// rides along. sc == nil runs the healthy baseline.
+func supervisedRun(a *Artifacts, load workload.Setting, evalS float64, seed uint64, teslaSeed uint64, sc *faults.Scenario) (FaultRow, error) {
+	p, err := a.NewTESLAPolicy(teslaSeed)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	rc := DefaultRunConfig(p, load, seed)
+	rc.EvalS = evalS
+	supCfg := safety.DefaultConfig(rc.ColdLimC, a.TBConf.ACU.SetpointMinC, a.TBConf.ACU.SetpointMaxC)
+	sup, err := safety.Wrap(p, supCfg)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	rc.Policy = sup
+
+	tb, err := testbed.New(rc.Testbed)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	tb.UseProfile(rc.Profile)
+	tb.SetSetpoint(rc.InitSpC)
+	row := FaultRow{Scenario: "healthy", RecoverySteps: -1}
+	if sc != nil {
+		eng, err := faults.NewEngine(*sc)
+		if err != nil {
+			return FaultRow{}, err
+		}
+		tb.AddStepHook(eng)
+		row.Scenario = sc.Name
+		row.Class = sc.Events[0].Kind.Class()
+	}
+
+	tr := newTraceFor(tb, rc)
+	warmSteps := int(rc.WarmupS / rc.Testbed.SamplePeriodS)
+	evalSteps := int(rc.EvalS / rc.Testbed.SamplePeriodS)
+	if evalSteps < 1 {
+		return FaultRow{}, fmt.Errorf("experiment: evaluation window shorter than one step")
+	}
+	for i := 0; i < warmSteps; i++ {
+		tr.Append(tb.Advance())
+	}
+
+	m := Metrics{Policy: rc.Policy.Name(), Load: load, HoursH: rc.EvalS / 3600}
+	clearStep := -1 // eval-step index at which the fault schedule has cleared
+	for i := 0; i < evalSteps; i++ {
+		t := tr.Len() - 1
+		sp := rc.Policy.Decide(tr, t)
+		tb.SetSetpoint(sp)
+		s := tb.Advance()
+		tr.Append(s)
+
+		m.Steps++
+		m.CEkWh += s.ACUPowerKW * rc.Testbed.SamplePeriodS / 3600
+		if s.MaxColdAisle > rc.ColdLimC {
+			m.TSVFrac++
+		}
+		if s.Interrupted {
+			m.CIFrac++
+		}
+		m.MeanSp += s.SetpointC
+		if s.MaxColdAisle > m.MaxCold {
+			m.MaxCold = s.MaxColdAisle
+		}
+		if s.TrueMaxColdC > rc.ColdLimC {
+			row.TrueTSVFrac++
+		}
+		if sc != nil && s.TimeS >= sc.EndS() {
+			if clearStep < 0 {
+				clearStep = i
+			}
+			if row.RecoverySteps < 0 && sup.Level() == safety.LevelNormal && s.TrueMaxColdC <= rc.ColdLimC {
+				row.RecoverySteps = i - clearStep
+			}
+		}
+	}
+	m.TSVFrac /= float64(m.Steps)
+	m.CIFrac /= float64(m.Steps)
+	m.MeanSp /= float64(m.Steps)
+	row.Metrics = m
+	row.TrueTSVFrac /= float64(m.Steps)
+
+	st := sup.Stats()
+	row.Escalations = st.Escalations
+	row.Quarantines = st.QuarantineEvents
+	row.MaxLevel = sup.MaxLevel()
+	return row, nil
+}
+
+// RunFaultMatrix sweeps every faults.Matrix scenario — plus a healthy
+// baseline — with the supervised TESLA controller under one load setting.
+// Every run shares both the testbed seed and the controller seed: the
+// injected fault is the ONLY difference between a row and the healthy
+// baseline, so the true-violation excess and EnergyDeltaKWh are attributable
+// to the fault rather than to seed jitter. Runs fan out over the worker pool
+// and the result is identical for any worker count.
+func RunFaultMatrix(a *Artifacts, load workload.Setting, evalS float64, seed uint64) (FaultMatrix, error) {
+	fm := FaultMatrix{Load: load}
+	warmup := DefaultRunConfig(nil, load, seed).WarmupS
+	scs := faults.Matrix(warmup, evalS, seed)
+	teslaSeed := rng.SeedFor(seed, 0xba5e)
+
+	rows, err := parallel.MapErr(0, len(scs)+1, func(i int) (FaultRow, error) {
+		if i == 0 {
+			return supervisedRun(a, load, evalS, seed, teslaSeed, nil)
+		}
+		sc := scs[i-1]
+		row, err := supervisedRun(a, load, evalS, seed, teslaSeed, &sc)
+		if err != nil {
+			return FaultRow{}, fmt.Errorf("experiment: fault scenario %q: %w", sc.Name, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return fm, err
+	}
+	fm.Healthy = rows[0].Metrics
+	fm.HealthyTrueTSV = rows[0].TrueTSVFrac
+	fm.Rows = rows[1:]
+	for i := range fm.Rows {
+		fm.Rows[i].EnergyDeltaKWh = fm.Rows[i].CEkWh - fm.Healthy.CEkWh
+	}
+	return fm, nil
+}

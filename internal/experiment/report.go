@@ -19,6 +19,7 @@ type Report struct {
 	Table5 *Table5Result
 	Study  *AblationStudy
 	Fault  *FaultInjectionResult
+	Matrix *FaultMatrix
 }
 
 // WriteMarkdown renders every populated section.
@@ -121,6 +122,38 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 					fmt.Sprintf("%.2f", 100*r.Fault.Faulty.TSVFrac),
 					fmt.Sprintf("%.2f", r.Fault.Faulty.MeanSp)},
 			}); err != nil {
+			return err
+		}
+	}
+	if r.Matrix != nil {
+		if _, err := fmt.Fprintf(w, "\n## Fault matrix — supervised TESLA (%s load)\n\n"+
+			"Healthy supervised baseline: CE %.2f kWh, true TSV %.2f%%. \"True TSV\" scores\n"+
+			"the ground-truth cold-aisle maximum, immune to the injected telemetry\n"+
+			"corruption — only the excess over the healthy baseline is attributable to a\n"+
+			"fault; recovery is the time from the fault clearing until the supervisor\n"+
+			"returns to its normal stage with the plant inside the limit.\n\n",
+			r.Matrix.Load, r.Matrix.Healthy.CEkWh, 100*r.Matrix.HealthyTrueTSV); err != nil {
+			return err
+		}
+		rows := make([][]string, 0, len(r.Matrix.Rows))
+		for _, row := range r.Matrix.Rows {
+			rec := "never"
+			if row.RecoverySteps >= 0 {
+				rec = fmt.Sprintf("%d min", row.RecoverySteps)
+			}
+			rows = append(rows, []string{
+				row.Scenario, row.Class,
+				fmt.Sprintf("%.2f", 100*row.TSVFrac),
+				fmt.Sprintf("%.2f", 100*row.TrueTSVFrac),
+				fmt.Sprintf("%+.2f", row.EnergyDeltaKWh),
+				rec,
+				fmt.Sprintf("%d", row.Escalations),
+				row.MaxLevel.String(),
+			})
+		}
+		if err := writeMDTable(w,
+			[]string{"Scenario", "Class", "TSV (%)", "True TSV (%)", "ΔCE (kWh)", "Recovery", "Escalations", "Max level"},
+			rows); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,344 @@
+// Package faults is the deterministic, schedule-driven fault-injection
+// engine of the TESLA testbed. The paper's whole premise is thermal safety
+// under uncertainty (§2, Fig. 3, §8), yet a controller can only be trusted
+// against faults it has actually been exercised with — so this package
+// treats the plant as adversarial and scripts the failures: sensor faults
+// (stuck-at, drift, dropout, noise burst), actuator faults (set-point latch
+// failure, compressor-interruption windows, capacity degradation) and
+// telemetry faults (sample gaps, delayed delivery).
+//
+// An Engine attaches to a testbed as a step hook and applies its scenario's
+// events by simulation time. Every stochastic sub-behaviour draws from a
+// per-event substream derived via rng.SeedFor(scenario seed, event index),
+// so a scenario is bit-reproducible regardless of how many scenarios run in
+// parallel around it or in what order.
+package faults
+
+import (
+	"fmt"
+
+	"tesla/internal/rng"
+	"tesla/internal/testbed"
+	"tesla/internal/thermo"
+)
+
+// Kind names one injectable fault class.
+type Kind string
+
+// The fault taxonomy. Sensor faults corrupt individual probes, actuator
+// faults degrade the ACU, telemetry faults corrupt the delivered samples
+// without touching the plant.
+const (
+	SensorStuck     Kind = "sensor-stuck"
+	SensorDrift     Kind = "sensor-drift"
+	SensorDropout   Kind = "sensor-dropout"
+	SensorNoise     Kind = "sensor-noise-burst"
+	ActuatorLatch   Kind = "acu-setpoint-latch"
+	ActuatorCutout  Kind = "acu-compressor-interruption"
+	ActuatorDerated Kind = "acu-capacity-degraded"
+	TelemetryGap    Kind = "telemetry-gap"
+	TelemetryDelay  Kind = "telemetry-delay"
+)
+
+// Class groups a kind into "sensor", "actuator" or "telemetry" for
+// reporting. Sensor and telemetry faults corrupt only what the controller
+// sees, so a supervised controller must keep the true plant safe through
+// them; actuator faults physically remove cooling and are scored on
+// recovery instead.
+func (k Kind) Class() string {
+	switch k {
+	case SensorStuck, SensorDrift, SensorDropout, SensorNoise:
+		return "sensor"
+	case ActuatorLatch, ActuatorCutout, ActuatorDerated:
+		return "actuator"
+	case TelemetryGap, TelemetryDelay:
+		return "telemetry"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled fault window [StartS, EndS) in simulation time.
+type Event struct {
+	Kind   Kind
+	StartS float64
+	EndS   float64
+	// Sensor is the DC-sensor index for sensor faults (cold-aisle probes are
+	// indices 0..10 in the default array).
+	Sensor int
+	// Value parameterizes the fault: stuck-at reading (SensorStuck), drift
+	// rate in °C per minute (SensorDrift), dropout probability per step
+	// (SensorDropout), extra noise std in °C (SensorNoise), capacity factor
+	// (ActuatorDerated). Unused otherwise.
+	Value float64
+	// DelaySteps is the delivery lag in control steps (TelemetryDelay).
+	DelaySteps int
+}
+
+// Validate rejects unschedulable events.
+func (e Event) Validate() error {
+	if e.EndS <= e.StartS {
+		return fmt.Errorf("faults: event %s window [%g, %g) is empty", e.Kind, e.StartS, e.EndS)
+	}
+	switch e.Kind {
+	case SensorStuck, SensorDrift, SensorDropout, SensorNoise:
+		if e.Sensor < 0 {
+			return fmt.Errorf("faults: event %s has negative sensor index", e.Kind)
+		}
+	case TelemetryDelay:
+		if e.DelaySteps < 1 {
+			return fmt.Errorf("faults: %s needs DelaySteps >= 1", e.Kind)
+		}
+	case ActuatorLatch, ActuatorCutout, ActuatorDerated, TelemetryGap:
+	default:
+		return fmt.Errorf("faults: unknown kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Scenario is a named, seeded schedule of fault events.
+type Scenario struct {
+	Name   string
+	Seed   uint64
+	Events []Event
+}
+
+// Validate checks every event.
+func (sc Scenario) Validate() error {
+	if len(sc.Events) == 0 {
+		return fmt.Errorf("faults: scenario %q has no events", sc.Name)
+	}
+	for _, e := range sc.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// EndS returns the latest event end time — the moment the plant is fault
+// free again and recovery measurement starts.
+func (sc Scenario) EndS() float64 {
+	var end float64
+	for _, e := range sc.Events {
+		if e.EndS > end {
+			end = e.EndS
+		}
+	}
+	return end
+}
+
+// Transition records one activation edge for the engine's log.
+type Transition struct {
+	TimeS  float64
+	Kind   Kind
+	Active bool
+	Detail string
+}
+
+// Engine applies a scenario to a testbed. Attach it with
+// testbed.AddStepHook; it is not safe for use from multiple goroutines (the
+// testbed itself is single-goroutine).
+type Engine struct {
+	sc     Scenario
+	active []bool
+	rands  []*rng.Rand // per-event substream, rng.SeedFor(sc.Seed, i)
+	log    []Transition
+
+	// telemetry-fault state
+	delivered []testbed.Sample // ring of recent true samples for delay
+	frozen    *testbed.Sample  // last delivered sample during a gap
+}
+
+// NewEngine validates the scenario and builds an engine for it.
+func NewEngine(sc Scenario) (*Engine, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sc:     sc,
+		active: make([]bool, len(sc.Events)),
+		rands:  make([]*rng.Rand, len(sc.Events)),
+	}
+	for i := range sc.Events {
+		e.rands[i] = rng.NewStream(sc.Seed, uint64(i))
+	}
+	return e, nil
+}
+
+// Scenario returns the schedule the engine runs.
+func (e *Engine) Scenario() Scenario { return e.sc }
+
+// Log returns the recorded activation edges in time order.
+func (e *Engine) Log() []Transition { return e.log }
+
+// BeforeStep implements testbed.StepHook: it switches plant-level faults on
+// entering their window and off on leaving it, and integrates drift.
+func (e *Engine) BeforeStep(tb *testbed.Testbed) {
+	now := tb.TimeS()
+	dtMin := tb.Config().SamplePeriodS / 60
+	for i, ev := range e.sc.Events {
+		inWindow := now >= ev.StartS && now < ev.EndS
+		switch {
+		case inWindow && !e.active[i]:
+			e.apply(tb, i, ev)
+		case !inWindow && e.active[i]:
+			e.clear(tb, i, ev)
+		}
+		if !e.active[i] {
+			continue
+		}
+		// Per-step behaviour while active.
+		switch ev.Kind {
+		case SensorDrift:
+			tb.Sensors.DC[ev.Sensor].DriftC += ev.Value * dtMin
+		case SensorDropout:
+			// Intermittent dropout: the probe flickers between NaN and a
+			// valid reading with probability Value per step, drawn from this
+			// event's own substream.
+			s := &tb.Sensors.DC[ev.Sensor]
+			if e.rands[i].Float64() < ev.Value {
+				s.Mode = thermo.FaultDropout
+			} else {
+				s.Mode = thermo.FaultNone
+			}
+		}
+	}
+}
+
+// apply switches one event on.
+func (e *Engine) apply(tb *testbed.Testbed, i int, ev Event) {
+	e.active[i] = true
+	detail := ""
+	switch ev.Kind {
+	case SensorStuck:
+		s := &tb.Sensors.DC[ev.Sensor]
+		s.Mode = thermo.FaultStuck
+		s.StuckAt = ev.Value
+		detail = fmt.Sprintf("%s stuck at %.2f°C", s.Name, ev.Value)
+	case SensorDrift:
+		s := &tb.Sensors.DC[ev.Sensor]
+		s.Mode = thermo.FaultDrift
+		s.DriftC = 0
+		detail = fmt.Sprintf("%s drifting %+.3f°C/min", s.Name, ev.Value)
+	case SensorDropout:
+		s := &tb.Sensors.DC[ev.Sensor]
+		s.Mode = thermo.FaultDropout
+		detail = fmt.Sprintf("%s dropping out (p=%.2f)", s.Name, ev.Value)
+	case SensorNoise:
+		s := &tb.Sensors.DC[ev.Sensor]
+		s.Mode = thermo.FaultNoise
+		s.ExtraNoiseStd = ev.Value
+		detail = fmt.Sprintf("%s noise burst +%.2f°C std", s.Name, ev.Value)
+	case ActuatorLatch:
+		tb.ACU.SetLatchFailed(true)
+		detail = "set-point latch wedged"
+	case ActuatorCutout:
+		tb.ACU.ForceInterruption(true)
+		detail = "compressor interrupted"
+	case ActuatorDerated:
+		tb.ACU.SetCapacityFactor(ev.Value)
+		detail = fmt.Sprintf("cooling capacity derated to %.0f%%", 100*ev.Value)
+	case TelemetryGap:
+		detail = "telemetry gap: samples frozen"
+	case TelemetryDelay:
+		detail = fmt.Sprintf("telemetry delayed %d steps", ev.DelaySteps)
+	}
+	e.log = append(e.log, Transition{TimeS: tb.TimeS(), Kind: ev.Kind, Active: true, Detail: detail})
+}
+
+// clear switches one event off.
+func (e *Engine) clear(tb *testbed.Testbed, i int, ev Event) {
+	e.active[i] = false
+	switch ev.Kind {
+	case SensorStuck, SensorDrift, SensorDropout, SensorNoise:
+		tb.Sensors.DC[ev.Sensor].ClearFault()
+	case ActuatorLatch:
+		tb.ACU.SetLatchFailed(false)
+	case ActuatorCutout:
+		tb.ACU.ForceInterruption(false)
+	case ActuatorDerated:
+		tb.ACU.SetCapacityFactor(1)
+	case TelemetryGap:
+		e.frozen = nil
+	}
+	e.log = append(e.log, Transition{TimeS: tb.TimeS(), Kind: ev.Kind, Active: false, Detail: "cleared"})
+}
+
+// AfterSample implements testbed.StepHook: telemetry faults rewrite the
+// delivered sample. The true sample always enters the delay ring first, so a
+// delay window that opens mid-run has history to serve.
+func (e *Engine) AfterSample(tb *testbed.Testbed, s *testbed.Sample) {
+	// Record the true sample for delayed delivery before any corruption.
+	maxDelay := 1
+	for _, ev := range e.sc.Events {
+		if ev.Kind == TelemetryDelay && ev.DelaySteps+1 > maxDelay {
+			maxDelay = ev.DelaySteps + 1
+		}
+	}
+	e.delivered = append(e.delivered, s.Clone())
+	if len(e.delivered) > maxDelay {
+		e.delivered = e.delivered[len(e.delivered)-maxDelay:]
+	}
+
+	for i, ev := range e.sc.Events {
+		if !e.active[i] {
+			continue
+		}
+		switch ev.Kind {
+		case TelemetryGap:
+			if e.frozen == nil {
+				f := s.Clone()
+				e.frozen = &f
+			}
+			overwriteTelemetry(s, *e.frozen)
+		case TelemetryDelay:
+			idx := len(e.delivered) - 1 - ev.DelaySteps
+			if idx < 0 {
+				idx = 0
+			}
+			overwriteTelemetry(s, e.delivered[idx])
+		}
+	}
+}
+
+// overwriteTelemetry replaces every observable field of dst with src's,
+// keeping dst's wall-clock time and ground truth.
+func overwriteTelemetry(dst *testbed.Sample, src testbed.Sample) {
+	timeS, truth := dst.TimeS, dst.TrueMaxColdC
+	*dst = src.Clone()
+	dst.TimeS = timeS
+	dst.TrueMaxColdC = truth
+}
+
+// Matrix returns the canonical per-class fault scenarios for a run whose
+// evaluation window covers [startS, startS+evalS). Each scenario injects one
+// fault class at one quarter of the window and clears it at the midpoint,
+// leaving the second half to measure recovery. Scenario i draws its seed via
+// rng.SeedFor(seed, i), so the set is bit-reproducible and each scenario is
+// independent of how the others are scheduled.
+func Matrix(startS, evalS float64, seed uint64) []Scenario {
+	on := startS + evalS/4
+	off := startS + evalS/2
+	mk := func(i int, name string, events ...Event) Scenario {
+		return Scenario{Name: name, Seed: rng.SeedFor(seed, uint64(i)), Events: events}
+	}
+	scs := []Scenario{
+		// Stuck high, near the limit: the measured constraint turns
+		// pessimistic — the pre-supervisor repo's only fault experiment.
+		mk(0, "stuck-high", Event{Kind: SensorStuck, StartS: on, EndS: off, Sensor: 5, Value: 21.8}),
+		// Stuck low: the dangerous direction — the probe under-reports and
+		// would mask a real violation if it were trusted.
+		mk(1, "stuck-low", Event{Kind: SensorStuck, StartS: on, EndS: off, Sensor: 9, Value: 16.0}),
+		mk(2, "drift-up", Event{Kind: SensorDrift, StartS: on, EndS: off, Sensor: 3, Value: 0.08}),
+		mk(3, "dropout", Event{Kind: SensorDropout, StartS: on, EndS: off, Sensor: 7, Value: 0.7}),
+		mk(4, "noise-burst", Event{Kind: SensorNoise, StartS: on, EndS: off, Sensor: 2, Value: 1.5}),
+		mk(5, "latch-failure", Event{Kind: ActuatorLatch, StartS: on, EndS: off}),
+		// Compressor interruption: five minutes, the Fig. 3 experiment.
+		mk(6, "compressor-cutout", Event{Kind: ActuatorCutout, StartS: on, EndS: on + 300}),
+		mk(7, "capacity-derated", Event{Kind: ActuatorDerated, StartS: on, EndS: off, Value: 0.6}),
+		mk(8, "telemetry-gap", Event{Kind: TelemetryGap, StartS: on, EndS: on + 360}),
+		mk(9, "telemetry-delay", Event{Kind: TelemetryDelay, StartS: on, EndS: off, DelaySteps: 3}),
+	}
+	return scs
+}

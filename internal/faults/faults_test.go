@@ -1,0 +1,314 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/testbed"
+	"tesla/internal/thermo"
+	"tesla/internal/workload"
+)
+
+func newBed(t *testing.T, seed uint64) *testbed.Testbed {
+	t.Helper()
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = seed
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.UseProfile(workload.Constant{Util: 0.35, Label: "faults-test"})
+	return tb
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Name: "empty"},
+		{Name: "inverted", Events: []Event{{Kind: SensorStuck, StartS: 10, EndS: 5}}},
+		{Name: "neg-sensor", Events: []Event{{Kind: SensorDrift, StartS: 0, EndS: 1, Sensor: -1}}},
+		{Name: "no-delay", Events: []Event{{Kind: TelemetryDelay, StartS: 0, EndS: 1}}},
+		{Name: "unknown", Events: []Event{{Kind: Kind("bogus"), StartS: 0, EndS: 1}}},
+	}
+	for _, sc := range bad {
+		if _, err := NewEngine(sc); err == nil {
+			t.Errorf("scenario %q accepted", sc.Name)
+		}
+	}
+	if _, err := NewEngine(Scenario{Name: "ok", Events: []Event{
+		{Kind: TelemetryGap, StartS: 0, EndS: 60},
+	}}); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestKindClasses(t *testing.T) {
+	want := map[Kind]string{
+		SensorStuck: "sensor", SensorDrift: "sensor", SensorDropout: "sensor", SensorNoise: "sensor",
+		ActuatorLatch: "actuator", ActuatorCutout: "actuator", ActuatorDerated: "actuator",
+		TelemetryGap: "telemetry", TelemetryDelay: "telemetry",
+	}
+	for k, c := range want {
+		if k.Class() != c {
+			t.Errorf("%s class %q, want %q", k, k.Class(), c)
+		}
+	}
+	if Kind("bogus").Class() != "unknown" {
+		t.Errorf("unknown kind must classify as unknown")
+	}
+}
+
+// TestEngineAppliesAndClears walks a sensor-stuck and an actuator-latch
+// window and checks the plant is mutated exactly inside them.
+func TestEngineAppliesAndClears(t *testing.T) {
+	tb := newBed(t, 3)
+	tb.SetSetpoint(23)
+	start := tb.TimeS()
+	eng, err := NewEngine(Scenario{Name: "s", Seed: 1, Events: []Event{
+		{Kind: SensorStuck, StartS: start + 120, EndS: start + 300, Sensor: 4, Value: 30},
+		{Kind: ActuatorLatch, StartS: start + 120, EndS: start + 300},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddStepHook(eng)
+
+	for i := 0; i < 10; i++ {
+		s := tb.Advance()
+		elapsed := s.TimeS - start
+		stuck := tb.Sensors.DC[4].Mode == thermo.FaultStuck
+		latched := tb.ACU.LatchFailed()
+		// The hook runs at the start of Advance, so the sample at time T
+		// reflects the window state of T-period.
+		inWindow := elapsed-60 >= 120 && elapsed-60 < 300
+		if stuck != inWindow || latched != inWindow {
+			t.Fatalf("t=%gs: stuck=%v latched=%v, want %v", elapsed, stuck, latched, inWindow)
+		}
+		if inWindow {
+			if got := tb.Sensors.DC[4].Read(tb.Room, nil); got != 30 {
+				t.Fatalf("stuck sensor reads %g, want 30", got)
+			}
+			if sp := tb.SetSetpoint(27); sp != 23 {
+				t.Fatalf("latched set-point moved to %g", sp)
+			}
+		}
+	}
+	if tb.Sensors.DC[4].Mode != thermo.FaultNone || tb.ACU.LatchFailed() {
+		t.Fatalf("faults must clear after the window")
+	}
+	if len(eng.Log()) != 4 {
+		t.Fatalf("expected 4 transitions, got %d: %+v", len(eng.Log()), eng.Log())
+	}
+	// The latch must be free again.
+	if sp := tb.SetSetpoint(27); sp != 27 {
+		t.Fatalf("latch did not release: %g", sp)
+	}
+}
+
+// TestDriftAccumulates checks the drift fault integrates over the window and
+// resets on clear.
+func TestDriftAccumulates(t *testing.T) {
+	tb := newBed(t, 4)
+	start := tb.TimeS()
+	eng, err := NewEngine(Scenario{Name: "d", Seed: 2, Events: []Event{
+		{Kind: SensorDrift, StartS: start, EndS: start + 600, Sensor: 2, Value: 0.1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddStepHook(eng)
+	for i := 0; i < 5; i++ {
+		tb.Advance()
+	}
+	got := tb.Sensors.DC[2].DriftC
+	if math.Abs(got-0.5) > 1e-9 { // 5 steps × 0.1 °C/min × 1 min
+		t.Fatalf("drift after 5 min = %g, want 0.5", got)
+	}
+	for i := 0; i < 10; i++ {
+		tb.Advance()
+	}
+	if tb.Sensors.DC[2].DriftC != 0 || tb.Sensors.DC[2].Mode != thermo.FaultNone {
+		t.Fatalf("drift must reset when the window closes")
+	}
+}
+
+// TestTelemetryGapAndDelay checks the telemetry-layer faults rewrite the
+// delivered sample but never the ground truth.
+func TestTelemetryGapAndDelay(t *testing.T) {
+	tb := newBed(t, 5)
+	start := tb.TimeS()
+	eng, err := NewEngine(Scenario{Name: "g", Seed: 3, Events: []Event{
+		{Kind: TelemetryGap, StartS: start + 120, EndS: start + 300},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddStepHook(eng)
+	var samples []testbed.Sample
+	for i := 0; i < 8; i++ {
+		samples = append(samples, tb.Advance())
+	}
+	// Samples 3 and 4 fall inside the gap (hook state at Advance start):
+	// they must repeat sample 2's telemetry under fresh timestamps.
+	for _, i := range []int{3, 4} {
+		if samples[i].MaxColdAisle != samples[2].MaxColdAisle ||
+			samples[i].ACUPowerKW != samples[2].ACUPowerKW {
+			t.Fatalf("gap sample %d not frozen to sample 2", i)
+		}
+		if samples[i].TimeS == samples[2].TimeS {
+			t.Fatalf("gap sample %d must keep its own timestamp", i)
+		}
+		if samples[i].TrueMaxColdC == samples[2].TrueMaxColdC {
+			t.Fatalf("ground truth must keep evolving through the gap")
+		}
+	}
+	if samples[5].MaxColdAisle == samples[2].MaxColdAisle {
+		t.Fatalf("delivery must resume after the gap")
+	}
+
+	tb2 := newBed(t, 5)
+	start2 := tb2.TimeS()
+	eng2, err := NewEngine(Scenario{Name: "dl", Seed: 3, Events: []Event{
+		{Kind: TelemetryDelay, StartS: start2 + 240, EndS: start2 + 600, DelaySteps: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2.AddStepHook(eng2)
+	var s2 []testbed.Sample
+	for i := 0; i < 8; i++ {
+		s2 = append(s2, tb2.Advance())
+	}
+	// tb2 shares tb's seed, so its true sequence matches samples[] until the
+	// fault diverges the delivered view; sample 5 (inside the delay window)
+	// must carry sample 3's telemetry.
+	if s2[5].MaxColdAisle != s2[3].MaxColdAisle || s2[5].ACUPowerKW != s2[3].ACUPowerKW {
+		t.Fatalf("delayed sample 5 must repeat sample 3's telemetry")
+	}
+}
+
+// TestEngineDeterministic runs the same scenario twice (including the
+// stochastic dropout flicker) and demands bit-identical delivered telemetry.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() []testbed.Sample {
+		tb := newBed(t, 11)
+		start := tb.TimeS()
+		eng, err := NewEngine(Scenario{Name: "det", Seed: 42, Events: []Event{
+			{Kind: SensorDropout, StartS: start + 60, EndS: start + 600, Sensor: 6, Value: 0.5},
+			{Kind: TelemetryDelay, StartS: start + 300, EndS: start + 600, DelaySteps: 2},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.AddStepHook(eng)
+		var out []testbed.Sample
+		for i := 0; i < 12; i++ {
+			out = append(out, tb.Advance())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i].DCTemps {
+			av, bv := a[i].DCTemps[j], b[i].DCTemps[j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("step %d sensor %d: %g vs %g", i, j, av, bv)
+			}
+		}
+		if a[i].ACUPowerKW != b[i].ACUPowerKW || a[i].SetpointC != b[i].SetpointC {
+			t.Fatalf("step %d: runs diverged", i)
+		}
+	}
+}
+
+// TestMatrixScenariosCoverEveryClass sanity-checks the canonical sweep.
+func TestMatrixScenariosCoverEveryClass(t *testing.T) {
+	scs := Matrix(3600, 7200, 17)
+	classes := map[string]int{}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		for _, e := range sc.Events {
+			classes[e.Kind.Class()]++
+			if e.StartS < 3600 || e.EndS > 3600+7200 {
+				t.Fatalf("%s: event outside the evaluation window", sc.Name)
+			}
+		}
+	}
+	for _, c := range []string{"sensor", "actuator", "telemetry"} {
+		if classes[c] == 0 {
+			t.Fatalf("no %s scenario in the matrix", c)
+		}
+	}
+	// Seeds must derive per-index: same base seed, distinct scenario seeds.
+	if scs[0].Seed == scs[1].Seed {
+		t.Fatalf("scenario seeds must differ")
+	}
+	again := Matrix(3600, 7200, 17)
+	for i := range scs {
+		if scs[i].Seed != again[i].Seed {
+			t.Fatalf("Matrix must be a pure function of its arguments")
+		}
+	}
+}
+
+// TestInterruptionDynamicsFig3 asserts the testbed reproduces the paper's
+// Figure 3 through the fault engine: a forced compressor interruption drives
+// the cold aisle up at roughly 1 °C/min, and recovery after restart is
+// slower than the rise.
+func TestInterruptionDynamicsFig3(t *testing.T) {
+	tb := newBed(t, 4)
+	tb.SetSetpoint(22)
+	tb.Warmup(4 * 3600)
+
+	const interruptionMin = 10
+	start := tb.TimeS()
+	eng, err := NewEngine(Scenario{Name: "fig3", Seed: 9, Events: []Event{
+		{Kind: ActuatorCutout, StartS: start, EndS: start + interruptionMin*60},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddStepHook(eng)
+
+	before := tb.Sensors.TrueMaxColdAisle(tb.Room)
+	var peak float64
+	for i := 0; i < interruptionMin; i++ {
+		s := tb.Advance()
+		if !s.Interrupted {
+			t.Fatalf("minute %d: ACU must report interruption (power %.3f kW)", i, s.ACUPowerKW)
+		}
+		peak = s.TrueMaxColdC
+	}
+	rise := peak - before
+	riseRate := rise / interruptionMin
+	if riseRate < 0.4 || riseRate > 2.0 {
+		t.Fatalf("cold-aisle rise %.2f °C/min, want ≈1 °C/min (Fig. 3)", riseRate)
+	}
+
+	// Recovery: the compressor restarts; find how long the cold aisle takes
+	// to come back within 0.5 °C of the pre-fault level.
+	recoveryMin := -1
+	for i := 0; i < 120; i++ {
+		s := tb.Advance()
+		if s.TrueMaxColdC <= before+0.5 {
+			recoveryMin = i + 1
+			break
+		}
+	}
+	if recoveryMin < 0 {
+		t.Fatalf("cold aisle never recovered within 2 h")
+	}
+	if recoveryMin <= interruptionMin {
+		t.Fatalf("recovery (%d min) must be slower than the rise (%d min)", recoveryMin, interruptionMin)
+	}
+	recoveryRate := (peak - (before + 0.5)) / float64(recoveryMin)
+	if recoveryRate >= riseRate {
+		t.Fatalf("recovery rate %.2f °C/min must undercut rise rate %.2f °C/min", recoveryRate, riseRate)
+	}
+}

@@ -1,0 +1,758 @@
+// Package safety implements the runtime thermal-safety supervisor: a wrapper
+// around any control.Policy that can never be argued out of cooling by a
+// broken model or broken telemetry.
+//
+// The paper's §8 notes the thermal-safety constraint must stay adjustable at
+// deployment time; this package is where that constraint is *enforced* rather
+// than merely optimized against. Every control step the supervisor
+//
+//  1. validates the incoming telemetry per sensor — NaN, out-of-range,
+//     spikes, flat-lined (stuck) readings and consensus-relative drift each
+//     put a probe into a self-renewing quarantine;
+//  2. evaluates the cold-aisle constraint over the remaining healthy
+//     majority, plus a short-horizon rise-rate prediction and a cooling
+//     interruption check on the live trace;
+//  3. applies a staged fallback with hysteresis:
+//
+//     pass-through → hold-last-safe-set-point → S_min backstop → emergency max cooling
+//
+// Escalation is immediate; de-escalation happens one stage at a time and
+// only after a configurable number of consecutive benign steps. Structured
+// events record every quarantine, override and stage transition.
+package safety
+
+import (
+	"fmt"
+	"math"
+
+	"tesla/internal/control"
+	"tesla/internal/dataset"
+)
+
+// Level is a fallback stage. Higher is more conservative.
+type Level int
+
+// The staged fallbacks.
+const (
+	// LevelNormal passes the wrapped policy's set-point through.
+	LevelNormal Level = iota
+	// LevelHold ignores the policy and repeats the last set-point that was
+	// executed while the plant was verifiably safe.
+	LevelHold
+	// LevelBackstop commands the S_min backstop (the BO search floor — the
+	// paper's fallback when the optimizer fails).
+	LevelBackstop
+	// LevelEmergency commands maximum cooling (the ACU's hardware minimum
+	// set-point) until the measured violation clears.
+	LevelEmergency
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelHold:
+		return "hold-last-safe"
+	case LevelBackstop:
+		return "backstop"
+	case LevelEmergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// EventKind classifies a structured safety event.
+type EventKind string
+
+// The event kinds the supervisor emits.
+const (
+	EventQuarantine EventKind = "sensor-quarantine"
+	EventRestore    EventKind = "sensor-restore"
+	EventEscalate   EventKind = "escalate"
+	EventDeescalate EventKind = "de-escalate"
+	EventOverride   EventKind = "policy-override" // non-finite / out-of-range policy output replaced
+)
+
+// Event is one structured safety event.
+type Event struct {
+	Step   int     // decision step (trace index) the event fired at
+	TimeS  float64 // simulation timestamp of that step
+	Kind   EventKind
+	Level  Level  // stage after the event
+	Sensor int    // DC-sensor index for sensor events, else -1
+	Detail string // human-readable explanation
+}
+
+// Config tunes the supervisor. DefaultConfig documents each choice.
+type Config struct {
+	// ColdLimitC is the deployment ASHRAE limit on every cold-aisle sensor
+	// (22 °C in the paper's evaluation). Adjustable without retraining (§8).
+	ColdLimitC float64
+	// MarginC arms the hold stage: while the healthy-majority maximum sits
+	// within MarginC of the limit the optimizer's output is not trusted.
+	MarginC float64
+	// NumColdAisle is the count of leading DC series that form I_cold.
+	NumColdAisle int
+
+	// MinPlausibleC / MaxPlausibleC bound physically credible readings;
+	// anything outside quarantines the probe immediately.
+	MinPlausibleC, MaxPlausibleC float64
+	// Window is the per-sensor validation window in steps (stuck, spike and
+	// drift checks all read it).
+	Window int
+	// StuckStdC quarantines a probe whose reading std over Window collapses
+	// below it — healthy probes always show measurement noise.
+	StuckStdC float64
+	// SpikeC quarantines a probe whose deviation from its own window median
+	// exceeds the consensus deviation of the other probes by more than this.
+	// The consensus term matters: a set-point change or a cooling
+	// interruption moves the whole aisle degrees within a window, and only a
+	// probe departing from that shared motion is faulty.
+	SpikeC float64
+	// DriftSlopeCPerStep quarantines a cold-aisle probe whose window trend
+	// differs from the median cold-aisle trend by more than this (°C/step) —
+	// a consensus-relative test, so real thermal events that move every
+	// probe together never trigger it.
+	DriftSlopeCPerStep float64
+	// DriftSlopeFrac widens the drift threshold in proportion to the
+	// magnitude of the consensus trend itself: during a fast commanded
+	// transient the probes' differing local gains spread their slopes apart
+	// without any of them being broken.
+	DriftSlopeFrac float64
+	// QuarantineSteps is how long a probe stays quarantined after its last
+	// offense (offenses renew the countdown).
+	QuarantineSteps int
+	// MinHealthyFrac is the fraction of cold-aisle probes that must be
+	// healthy for the constraint evaluation to be trusted at all; below it
+	// the supervisor escalates to the backstop.
+	MinHealthyFrac float64
+
+	// RiseHorizonSteps is the imminent-violation lookahead: if the healthy
+	// maximum plus its current rise rate extrapolated this many steps
+	// crosses the limit, escalate to the backstop before the violation.
+	RiseHorizonSteps int
+	// InterruptionSteps escalates to the backstop after this many
+	// consecutive interrupted (ACU power < 100 W) samples.
+	InterruptionSteps int
+	// InterruptionSlackC gates the interruption escalation on proximity to
+	// the limit: a compressor idling while the aisle sits this far below the
+	// limit is the unit legitimately satisfied (the paper's power-based CI
+	// definition cannot tell the two apart). At the paper's ~1 °C/min rise
+	// rate a 2 °C slack still gives two control periods of warning before a
+	// real interruption can threaten the constraint.
+	InterruptionSlackC float64
+	// StaleSteps escalates when delivered telemetry freezes (every DC series
+	// bit-identical to the previous step) for this many consecutive steps.
+	StaleSteps int
+	// EchoToleranceC / EchoSteps implement command-feedback verification: the
+	// delivered telemetry carries the ACU's latched set-point, which must
+	// echo what the supervisor commanded one step earlier (within the
+	// tolerance — the Modbus register quantizes to 0.01 °C). EchoSteps
+	// consecutive mismatches mean the feed is delayed or the actuator is
+	// ignoring commands; either way the optimizer's closed loop is broken
+	// and the supervisor escalates to the backstop.
+	EchoToleranceC float64
+	EchoSteps      int
+	// CmdBlankC / CmdBlankSteps implement set-point-change alarm blanking:
+	// after the commanded set-point rises by more than CmdBlankC in a single
+	// step (typically the hold stage re-engaging a warmer last-safe set-point
+	// from a crash-cooled room), the plant legitimately warms towards its new
+	// equilibrium and the compressor legitimately idles on the way, so the
+	// rise predictor and the interruption check are suppressed for
+	// CmdBlankSteps. The proximity, violation, staleness and healthy-majority
+	// checks stay armed throughout the blanking window, so a real fault
+	// during it is still caught at the limit.
+	CmdBlankC     float64
+	CmdBlankSteps int
+	// ViolationSteps is the debounce on the emergency stage: this many
+	// consecutive healthy-majority readings above the limit engage it.
+	ViolationSteps int
+
+	// DeescalateAfter is the hysteresis: consecutive benign steps required
+	// before stepping DOWN one stage. Escalation is never delayed.
+	DeescalateAfter int
+
+	// SetpointMinC / SetpointMaxC clamp the wrapped policy's output; outputs
+	// outside (or non-finite) are overridden and counted.
+	SetpointMinC, SetpointMaxC float64
+	// BackstopC is the S_min backstop set-point; EmergencyC the maximum
+	// cooling command. They coincide when the optimizer searches the full
+	// hardware range, but deployments with a narrowed search range keep an
+	// extra stage of authority here.
+	BackstopC, EmergencyC float64
+}
+
+// DefaultConfig returns the deployment defaults for a plant with the given
+// cold-aisle limit and set-point range: backstop and emergency both command
+// the range floor, validation thresholds are sized for the testbed's 1-minute
+// telemetry and ~0.1 °C probe noise.
+func DefaultConfig(coldLimitC, spMinC, spMaxC float64) Config {
+	return Config{
+		ColdLimitC:         coldLimitC,
+		MarginC:            0.15,
+		NumColdAisle:       11,
+		MinPlausibleC:      5,
+		MaxPlausibleC:      45,
+		Window:             15,
+		StuckStdC:          0.01,
+		SpikeC:             1.0,
+		DriftSlopeCPerStep: 0.04,
+		DriftSlopeFrac:     0.25,
+		QuarantineSteps:    10,
+		MinHealthyFrac:     0.5,
+		RiseHorizonSteps:   5,
+		InterruptionSteps:  2,
+		InterruptionSlackC: 2.0,
+		StaleSteps:         2,
+		EchoToleranceC:     0.02,
+		EchoSteps:          2,
+		CmdBlankC:          0.5,
+		CmdBlankSteps:      15,
+		ViolationSteps:     2,
+		DeescalateAfter:    5,
+		SetpointMinC:       spMinC,
+		SetpointMaxC:       spMaxC,
+		BackstopC:          spMinC,
+		EmergencyC:         spMinC,
+	}
+}
+
+// Validate reports unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.NumColdAisle < 1:
+		return fmt.Errorf("safety: need at least one cold-aisle sensor")
+	case c.Window < 2:
+		return fmt.Errorf("safety: validation window must cover at least 2 steps")
+	case c.MinPlausibleC >= c.MaxPlausibleC:
+		return fmt.Errorf("safety: plausible range [%g, %g] is empty", c.MinPlausibleC, c.MaxPlausibleC)
+	case c.SetpointMinC >= c.SetpointMaxC:
+		return fmt.Errorf("safety: set-point range [%g, %g] is empty", c.SetpointMinC, c.SetpointMaxC)
+	case c.QuarantineSteps < 1:
+		return fmt.Errorf("safety: QuarantineSteps must be positive")
+	case c.DeescalateAfter < 1:
+		return fmt.Errorf("safety: DeescalateAfter must be positive")
+	case c.MinHealthyFrac <= 0 || c.MinHealthyFrac > 1:
+		return fmt.Errorf("safety: MinHealthyFrac must be in (0, 1]")
+	case c.CmdBlankSteps < 0:
+		return fmt.Errorf("safety: CmdBlankSteps must be non-negative")
+	case c.EchoSteps < 1:
+		return fmt.Errorf("safety: EchoSteps must be positive")
+	}
+	return nil
+}
+
+// Stats are the supervisor's cumulative counters.
+type Stats struct {
+	Steps            uint64
+	Escalations      uint64
+	Overrides        uint64 // policy outputs replaced (non-finite / out of range)
+	QuarantineEvents uint64 // quarantine entries (not renewals)
+	ViolationSteps   uint64 // steps with the healthy-majority max above the limit
+	StepsAtLevel     [4]uint64
+}
+
+// Supervisor wraps a control.Policy with the staged safety state machine.
+// It implements control.Policy itself and is not safe for concurrent use —
+// one supervisor per control loop, like the policies it wraps.
+type Supervisor struct {
+	cfg   Config
+	inner control.Policy
+
+	level       Level
+	benignSteps int
+	maxLevel    Level
+
+	lastSafe     float64
+	haveLastSafe bool
+
+	lastCmd     float64
+	haveLastCmd bool
+	blankLeft   int // set-point-change blanking countdown
+
+	quarantine  []int // per-DC-sensor countdown; >0 means quarantined
+	healthyHist []float64
+	interrupted  int
+	stale        int
+	violating    int
+	nearLimit    int // consecutive steps with healthyMax inside the margin band
+	echoMismatch int // consecutive steps the set-point echo disagreed with lastCmd
+
+	stats  Stats
+	events []Event
+	sink   func(Event)
+}
+
+// maxEvents bounds the in-memory event ring.
+const maxEvents = 256
+
+// Wrap builds a supervisor around a policy.
+func Wrap(p control.Policy, cfg Config) (*Supervisor, error) {
+	if p == nil {
+		return nil, fmt.Errorf("safety: nil policy")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Supervisor{cfg: cfg, inner: p}, nil
+}
+
+// Name implements control.Policy.
+func (s *Supervisor) Name() string { return "safe-" + s.inner.Name() }
+
+// Inner returns the wrapped policy.
+func (s *Supervisor) Inner() control.Policy { return s.inner }
+
+// Level returns the current fallback stage.
+func (s *Supervisor) Level() Level { return s.level }
+
+// MaxLevel returns the most conservative stage reached so far.
+func (s *Supervisor) MaxLevel() Level { return s.maxLevel }
+
+// Stats returns the cumulative counters.
+func (s *Supervisor) Stats() Stats { return s.stats }
+
+// Events returns a copy of the recent structured events (at most the last
+// 256; the sink sees every one).
+func (s *Supervisor) Events() []Event { return append([]Event(nil), s.events...) }
+
+// SetSink installs a callback invoked synchronously for every event
+// (telemetry recording). Pass nil to disable.
+func (s *Supervisor) SetSink(fn func(Event)) { s.sink = fn }
+
+// Quarantined returns the currently quarantined DC-sensor indices.
+func (s *Supervisor) Quarantined() []int {
+	var out []int
+	for i, q := range s.quarantine {
+		if q > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (s *Supervisor) emit(e Event) {
+	if len(s.events) == maxEvents {
+		copy(s.events, s.events[1:])
+		s.events = s.events[:maxEvents-1]
+	}
+	s.events = append(s.events, e)
+	if s.sink != nil {
+		s.sink(e)
+	}
+}
+
+// Decide implements control.Policy: validate telemetry, update the stage and
+// return the set-point the stage dictates. The wrapped policy only runs — and
+// only updates its internal state — while the supervisor is at LevelNormal,
+// so a poisoned trace never reaches the model or the error monitor.
+func (s *Supervisor) Decide(tr *dataset.Trace, t int) float64 {
+	s.stats.Steps++
+	v := s.validate(tr, t)
+	s.updateLevel(tr, t, v)
+	s.stats.StepsAtLevel[s.level]++
+
+	var sp float64
+	switch s.level {
+	case LevelHold:
+		sp = s.cfg.BackstopC
+		if s.haveLastSafe {
+			sp = s.lastSafe
+		}
+	case LevelBackstop:
+		sp = s.cfg.BackstopC
+	case LevelEmergency:
+		sp = s.cfg.EmergencyC
+	default:
+		sp = s.inner.Decide(tr, t)
+		if math.IsNaN(sp) || math.IsInf(sp, 0) || sp < s.cfg.SetpointMinC || sp > s.cfg.SetpointMaxC {
+			s.stats.Overrides++
+			s.emit(Event{Step: t, TimeS: timeAt(tr, t), Kind: EventOverride, Level: s.level, Sensor: -1,
+				Detail: fmt.Sprintf("policy %s returned %g, using backstop %g", s.inner.Name(), sp, s.cfg.BackstopC)})
+			sp = s.cfg.BackstopC
+		}
+		// Record the set-point as "last safe" only while the plant is
+		// verifiably comfortable: healthy constraint evaluation well inside
+		// the limit.
+		if !math.IsNaN(v.healthyMax) && v.healthyMax <= s.cfg.ColdLimitC-s.cfg.MarginC {
+			s.lastSafe = sp
+			s.haveLastSafe = true
+		}
+	}
+	// A large commanded rise makes warming — and an idling compressor — the
+	// expected plant response for the next several steps; arm the alarm
+	// blanking so updateLevel doesn't mistake the transient for a fault.
+	if s.haveLastCmd && sp > s.lastCmd+s.cfg.CmdBlankC {
+		s.blankLeft = s.cfg.CmdBlankSteps
+	}
+	s.lastCmd, s.haveLastCmd = sp, true
+	return sp
+}
+
+// verdict is one step's telemetry assessment.
+type verdict struct {
+	healthyMax  float64 // max cold-aisle reading over healthy probes (NaN if none)
+	healthyFrac float64 // healthy fraction of the cold-aisle set
+	riseRate    float64 // °C/step trend of healthyMax
+	stale       bool    // delivered telemetry frozen this step
+}
+
+// validate refreshes every probe's quarantine state and evaluates the
+// constraint over the healthy majority.
+func (s *Supervisor) validate(tr *dataset.Trace, t int) verdict {
+	nd := tr.Nd()
+	if len(s.quarantine) < nd {
+		s.quarantine = append(s.quarantine, make([]int, nd-len(s.quarantine))...)
+	}
+	nCold := s.cfg.NumColdAisle
+	if nCold > nd {
+		nCold = nd
+	}
+
+	// Staleness: the whole delivered vector is bit-identical to the
+	// previous step's (collector outage / frozen gateway).
+	stale := false
+	if t > 0 && nd > 0 {
+		stale = true
+		for i := 0; i < nd; i++ {
+			if tr.DCTemps[i][t] != tr.DCTemps[i][t-1] {
+				stale = false
+				break
+			}
+		}
+	}
+	if stale {
+		s.stale++
+	} else {
+		s.stale = 0
+	}
+
+	coldSlopes := s.coldSlopes(tr, t, nCold)
+
+	// Per-probe deviation from its own window median, plus the consensus of
+	// those deviations across the cold aisle: a commanded transient or a
+	// real thermal event moves every cold-aisle probe away from its window
+	// median together (they share the supply path), so only the *residual*
+	// deviation indicts a probe. The consensus deliberately excludes the
+	// other DC probes — hot-area sensors respond far slower, and mixing the
+	// two populations would indict whichever group is smaller during every
+	// transient.
+	devs := make([]float64, nd)
+	stds := make([]float64, nd)
+	consensusDev := 0.0
+	for i := range devs {
+		devs[i], stds[i] = math.NaN(), math.NaN()
+	}
+	if lo := t - s.cfg.Window + 1; lo >= 0 {
+		finite := make([]float64, 0, nCold)
+		for i := 0; i < nd; i++ {
+			v := tr.DCTemps[i][t]
+			if math.IsNaN(v) {
+				continue
+			}
+			med, std := windowStats(tr.DCTemps[i], lo, t+1)
+			if math.IsNaN(med) {
+				continue
+			}
+			devs[i], stds[i] = v-med, std
+			if i < nCold {
+				finite = append(finite, devs[i])
+			}
+		}
+		if len(finite) > 0 {
+			consensusDev = median(finite)
+		}
+	}
+
+	for i := 0; i < nd; i++ {
+		v := tr.DCTemps[i][t]
+		offense := ""
+		switch {
+		case math.IsNaN(v):
+			offense = "NaN reading"
+		case v < s.cfg.MinPlausibleC || v > s.cfg.MaxPlausibleC:
+			offense = fmt.Sprintf("implausible reading %.2f°C", v)
+		default:
+			if !math.IsNaN(devs[i]) {
+				switch {
+				// Spike and drift checks compare against the cold-aisle
+				// consensus, so they only apply inside that group; the
+				// remaining probes don't feed the constraint and keep just
+				// the unconditional checks.
+				case i < nCold && math.Abs(devs[i]-consensusDev) > s.cfg.SpikeC:
+					offense = fmt.Sprintf("spike %+.2f°C vs cold-aisle consensus %+.2f°C", devs[i], consensusDev)
+				case stds[i] < s.cfg.StuckStdC && !stale:
+					// A frozen sample freezes every series at once; blame
+					// the telemetry path, not the individual probes.
+					offense = fmt.Sprintf("flat-lined (std %.4f°C)", stds[i])
+				}
+			}
+			if offense == "" && i < nCold && coldSlopes != nil {
+				// The tolerance widens with the consensus trend: local gains
+				// differ, so a fast commanded transient spreads healthy
+				// slopes apart in proportion to its speed.
+				tol := s.cfg.DriftSlopeCPerStep + s.cfg.DriftSlopeFrac*math.Abs(coldSlopes.median)
+				if dev := math.Abs(coldSlopes.slope[i] - coldSlopes.median); dev > tol {
+					offense = fmt.Sprintf("drifting %+.3f°C/step off the cold-aisle consensus", coldSlopes.slope[i]-coldSlopes.median)
+				}
+			}
+		}
+		switch {
+		case offense != "":
+			if s.quarantine[i] == 0 {
+				s.stats.QuarantineEvents++
+				s.emit(Event{Step: t, TimeS: timeAt(tr, t), Kind: EventQuarantine, Level: s.level,
+					Sensor: i, Detail: offense})
+			}
+			s.quarantine[i] = s.cfg.QuarantineSteps
+		case s.quarantine[i] > 0:
+			s.quarantine[i]--
+			if s.quarantine[i] == 0 {
+				s.emit(Event{Step: t, TimeS: timeAt(tr, t), Kind: EventRestore, Level: s.level,
+					Sensor: i, Detail: "healthy again"})
+			}
+		}
+	}
+
+	out := verdict{healthyMax: math.NaN(), stale: stale}
+	healthy := 0
+	for i := 0; i < nCold; i++ {
+		if s.quarantine[i] > 0 {
+			continue
+		}
+		v := tr.DCTemps[i][t]
+		if math.IsNaN(v) {
+			continue
+		}
+		healthy++
+		if math.IsNaN(out.healthyMax) || v > out.healthyMax {
+			out.healthyMax = v
+		}
+	}
+	if nCold > 0 {
+		out.healthyFrac = float64(healthy) / float64(nCold)
+	}
+
+	// Rise rate of the healthy maximum over the lookahead horizon. The trend
+	// is trusted only once the window is full: a single-step jump (e.g. the
+	// transient after a set-point change) is not a sustained rise.
+	if !math.IsNaN(out.healthyMax) {
+		s.healthyHist = append(s.healthyHist, out.healthyMax)
+		if n := s.cfg.RiseHorizonSteps + 1; len(s.healthyHist) > n {
+			s.healthyHist = s.healthyHist[len(s.healthyHist)-n:]
+		}
+		if len(s.healthyHist) == s.cfg.RiseHorizonSteps+1 && len(s.healthyHist) >= 2 {
+			if sl := windowSlope(s.healthyHist, 0, len(s.healthyHist)); !math.IsNaN(sl) {
+				out.riseRate = sl
+			}
+		}
+	}
+	return out
+}
+
+// coldTrend holds per-sensor window slopes and their median.
+type coldTrend struct {
+	slope  []float64
+	median float64
+}
+
+// coldSlopes fits a least-squares trend per cold-aisle series over the
+// validation window; nil when the trace is still too short.
+func (s *Supervisor) coldSlopes(tr *dataset.Trace, t, nCold int) *coldTrend {
+	lo := t - s.cfg.Window + 1
+	if lo < 0 || nCold == 0 {
+		return nil
+	}
+	ct := &coldTrend{slope: make([]float64, nCold)}
+	sorted := make([]float64, 0, nCold)
+	for i := 0; i < nCold; i++ {
+		ct.slope[i] = windowSlope(tr.DCTemps[i], lo, t+1)
+		if !math.IsNaN(ct.slope[i]) {
+			sorted = append(sorted, ct.slope[i])
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
+	ct.median = median(sorted)
+	return ct
+}
+
+// updateLevel recomputes the desired stage from the verdict and applies the
+// hysteresis: escalate immediately, de-escalate one stage after
+// DeescalateAfter consecutive benign steps.
+func (s *Supervisor) updateLevel(tr *dataset.Trace, t int, v verdict) {
+	blanked := s.blankLeft > 0
+	if blanked {
+		s.blankLeft--
+	}
+	if t < len(tr.ACUPower) && tr.ACUPower[t] < 0.100 {
+		s.interrupted++
+	} else {
+		s.interrupted = 0
+	}
+	violated := !math.IsNaN(v.healthyMax) && v.healthyMax > s.cfg.ColdLimitC
+	if violated {
+		s.violating++
+		s.stats.ViolationSteps++
+	} else {
+		s.violating = 0
+	}
+	if !math.IsNaN(v.healthyMax) && v.healthyMax > s.cfg.ColdLimitC-s.cfg.MarginC {
+		s.nearLimit++
+	} else {
+		s.nearLimit = 0
+	}
+	if s.haveLastCmd && t >= 0 && t < len(tr.Setpoint) &&
+		math.Abs(tr.Setpoint[t]-s.lastCmd) > s.cfg.EchoToleranceC {
+		s.echoMismatch++
+	} else {
+		s.echoMismatch = 0
+	}
+
+	desired := LevelNormal
+	var why string
+	switch {
+	case s.violating >= s.cfg.ViolationSteps:
+		desired = LevelEmergency
+		why = fmt.Sprintf("healthy-majority max %.2f°C above the %.2f°C limit for %d steps",
+			v.healthyMax, s.cfg.ColdLimitC, s.violating)
+	case math.IsNaN(v.healthyMax) || v.healthyFrac < s.cfg.MinHealthyFrac:
+		desired = LevelBackstop
+		why = fmt.Sprintf("only %.0f%% of cold-aisle probes healthy — constraint unverifiable", 100*v.healthyFrac)
+	case s.stale >= s.cfg.StaleSteps:
+		desired = LevelBackstop
+		why = fmt.Sprintf("telemetry frozen for %d steps", s.stale)
+	case s.echoMismatch >= s.cfg.EchoSteps:
+		desired = LevelBackstop
+		why = fmt.Sprintf("commanded %.2f°C but telemetry echoes %.2f°C (%d steps) — delayed feed or latched actuator",
+			s.lastCmd, tr.Setpoint[t], s.echoMismatch)
+	case !blanked && s.interrupted >= s.cfg.InterruptionSteps &&
+		!math.IsNaN(v.healthyMax) && v.healthyMax > s.cfg.ColdLimitC-s.cfg.InterruptionSlackC:
+		// An idle compressor with the aisle far below the limit is a
+		// satisfied unit, not a lost one — the power signal alone cannot
+		// distinguish them (and the backstop would itself idle the
+		// compressor once the room is over-cooled, ping-ponging forever).
+		desired = LevelBackstop
+		why = fmt.Sprintf("cooling interrupted for %d steps at %.2f°C", s.interrupted, v.healthyMax)
+	case s.nearLimit >= s.cfg.ViolationSteps && v.riseRate > 0:
+		// Persistently inside the margin band AND still warming: holding is
+		// demonstrably insufficient. Never blanked — a commanded recovery
+		// settles below the band (last-safe set-points are only recorded
+		// there), so warming *into* it is always uncommanded.
+		desired = LevelBackstop
+		why = fmt.Sprintf("%.2f°C within %.2f°C of the limit for %d steps and rising",
+			v.healthyMax, s.cfg.MarginC, s.nearLimit)
+	case !blanked && v.riseRate > 0 &&
+		v.healthyMax+v.riseRate*float64(s.cfg.RiseHorizonSteps) > s.cfg.ColdLimitC:
+		desired = LevelBackstop
+		why = fmt.Sprintf("imminent violation: %.2f°C rising %.3f°C/step", v.healthyMax, v.riseRate)
+	case v.healthyMax > s.cfg.ColdLimitC-s.cfg.MarginC:
+		desired = LevelHold
+		why = fmt.Sprintf("healthy-majority max %.2f°C within %.2f°C of the limit", v.healthyMax, s.cfg.MarginC)
+	case s.anyQuarantined() || v.stale:
+		desired = LevelHold
+		why = "degraded telemetry (quarantined probes)"
+	}
+
+	switch {
+	case desired > s.level:
+		s.level = desired
+		s.benignSteps = 0
+		s.stats.Escalations++
+		if s.level > s.maxLevel {
+			s.maxLevel = s.level
+		}
+		s.emit(Event{Step: t, TimeS: timeAt(tr, t), Kind: EventEscalate, Level: s.level, Sensor: -1, Detail: why})
+	case desired < s.level:
+		s.benignSteps++
+		if s.benignSteps >= s.cfg.DeescalateAfter {
+			s.level--
+			s.benignSteps = 0
+			s.emit(Event{Step: t, TimeS: timeAt(tr, t), Kind: EventDeescalate, Level: s.level, Sensor: -1,
+				Detail: "telemetry and constraint benign"})
+		}
+	default:
+		s.benignSteps = 0
+	}
+}
+
+func (s *Supervisor) anyQuarantined() bool {
+	for _, q := range s.quarantine {
+		if q > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func timeAt(tr *dataset.Trace, t int) float64 {
+	if t >= 0 && t < len(tr.TimeS) {
+		return tr.TimeS[t]
+	}
+	return 0
+}
+
+// windowStats returns the median and standard deviation of series[lo:hi],
+// skipping NaNs.
+func windowStats(series []float64, lo, hi int) (med, std float64) {
+	vals := make([]float64, 0, hi-lo)
+	var sum, sum2 float64
+	for _, v := range series[lo:hi] {
+		if math.IsNaN(v) {
+			continue
+		}
+		vals = append(vals, v)
+		sum += v
+		sum2 += v * v
+	}
+	if len(vals) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	n := float64(len(vals))
+	mean := sum / n
+	std = math.Sqrt(math.Max(0, sum2/n-mean*mean))
+	return median(vals), std
+}
+
+// windowSlope is the least-squares trend of series[lo:hi] in units per step,
+// NaN when fewer than two finite samples exist.
+func windowSlope(series []float64, lo, hi int) float64 {
+	var n, sx, sy, sxy, sxx float64
+	for k, v := range series[lo:hi] {
+		if math.IsNaN(v) {
+			continue
+		}
+		x := float64(k)
+		n++
+		sx += x
+		sy += v
+		sxy += x * v
+		sxx += x * x
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// median sorts vals in place and returns the middle value.
+func median(vals []float64) float64 {
+	// insertion sort: windows are tiny (≤ 15 entries).
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return 0.5 * (vals[n/2-1] + vals[n/2])
+}

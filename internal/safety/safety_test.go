@@ -1,0 +1,456 @@
+package safety
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/control"
+	"tesla/internal/dataset"
+	"tesla/internal/rng"
+)
+
+// stubPolicy is a controllable inner policy.
+type stubPolicy struct {
+	out   float64
+	calls int
+}
+
+func (p *stubPolicy) Name() string { return "stub" }
+func (p *stubPolicy) Decide(tr *dataset.Trace, t int) float64 {
+	p.calls++
+	return p.out
+}
+
+var _ control.Policy = (*stubPolicy)(nil)
+
+// testConfig returns a small, fast configuration: 5 cold-aisle probes out of
+// 6 DC sensors, an 8-step validation window, short quarantine and hysteresis.
+func testConfig() Config {
+	cfg := DefaultConfig(22, 20, 35)
+	cfg.NumColdAisle = 5
+	cfg.Window = 8
+	// The test traces use 0.03 °C noise (vs ~0.1 °C on the real probes), so
+	// the flat-line threshold scales down with it.
+	cfg.StuckStdC = 0.005
+	cfg.QuarantineSteps = 3
+	cfg.DeescalateAfter = 2
+	cfg.RiseHorizonSteps = 3
+	return cfg
+}
+
+// mkTrace builds a trace with nd DC series around base (±0.03 °C noise) and
+// constant 2 kW ACU power.
+func mkTrace(nd, n int, base float64, seed uint64) *dataset.Trace {
+	r := rng.New(seed)
+	tr := &dataset.Trace{DCTemps: make([][]float64, nd)}
+	for t := 0; t < n; t++ {
+		tr.TimeS = append(tr.TimeS, float64(t)*60)
+		tr.ACUPower = append(tr.ACUPower, 2.0)
+		for i := 0; i < nd; i++ {
+			tr.DCTemps[i] = append(tr.DCTemps[i], base+0.03*r.Norm())
+		}
+	}
+	return tr
+}
+
+func newSup(t *testing.T, cfg Config, inner control.Policy) *Supervisor {
+	t.Helper()
+	s, err := Wrap(inner, cfg)
+	if err != nil {
+		t.Fatalf("Wrap: %v", err)
+	}
+	return s
+}
+
+// run drives the supervisor over every step of the trace, returning the last
+// decision.
+func run(s *Supervisor, tr *dataset.Trace) float64 {
+	var sp float64
+	for t := 0; t < tr.Len(); t++ {
+		sp = s.Decide(tr, t)
+	}
+	return sp
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NumColdAisle = 0 },
+		func(c *Config) { c.Window = 1 },
+		func(c *Config) { c.MinPlausibleC = 50 },
+		func(c *Config) { c.SetpointMinC = 40 },
+		func(c *Config) { c.QuarantineSteps = 0 },
+		func(c *Config) { c.DeescalateAfter = 0 },
+		func(c *Config) { c.MinHealthyFrac = 0 },
+	}
+	for i, mut := range bad {
+		c := testConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Wrap(nil, good); err == nil {
+		t.Error("Wrap accepted a nil policy")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	want := map[Level]string{
+		LevelNormal: "normal", LevelHold: "hold-last-safe",
+		LevelBackstop: "backstop", LevelEmergency: "emergency",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), l.String(), s)
+		}
+	}
+}
+
+func TestHealthyPassThrough(t *testing.T) {
+	inner := &stubPolicy{out: 27}
+	s := newSup(t, testConfig(), inner)
+	tr := mkTrace(6, 60, 20.5, 1)
+	sp := run(s, tr)
+	if sp != 27 {
+		t.Fatalf("healthy pass-through returned %g, want 27", sp)
+	}
+	if s.Level() != LevelNormal || s.MaxLevel() != LevelNormal {
+		t.Fatalf("healthy trace left level=%v maxLevel=%v", s.Level(), s.MaxLevel())
+	}
+	if inner.calls != 60 {
+		t.Fatalf("inner called %d times, want 60", inner.calls)
+	}
+	if st := s.Stats(); st.Escalations != 0 || st.QuarantineEvents != 0 || st.Overrides != 0 {
+		t.Fatalf("healthy trace produced events: %+v", st)
+	}
+	if s.Name() != "safe-stub" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+}
+
+func TestNaNQuarantineAndRestore(t *testing.T) {
+	cfg := testConfig()
+	inner := &stubPolicy{out: 27}
+	s := newSup(t, cfg, inner)
+	tr := mkTrace(6, 60, 20.5, 2)
+	// Sensor 2 drops out (NaN) for steps 20–24, healthy again after.
+	for ts := 20; ts < 25; ts++ {
+		tr.DCTemps[2][ts] = math.NaN()
+	}
+	run(s, tr)
+
+	var sawQ, sawR bool
+	for _, e := range s.Events() {
+		if e.Kind == EventQuarantine && e.Sensor == 2 {
+			sawQ = true
+		}
+		if e.Kind == EventRestore && e.Sensor == 2 {
+			sawR = true
+		}
+	}
+	if !sawQ || !sawR {
+		t.Fatalf("quarantine/restore events missing: q=%v r=%v events=%v", sawQ, sawR, s.Events())
+	}
+	if s.MaxLevel() != LevelHold {
+		t.Fatalf("single dropout escalated to %v, want hold", s.MaxLevel())
+	}
+	if s.Level() != LevelNormal {
+		t.Fatalf("supervisor did not recover to normal: %v", s.Level())
+	}
+	if len(s.Quarantined()) != 0 {
+		t.Fatalf("quarantine list not empty at end: %v", s.Quarantined())
+	}
+}
+
+func TestSpikeDoesNotTriggerEmergency(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	tr := mkTrace(6, 60, 20.8, 3)
+	// Sensor 0 bursts above the ASHRAE limit for 4 steps — a noise burst,
+	// not a real thermal event (everything else stays at 20.8).
+	for ts := 30; ts < 34; ts++ {
+		tr.DCTemps[0][ts] = 23.5
+	}
+	run(s, tr)
+	if s.MaxLevel() >= LevelEmergency {
+		t.Fatalf("a single noisy probe reached %v; majority evaluation should have quarantined it", s.MaxLevel())
+	}
+	if st := s.Stats(); st.ViolationSteps != 0 {
+		t.Fatalf("spurious spike counted as %d violation steps", st.ViolationSteps)
+	}
+	if st := s.Stats(); st.QuarantineEvents == 0 {
+		t.Fatal("spiking probe was never quarantined")
+	}
+}
+
+func TestStuckSensorQuarantined(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	tr := mkTrace(6, 60, 20.5, 4)
+	// Sensor 1 flat-lines at exactly 21.3 from step 10 on.
+	for ts := 10; ts < 60; ts++ {
+		tr.DCTemps[1][ts] = 21.3
+	}
+	run(s, tr)
+	found := false
+	for _, e := range s.Events() {
+		if e.Kind == EventQuarantine && e.Sensor == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("flat-lined sensor never quarantined")
+	}
+	if got := s.Quarantined(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Quarantined() = %v, want [1]", got)
+	}
+}
+
+func TestDriftingSensorQuarantined(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	tr := mkTrace(6, 60, 20.5, 5)
+	// Sensor 0 drifts +0.1 °C/step from step 20 while the room holds steady —
+	// too slow for the spike check, but far off the cold-aisle consensus.
+	for ts := 20; ts < 60; ts++ {
+		tr.DCTemps[0][ts] += 0.1 * float64(ts-19)
+	}
+	quarantined := false
+	for ts := 0; ts < tr.Len(); ts++ {
+		s.Decide(tr, ts)
+		for _, i := range s.Quarantined() {
+			if i == 0 {
+				quarantined = true
+			}
+		}
+		if quarantined {
+			break
+		}
+	}
+	if !quarantined {
+		t.Fatal("drifting sensor never quarantined")
+	}
+	if s.MaxLevel() >= LevelEmergency {
+		t.Fatalf("drift escalated to %v", s.MaxLevel())
+	}
+}
+
+func TestMajorityLossEscalatesToBackstop(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	tr := mkTrace(6, 40, 20.5, 6)
+	// Three of five cold-aisle probes drop out from step 20 → 40% healthy.
+	for ts := 20; ts < 40; ts++ {
+		for _, i := range []int{0, 2, 4} {
+			tr.DCTemps[i][ts] = math.NaN()
+		}
+	}
+	sp := run(s, tr)
+	if s.Level() != LevelBackstop {
+		t.Fatalf("majority loss left level %v, want backstop", s.Level())
+	}
+	if sp != s.cfg.BackstopC {
+		t.Fatalf("backstop level returned %g, want %g", sp, s.cfg.BackstopC)
+	}
+}
+
+func TestRealViolationReachesEmergency(t *testing.T) {
+	cfg := testConfig()
+	inner := &stubPolicy{out: 30}
+	s := newSup(t, cfg, inner)
+	tr := mkTrace(6, 80, 21.0, 7)
+	// From step 40 the whole cold aisle ramps through the limit: every probe
+	// agrees, so this is a real thermal event.
+	for ts := 40; ts < 80; ts++ {
+		for i := 0; i < 6; i++ {
+			tr.DCTemps[i][ts] += 0.06 * float64(ts-39)
+		}
+	}
+	sp := run(s, tr)
+	if s.MaxLevel() != LevelEmergency {
+		t.Fatalf("sustained real violation peaked at %v, want emergency", s.MaxLevel())
+	}
+	if s.Level() == LevelEmergency && sp != cfg.EmergencyC {
+		t.Fatalf("emergency level returned %g, want %g", sp, cfg.EmergencyC)
+	}
+	if st := s.Stats(); st.ViolationSteps == 0 {
+		t.Fatal("violation steps not counted")
+	}
+	// The optimizer must not have been consulted while escalated.
+	callsBefore := inner.calls
+	s.Decide(tr, tr.Len()-1)
+	if inner.calls != callsBefore {
+		t.Fatal("inner policy consulted while in emergency")
+	}
+}
+
+func TestInterruptionEscalatesToBackstop(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	tr := mkTrace(6, 40, 20.5, 8)
+	// ACU power collapses below the 100 W interruption threshold at step 25.
+	for ts := 25; ts < 40; ts++ {
+		tr.ACUPower[ts] = 0.05
+	}
+	run(s, tr)
+	if s.MaxLevel() != LevelBackstop {
+		t.Fatalf("interruption peaked at %v, want backstop", s.MaxLevel())
+	}
+}
+
+func TestStaleTelemetryEscalates(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	tr := mkTrace(6, 40, 20.5, 9)
+	// The collector freezes: steps 25+ deliver bit-identical vectors.
+	for ts := 25; ts < 40; ts++ {
+		for i := 0; i < 6; i++ {
+			tr.DCTemps[i][ts] = tr.DCTemps[i][24]
+		}
+	}
+	run(s, tr)
+	if s.MaxLevel() != LevelBackstop {
+		t.Fatalf("frozen telemetry peaked at %v, want backstop", s.MaxLevel())
+	}
+	// The frozen sample must be blamed on the telemetry path, not on the
+	// individual probes (no mass flat-line quarantine).
+	if st := s.Stats(); st.QuarantineEvents != 0 {
+		t.Fatalf("stale telemetry quarantined %d probes", st.QuarantineEvents)
+	}
+}
+
+func TestEchoMismatchEscalates(t *testing.T) {
+	// A faithful echo keeps the supervisor at normal; a feed whose latched
+	// set-point disagrees with the issued command (delayed collector or
+	// latched actuator) must reach the backstop.
+	agree := newSup(t, testConfig(), &stubPolicy{out: 24})
+	trOK := mkTrace(6, 30, 20.5, 11)
+	trOK.Setpoint = make([]float64, trOK.Len())
+	for ts := range trOK.Setpoint {
+		trOK.Setpoint[ts] = 24
+	}
+	run(agree, trOK)
+	if agree.MaxLevel() != LevelNormal {
+		t.Fatalf("faithful echo peaked at %v, want normal", agree.MaxLevel())
+	}
+
+	disagree := newSup(t, testConfig(), &stubPolicy{out: 24})
+	trBad := mkTrace(6, 30, 20.5, 11)
+	trBad.Setpoint = make([]float64, trBad.Len())
+	for ts := range trBad.Setpoint {
+		trBad.Setpoint[ts] = 25 // never matches the commanded 24 °C
+	}
+	sp := run(disagree, trBad)
+	if disagree.MaxLevel() != LevelBackstop {
+		t.Fatalf("echo mismatch peaked at %v, want backstop", disagree.MaxLevel())
+	}
+	if sp != testConfig().BackstopC {
+		t.Fatalf("backstop commanded %.2f °C, want %.2f", sp, testConfig().BackstopC)
+	}
+}
+
+func TestDeescalationIsStagedWithHysteresis(t *testing.T) {
+	cfg := testConfig()
+	s := newSup(t, cfg, &stubPolicy{out: 27})
+	tr := mkTrace(6, 60, 20.5, 10)
+	for ts := 20; ts < 24; ts++ {
+		tr.ACUPower[ts] = 0.05 // brief interruption
+	}
+	var levels []Level
+	for ts := 0; ts < tr.Len(); ts++ {
+		s.Decide(tr, ts)
+		levels = append(levels, s.Level())
+	}
+	if s.MaxLevel() != LevelBackstop {
+		t.Fatalf("interruption peaked at %v", s.MaxLevel())
+	}
+	if s.Level() != LevelNormal {
+		t.Fatalf("never recovered to normal: %v", s.Level())
+	}
+	// De-escalation must pass through hold (one stage at a time).
+	sawHold := false
+	for i := 1; i < len(levels); i++ {
+		if levels[i-1] == LevelBackstop && levels[i] == LevelNormal {
+			t.Fatal("de-escalated two stages in one step")
+		}
+		if levels[i] == LevelHold {
+			sawHold = true
+		}
+	}
+	if !sawHold {
+		t.Fatal("recovery skipped the hold stage")
+	}
+}
+
+func TestHoldReturnsLastSafeSetpoint(t *testing.T) {
+	cfg := testConfig()
+	cfg.RiseHorizonSteps = 0 // isolate the hold stage from the rise predictor
+	inner := &stubPolicy{out: 27}
+	s := newSup(t, cfg, inner)
+	tr := mkTrace(6, 40, 21.0, 11)
+	// Step change to just inside the margin band (21.9 > 22 − 0.15): the
+	// plant is not yet violating, but the optimizer output is frozen out.
+	for ts := 25; ts < 40; ts++ {
+		for i := 0; i < 6; i++ {
+			tr.DCTemps[i][ts] = 21.9 + (tr.DCTemps[i][ts] - 21.0)
+		}
+	}
+	sp := run(s, tr)
+	if s.Level() != LevelHold {
+		t.Fatalf("margin band left level %v, want hold", s.Level())
+	}
+	if sp != 27 {
+		t.Fatalf("hold returned %g, want the last safe set-point 27", sp)
+	}
+}
+
+func TestPolicyOverride(t *testing.T) {
+	cfg := testConfig()
+	inner := &stubPolicy{out: math.NaN()}
+	s := newSup(t, cfg, inner)
+	tr := mkTrace(6, 20, 20.5, 12)
+	sp := run(s, tr)
+	if sp != cfg.BackstopC {
+		t.Fatalf("NaN policy output returned %g, want backstop %g", sp, cfg.BackstopC)
+	}
+	if st := s.Stats(); st.Overrides != 20 {
+		t.Fatalf("overrides = %d, want 20", st.Overrides)
+	}
+	inner.out = 55 // above the set-point range
+	if got := s.Decide(tr, tr.Len()-1); got != cfg.BackstopC {
+		t.Fatalf("out-of-range output returned %g", got)
+	}
+}
+
+func TestSinkSeesEveryEvent(t *testing.T) {
+	s := newSup(t, testConfig(), &stubPolicy{out: 27})
+	var got []Event
+	s.SetSink(func(e Event) { got = append(got, e) })
+	tr := mkTrace(6, 40, 20.5, 13)
+	for ts := 20; ts < 24; ts++ {
+		tr.DCTemps[3][ts] = math.NaN()
+	}
+	run(s, tr)
+	if len(got) == 0 {
+		t.Fatal("sink received no events")
+	}
+	if len(got) != len(s.Events()) {
+		t.Fatalf("sink saw %d events, ring holds %d", len(got), len(s.Events()))
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	mk := func() (Level, Stats, int) {
+		s := newSup(t, testConfig(), &stubPolicy{out: 27})
+		tr := mkTrace(6, 80, 21.0, 14)
+		for ts := 30; ts < 36; ts++ {
+			tr.DCTemps[2][ts] = math.NaN()
+			tr.ACUPower[ts] = 0.05
+		}
+		run(s, tr)
+		return s.Level(), s.Stats(), len(s.Events())
+	}
+	l1, st1, n1 := mk()
+	l2, st2, n2 := mk()
+	if l1 != l2 || st1 != st2 || n1 != n2 {
+		t.Fatalf("supervisor not deterministic: (%v %+v %d) vs (%v %+v %d)", l1, st1, n1, l2, st2, n2)
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import "sync"
+
+// Entry is one structured operational event: a safety-stage transition, a
+// sensor quarantine, a policy override. The event log is the observability
+// counterpart of the time-series store — discrete happenings instead of
+// sampled series.
+type Entry struct {
+	TimeS  float64 `json:"time_s"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail"`
+}
+
+// EventLog is a bounded, thread-safe ring of operational events plus
+// cumulative per-kind counters. Appends past the capacity evict the oldest
+// entry; the counters never reset.
+type EventLog struct {
+	mu      sync.Mutex
+	cap     int
+	start   int // ring read position
+	entries []Entry
+	counts  map[string]uint64
+	total   uint64
+}
+
+// NewEventLog returns an empty log retaining at most capacity entries
+// (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{cap: capacity, counts: map[string]uint64{}}
+}
+
+// Append records one event, evicting the oldest when full.
+func (l *EventLog) Append(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.start] = e
+		l.start = (l.start + 1) % l.cap
+	}
+	l.counts[e.Kind]++
+	l.total++
+}
+
+// Recent returns up to n retained events, oldest first. n <= 0 returns all
+// retained entries.
+func (l *EventLog) Recent(n int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := len(l.entries)
+	if n <= 0 || n > m {
+		n = m
+	}
+	out := make([]Entry, 0, n)
+	for i := m - n; i < m; i++ {
+		out = append(out, l.entries[(l.start+i)%len(l.entries)])
+	}
+	return out
+}
+
+// Counts returns a copy of the cumulative per-kind counters.
+func (l *EventLog) Counts() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns how many events were ever appended.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

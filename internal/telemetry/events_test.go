@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestEventLogRingAndCounts(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		kind := "escalate"
+		if i%2 == 1 {
+			kind = "sensor-quarantine"
+		}
+		l.Append(Entry{TimeS: float64(i), Kind: kind, Detail: "x"})
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+	rec := l.Recent(0)
+	if len(rec) != 3 || rec[0].TimeS != 2 || rec[2].TimeS != 4 {
+		t.Fatalf("recent = %+v, want times 2..4", rec)
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].TimeS != 3 {
+		t.Fatalf("recent(2) = %+v", got)
+	}
+	want := map[string]uint64{"escalate": 3, "sensor-quarantine": 2}
+	if got := l.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+}
+
+func TestEventLogConcurrentAppend(t *testing.T) {
+	l := NewEventLog(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Entry{Kind: "k"})
+				l.Recent(4)
+				l.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 || l.Counts()["k"] != 800 {
+		t.Fatalf("total = %d counts = %v", l.Total(), l.Counts())
+	}
+}

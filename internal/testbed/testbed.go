@@ -11,6 +11,7 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 
 	"tesla/internal/acu"
 	"tesla/internal/cluster"
@@ -63,6 +64,12 @@ type Sample struct {
 	TotalIT      float64 // total IT power (kW)
 	AvgUtil      float64 // fleet-average CPU utilization
 	MaxColdAisle float64 // max cold-aisle sensor reading (constraint, eq. 9)
+
+	// TrueMaxColdC is the ground-truth maximum cold-aisle temperature at the
+	// probe locations — no measurement noise, no injected fault. Step hooks
+	// never touch it, so safety experiments can score real (physical) ASHRAE
+	// violations even while the delivered telemetry is being corrupted.
+	TrueMaxColdC float64
 }
 
 // Clone deep-copies the sample (slices included).
@@ -73,6 +80,19 @@ func (s Sample) Clone() Sample {
 	return out
 }
 
+// StepHook lets external components — the fault-injection engine in
+// internal/faults — intervene in the sampling loop. Hooks run synchronously
+// on the simulation goroutine, once per control period.
+type StepHook interface {
+	// BeforeStep runs before the physics integration of a sample period; it
+	// may mutate plant state (sensor fault modes, ACU fault switches).
+	BeforeStep(tb *Testbed)
+	// AfterSample may mutate the telemetry sample before it is delivered
+	// (telemetry-layer faults: gaps, delays). Ground-truth fields must be
+	// left alone.
+	AfterSample(tb *Testbed, s *Sample)
+}
+
 // Testbed is the live simulation.
 type Testbed struct {
 	cfg     Config
@@ -81,10 +101,12 @@ type Testbed struct {
 	ACU     *acu.ACU
 	Sensors *thermo.Array
 
-	rand   *rng.Rand
-	timeS  float64
-	driver *workload.Driver
-	orch   *workload.Orchestrator
+	rand      *rng.Rand
+	timeS     float64
+	driver    *workload.Driver
+	orch      *workload.Orchestrator
+	hooks     []StepHook
+	lastInlet float64
 }
 
 // New builds a testbed.
@@ -104,12 +126,13 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb := &Testbed{
-		cfg:     cfg,
-		Cluster: cluster.NewTestbed(),
-		Room:    room,
-		ACU:     unit,
-		Sensors: thermo.DefaultArray(),
-		rand:    rng.New(cfg.Seed),
+		cfg:       cfg,
+		Cluster:   cluster.NewTestbed(),
+		Room:      room,
+		ACU:       unit,
+		Sensors:   thermo.DefaultArray(),
+		rand:      rng.New(cfg.Seed),
+		lastInlet: room.ReturnC,
 	}
 	return tb, nil
 }
@@ -141,11 +164,17 @@ func (t *Testbed) UseOrchestrator(o *workload.Orchestrator) {
 // returns the latched value.
 func (t *Testbed) SetSetpoint(c float64) float64 { return t.ACU.SetSetpoint(c) }
 
+// AddStepHook registers a step hook; hooks run in registration order.
+func (t *Testbed) AddStepHook(h StepHook) { t.hooks = append(t.hooks, h) }
+
 // Advance runs the physics for one sample period and returns the telemetry
 // sample observed at its end. Power-integrating quantities (mean ACU power
 // over the period) are folded into the sample so trapezoidal energy
 // integration at the sample granularity stays accurate.
 func (t *Testbed) Advance() Sample {
+	for _, h := range t.hooks {
+		h.BeforeStep(t)
+	}
 	steps := int(t.cfg.SamplePeriodS/t.cfg.PhysicsDtS + 0.5)
 	var powerAcc float64
 	for i := 0; i < steps; i++ {
@@ -155,6 +184,9 @@ func (t *Testbed) Advance() Sample {
 	s := t.sampleNow()
 	s.ACUPowerKW = powerAcc / float64(steps)
 	s.Interrupted = s.ACUPowerKW < 0.100
+	for _, h := range t.hooks {
+		h.AfterSample(t, &s)
+	}
 	return s
 }
 
@@ -170,6 +202,13 @@ func (t *Testbed) stepOnce() {
 	t.Cluster.Step(dt, t.rand)
 
 	inlet := mean(t.Sensors.ReadACU(t.Room, t.rand, nil))
+	// A dropped-out inlet probe yields NaN; the real unit's firmware holds
+	// the last valid measurement rather than feeding NaN into its PID.
+	if math.IsNaN(inlet) {
+		inlet = t.lastInlet
+	} else {
+		t.lastInlet = inlet
+	}
 	cool := t.ACU.Step(dt, inlet, t.rand)
 	achieved := t.Room.Step(dt, t.Cluster.RackPowerKW(), cool)
 	t.ACU.BillAchieved(achieved, inlet)
@@ -191,6 +230,7 @@ func (t *Testbed) sampleNow() Sample {
 	s.TotalIT = t.Cluster.TotalPowerKW()
 	s.AvgUtil = t.Cluster.AverageUtil()
 	s.MaxColdAisle = t.Sensors.MaxColdAisle(s.DCTemps)
+	s.TrueMaxColdC = t.Sensors.TrueMaxColdAisle(t.Room)
 	return s
 }
 

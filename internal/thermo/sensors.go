@@ -2,6 +2,7 @@ package thermo
 
 import (
 	"fmt"
+	"math"
 
 	"tesla/internal/rng"
 )
@@ -33,11 +34,51 @@ func (n Node) String() string {
 	}
 }
 
+// FaultMode selects how a faulty probe misreports. FaultNone is the healthy
+// default; the other modes are the field-failure taxonomy the fault-injection
+// engine exercises (see internal/faults).
+type FaultMode int
+
+// Sensor fault modes.
+const (
+	// FaultNone reads normally.
+	FaultNone FaultMode = iota
+	// FaultStuck freezes the reading at StuckAt (dead probe, the dominant
+	// failure mode of cheap rack probes).
+	FaultStuck
+	// FaultDrift adds the accumulated DriftC bias to the reading (thermistor
+	// aging / detached probe slowly equalizing with ambient).
+	FaultDrift
+	// FaultDropout reports NaN (probe unplugged / bus CRC failure).
+	FaultDropout
+	// FaultNoise adds ExtraNoiseStd on top of the healthy measurement noise
+	// (electrical interference burst).
+	FaultNoise
+)
+
+// String implements fmt.Stringer.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultStuck:
+		return "stuck"
+	case FaultDrift:
+		return "drift"
+	case FaultDropout:
+		return "dropout"
+	case FaultNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("fault(%d)", int(m))
+	}
+}
+
 // Sensor models one physical temperature probe: it reads a node temperature
 // plus a fixed spatial offset (stratification along rack height) and
-// zero-mean Gaussian measurement noise. A failed sensor reports a stuck
-// value — the dominant failure mode of cheap rack probes, and the fault the
-// controller-robustness tests inject.
+// zero-mean Gaussian measurement noise. A faulty sensor misreports according
+// to its FaultMode — the failure taxonomy the controller-robustness tests
+// and the fault-injection engine exercise.
 type Sensor struct {
 	Name     string
 	Node     Node
@@ -45,15 +86,40 @@ type Sensor struct {
 	OffsetC  float64 // systematic spatial offset
 	NoiseStd float64 // measurement noise (°C)
 
-	Failed  bool    // true: the probe reports StuckAtC regardless of state
-	StuckAt float64 // the frozen reading while Failed
+	Failed  bool    // legacy flag: equivalent to Mode == FaultStuck
+	StuckAt float64 // the frozen reading while stuck
+
+	Mode          FaultMode
+	DriftC        float64 // accumulated drift bias (FaultDrift); the engine integrates it
+	ExtraNoiseStd float64 // extra measurement noise while FaultNoise is active
 }
 
 // Read samples the sensor against the current room state.
 func (s Sensor) Read(room *Room, r *rng.Rand) float64 {
-	if s.Failed {
+	if s.Failed || s.Mode == FaultStuck {
 		return s.StuckAt
 	}
+	if s.Mode == FaultDropout {
+		return math.NaN()
+	}
+	v := s.TrueRead(room)
+	if s.Mode == FaultDrift {
+		v += s.DriftC
+	}
+	std := s.NoiseStd
+	if s.Mode == FaultNoise {
+		std += s.ExtraNoiseStd
+	}
+	if std > 0 && r != nil {
+		v += r.NormScaled(0, std)
+	}
+	return v
+}
+
+// TrueRead returns the physical temperature at the probe location (node
+// temperature plus spatial offset) with no measurement noise and no fault —
+// the ground truth the safety experiments score violations against.
+func (s Sensor) TrueRead(room *Room) float64 {
 	var base float64
 	switch s.Node {
 	case NodeColdAisle:
@@ -67,11 +133,15 @@ func (s Sensor) Read(room *Room, r *rng.Rand) float64 {
 	default:
 		panic(fmt.Sprintf("thermo: unknown sensor node %d", s.Node))
 	}
-	v := base + s.OffsetC
-	if s.NoiseStd > 0 && r != nil {
-		v += r.NormScaled(0, s.NoiseStd)
-	}
-	return v
+	return base + s.OffsetC
+}
+
+// ClearFault restores the sensor to healthy operation.
+func (s *Sensor) ClearFault() {
+	s.Failed = false
+	s.Mode = FaultNone
+	s.DriftC = 0
+	s.ExtraNoiseStd = 0
 }
 
 // Array is the testbed sensor deployment: Nd rack-installed DC sensors of
@@ -168,13 +238,31 @@ func (a *Array) FailDC(i int, stuckAtC float64) {
 }
 
 // RestoreDC clears a DC sensor fault.
-func (a *Array) RestoreDC(i int) { a.DC[i].Failed = false }
+func (a *Array) RestoreDC(i int) { a.DC[i].ClearFault() }
 
-// MaxColdAisle returns the maximum reading among cold-aisle sensors.
+// MaxColdAisle returns the maximum reading among cold-aisle sensors. NaN
+// readings (dropped-out probes) are skipped; if every cold-aisle probe is
+// out, the result is NaN.
 func (a *Array) MaxColdAisle(readings []float64) float64 {
-	m := readings[0]
-	for _, v := range readings[1:a.NumColdAisle] {
-		if v > m {
+	m := math.NaN()
+	for _, v := range readings[:a.NumColdAisle] {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(m) || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TrueMaxColdAisle returns the ground-truth maximum cold-aisle temperature:
+// the physical reading of every cold-aisle probe location, ignoring
+// measurement noise and any injected fault.
+func (a *Array) TrueMaxColdAisle(room *Room) float64 {
+	m := math.Inf(-1)
+	for _, s := range a.DC[:a.NumColdAisle] {
+		if v := s.TrueRead(room); v > m {
 			m = v
 		}
 	}

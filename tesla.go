@@ -220,7 +220,7 @@ func (s *System) EndToEnd(duration time.Duration, seed uint64) ([]EndToEndRow, e
 }
 
 // WriteReport runs the complete evaluation (model accuracy, end-to-end
-// matrix, ablations, fault injection) and renders it as markdown.
+// matrix, ablations, fault matrix) and renders it as markdown.
 func (s *System) WriteReport(w io.Writer, duration time.Duration) error {
 	t3, err := experiment.Table3(s.art, 9)
 	if err != nil {
@@ -240,7 +240,7 @@ func (s *System) WriteReport(w io.Writer, duration time.Duration) error {
 	if err != nil {
 		return err
 	}
-	fault, err := experiment.RunFaultInjection(s.art, workload.Medium, duration.Seconds(), 17)
+	matrix, err := experiment.RunFaultMatrix(s.art, workload.Medium, duration.Seconds(), 17)
 	if err != nil {
 		return err
 	}
@@ -248,7 +248,7 @@ func (s *System) WriteReport(w io.Writer, duration time.Duration) error {
 		ScaleName: s.art.Scale.Name,
 		Generated: time.Now(),
 		Table3:    &t3, Table4: &t4, Table5: &t5,
-		Study: &study, Fault: &fault,
+		Study: &study, Matrix: &matrix,
 	}
 	return rep.WriteMarkdown(w)
 }

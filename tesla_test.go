@@ -108,7 +108,7 @@ func TestWriteReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Table 3", "Table 4", "Table 5", "Ablations", "Fault injection"} {
+	for _, want := range []string{"Table 3", "Table 4", "Table 5", "Ablations", "Fault matrix"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q", want)
 		}
