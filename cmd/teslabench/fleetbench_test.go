@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts(" 1, 4,16 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parseCounts = %v", got)
+	}
+	for _, bad := range []string{"", "0", "-2", "x", "1,,y"} {
+		if _, err := parseCounts(bad); err == nil {
+			t.Errorf("parseCounts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFleetBenchTableAndBaseline(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := runFleetBench(&buf, "1,2", "1,2", 5, 13, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "steps/s") || !strings.Contains(buf.String(), "baseline written") {
+		t.Fatalf("table output:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleetBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 4 || rep.StepsPerRoom != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.Steps != row.Rooms*5 {
+			t.Errorf("rooms=%d workers=%d executed %d steps, want %d", row.Rooms, row.Workers, row.Steps, row.Rooms*5)
+		}
+		if row.StepsPerSec <= 0 || row.LatencyP99Ns <= 0 {
+			t.Errorf("row %+v missing throughput/latency", row)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //	teslabench -all                      # every table and figure
 //	teslabench -table 5 -hours 12        # just Table 5
 //	teslabench -fig 3 -out figures/      # Figure 3 + CSV export
+//	teslabench -fleet                    # fleet orchestrator sweep + BENCH_fleet.json
 package main
 
 import (
@@ -32,11 +33,27 @@ func main() {
 	out := flag.String("out", "", "directory for figure CSV exports")
 	report := flag.String("report", "", "write a markdown evaluation report (tables + ablations + fault matrix) to this path")
 	faultMatrix := flag.Bool("faultmatrix", false, "run the fault-matrix sweep (supervised TESLA vs every fault class)")
+	fleetBench := flag.Bool("fleet", false, "sweep the fleet orchestrator over room × worker counts")
+	fleetRooms := flag.String("fleetrooms", "1,4,16", "comma-separated room counts for -fleet")
+	fleetWorkers := flag.String("fleetworkers", "1,2,4", "comma-separated worker counts for -fleet")
+	fleetMinutes := flag.Int("fleetminutes", 60, "evaluated control steps per room for -fleet")
+	benchOut := flag.String("benchout", "BENCH_fleet.json", "JSON baseline path for -fleet (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The fleet sweep needs no trained models; run it standalone before the
+	// (expensive) table/figure pipeline spins up.
+	if *fleetBench {
+		if err := runFleetBench(os.Stdout, *fleetRooms, *fleetWorkers, *fleetMinutes, 13, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix {
+			return
+		}
 	}
 	if err := run(*scale, *table, *fig, *all, *hours, *out, *report, *faultMatrix); err != nil {
 		fmt.Fprintln(os.Stderr, "teslabench:", err)

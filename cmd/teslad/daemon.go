@@ -97,7 +97,20 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		for _, k := range kinds {
 			fmt.Fprintf(w, "tesla_safety_events_total{kind=%q} %d\n", k, counts[k])
 		}
+		fmt.Fprintf(w, "# TYPE tesla_events_dropped_total counter\ntesla_events_dropped_total %d\n", d.events.Dropped())
 	}
+}
+
+// handleHealthz is the readiness probe: 503 until the control loop has
+// published its first snapshot (training and warm-up still in progress),
+// 200 after.
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if d.snapshot().StepMinutes == 0 {
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
 }
 
 // levelOrdinal maps the supervisor stage name back to its numeric ordinal for

@@ -7,17 +7,31 @@
 // Usage:
 //
 //	teslad -listen 127.0.0.1:8844 -load medium -minutes 120 [-speedup 0]
+//	teslad -listen 127.0.0.1:8844 -rooms 8 -minutes 120 [-seed 11]
 //
 // With -speedup 0 (default) the simulation runs as fast as the CPU allows;
 // a positive value sleeps to pace the loop at speedup× real time.
 //
+// -rooms N (N > 1) switches to fleet mode: N concurrent room control loops —
+// heterogeneous diurnal loads, per-room TESLA policies and safety
+// supervisors seeded from per-room substreams of -seed — feed a bounded
+// per-room telemetry queue pipeline whose rollup backs the fleet endpoints.
+//
 // SIGINT/SIGTERM stop the control loop at the next step boundary, drain the
 // operator HTTP server gracefully and print the final summary.
 //
-// Endpoints:
+// Endpoints (single-room mode):
 //
 //	GET /status   — JSON snapshot of the control loop
 //	GET /metrics  — Prometheus text exposition
+//	GET /healthz  — 503 until the first control step publishes, then 200
+//
+// Endpoints (fleet mode):
+//
+//	GET /fleet      — rollup + per-room snapshots + ingested aggregates
+//	GET /rooms/{id} — one room's detail
+//	GET /metrics    — aggregate exposition incl. drop/gap/event-loss counters
+//	GET /healthz    — 503 until every room has published, then 200
 package main
 
 import (
@@ -42,15 +56,23 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8844", "operator HTTP endpoint")
-	loadName := flag.String("load", "medium", "load setting: idle|medium|high")
+	loadName := flag.String("load", "medium", "load setting: idle|medium|high (single-room mode)")
 	minutes := flag.Int("minutes", 120, "control-loop duration in minutes (0 = forever)")
 	speedup := flag.Float64("speedup", 0, "0 = run flat out; N = pace at N× real time")
+	rooms := flag.Int("rooms", 1, "machine rooms to run; > 1 switches to fleet mode")
+	seed := flag.Uint64("seed", 11, "fleet master seed (fleet mode)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *listen, *loadName, *minutes, *speedup); err != nil {
+	var err error
+	if *rooms > 1 {
+		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed)
+	} else {
+		err = run(ctx, *listen, *loadName, *minutes, *speedup)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "teslad:", err)
 		os.Exit(1)
 	}
@@ -147,6 +169,7 @@ func run(ctx context.Context, listen, loadName string, minutes int, speedup floa
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", d.handleStatus)
 	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/healthz", d.handleHealthz)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err

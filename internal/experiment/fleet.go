@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"tesla/internal/control"
+	"tesla/internal/faults"
+	"tesla/internal/fleet"
+	"tesla/internal/workload"
+)
+
+// FleetConfig assembles the multi-room demo scenario: rooms-1 healthy rooms
+// driven by staggered Fig. 5-style load steps — every room cycles the same
+// utilization levels but phase-shifted, so some room is always mid-transient
+// and the fleet aggregate never settles — plus one faulty room that loses
+// telemetry for a quarter of the evaluation window while its device path
+// lags. All rooms run the full TESLA controller under their own safety
+// supervisors, side by side, the way an estate operator would watch them.
+func (a *Artifacts) FleetConfig(rooms, workers int, evalS float64, seed uint64) (fleet.Config, error) {
+	if rooms < 2 {
+		return fleet.Config{}, fmt.Errorf("experiment: fleet scenario needs at least 2 rooms (healthy + faulty), got %d", rooms)
+	}
+	cfg := fleet.DefaultConfig(rooms, seed, func(room int, policySeed uint64) (control.Policy, error) {
+		return a.NewTESLAPolicy(policySeed)
+	})
+	cfg.Testbed = a.TBConf
+	cfg.Workers = workers
+	cfg.EvalS = evalS
+	for i := range cfg.Rooms {
+		cfg.Rooms[i].Profile = fleetSteps(i, rooms, cfg.WarmupS, evalS)
+	}
+	faulty := rooms - 1
+	cfg.Rooms[faulty].Name = fmt.Sprintf("room-%d-faulty", faulty)
+	cfg.Rooms[faulty].Scenario = &faults.Scenario{
+		Name: "fleet-telemetry-gap",
+		Seed: seed,
+		Events: []faults.Event{{
+			Kind:   faults.TelemetryGap,
+			StartS: cfg.WarmupS + 0.25*evalS,
+			EndS:   cfg.WarmupS + 0.50*evalS,
+		}},
+	}
+	cfg.Rooms[faulty].StallPerStep = 200 * time.Microsecond
+	return cfg, nil
+}
+
+// RunFleetScenario runs the fleet demo end to end: configure, execute, and
+// return the per-room results plus the ingested rollup.
+func RunFleetScenario(a *Artifacts, rooms, workers int, evalS float64, seed uint64) (*fleet.Result, error) {
+	cfg, err := a.FleetConfig(rooms, workers, evalS, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Run(cfg)
+}
+
+// fleetSteps builds room i's load-step schedule: the shared level rotation,
+// phase-shifted by the room's slot within one segment so no two rooms step at
+// the same moment.
+func fleetSteps(room, rooms int, warmupS, evalS float64) workload.Steps {
+	levels := []float64{0.15, 0.45, 0.25, 0.60}
+	seg := evalS / float64(len(levels))
+	stagger := seg * float64(room) / float64(rooms)
+	s := workload.Steps{
+		BoundariesS: []float64{0},
+		Utils:       []float64{levels[room%len(levels)]},
+		Label:       fmt.Sprintf("fleet-steps-%d", room),
+	}
+	for k := 1; k <= len(levels); k++ {
+		s.BoundariesS = append(s.BoundariesS, warmupS+stagger+float64(k-1)*seg)
+		s.Utils = append(s.Utils, levels[(room+k)%len(levels)])
+	}
+	return s
+}

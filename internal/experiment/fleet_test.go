@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"tesla/internal/workload"
+)
+
+func TestFleetScenarioRejectsTinyFleet(t *testing.T) {
+	a := sharedArtifacts(t)
+	if _, err := a.FleetConfig(1, 1, 1800, 21); err == nil {
+		t.Fatal("a 1-room fleet has no faulty/healthy split and must be rejected")
+	}
+}
+
+func TestFleetScenarioProfilesAreStaggered(t *testing.T) {
+	a := sharedArtifacts(t)
+	cfg, err := a.FleetConfig(4, 2, 7200, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every room steps at its own moments: boundary sets are pairwise
+	// disjoint past the shared t=0 anchor.
+	seen := map[float64]int{}
+	for i, spec := range cfg.Rooms {
+		st, ok := spec.Profile.(workload.Steps)
+		if !ok {
+			t.Fatalf("room %d profile %T, want workload.Steps", i, spec.Profile)
+		}
+		for _, b := range st.BoundariesS[1:] {
+			if prev, dup := seen[b]; dup {
+				t.Fatalf("rooms %d and %d both step at t=%gs — staggering is broken", prev, i, b)
+			}
+			seen[b] = i
+		}
+	}
+	if cfg.Rooms[3].Scenario == nil || cfg.Rooms[3].StallPerStep == 0 {
+		t.Fatal("last room must carry the fault scenario and the slow device")
+	}
+	if cfg.Rooms[0].Scenario != nil {
+		t.Fatal("healthy rooms must not inherit the fault scenario")
+	}
+	if !strings.Contains(cfg.Rooms[3].Name, "faulty") {
+		t.Fatalf("faulty room name %q should say so", cfg.Rooms[3].Name)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("scenario config does not validate: %v", err)
+	}
+}
+
+func TestFleetScenarioEndToEnd(t *testing.T) {
+	a := sharedArtifacts(t)
+	res, err := RunFleetScenario(a, 3, 2, 1800, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rooms) != 3 {
+		t.Fatalf("got %d rooms", len(res.Rooms))
+	}
+	var total uint64
+	for i, rr := range res.Rooms {
+		if rr.Steps != rr.PlannedSteps || rr.Steps != 30 {
+			t.Errorf("room %d executed %d/%d steps, want 30", i, rr.Steps, rr.PlannedSteps)
+		}
+		total += uint64(rr.Steps)
+	}
+	faulty := res.Rooms[2]
+	if !faulty.Degraded {
+		t.Error("the telemetry-gap room must trip its safety supervisor")
+	}
+	if got := res.Rollup.Samples + res.Rollup.Dropped; got != total {
+		t.Errorf("pipeline accounting: %d ingested + %d dropped != %d steps",
+			res.Rollup.Samples, res.Rollup.Dropped, total)
+	}
+	if res.String() == "" {
+		t.Error("empty operator table")
+	}
+}

@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"tesla/internal/control"
+	"tesla/internal/faults"
+	"tesla/internal/safety"
+	"tesla/internal/workload"
+)
+
+// seededFixed builds a cheap deterministic policy whose set-point depends on
+// the room's policy seed — so the tests exercise the per-room seed
+// derivation, not just the plant physics.
+func seededFixed(room int, seed uint64) (control.Policy, error) {
+	return control.Fixed{SetpointC: 22.8 + float64(seed%64)/128}, nil
+}
+
+// shortConfig returns an n-room fleet with a CI-friendly horizon: 30 warm-up
+// steps and 60 evaluated steps per room.
+func shortConfig(n int, seed uint64) Config {
+	cfg := DefaultConfig(n, seed, seededFixed)
+	cfg.WarmupS = 1800
+	cfg.EvalS = 3600
+	return cfg
+}
+
+// TestFleetDeterministic is the acceptance gate: for fixed seeds, per-room
+// trajectories are bit-identical across worker counts and independent of how
+// many sibling rooms run alongside.
+func TestFleetDeterministic(t *testing.T) {
+	cfg1 := shortConfig(16, 7)
+	cfg1.Workers = 1
+	r1, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg4 := shortConfig(16, 7)
+	cfg4.Workers = 4
+	r4, err := Run(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rooms {
+		if r1.Rooms[i].TrajectoryHash != r4.Rooms[i].TrajectoryHash {
+			t.Errorf("room %d: trajectory differs between workers=1 and workers=4", i)
+		}
+		if r1.Rooms[i].CEkWh != r4.Rooms[i].CEkWh || r1.Rooms[i].TSVFrac != r4.Rooms[i].TSVFrac {
+			t.Errorf("room %d: metrics differ across worker counts", i)
+		}
+	}
+
+	// Distinct rooms must see distinct trajectories (the per-room substreams
+	// and profiles are actually different).
+	seen := map[uint64]int{}
+	for i, rr := range r1.Rooms {
+		if prev, dup := seen[rr.TrajectoryHash]; dup {
+			t.Errorf("rooms %d and %d share a trajectory hash — per-room seeding is broken", prev, i)
+		}
+		seen[rr.TrajectoryHash] = i
+	}
+
+	// Room 0 alone == room 0 within the 16-room fleet; same for a middle
+	// room reproduced via its explicit stream.
+	solo := shortConfig(16, 7)
+	solo.Rooms = solo.Rooms[:1]
+	s0, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Rooms[0].TrajectoryHash != r1.Rooms[0].TrajectoryHash {
+		t.Error("room 0 alone differs from room 0 inside the 16-room fleet")
+	}
+	mid := shortConfig(16, 7)
+	spec7 := mid.Rooms[7]
+	spec7.Stream = 7
+	mid.Rooms = []RoomSpec{spec7}
+	s7, err := Run(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s7.Rooms[0].TrajectoryHash != r1.Rooms[7].TrajectoryHash {
+		t.Error("room 7 reproduced via Stream=7 differs from room 7 inside the fleet")
+	}
+}
+
+// TestFleetIsolation is the acceptance gate: a room with an injected
+// telemetry-gap fault and a slow device finishes degraded while every
+// sibling completes every control step with zero dropped telemetry and a
+// trajectory bit-identical to running alone.
+func TestFleetIsolation(t *testing.T) {
+	mk := func(faulty bool) Config {
+		cfg := shortConfig(4, 11)
+		cfg.Workers = 4
+		if faulty {
+			cfg.Rooms[3].Scenario = &faults.Scenario{
+				Name: "gap", Seed: 5,
+				Events: []faults.Event{{Kind: faults.TelemetryGap, StartS: cfg.WarmupS + 300, EndS: cfg.WarmupS + 1500}},
+			}
+			cfg.Rooms[3].StallPerStep = 300 * time.Microsecond
+		}
+		return cfg
+	}
+	res, err := Run(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := res.Rooms[3]
+	if !faulty.Degraded || faulty.SafetyMax < safety.LevelHold {
+		t.Errorf("faulty room did not degrade: max level %s", faulty.SafetyMax)
+	}
+	if faulty.Steps != faulty.PlannedSteps {
+		t.Errorf("faulty room executed %d/%d steps — even a degraded room keeps stepping", faulty.Steps, faulty.PlannedSteps)
+	}
+
+	healthy, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rr := res.Rooms[i]
+		if rr.Steps != rr.PlannedSteps || rr.Steps == 0 {
+			t.Errorf("sibling %d executed %d/%d steps", i, rr.Steps, rr.PlannedSteps)
+		}
+		if rr.QueueDropped != 0 {
+			t.Errorf("sibling %d dropped %d telemetry samples", i, rr.QueueDropped)
+		}
+		if rr.TrajectoryHash != healthy.Rooms[i].TrajectoryHash {
+			t.Errorf("sibling %d trajectory changed because room 3 was faulty — isolation broken", i)
+		}
+		if rr.Degraded {
+			t.Errorf("sibling %d degraded to %s alongside the faulty room", i, rr.SafetyMax)
+		}
+	}
+
+	total := 0
+	for _, rr := range res.Rooms {
+		total += rr.Steps
+	}
+	if got := res.Rollup.Samples + res.Rollup.Dropped; got != uint64(total) {
+		t.Errorf("pipeline accounting: ingested %d + dropped %d != %d steps", res.Rollup.Samples, res.Rollup.Dropped, total)
+	}
+}
+
+// TestFleetBackpressureIsObservable forces the ingestor to lag a tiny queue
+// and checks the loss is (a) harmless to control and (b) fully accounted.
+func TestFleetBackpressureIsObservable(t *testing.T) {
+	cfg := shortConfig(1, 3)
+	cfg.QueueCap = 8
+	cfg.IngestEvery = 2 * time.Second // guarantees the producer laps the consumer
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.Rooms[0]
+	if rr.Steps != rr.PlannedSteps {
+		t.Fatalf("backpressure stalled the control loop: %d/%d steps", rr.Steps, rr.PlannedSteps)
+	}
+	if rr.QueueDropped == 0 {
+		t.Fatal("expected telemetry drops with an 8-sample queue and a 2s ingest interval")
+	}
+	if res.Rollup.Samples+res.Rollup.Dropped != uint64(rr.Steps) {
+		t.Fatalf("loss not accounted: %d ingested + %d dropped != %d steps",
+			res.Rollup.Samples, res.Rollup.Dropped, rr.Steps)
+	}
+	if res.Rollup.Gaps == 0 {
+		t.Fatal("sequence gaps must surface when samples were evicted mid-stream")
+	}
+}
+
+func TestFleetRollupMatchesRoomTruthWhenLossless(t *testing.T) {
+	cfg := shortConfig(2, 9)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollup.Dropped != 0 {
+		t.Skipf("unexpected drops (%d) under a roomy queue; accounting covered elsewhere", res.Rollup.Dropped)
+	}
+	var wantViol, wantSteps int
+	var wantMax float64
+	for _, rr := range res.Rooms {
+		wantSteps += rr.Steps
+		wantViol += int(rr.TSVFrac*float64(rr.Steps) + 0.5)
+		if rr.MaxCold > wantMax {
+			wantMax = rr.MaxCold
+		}
+	}
+	if res.Rollup.Samples != uint64(wantSteps) {
+		t.Fatalf("rollup ingested %d, rooms executed %d", res.Rollup.Samples, wantSteps)
+	}
+	if res.Rollup.ViolationMin != wantViol {
+		t.Fatalf("rollup violation minutes %d, rooms counted %d", res.Rollup.ViolationMin, wantViol)
+	}
+	if res.Rollup.MaxColdC != wantMax {
+		t.Fatalf("rollup max cold %g, rooms saw %g", res.Rollup.MaxColdC, wantMax)
+	}
+	var levels uint64
+	for _, n := range res.Rollup.SafetyLevels {
+		levels += n
+	}
+	if levels != res.Rollup.Samples {
+		t.Fatalf("safety histogram covers %d steps, ingested %d", levels, res.Rollup.Samples)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	cfg := shortConfig(2, 1)
+	cfg.NewPolicy = nil
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("nil policy factory must fail")
+	}
+	cfg = shortConfig(3, 1)
+	cfg.Rooms[1].Stream = 2 // collides with room 2's default stream
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("duplicate seed streams must fail validation")
+	}
+	cfg = shortConfig(2, 1)
+	cfg.Rooms[0].Profile = nil
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("missing profile must fail")
+	}
+	cfg = shortConfig(1, 1)
+	cfg.WarmupS = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero warm-up must fail (policies need at least one step of history)")
+	}
+	cfg = shortConfig(1, 1)
+	cfg.Rooms[0].Scenario = &faults.Scenario{Name: "bad"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid fault scenario must fail")
+	}
+}
+
+func TestDiurnalSpecsHeterogeneous(t *testing.T) {
+	specs := DiurnalSpecs(6, 42)
+	if len(specs) != 6 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i, s := range specs {
+		d, ok := s.Profile.(*workload.Diurnal)
+		if !ok {
+			t.Fatalf("spec %d profile %T", i, s.Profile)
+		}
+		want := []workload.Setting{workload.Medium, workload.High, workload.Idle}[i%3]
+		if d.Setting != want {
+			t.Fatalf("spec %d load %s, want %s", i, d.Setting, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tesla/internal/dataset"
+	"tesla/internal/faults"
+	"tesla/internal/rng"
+	"tesla/internal/safety"
+	"tesla/internal/telemetry"
+	"tesla/internal/testbed"
+)
+
+// runRoom executes one room's full horizon: build the plant from the room's
+// seed substreams, wrap the policy in its own safety supervisor, attach the
+// room's fault scenario, then warm up and run the evaluation loop, pushing
+// every evaluated sample into the room's bounded queue. Everything the
+// function touches is room-local, which is the whole isolation story.
+func runRoom(cfg *Config, idx int, q *telemetry.Queue) (RoomResult, error) {
+	spec := cfg.Rooms[idx]
+	stream := cfg.streamOf(idx)
+	res := RoomResult{Room: idx, Name: cfg.nameOf(idx), Stream: stream}
+
+	tbCfg := cfg.Testbed
+	tbCfg.Seed = rng.SeedFor(cfg.Seed, testbedStream(stream))
+	tb, err := testbed.New(tbCfg)
+	if err != nil {
+		return res, fmt.Errorf("fleet: room %s: %w", res.Name, err)
+	}
+	tb.UseProfile(spec.Profile)
+	tb.SetSetpoint(cfg.InitSpC)
+
+	pol, err := cfg.NewPolicy(idx, rng.SeedFor(cfg.Seed, policyStream(stream)))
+	if err != nil {
+		return res, fmt.Errorf("fleet: room %s: building policy: %w", res.Name, err)
+	}
+	supCfg := safety.DefaultConfig(cfg.ColdLimitC, tbCfg.ACU.SetpointMinC, tbCfg.ACU.SetpointMaxC)
+	if cfg.Safety != nil {
+		supCfg = *cfg.Safety
+	}
+	sup, err := safety.Wrap(pol, supCfg)
+	if err != nil {
+		return res, fmt.Errorf("fleet: room %s: %w", res.Name, err)
+	}
+	if spec.Scenario != nil {
+		eng, err := faults.NewEngine(*spec.Scenario)
+		if err != nil {
+			return res, fmt.Errorf("fleet: room %s: %w", res.Name, err)
+		}
+		tb.AddStepHook(eng)
+	}
+
+	tr := dataset.NewTrace(tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
+	warmSteps := int(cfg.WarmupS / tbCfg.SamplePeriodS)
+	evalSteps := int(cfg.EvalS / tbCfg.SamplePeriodS)
+	res.PlannedSteps = evalSteps
+	for i := 0; i < warmSteps; i++ {
+		tr.Append(tb.Advance())
+	}
+
+	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+	hash := uint64(fnvOffset)
+	mix := func(v float64) {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			hash = (hash ^ (bits >> s & 0xff)) * fnvPrime
+		}
+	}
+	res.latencies = make([]time.Duration, 0, evalSteps)
+	for i := 0; i < evalSteps; i++ {
+		stepStart := time.Now()
+		sp := sup.Decide(tr, tr.Len()-1)
+		tb.SetSetpoint(sp)
+		s := tb.Advance()
+		tr.Append(s)
+		if spec.StallPerStep > 0 {
+			time.Sleep(spec.StallPerStep)
+		}
+		res.latencies = append(res.latencies, time.Since(stepStart))
+
+		// Non-blocking by construction: a full queue evicts and counts, so
+		// telemetry backpressure can never stall this loop.
+		q.Push(telemetry.RoomSample{Room: idx, Seq: uint64(i), Level: int(sup.Level()), S: s})
+
+		res.Steps++
+		res.CEkWh += s.ACUPowerKW * tbCfg.SamplePeriodS / 3600
+		if s.MaxColdAisle > cfg.ColdLimitC {
+			res.TSVFrac++
+		}
+		if s.TrueMaxColdC > cfg.ColdLimitC {
+			res.TrueTSVFrac++
+		}
+		if s.Interrupted {
+			res.CIFrac++
+		}
+		res.MeanSp += s.SetpointC
+		if s.MaxColdAisle > res.MaxCold {
+			res.MaxCold = s.MaxColdAisle
+		}
+		mix(sp)
+		mix(s.MaxColdAisle)
+		mix(s.TrueMaxColdC)
+		mix(s.ACUPowerKW)
+	}
+	res.TSVFrac /= float64(res.Steps)
+	res.TrueTSVFrac /= float64(res.Steps)
+	res.CIFrac /= float64(res.Steps)
+	res.MeanSp /= float64(res.Steps)
+	res.TrajectoryHash = hash
+
+	st := sup.Stats()
+	res.SafetyMax = sup.MaxLevel()
+	res.Degraded = res.SafetyMax > safety.LevelNormal
+	res.Escalations = st.Escalations
+	res.Overrides = st.Overrides
+	res.Quarantines = st.QuarantineEvents
+	_, res.QueueDropped = q.Stats()
+
+	lat := append([]time.Duration(nil), res.latencies...)
+	ls := latencyStats(lat)
+	res.LatencyP50, res.LatencyP99 = ls.P50, ls.P99
+	return res, nil
+}

@@ -90,6 +90,44 @@ func For(workers, n int, fn func(i int)) {
 	}
 }
 
+// Group runs heterogeneous long-lived tasks — daemon room loops, ingestion
+// consumers — with the same panic capture as For, but without an index
+// space: Go starts one task, Wait blocks until every started task finished
+// and re-raises the first captured panic as a *Panic. The zero value is
+// ready to use. Unlike For, tasks are unbounded: every Go call gets its own
+// goroutine, which is what fleet-style always-on loops need (a slow task
+// must never queue behind a pool slot held by a sibling).
+type Group struct {
+	wg   sync.WaitGroup
+	once sync.Once
+	p    *Panic
+}
+
+// Go starts fn on its own goroutine.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.once.Do(func() {
+					g.p = &Panic{Value: r, Stack: debug.Stack()}
+				})
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until all started tasks finished, then re-raises the first
+// captured panic, if any.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	if g.p != nil {
+		panic(g.p)
+	}
+}
+
 // Map runs fn over [0, n) on the pool and collects the results in index
 // order.
 func Map[T any](workers, n int, fn func(i int) T) []T {

@@ -137,3 +137,38 @@ func TestChunksCoverExactlyOnceAndFixedBoundaries(t *testing.T) {
 		}
 	}
 }
+
+func TestGroupRunsAllTasksAndWaits(t *testing.T) {
+	var g Group
+	var count atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func() { count.Add(1) })
+	}
+	g.Wait()
+	if count.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", count.Load())
+	}
+	// A zero Group with no tasks must not block.
+	var empty Group
+	empty.Wait()
+}
+
+func TestGroupPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *Panic", r, r)
+		}
+		if fmt.Sprint(p.Value) != "room exploded" || len(p.Stack) == 0 {
+			t.Fatalf("panic lost its value or stack: %v", p)
+		}
+	}()
+	var g Group
+	var survivors atomic.Int64
+	g.Go(func() { panic("room exploded") })
+	for i := 0; i < 4; i++ {
+		g.Go(func() { survivors.Add(1) })
+	}
+	g.Wait()
+}

@@ -22,6 +22,7 @@ type EventLog struct {
 	entries []Entry
 	counts  map[string]uint64
 	total   uint64
+	dropped uint64 // entries overwritten by the ring before being read
 }
 
 // NewEventLog returns an empty log retaining at most capacity entries
@@ -42,6 +43,7 @@ func (l *EventLog) Append(e Entry) {
 	} else {
 		l.entries[l.start] = e
 		l.start = (l.start + 1) % l.cap
+		l.dropped++
 	}
 	l.counts[e.Kind]++
 	l.total++
@@ -79,4 +81,13 @@ func (l *EventLog) Total() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.total
+}
+
+// Dropped returns how many events the ring overwrote — the event-loss
+// counter an escalation storm shows up on. The per-kind counters still count
+// dropped events; only their Entry payloads are gone.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }

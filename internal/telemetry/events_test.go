@@ -31,6 +31,73 @@ func TestEventLogRingAndCounts(t *testing.T) {
 	}
 }
 
+func TestEventLogDroppedCountsOverwrites(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 4; i++ {
+		l.Append(Entry{TimeS: float64(i), Kind: "k"})
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped = %d before the ring wrapped, want 0", l.Dropped())
+	}
+	for i := 0; i < 7; i++ {
+		l.Append(Entry{TimeS: float64(4 + i), Kind: "k"})
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", l.Dropped())
+	}
+	if l.Total() != 11 || l.Counts()["k"] != 11 {
+		t.Fatalf("total = %d counts = %v — dropped entries must stay counted", l.Total(), l.Counts())
+	}
+}
+
+// TestEventLogStress is the -race regression test for the daemon's usage
+// pattern: the control loop appends from one goroutine while HTTP handlers
+// call Recent/Counts/Total/Dropped from arbitrary others. A small capacity
+// keeps the ring wrapping constantly so the eviction path is exercised too.
+func TestEventLogStress(t *testing.T) {
+	l := NewEventLog(8)
+	const (
+		writers = 6
+		readers = 6
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kinds := [...]string{"escalate", "sensor-quarantine", "policy-override"}
+			for i := 0; i < perG; i++ {
+				l.Append(Entry{TimeS: float64(i), Kind: kinds[(w+i)%len(kinds)], Detail: "stress"})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if got := l.Recent(5); len(got) > 8 {
+					t.Errorf("Recent returned %d entries from a capacity-8 ring", len(got))
+					return
+				}
+				l.Counts()
+				if l.Dropped() > l.Total() {
+					t.Error("dropped exceeded total")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if want := uint64(writers * perG); l.Total() != want {
+		t.Fatalf("total = %d, want %d", l.Total(), want)
+	}
+	if l.Dropped() != uint64(writers*perG)-8 {
+		t.Fatalf("dropped = %d, want total-capacity = %d", l.Dropped(), writers*perG-8)
+	}
+}
+
 func TestEventLogConcurrentAppend(t *testing.T) {
 	l := NewEventLog(16)
 	var wg sync.WaitGroup

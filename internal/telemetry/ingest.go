@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Rollup is the fleet-wide aggregate the ingestion pipeline maintains — the
+// numbers an estate operator watches instead of N per-room dashboards. It is
+// computed from ingested samples only: under backpressure the per-room drop
+// counters say exactly how much telemetry the rollup has NOT seen.
+type Rollup struct {
+	Rooms   int    `json:"rooms"`
+	Samples uint64 `json:"samples"`  // samples folded into the rollup
+	Dropped uint64 `json:"dropped"`  // samples evicted before ingestion
+	Gaps    uint64 `json:"seq_gaps"` // sequence discontinuities observed
+
+	MaxColdC        float64 `json:"max_cold_c"`        // worst cold-aisle reading ever ingested
+	TotalCoolingKW  float64 `json:"total_cooling_kw"`  // sum of each room's latest ACU draw
+	CoolingKWh      float64 `json:"cooling_kwh"`       // trapezoid-free energy integral over ingested steps
+	ViolationMin    int     `json:"violation_minutes"` // ingested steps with delivered max cold > limit
+	InterruptionMin int     `json:"interruption_minutes"`
+
+	// SafetyLevels histograms ingested room-steps by the safety stage they
+	// executed under (index = safety.Level ordinal).
+	SafetyLevels [4]uint64 `json:"safety_levels"`
+}
+
+// RoomAgg is the ingested view of one room: latest values plus accumulators.
+// It lags the room's control loop by whatever sits in the queue — by design;
+// the control loop's own metrics are the authoritative record.
+type RoomAgg struct {
+	Room    int    `json:"room"`
+	Samples uint64 `json:"samples"`
+	Gaps    uint64 `json:"seq_gaps"` // samples lost to queue eviction, from seq jumps
+
+	LastSeq       uint64  `json:"last_seq"`
+	LastTimeS     float64 `json:"last_time_s"`
+	LastSetpointC float64 `json:"last_setpoint_c"`
+	LastMaxColdC  float64 `json:"last_max_cold_c"`
+	LastPowerKW   float64 `json:"last_power_kw"`
+	LastLevel     int     `json:"last_level"`
+
+	MaxColdC        float64 `json:"max_cold_c"`
+	CoolingKWh      float64 `json:"cooling_kwh"`
+	ViolationMin    int     `json:"violation_minutes"`
+	InterruptionMin int     `json:"interruption_minutes"`
+}
+
+// Ingestor drains a set of per-room queues in bounded batches and folds the
+// samples into per-room accumulators plus the fleet rollup. One ingestor
+// serves the whole fleet: batching amortizes the lock traffic and the
+// bounded batch size keeps any one room's backlog from starving its
+// siblings' freshness (the telegraf model).
+type Ingestor struct {
+	queues  []*Queue
+	limitC  float64
+	periodS float64
+	batch   int
+
+	mu    sync.Mutex
+	rooms []RoomAgg
+	fleet Rollup
+}
+
+// NewIngestor builds an ingestor over the given room queues. coldLimitC is
+// the violation threshold, samplePeriodS the control period (for energy and
+// violation-minute accounting), batch the per-queue drain bound per sweep
+// (<= 0 selects 64).
+func NewIngestor(queues []*Queue, coldLimitC, samplePeriodS float64, batch int) *Ingestor {
+	if batch <= 0 {
+		batch = 64
+	}
+	in := &Ingestor{queues: queues, limitC: coldLimitC, periodS: samplePeriodS, batch: batch}
+	in.rooms = make([]RoomAgg, len(queues))
+	for i := range in.rooms {
+		in.rooms[i] = RoomAgg{Room: i, LastSeq: ^uint64(0)}
+	}
+	in.fleet.Rooms = len(queues)
+	return in
+}
+
+// DrainOnce performs one batched sweep over every queue and returns how many
+// samples it ingested.
+func (in *Ingestor) DrainOnce() int {
+	total := 0
+	for i, q := range in.queues {
+		batch := q.Drain(in.batch)
+		if len(batch) == 0 {
+			continue
+		}
+		total += len(batch)
+		in.fold(i, batch)
+	}
+	return total
+}
+
+// fold applies one room's batch under the lock.
+func (in *Ingestor) fold(room int, batch []RoomSample) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ra := &in.rooms[room]
+	for _, rs := range batch {
+		// LastSeq starts at ^0, so a stream that begins past seq 0 — its
+		// head evicted before the first sweep — counts as a gap too.
+		if rs.Seq != ra.LastSeq+1 {
+			gap := rs.Seq - ra.LastSeq - 1
+			ra.Gaps += gap
+			in.fleet.Gaps += gap
+		}
+		ra.Samples++
+		ra.LastSeq = rs.Seq
+		ra.LastTimeS = rs.S.TimeS
+		ra.LastSetpointC = rs.S.SetpointC
+		ra.LastMaxColdC = rs.S.MaxColdAisle
+		ra.LastPowerKW = rs.S.ACUPowerKW
+		ra.LastLevel = rs.Level
+		if rs.S.MaxColdAisle > ra.MaxColdC {
+			ra.MaxColdC = rs.S.MaxColdAisle
+		}
+		ra.CoolingKWh += rs.S.ACUPowerKW * in.periodS / 3600
+		if rs.S.MaxColdAisle > in.limitC {
+			ra.ViolationMin++
+			in.fleet.ViolationMin++
+		}
+		if rs.S.Interrupted {
+			ra.InterruptionMin++
+			in.fleet.InterruptionMin++
+		}
+		in.fleet.Samples++
+		in.fleet.CoolingKWh += rs.S.ACUPowerKW * in.periodS / 3600
+		if rs.S.MaxColdAisle > in.fleet.MaxColdC {
+			in.fleet.MaxColdC = rs.S.MaxColdAisle
+		}
+		lvl := rs.Level
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(in.fleet.SafetyLevels) {
+			lvl = len(in.fleet.SafetyLevels) - 1
+		}
+		in.fleet.SafetyLevels[lvl]++
+	}
+}
+
+// Rollup snapshots the fleet aggregate, folding in the queues' live drop
+// counters so the exposed number is current even between sweeps.
+func (in *Ingestor) Rollup() Rollup {
+	in.mu.Lock()
+	out := in.fleet
+	var power float64
+	for i := range in.rooms {
+		power += in.rooms[i].LastPowerKW
+	}
+	out.TotalCoolingKW = power
+	in.mu.Unlock()
+	var dropped uint64
+	for _, q := range in.queues {
+		_, d := q.Stats()
+		dropped += d
+	}
+	out.Dropped = dropped
+	return out
+}
+
+// RoomAggs snapshots the per-room ingested views.
+func (in *Ingestor) RoomAggs() []RoomAgg {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]RoomAgg(nil), in.rooms...)
+}
+
+// Run drains on the given interval until stop closes, then performs final
+// sweeps until every queue is empty — so a batch caller that stops the loop
+// after its producers exit observes a fully drained pipeline.
+func (in *Ingestor) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			for in.DrainOnce() > 0 {
+			}
+			return
+		case <-tick.C:
+			in.DrainOnce()
+		}
+	}
+}

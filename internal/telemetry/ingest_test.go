@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"tesla/internal/testbed"
+)
+
+func sampleAt(seq uint64, maxCold, powerKW float64, interrupted bool) testbed.Sample {
+	return testbed.Sample{
+		TimeS:        float64(seq) * 60,
+		SetpointC:    23,
+		MaxColdAisle: maxCold,
+		ACUPowerKW:   powerKW,
+		Interrupted:  interrupted,
+	}
+}
+
+func TestIngestorRollupAccounting(t *testing.T) {
+	q0, q1 := NewQueue(16), NewQueue(16)
+	in := NewIngestor([]*Queue{q0, q1}, 22, 60, 8)
+
+	// Room 0: 3 benign steps at 2 kW. Room 1: a violation and an interruption,
+	// executing under the backstop stage (level 2).
+	for i := uint64(0); i < 3; i++ {
+		q0.Push(RoomSample{Room: 0, Seq: i, Level: 0, S: sampleAt(i, 21.0, 2.0, false)})
+	}
+	q1.Push(RoomSample{Room: 1, Seq: 0, Level: 2, S: sampleAt(0, 22.5, 3.0, false)})
+	q1.Push(RoomSample{Room: 1, Seq: 1, Level: 2, S: sampleAt(1, 21.5, 0.0, true)})
+
+	if n := in.DrainOnce(); n != 5 {
+		t.Fatalf("ingested %d, want 5", n)
+	}
+	r := in.Rollup()
+	if r.Samples != 5 || r.Dropped != 0 || r.Gaps != 0 {
+		t.Fatalf("rollup counters = %+v", r)
+	}
+	if r.MaxColdC != 22.5 || r.ViolationMin != 1 || r.InterruptionMin != 1 {
+		t.Fatalf("rollup aggregates = %+v", r)
+	}
+	// Total cooling: latest per room = 2.0 (room 0) + 0.0 (room 1).
+	if r.TotalCoolingKW != 2.0 {
+		t.Fatalf("total cooling = %g, want 2.0", r.TotalCoolingKW)
+	}
+	wantKWh := (3*2.0 + 3.0 + 0.0) * 60 / 3600
+	if diff := r.CoolingKWh - wantKWh; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("cooling kWh = %g, want %g", r.CoolingKWh, wantKWh)
+	}
+	if r.SafetyLevels != [4]uint64{3, 0, 2, 0} {
+		t.Fatalf("safety histogram = %v", r.SafetyLevels)
+	}
+
+	rooms := in.RoomAggs()
+	if rooms[0].Samples != 3 || rooms[0].ViolationMin != 0 || rooms[0].LastSeq != 2 {
+		t.Fatalf("room 0 agg = %+v", rooms[0])
+	}
+	if rooms[1].Samples != 2 || rooms[1].ViolationMin != 1 || rooms[1].InterruptionMin != 1 || rooms[1].LastLevel != 2 {
+		t.Fatalf("room 1 agg = %+v", rooms[1])
+	}
+}
+
+func TestIngestorDetectsGapsAndDrops(t *testing.T) {
+	q := NewQueue(4)
+	in := NewIngestor([]*Queue{q}, 22, 60, 0)
+	// Push 8 into a capacity-4 queue: seqs 0..3 evicted before ingestion.
+	for i := uint64(0); i < 8; i++ {
+		q.Push(RoomSample{Room: 0, Seq: i, S: sampleAt(i, 20, 1, false)})
+	}
+	in.DrainOnce()
+	r := in.Rollup()
+	if r.Samples != 4 || r.Dropped != 4 {
+		t.Fatalf("rollup = %+v, want 4 ingested / 4 dropped", r)
+	}
+	// Seqs 0..3 were evicted before the first sweep; the stream starting at
+	// seq 4 must already read as a 4-sample gap.
+	if r.Gaps != 4 {
+		t.Fatalf("gaps = %d, want 4 (stream head evicted before first sweep)", r.Gaps)
+	}
+	// A second eviction burst after ingestion started surfaces the same way.
+	for i := uint64(8); i < 16; i++ {
+		q.Push(RoomSample{Room: 0, Seq: i, S: sampleAt(i, 20, 1, false)})
+	}
+	in.DrainOnce()
+	r = in.Rollup()
+	if r.Gaps != 8 {
+		t.Fatalf("gaps = %d, want 8 (4 head + seqs 8..11 evicted between sweeps)", r.Gaps)
+	}
+	if in.RoomAggs()[0].Gaps != 8 {
+		t.Fatalf("room gaps = %d, want 8", in.RoomAggs()[0].Gaps)
+	}
+}
+
+func TestIngestorRunDrainsBacklogOnStop(t *testing.T) {
+	q := NewQueue(128)
+	in := NewIngestor([]*Queue{q}, 22, 60, 16)
+	for i := uint64(0); i < 100; i++ {
+		q.Push(RoomSample{Room: 0, Seq: i, S: sampleAt(i, 20, 1, false)})
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in.Run(stop, 100*time.Microsecond)
+	}()
+	close(stop)
+	<-done
+	if r := in.Rollup(); r.Samples != 100 || q.Len() != 0 {
+		t.Fatalf("stop did not drain the backlog: rollup %+v, queue len %d", r, q.Len())
+	}
+}

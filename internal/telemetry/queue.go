@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sync"
+
+	"tesla/internal/testbed"
+)
+
+// RoomSample is the unit flowing through the fleet ingestion pipeline: one
+// control-step telemetry sample tagged with its origin room, that room's
+// monotone step sequence number, and the safety stage the step executed
+// under. The sequence number lets the consumer detect samples evicted under
+// backpressure (gaps) without any coordination with the producer.
+type RoomSample struct {
+	Room  int
+	Seq   uint64
+	Level int // safety.Level ordinal at this step (0 normal … 3 emergency)
+	S     testbed.Sample
+}
+
+// Queue is the bounded per-room sample queue of the ingestion pipeline —
+// the telegraf-style buffer between a room's control loop (producer) and
+// the fleet aggregator (consumer). Push never blocks: when the consumer
+// lags and the ring is full, the oldest sample is evicted and counted, so
+// a slow or stalled aggregator costs observability, never control steps.
+type Queue struct {
+	mu      sync.Mutex
+	buf     []RoomSample
+	start   int // ring read position
+	n       int // live entries
+	pushed  uint64
+	dropped uint64
+}
+
+// NewQueue returns an empty queue retaining at most capacity samples
+// (minimum 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{buf: make([]RoomSample, capacity)}
+}
+
+// Push enqueues one sample, evicting the oldest when full. It never blocks.
+func (q *Queue) Push(s RoomSample) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == len(q.buf) {
+		// Consumer lagging: evict the oldest so the freshest telemetry wins.
+		q.start = (q.start + 1) % len(q.buf)
+		q.n--
+		q.dropped++
+	}
+	q.buf[(q.start+q.n)%len(q.buf)] = s
+	q.n++
+	q.pushed++
+}
+
+// Drain pops up to max samples, oldest first. max <= 0 drains everything
+// currently queued.
+func (q *Queue) Drain(max int) []RoomSample {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.n
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]RoomSample, n)
+	for i := 0; i < n; i++ {
+		out[i] = q.buf[(q.start+i)%len(q.buf)]
+	}
+	q.start = (q.start + n) % len(q.buf)
+	q.n -= n
+	return out
+}
+
+// Len returns the number of samples currently queued.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Stats returns the cumulative producer-side counters: samples ever pushed
+// and samples evicted before the consumer saw them.
+func (q *Queue) Stats() (pushed, dropped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed, q.dropped
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"tesla/internal/testbed"
+)
+
+func rs(room int, seq uint64) RoomSample {
+	return RoomSample{Room: room, Seq: seq, S: testbed.Sample{TimeS: float64(seq) * 60}}
+}
+
+func TestQueuePushDrainFIFO(t *testing.T) {
+	q := NewQueue(8)
+	for i := uint64(0); i < 5; i++ {
+		q.Push(rs(0, i))
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d, want 5", q.Len())
+	}
+	got := q.Drain(3)
+	if len(got) != 3 || got[0].Seq != 0 || got[2].Seq != 2 {
+		t.Fatalf("drain(3) = %+v, want seqs 0..2", got)
+	}
+	got = q.Drain(0)
+	if len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 4 {
+		t.Fatalf("drain(0) = %+v, want seqs 3..4", got)
+	}
+	if q.Len() != 0 || q.Drain(0) != nil {
+		t.Fatal("queue not empty after full drain")
+	}
+}
+
+func TestQueueEvictsOldestAndCounts(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint64(0); i < 10; i++ {
+		q.Push(rs(0, i))
+	}
+	pushed, dropped := q.Stats()
+	if pushed != 10 || dropped != 6 {
+		t.Fatalf("stats = (%d pushed, %d dropped), want (10, 6)", pushed, dropped)
+	}
+	got := q.Drain(0)
+	if len(got) != 4 || got[0].Seq != 6 || got[3].Seq != 9 {
+		t.Fatalf("drain = %+v, want the 4 freshest (seqs 6..9)", got)
+	}
+}
+
+func TestQueueWrapAroundOrder(t *testing.T) {
+	q := NewQueue(3)
+	q.Push(rs(0, 0))
+	q.Push(rs(0, 1))
+	if got := q.Drain(1); got[0].Seq != 0 {
+		t.Fatalf("drain = %+v", got)
+	}
+	q.Push(rs(0, 2))
+	q.Push(rs(0, 3)) // ring wraps here
+	got := q.Drain(0)
+	if len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
+		t.Fatalf("drain after wrap = %+v, want seqs 1..3", got)
+	}
+}
+
+// TestQueueConcurrentPushDrain is the -race test for the pipeline's split:
+// one producer (control loop) pushing while a consumer (ingestor) drains.
+func TestQueueConcurrentPushDrain(t *testing.T) {
+	q := NewQueue(32)
+	const total = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; i++ {
+			q.Push(rs(0, i))
+		}
+	}()
+	var consumed uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for {
+		for _, s := range q.Drain(16) {
+			_ = s
+			consumed++
+		}
+		select {
+		case <-done:
+			for _, s := range q.Drain(0) {
+				_ = s
+				consumed++
+			}
+			pushed, dropped := q.Stats()
+			if pushed != total {
+				t.Fatalf("pushed = %d, want %d", pushed, total)
+			}
+			if consumed+dropped != total {
+				t.Fatalf("consumed %d + dropped %d != pushed %d", consumed, dropped, total)
+			}
+			return
+		default:
+		}
+	}
+}
