@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"tesla/internal/bo"
+	"tesla/internal/gp"
+)
+
+// boBenchRow is one surrogate-path benchmark with its pre-overhaul baseline,
+// so BENCH_bo.json carries the before/after pair the acceptance criteria and
+// the README table are written against.
+type boBenchRow struct {
+	Name           string  `json:"name"`
+	NsOp           float64 `json:"ns_op"`
+	AllocsOp       int64   `json:"allocs_op"`
+	BeforeNsOp     float64 `json:"before_ns_op"`
+	BeforeAllocsOp int64   `json:"before_allocs_op"`
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// boBenchReport is the BENCH_bo.json schema.
+type boBenchReport struct {
+	Generated      string       `json:"generated"`
+	BaselineCommit string       `json:"baseline_commit"`
+	Rows           []boBenchRow `json:"rows"`
+}
+
+// boBaseline pins the pre-overhaul numbers, measured on this container at the
+// commit named in the report (ns/op, allocs/op).
+var boBaseline = map[string][2]float64{
+	"Optimize":         {8417001, 5582},
+	"AcquireNEI":       {826523, 367},
+	"Fit16":            {66645, 135},
+	"JointPosterior61": {96332, 129},
+	"Posterior":        {688.2, 3},
+}
+
+// runBOBench measures the BO surrogate hot path (fit, posterior, acquisition,
+// full optimize) through the public APIs, prints a before/after table and
+// writes BENCH_bo.json.
+func runBOBench(w io.Writer, outPath string) error {
+	// Fixture: the deterministic constrained quadratic the bo package
+	// benchmarks use — optimum at 26, constraint caps x at 29.
+	eval := func(x float64) bo.Evaluation {
+		return bo.Evaluation{
+			X: x, Obj: (x - 26) * (x - 26), Con: x - 29,
+			ObjNoiseVar: 1e-6, ConNoiseVar: 1e-6,
+		}
+	}
+	probes := []float64{20, 22.5, 25, 27.5, 30, 32.5, 35}
+	var xs, objY, conY, noise []float64
+	for _, x := range probes {
+		e := eval(x)
+		xs = append(xs, e.X)
+		objY = append(objY, e.Obj)
+		conY = append(conY, e.Con)
+		noise = append(noise, e.ObjNoiseVar)
+	}
+	objGP, err := gp.Fit(xs, objY, noise)
+	if err != nil {
+		return err
+	}
+	conGP, err := gp.Fit(xs, conY, noise)
+	if err != nil {
+		return err
+	}
+	cands := make([]float64, 61)
+	for i := range cands {
+		cands[i] = 20 + 15*float64(i)/60
+	}
+	var fitX, fitY, fitNoise []float64
+	for i := 0; i < 16; i++ {
+		x := 20 + 15*float64(i)/15
+		fitX = append(fitX, x)
+		fitY = append(fitY, math.Sin(x/3)+0.02*x)
+		fitNoise = append(fitNoise, 1e-4)
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Optimize", func(b *testing.B) {
+			cfg := bo.DefaultConfig(20, 35)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := bo.Optimize(cfg, eval); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"AcquireNEI", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bo.Acquire(objGP, conGP, cands, 64, 1, 77)
+			}
+		}},
+		{"Fit16", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Fit(fitX, fitY, fitNoise); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"JointPosterior61", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				objGP.JointPosterior(cands)
+			}
+		}},
+		{"Posterior", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				objGP.Posterior(cands[i%len(cands)])
+			}
+		}},
+	}
+
+	rep := boBenchReport{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		BaselineCommit: "1a81f51",
+	}
+	fmt.Fprintf(w, "BO surrogate hot path (baseline: commit %s)\n", rep.BaselineCommit)
+	fmt.Fprintf(w, "  %-18s %12s %10s %12s %10s %8s\n",
+		"benchmark", "ns/op", "allocs", "before", "allocs", "speedup")
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		base := boBaseline[bench.name]
+		row := boBenchRow{
+			Name:           bench.name,
+			NsOp:           float64(res.NsPerOp()),
+			AllocsOp:       res.AllocsPerOp(),
+			BeforeNsOp:     base[0],
+			BeforeAllocsOp: int64(base[1]),
+		}
+		if row.NsOp > 0 {
+			row.Speedup = row.BeforeNsOp / row.NsOp
+		}
+		if row.AllocsOp > 0 {
+			row.AllocReduction = base[1] / float64(row.AllocsOp)
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(w, "  %-18s %12d %10d %12.0f %10d %7.2fx\n",
+			row.Name, res.NsPerOp(), row.AllocsOp, row.BeforeNsOp, row.BeforeAllocsOp, row.Speedup)
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  baseline written to %s\n", outPath)
+	}
+	return nil
+}

@@ -34,11 +34,11 @@ type fleetBenchRow struct {
 // fleetBenchReport is the BENCH_fleet.json schema — the throughput baseline
 // later PRs regress against.
 type fleetBenchReport struct {
-	Generated   string          `json:"generated"`
-	StepsPerRoom int            `json:"steps_per_room"`
-	Seed        uint64          `json:"seed"`
-	Policy      string          `json:"policy"`
-	Rows        []fleetBenchRow `json:"rows"`
+	Generated    string          `json:"generated"`
+	StepsPerRoom int             `json:"steps_per_room"`
+	Seed         uint64          `json:"seed"`
+	Policy       string          `json:"policy"`
+	Rows         []fleetBenchRow `json:"rows"`
 }
 
 // runFleetBench sweeps the fleet orchestrator over room × worker counts and

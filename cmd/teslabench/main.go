@@ -8,6 +8,7 @@
 //	teslabench -table 5 -hours 12        # just Table 5
 //	teslabench -fig 3 -out figures/      # Figure 3 + CSV export
 //	teslabench -fleet                    # fleet orchestrator sweep + BENCH_fleet.json
+//	teslabench -bo                       # BO surrogate hot-path benchmarks + BENCH_bo.json
 package main
 
 import (
@@ -38,11 +39,23 @@ func main() {
 	fleetWorkers := flag.String("fleetworkers", "1,2,4", "comma-separated worker counts for -fleet")
 	fleetMinutes := flag.Int("fleetminutes", 60, "evaluated control steps per room for -fleet")
 	benchOut := flag.String("benchout", "BENCH_fleet.json", "JSON baseline path for -fleet (empty disables)")
+	boBench := flag.Bool("bo", false, "benchmark the BO surrogate hot path (fit/posterior/acquisition/optimize)")
+	boOut := flag.String("boout", "BENCH_bo.json", "JSON baseline path for -bo (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The surrogate benchmarks need no trained models either; run standalone.
+	if *boBench {
+		if err := runBOBench(os.Stdout, *boOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench {
+			return
+		}
 	}
 	// The fleet sweep needs no trained models; run it standalone before the
 	// (expensive) table/figure pipeline spins up.

@@ -57,10 +57,10 @@ func BenchmarkAcquireNEI(b *testing.B) {
 	cands := linspace(20, 35, 61)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			r := rng.New(77)
+			draws := newAcqDraws(len(evals), len(cands), 64, rng.New(77))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				acquireNEI(objGP, conGP, evals, cands, 64, workers, r)
+				acquireNEI(objGP, conGP, cands, draws, 64, workers)
 			}
 		})
 	}

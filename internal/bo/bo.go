@@ -96,10 +96,24 @@ func Optimize(cfg Config, eval Evaluator) (*Result, error) {
 	}
 	r := rng.New(cfg.Seed)
 
+	// Incremental surrogates: each new evaluation is appended to the fitters,
+	// which retain per-grid-cell Cholesky factors so the per-iteration refit
+	// extends them in O(n²) instead of refactorizing from scratch.
+	sur := newSurrogates()
+
 	// Initial design: scrambled Sobol over the domain, plus the endpoints so
 	// the surrogate always brackets the feasible region.
 	var evals []Evaluation
-	evals = append(evals, eval(cfg.Min), eval(cfg.Max))
+	add := func(e Evaluation) error {
+		evals = append(evals, e)
+		return sur.observe(e)
+	}
+	if err := add(eval(cfg.Min)); err != nil {
+		return nil, err
+	}
+	if err := add(eval(cfg.Max)); err != nil {
+		return nil, err
+	}
 	sob, err := rng.NewSobol(1)
 	if err != nil {
 		return nil, err
@@ -107,25 +121,36 @@ func Optimize(cfg Config, eval Evaluator) (*Result, error) {
 	sob.Scramble(r)
 	for i := 0; i < cfg.InitPoints-2; i++ {
 		u := sob.Next(nil)[0]
-		evals = append(evals, eval(cfg.Min+u*(cfg.Max-cfg.Min)))
+		if err := add(eval(cfg.Min + u*(cfg.Max-cfg.Min))); err != nil {
+			return nil, err
+		}
 	}
 
 	cands := linspace(cfg.Min, cfg.Max, cfg.Candidates)
 
+	// QMC base draws are generated once, sized for the largest joint the loop
+	// will ever sample, and reused by every acquisition evaluation (BoTorch's
+	// fixed-base-samples strategy): regenerating them per iteration dominated
+	// the acquisition cost, and reuse also smooths the acquisition surface
+	// across iterations instead of adding fresh Monte-Carlo noise each time.
+	draws := newAcqDraws(cfg.InitPoints+cfg.Iterations, cfg.Candidates, cfg.QMCSamples, r)
+
 	var objGP, conGP *gp.GP
 	for it := 0; it < cfg.Iterations; it++ {
-		objGP, conGP, err = fitSurrogates(evals)
+		objGP, conGP, err = sur.fit()
 		if err != nil {
 			return nil, err
 		}
-		acq := acquireNEI(objGP, conGP, evals, cands, cfg.QMCSamples, cfg.Workers, r)
+		acq := acquireNEI(objGP, conGP, cands, draws, cfg.QMCSamples, cfg.Workers)
 		next, ok := pickNext(acq, cands, evals, (cfg.Max-cfg.Min)/float64(4*cfg.Candidates))
 		if !ok {
 			break // acquisition exhausted: every candidate already probed
 		}
-		evals = append(evals, eval(next))
+		if err := add(eval(next)); err != nil {
+			return nil, err
+		}
 	}
-	objGP, conGP, err = fitSurrogates(evals)
+	objGP, conGP, err = sur.fit()
 	if err != nil {
 		return nil, err
 	}
@@ -138,27 +163,46 @@ func Optimize(cfg Config, eval Evaluator) (*Result, error) {
 	return res, nil
 }
 
-func fitSurrogates(evals []Evaluation) (objGP, conGP *gp.GP, err error) {
-	n := len(evals)
-	xs := make([]float64, n)
-	obj := make([]float64, n)
-	objN := make([]float64, n)
-	con := make([]float64, n)
-	conN := make([]float64, n)
-	for i, e := range evals {
-		xs[i] = e.X
-		obj[i] = e.Obj
-		objN[i] = floorVar(e.ObjNoiseVar)
-		con[i] = e.Con
-		conN[i] = floorVar(e.ConNoiseVar)
+// surrogates pairs the incremental objective and constraint fitters.
+type surrogates struct {
+	obj, con *gp.Fitter
+}
+
+func newSurrogates() *surrogates {
+	return &surrogates{obj: gp.NewFitter(), con: gp.NewFitter()}
+}
+
+// observe appends one evaluation to both fitters. Noise variances pass
+// through floorVar, so only a non-finite X/Obj/Con can be rejected here.
+func (s *surrogates) observe(e Evaluation) error {
+	if err := s.obj.Observe(e.X, e.Obj, floorVar(e.ObjNoiseVar)); err != nil {
+		return fmt.Errorf("bo: objective surrogate: %w", err)
 	}
-	if objGP, err = gp.Fit(xs, obj, objN); err != nil {
+	if err := s.con.Observe(e.X, e.Con, floorVar(e.ConNoiseVar)); err != nil {
+		return fmt.Errorf("bo: constraint surrogate: %w", err)
+	}
+	return nil
+}
+
+func (s *surrogates) fit() (objGP, conGP *gp.GP, err error) {
+	if objGP, err = s.obj.Fit(); err != nil {
 		return nil, nil, fmt.Errorf("bo: objective surrogate: %w", err)
 	}
-	if conGP, err = gp.Fit(xs, con, conN); err != nil {
+	if conGP, err = s.con.Fit(); err != nil {
 		return nil, nil, fmt.Errorf("bo: constraint surrogate: %w", err)
 	}
 	return objGP, conGP, nil
+}
+
+// fitSurrogates is the one-shot form (tests and benchmarks).
+func fitSurrogates(evals []Evaluation) (*gp.GP, *gp.GP, error) {
+	s := newSurrogates()
+	for _, e := range evals {
+		if err := s.observe(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s.fit()
 }
 
 // acqChunk is the number of posterior draws one pool task scores. It is a
@@ -173,36 +217,34 @@ const acqChunk = 8
 // points (the noisy incumbent) and the improvement each feasible candidate
 // would deliver over it.
 //
+// Sampling is factored through the observed block: each draw realizes the
+// observed points from the dense n×n posterior factor, then each candidate
+// conditionally as f_j = μ_j + w_jᵀ·z_obs + s_j·z_j. Per-candidate
+// improvement depends only on the candidate's joint law with the observed
+// points, which this factorization reproduces exactly — only the
+// candidate×candidate correlations (irrelevant to the NEI estimand) differ
+// from a full joint draw, so the (n+nc)³ factorization and (n+nc)²
+// per-draw multiply both collapse to O(n²+nc·n) work.
+//
 // The draw loop fans out over a bounded worker pool. Determinism: the QMC
-// normals are generated serially from r before the fan-out (the PRNG is
-// consumed exactly as in a serial run), each draw writes its improvement
-// contributions into its own row of a draws×candidates matrix, and the rows
-// are reduced serially in draw order — so the result is bit-identical to the
-// single-threaded loop for any worker count.
-func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSamples, workers int, r *rng.Rand) []float64 {
-	nObs := len(evals)
-	pts := make([]float64, 0, nObs+len(cands))
-	for _, e := range evals {
-		pts = append(pts, e.X)
-	}
-	pts = append(pts, cands...)
-
-	objMean, objCov := objGP.JointPosterior(pts)
-	conMean, conCov := conGP.JointPosterior(pts)
-	objL := cholWithJitter(objCov)
-	conL := cholWithJitter(conCov)
-
-	m := len(pts)
+// base draws were generated serially from the optimizer seed before any
+// fan-out, each draw writes its improvement contributions into its own row of
+// a draws×candidates matrix, and the rows are reduced serially in draw order
+// — so the result is bit-identical to the single-threaded loop for any
+// worker count.
+func acquireNEI(objGP, conGP *gp.GP, cands []float64, draws *acqDraws, nSamples, workers int) []float64 {
+	ob := newCondFactors(objGP, cands)
+	cb := newCondFactors(conGP, cands)
+	nObs := objGP.NumObs()
 	nc := len(cands)
-	draws := newQMCNormals(2*m, nSamples, r)
 	contrib := make([]float64, nSamples*nc)
 	parallel.Chunks(workers, nSamples, acqChunk, func(_, lo, hi int) {
-		fObj := make([]float64, m)
-		fCon := make([]float64, m)
+		fObj := make([]float64, nObs)
+		fCon := make([]float64, nObs)
 		for k := lo; k < hi; k++ {
-			z := draws.row(k)
-			sampleGaussian(objMean, objL, z[:m], fObj)
-			sampleGaussian(conMean, conL, z[m:], fCon)
+			zObjObs, zObjCand, zConObs, zConCand := draws.split(k, nObs)
+			sampleGaussian(ob.meanObs, ob.l, zObjObs, fObj)
+			sampleGaussian(cb.meanObs, cb.l, zConObs, fCon)
 
 			// Noisy incumbent: best sampled objective among observed points
 			// that the same draw deems feasible.
@@ -215,13 +257,16 @@ func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSampl
 			if math.IsInf(incumbent, 1) {
 				// No feasible observation in this draw: reward candidates for
 				// being feasible at all, scored by how good they look.
-				worst := maxOf(fObj[:nObs])
-				incumbent = worst
+				incumbent = maxOf(fObj)
 			}
 			row := contrib[k*nc : (k+1)*nc]
 			for j := range cands {
-				f := fObj[nObs+j]
-				if fCon[nObs+j] <= 0 && f < incumbent {
+				fc := cb.meanCand[j] + mat.Dot(cb.w.Row(j), zConObs) + cb.s[j]*zConCand[j]
+				if fc > 0 {
+					continue
+				}
+				f := ob.meanCand[j] + mat.Dot(ob.w.Row(j), zObjObs) + ob.s[j]*zObjCand[j]
+				if f < incumbent {
 					row[j] = incumbent - f
 				}
 			}
@@ -243,6 +288,73 @@ func acquireNEI(objGP, conGP *gp.GP, evals []Evaluation, cands []float64, nSampl
 	return acq
 }
 
+// condFactors holds one surrogate's sampling factors for acquireNEI: the
+// jittered Cholesky factor of the observed-block posterior covariance, and
+// per candidate the conditional-sampling weights w_j = L⁻¹·cov(cand_j, obs)
+// and residual standard deviation s_j = √(var_j − ‖w_j‖²).
+type condFactors struct {
+	meanObs  []float64
+	meanCand []float64
+	l        *mat.Dense // Cholesky factor of the n×n observed posterior cov
+	w        *mat.Dense // nc×n conditional weights
+	s        []float64  // nc conditional standard deviations
+}
+
+func newCondFactors(g *gp.GP, cands []float64) *condFactors {
+	b := g.JointPosteriorBlocks(cands)
+	l := cholWithJitter(b.CovObs)
+	ch := mat.Cholesky{L: l}
+	s := make([]float64, len(cands))
+	for j := range cands {
+		row := b.Cross.Row(j)
+		ch.ForwardSolveTo(row, row)
+		v := b.VarCand[j] - mat.Dot(row, row)
+		if v < 0 {
+			// The jitter added to CovObs (and plain rounding) can push the
+			// conditional variance a hair negative; the candidate is then
+			// fully determined by the observed block.
+			v = 0
+		}
+		s[j] = math.Sqrt(v)
+	}
+	return &condFactors{meanObs: b.MeanObs, meanCand: b.MeanCand, l: l, w: b.Cross, s: s}
+}
+
+// acqDraws holds the QMC base draws shared by every acquisition evaluation of
+// one Optimize run. A row is laid out as
+// [obj obs (maxObs) | obj cand (nc) | con obs (maxObs) | con cand (nc)];
+// while the observed set is still growing, split hands out the leading nObs
+// coordinates of each observed block, so a given observation keeps the same
+// base coordinate across iterations.
+type acqDraws struct {
+	q      *qmcNormals
+	maxObs int
+	nc     int
+}
+
+func newAcqDraws(maxObs, nc, samples int, r *rng.Rand) *acqDraws {
+	return &acqDraws{q: newQMCNormals(2*(maxObs+nc), samples, r), maxObs: maxObs, nc: nc}
+}
+
+func (a *acqDraws) split(k, nObs int) (zObjObs, zObjCand, zConObs, zConCand []float64) {
+	if nObs > a.maxObs {
+		panic(fmt.Sprintf("bo: %d observations exceed the %d the draws were sized for", nObs, a.maxObs))
+	}
+	row := a.q.row(k)
+	conObs := a.maxObs + a.nc
+	conCand := conObs + a.maxObs
+	return row[:nObs], row[a.maxObs:conObs], row[conObs : conObs+nObs], row[conCand:]
+}
+
+// Acquire scores the NEI acquisition over cands from freshly generated QMC
+// draws — the standalone form of the acquisition used inside Optimize,
+// exported for benchmarks and tools (teslabench -bo).
+func Acquire(objGP, conGP *gp.GP, cands []float64, nSamples, workers int, seed uint64) []float64 {
+	r := rng.New(seed)
+	draws := newAcqDraws(objGP.NumObs(), len(cands), nSamples, r)
+	return acquireNEI(objGP, conGP, cands, draws, nSamples, workers)
+}
+
 // pickNext selects the acquisition maximizer that is not within tol of an
 // existing evaluation.
 func pickNext(acq, cands []float64, evals []Evaluation, tol float64) (float64, bool) {
@@ -251,6 +363,7 @@ func pickNext(acq, cands []float64, evals []Evaluation, tol float64) (float64, b
 	}
 	best := scored{a: math.Inf(-1)}
 	found := false
+	fallback, haveFallback := 0.0, false
 	for j, x := range cands {
 		dup := false
 		for _, e := range evals {
@@ -262,10 +375,24 @@ func pickNext(acq, cands []float64, evals []Evaluation, tol float64) (float64, b
 		if dup {
 			continue
 		}
+		if !haveFallback {
+			fallback, haveFallback = x, true
+		}
+		if math.IsNaN(acq[j]) {
+			// A poisoned acquisition score must not win the argmax — and a
+			// fully poisoned sweep must not end the optimization (see below).
+			continue
+		}
 		if acq[j] > best.a {
 			best = scored{x, acq[j]}
 			found = true
 		}
+	}
+	if !found && haveFallback {
+		// Every unprobed candidate scored NaN: probing any of them still
+		// teaches the surrogate more than aborting the loop would. Take the
+		// first (deterministic) rather than silently reporting exhaustion.
+		return fallback, true
 	}
 	return best.x, found
 }
@@ -280,6 +407,14 @@ func recommend(conGP *gp.GP, evals []Evaluation, feasProb float64) (float64, boo
 	found := false
 	for _, e := range evals {
 		cm, cv := conGP.Posterior(e.X)
+		if !isFinite(cm) || !isFinite(cv) {
+			// A degenerate posterior (NaN/Inf mean or variance) says nothing
+			// about feasibility; without this guard the NaN flows through
+			// NormCDF and the `pFeas < feasProb` comparison below is false for
+			// NaN, so the candidate would be accepted as feasible with an
+			// undefined probability. Treat it as infeasible instead.
+			continue
+		}
 		sd := math.Sqrt(cv)
 		var pFeas float64
 		if sd < 1e-12 {
@@ -329,7 +464,7 @@ func newQMCNormals(dim, n int, r *rng.Rand) *qmcNormals {
 		for d := 0; d < sobDim; d++ {
 			u := buf[d]
 			if u <= 0 {
-				u = 0.5 / float64(n)
+				u = qmcFallbackU(k, d, sobDim, n)
 			}
 			row[d] = rng.InvNormCDF(u)
 		}
@@ -338,6 +473,15 @@ func newQMCNormals(dim, n int, r *rng.Rand) *qmcNormals {
 		}
 	}
 	return q
+}
+
+// qmcFallbackU substitutes a strictly positive uniform for a Sobol coordinate
+// that landed on 0 (InvNormCDF(0) = −Inf). The substitute is a deterministic
+// stratified offset distinct per (draw, dim): using one shared constant here
+// would collapse every patched coordinate into a point mass, correlating
+// draws that the acquisition integral assumes are spread over the domain.
+func qmcFallbackU(k, d, sobDim, n int) float64 {
+	return (float64(k) + (float64(d)+0.5)/float64(sobDim)) / float64(n)
 }
 
 func (q *qmcNormals) row(k int) []float64 { return q.data[k*q.dim : (k+1)*q.dim] }
@@ -357,19 +501,21 @@ func sampleGaussian(mean []float64, l *mat.Dense, z, out []float64) {
 
 // cholWithJitter factors a posterior covariance, escalating diagonal jitter
 // until it succeeds (posterior covariances are often numerically singular
-// when candidates coincide with observations).
+// when candidates coincide with observations). One scratch clone is reused
+// across all jitter attempts — each retry refills it from cov with a memcpy
+// instead of allocating a fresh matrix.
 func cholWithJitter(cov *mat.Dense) *mat.Dense {
 	jitter := 0.0
 	base := 1e-10 * (1 + meanDiag(cov))
+	work := cov.Clone()
 	for attempt := 0; attempt < 12; attempt++ {
-		work := cov
-		if jitter > 0 {
-			work = cov.Clone()
+		if attempt > 0 {
+			copy(work.Data, cov.Data)
 			for i := 0; i < work.Rows; i++ {
 				work.Data[i*work.Cols+i] += jitter
 			}
 		}
-		if ch, err := mat.NewCholesky(work); err == nil {
+		if ch, err := mat.CholeskyInPlace(work); err == nil {
 			return ch.L
 		}
 		if jitter == 0 {
@@ -401,12 +547,18 @@ func meanDiag(a *mat.Dense) float64 {
 	return s / float64(a.Rows)
 }
 
+// floorVar clamps a noise variance to the numerical floor. Non-finite values
+// are clamped too: `NaN < 1e-8` is false, so a plain comparison would let a
+// NaN noise variance through to the kernel diagonal, where it fails every
+// hyperparameter grid cell and errors the whole control step.
 func floorVar(v float64) float64 {
-	if v < 1e-8 {
+	if !isFinite(v) || v < 1e-8 {
 		return 1e-8
 	}
 	return v
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func linspace(lo, hi float64, n int) []float64 {
 	out := make([]float64, n)

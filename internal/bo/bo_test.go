@@ -227,7 +227,7 @@ func TestAcquireNEIParallelBitIdentical(t *testing.T) {
 	}
 	cands := linspace(20, 35, 61)
 	score := func(workers int) []float64 {
-		return acquireNEI(objGP, conGP, evals, cands, 64, workers, rng.New(77))
+		return Acquire(objGP, conGP, cands, 64, workers, 77)
 	}
 	ref := score(1)
 	for _, workers := range []int{2, 5, 8, 0} {

@@ -1,0 +1,120 @@
+package bo
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression tests for the NaN leaks in the surrogate path. Each of these
+// failed before its guard landed: NaN noise variances errored the whole
+// control step, a NaN posterior was accepted as feasible, and NaN
+// acquisition scores either won the argmax or silently ended the loop.
+
+// TestFloorVarClampsNonFinite pins the floorVar contract: `NaN < 1e-8` is
+// false, so the pre-fix comparison passed NaN straight to the kernel
+// diagonal.
+func TestFloorVarClampsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -3, 0, 1e-12} {
+		if got := floorVar(v); got != 1e-8 {
+			t.Errorf("floorVar(%v) = %v, want the 1e-8 floor", v, got)
+		}
+	}
+	if got := floorVar(0.5); got != 0.5 {
+		t.Errorf("floorVar(0.5) = %v, want pass-through", got)
+	}
+}
+
+// TestOptimizeSurvivesNaNNoiseVariance drives the full loop with an evaluator
+// whose noise-variance estimates are poisoned — the exact failure mode of a
+// prediction-error monitor with too few residuals. Before the fix every grid
+// cell failed to factorize and Optimize errored mid-control-step.
+func TestOptimizeSurvivesNaNNoiseVariance(t *testing.T) {
+	cfg := DefaultConfig(20, 35)
+	cfg.Seed = 9
+	eval := func(x float64) Evaluation {
+		return Evaluation{
+			X: x, Obj: (x - 27) * (x - 27), Con: x - 100,
+			ObjNoiseVar: math.NaN(), ConNoiseVar: math.Inf(1),
+		}
+	}
+	res, err := Optimize(cfg, eval)
+	if err != nil {
+		t.Fatalf("NaN noise variance errored the optimization: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("problem is everywhere feasible")
+	}
+	if math.Abs(res.X-27) > 0.75 {
+		t.Fatalf("optimum %g, want ~27", res.X)
+	}
+}
+
+// TestRecommendRejectsDegeneratePosterior feeds recommend an evaluation at
+// X = NaN: the constraint posterior there is NaN/NaN, and before the guard
+// `pFeas < feasProb` was false for pFeas = NormCDF(NaN), so the point was
+// accepted as feasible — and with the lowest objective it won the
+// recommendation outright.
+func TestRecommendRejectsDegeneratePosterior(t *testing.T) {
+	eval := quadraticProblem(27, 100, 0, 9)
+	var evals []Evaluation
+	for _, x := range []float64{20, 25, 30, 35} {
+		evals = append(evals, eval(x))
+	}
+	_, conGP, err := fitSurrogates(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := append(evals[:len(evals):len(evals)],
+		Evaluation{X: math.NaN(), Obj: -1e9, Con: -1})
+	x, ok := recommend(conGP, poisoned, 0.975)
+	if !ok {
+		t.Fatalf("the finite evaluations are all feasible; recommend found nothing")
+	}
+	if math.IsNaN(x) {
+		t.Fatalf("recommend returned the degenerate-posterior candidate")
+	}
+}
+
+// TestQMCFallbackDistinctPerDrawDim pins the fallback for Sobol coordinates
+// that land on 0: the substitute must be a valid open-interval uniform and
+// distinct per (draw, dim) — the pre-fix constant 0.5/n collapsed every
+// patched coordinate into a point mass.
+func TestQMCFallbackDistinctPerDrawDim(t *testing.T) {
+	const n, sobDim = 64, 32
+	seen := make(map[float64]bool)
+	for k := 0; k < n; k++ {
+		for d := 0; d < sobDim; d++ {
+			u := qmcFallbackU(k, d, sobDim, n)
+			if !(u > 0 && u < 1) {
+				t.Fatalf("fallback u(%d,%d) = %v outside (0,1)", k, d, u)
+			}
+			if seen[u] {
+				t.Fatalf("fallback u(%d,%d) = %v repeats an earlier coordinate", k, d, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+// TestPickNextSkipsNaNScores: a NaN acquisition score must not win the
+// argmax (NaN > best is false, but a NaN already stored as best poisons the
+// comparison), and a fully-NaN sweep must fall back to a deterministic
+// unprobed candidate instead of reporting exhaustion.
+func TestPickNextSkipsNaNScores(t *testing.T) {
+	cands := []float64{1, 2, 3, 4}
+	evals := []Evaluation{{X: 1}}
+	acq := []float64{0, 0.5, math.NaN(), 0.25}
+	x, ok := pickNext(acq, cands, evals, 0.1)
+	if !ok || x != 2 {
+		t.Fatalf("pickNext = (%v,%v), want the best finite score at x=2", x, ok)
+	}
+
+	allNaN := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	x, ok = pickNext(allNaN, cands, evals, 0.1)
+	if !ok {
+		t.Fatalf("all-NaN acquisition silently ended the loop")
+	}
+	if x != 2 {
+		t.Fatalf("all-NaN fallback = %v, want the first unprobed candidate 2", x)
+	}
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"tesla/internal/workload"
+)
+
+// goldenTrajectoryHash is the FNV-1a digest of the executed set-point
+// sequence of a 60-step CI-scale TESLA run (seed 5, medium load). It pins the
+// controller's end-to-end decisions: any change to the surrogate stack (gp,
+// bo, mat) that moves a single control decision by a single bit changes this
+// value.
+//
+// Re-pinning procedure (only for deliberate, reviewed numeric changes): run
+// the test with TESLA_GOLDEN_DUMP=/tmp/golden.txt on the old and new code,
+// compare the two trajectories (the test prints the max absolute set-point
+// delta), document the delta in DESIGN.md, then update this constant to the
+// printed hash.
+//
+// History: pinned for the cached/incremental-Cholesky surrogate overhaul.
+// That PR replaced the acquisition's full joint posterior draw with an
+// exact-in-law conditional factorization plus reused QMC base samples, which
+// legitimately moves which candidates NEI probes: against the pre-overhaul
+// trajectory 51/60 set-points moved, max |Δ| = 1.55 °C, with the
+// thermal-safety and energy metrics tests unchanged (see DESIGN.md
+// "Surrogate hot path").
+const goldenTrajectoryHash uint64 = 0xd61807f343ba200c
+
+// goldenSetpoints runs the pinned scenario and returns the executed
+// set-points of the evaluation window.
+func goldenSetpoints(t *testing.T) []float64 {
+	t.Helper()
+	art := sharedArtifacts(t)
+	pol, err := art.NewPolicy("tesla", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRunConfig(pol, workload.Medium, 5)
+	rc.WarmupS = 3600
+	rc.EvalS = 3600
+	tr, m, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps != 60 {
+		t.Fatalf("golden scenario ran %d steps, want 60", m.Steps)
+	}
+	return tr.Setpoint[tr.Len()-m.Steps:]
+}
+
+// fnv1a folds float64 bit patterns into an FNV-1a digest (same construction
+// as fleet.RoomResult.TrajectoryHash).
+func fnv1a(vals []float64) uint64 {
+	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+	hash := uint64(fnvOffset)
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			hash = (hash ^ (bits >> s & 0xff)) * fnvPrime
+		}
+	}
+	return hash
+}
+
+// TestTESLATrajectoryGolden proves the control trajectory is bit-stable: the
+// same seed and scenario must reproduce the pinned set-point sequence
+// exactly, across machines and worker counts.
+func TestTESLATrajectoryGolden(t *testing.T) {
+	sps := goldenSetpoints(t)
+
+	if path := os.Getenv("TESLA_GOLDEN_DUMP"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		for _, v := range sps {
+			fmt.Fprintf(w, "%.17g\n", v)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("dumped %d set-points to %s (hash %#x)", len(sps), path, fnv1a(sps))
+		return
+	}
+
+	// When a reference dump from another build is supplied, report the
+	// trajectory delta instead of failing on the hash — this is the re-pinning
+	// aid described on goldenTrajectoryHash.
+	if path := os.Getenv("TESLA_GOLDEN_COMPARE"); path != "" {
+		ref := readSetpoints(t, path)
+		if len(ref) != len(sps) {
+			t.Fatalf("reference has %d steps, run has %d", len(ref), len(sps))
+		}
+		var maxD float64
+		moved := 0
+		for i := range ref {
+			d := math.Abs(ref[i] - sps[i])
+			if d > 0 {
+				moved++
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		t.Logf("trajectory delta vs %s: %d/%d steps moved, max |Δ| = %.6g °C; current hash %#x",
+			path, moved, len(ref), maxD, fnv1a(sps))
+		return
+	}
+
+	if h := fnv1a(sps); h != goldenTrajectoryHash {
+		t.Fatalf("trajectory hash %#x != pinned %#x — a surrogate-stack change moved control decisions; "+
+			"see goldenTrajectoryHash for the re-pinning procedure", h, goldenTrajectoryHash)
+	}
+}
+
+func readSetpoints(t *testing.T, path string) []float64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

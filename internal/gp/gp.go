@@ -9,6 +9,22 @@
 // by maximizing the exact log marginal likelihood over a small log-spaced
 // grid — ample for the optimizer's one-dimensional set-point domain and
 // deterministic, which keeps control decisions reproducible.
+//
+// The linear algebra is organized for the optimizer's hot loop, where one
+// evaluation is appended per iteration and the surrogate is refit each time
+// (the same bottleneck BoTorch attacks with cached Cholesky factors):
+//
+//   - the unit-variance Matérn base matrix is built once per lengthscale and
+//     every output-scale grid cell derives its kernel by scaling it, so a
+//     5×3 grid costs 5 kernel builds instead of 15;
+//   - each grid cell retains its Cholesky factor between fits; when one
+//     observation arrives and the grid is unchanged, the factor is extended
+//     with one new row in O(n²) (bit-identical to a full refactorization)
+//     instead of being rebuilt in O(n³);
+//   - the output-scale grid anchors to the target variance with ×2/÷2
+//     hysteresis rather than tracking it exactly, so the grid — and with it
+//     the cached factors — stays stable while new observations only nudge
+//     the sample variance.
 package gp
 
 import (
@@ -27,11 +43,10 @@ func Matern52(r, lengthscale float64) float64 {
 	return (1 + s + s*s/3) * math.Exp(-s)
 }
 
-// GP is a fitted fixed-noise Gaussian process over scalar inputs.
+// GP is a fitted fixed-noise Gaussian process over scalar inputs. It is an
+// immutable snapshot: further Fitter.Observe/Fit calls do not affect it.
 type GP struct {
-	x     []float64 // observed inputs
-	y     []float64 // observed targets
-	noise []float64 // per-point noise variances
+	x []float64 // observed inputs
 
 	// Hyperparameters.
 	Lengthscale float64
@@ -44,75 +59,279 @@ type GP struct {
 
 // Fit trains a fixed-noise GP on (x, y) with per-point noise variances.
 // Hyperparameters are picked by marginal likelihood over a grid scaled to
-// the data span. At least two observations are required.
+// the data span. At least two observations are required; non-finite inputs
+// are rejected. One-shot fits are unaffected by the incremental machinery:
+// a fresh Fitter anchors its grid to the data exactly as the original
+// implementation did.
 func Fit(x, y, noise []float64) (*GP, error) {
 	n := len(x)
-	if n < 2 {
-		return nil, fmt.Errorf("gp: need at least 2 observations, got %d", n)
-	}
 	if len(y) != n || len(noise) != n {
 		return nil, fmt.Errorf("gp: length mismatch x=%d y=%d noise=%d", n, len(y), len(noise))
 	}
-	span := spread(x)
+	f := NewFitter()
+	for i := range x {
+		if err := f.Observe(x[i], y[i], noise[i]); err != nil {
+			return nil, fmt.Errorf("gp: observation %d: %w", i, err)
+		}
+	}
+	return f.Fit()
+}
+
+const (
+	numLS    = 5
+	numOS    = 3
+	numCells = numLS * numOS
+)
+
+// FitterStats counts how the fitter resolved each Fit call — the
+// observability hook for the incremental-factor fast path.
+type FitterStats struct {
+	Fits         uint64 // Fit calls that produced a GP
+	FullRefits   uint64 // fits that rebuilt every grid cell from scratch
+	Extends      uint64 // fits served by O(n²) one-row factor extensions
+	CellFailures uint64 // grid cells lost to non-SPD kernels (cumulative)
+}
+
+// fitCell is one (lengthscale, outputscale) grid cell with its retained
+// factorization.
+type fitCell struct {
+	chol  *mat.Cholesky
+	alive bool // false once the cell's kernel failed to factor at this grid
+}
+
+// Fitter incrementally fits fixed-noise GPs over a growing observation set.
+// It retains per-cell Cholesky factors and per-lengthscale kernel bases
+// across fits so that the append-one-observation-then-refit pattern of the
+// Bayesian optimizer costs O(grid·n²) instead of O(grid·n³).
+//
+// A Fitter is not safe for concurrent use. The GP values it returns are
+// independent snapshots and remain valid indefinitely.
+type Fitter struct {
+	x, y, noise []float64
+
+	lsGrid [numLS]float64
+	osGrid [numOS]float64
+	span   float64 // data span the lengthscale grid was built for
+	anchor float64 // sticky output-scale anchor (see Fit)
+
+	// bases[l] is the unit-variance Matérn matrix for lsGrid[l] over x,
+	// stored as a packed lower triangle: row i occupies entries
+	// [i(i+1)/2, i(i+1)/2+i]. Appending an observation appends one row.
+	bases [numLS][]float64
+	baseN int // observations covered by bases
+
+	cells [numCells]fitCell
+	cellN int // observations covered by the cell factors (0 = invalid)
+
+	resid, alpha, bestAlpha []float64
+	stats                   FitterStats
+}
+
+// NewFitter returns an empty incremental fitter.
+func NewFitter() *Fitter { return &Fitter{} }
+
+// Observe appends one observation. Non-finite values are rejected: a NaN fed
+// into the kernel matrix would poison every grid cell and surface only as an
+// unexplained "not positive definite" failure at the next fit.
+func (f *Fitter) Observe(x, y, noise float64) error {
+	if !isFinite(x) || !isFinite(y) || !isFinite(noise) {
+		return fmt.Errorf("gp: non-finite observation x=%g y=%g noise=%g", x, y, noise)
+	}
+	f.x = append(f.x, x)
+	f.y = append(f.y, y)
+	f.noise = append(f.noise, noise)
+	return nil
+}
+
+// NumObs returns the number of observations accumulated so far.
+func (f *Fitter) NumObs() int { return len(f.x) }
+
+// Stats reports how fits were resolved so far.
+func (f *Fitter) Stats() FitterStats { return f.stats }
+
+// Fit selects hyperparameters by exact log marginal likelihood over the grid
+// and returns the winning GP. Successive calls reuse the cached kernel bases
+// and extend the retained factors when exactly one observation arrived and
+// the grid is unchanged.
+func (f *Fitter) Fit() (*GP, error) {
+	n := len(f.x)
+	if n < 2 {
+		return nil, fmt.Errorf("gp: need at least 2 observations, got %d", n)
+	}
+	span := spread(f.x)
 	if span <= 0 {
 		span = 1
 	}
-	yVar := variance(y)
+	yVar := variance(f.y)
 	if yVar <= 1e-12 {
 		yVar = 1e-12
 	}
+	// Output-scale anchor with hysteresis: refresh only when the sample
+	// variance leaves [anchor/2, 2·anchor]. The grid spans anchor/4..4·anchor,
+	// so within the hysteresis band some grid point is always within a factor
+	// of two of the true variance — the same coverage an exact anchor gives —
+	// while the grid (and the cached factors keyed on it) stays stable as
+	// observations accumulate.
+	anchor := f.anchor
+	if anchor == 0 || yVar > 2*anchor || yVar < anchor/2 {
+		anchor = yVar
+	}
 
-	mean := meanOf(y)
+	if span != f.span {
+		f.span = span
+		f.lsGrid = [numLS]float64{span / 24, span / 12, span / 6, span / 3, span}
+		f.baseN = 0 // bases are per-lengthscale; a new grid invalidates them
+		f.cellN = 0
+	}
+	if anchor != f.anchor {
+		f.anchor = anchor
+		f.osGrid = [numOS]float64{anchor / 4, anchor, 4 * anchor}
+		f.cellN = 0 // factors embed the output scale; bases survive
+	}
+	f.extendBases(n)
+
+	mean := meanOf(f.y)
+	f.resid = resize(f.resid, n)
+	for i, v := range f.y {
+		f.resid[i] = v - mean
+	}
+	f.alpha = resize(f.alpha, n)
+	f.bestAlpha = resize(f.bestAlpha, n)
+
+	switch {
+	case f.cellN == n:
+		// Fit without new observations: factors are already current.
+	case f.cellN == n-1:
+		f.extendCells(n)
+		f.stats.Extends++
+	default:
+		f.refitCells(n)
+		f.stats.FullRefits++
+	}
+	f.cellN = n
+
 	best := math.Inf(-1)
-	var bestGP *GP
-	for _, ls := range []float64{span / 24, span / 12, span / 6, span / 3, span} {
-		for _, os := range []float64{yVar / 4, yVar, 4 * yVar} {
-			g := &GP{x: x, y: y, noise: noise, Lengthscale: ls, OutputScale: os, Mean: mean}
-			ll, err := g.factorize()
-			if err != nil {
+	bestIdx := -1
+	logNorm := 0.5 * float64(n) * math.Log(2*math.Pi)
+	for li := 0; li < numLS; li++ {
+		for oi := 0; oi < numOS; oi++ {
+			c := &f.cells[li*numOS+oi]
+			if !c.alive {
 				continue
 			}
+			c.chol.SolveVecTo(f.alpha, f.resid)
+			ll := -0.5*mat.Dot(f.resid, f.alpha) - 0.5*c.chol.LogDet() - logNorm
 			if ll > best {
 				best = ll
-				bestGP = g
+				bestIdx = li*numOS + oi
+				copy(f.bestAlpha, f.alpha)
 			}
 		}
 	}
-	if bestGP == nil {
+	if bestIdx < 0 {
 		return nil, fmt.Errorf("gp: no hyperparameter setting produced a positive-definite kernel")
 	}
-	return bestGP, nil
+	f.stats.Fits++
+	win := &f.cells[bestIdx]
+	return &GP{
+		x:           f.x[:n:n],
+		Lengthscale: f.lsGrid[bestIdx/numOS],
+		OutputScale: f.osGrid[bestIdx%numOS],
+		Mean:        mean,
+		chol:        &mat.Cholesky{L: win.chol.L.Clone()},
+		alpha:       append([]float64(nil), f.bestAlpha...),
+	}, nil
 }
 
-// factorize builds and factors K + Σ and returns the log marginal
-// likelihood.
-func (g *GP) factorize() (float64, error) {
-	n := len(g.x)
-	k := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := g.OutputScale * Matern52(g.x[i]-g.x[j], g.Lengthscale)
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+// extendBases appends rows baseN..n-1 to every per-lengthscale base matrix:
+// n−baseN rows of Matérn evaluations per lengthscale instead of a full n²
+// rebuild per grid cell.
+func (f *Fitter) extendBases(n int) {
+	if f.baseN >= n {
+		return
+	}
+	for li, ls := range f.lsGrid {
+		b := f.bases[li]
+		for i := f.baseN; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				b = append(b, Matern52(f.x[i]-f.x[j], ls))
+			}
 		}
-		k.Data[i*n+i] += g.noise[i] + 1e-9*g.OutputScale
+		f.bases[li] = b
 	}
-	ch, err := mat.NewCholesky(k)
-	if err != nil {
-		return 0, err
-	}
-	g.chol = ch
-	resid := make([]float64, n)
-	for i := range resid {
-		resid[i] = g.y[i] - g.Mean
-	}
-	g.alpha = ch.SolveVec(resid)
-
-	ll := -0.5*mat.Dot(resid, g.alpha) - 0.5*ch.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
-	return ll, nil
+	f.baseN = n
 }
 
-// Posterior returns the posterior mean and variance at a single input.
+// baseRow returns row i (length i+1) of the packed base for lengthscale li.
+func (f *Fitter) baseRow(li, i int) []float64 {
+	off := i * (i + 1) / 2
+	return f.bases[li][off : off+i+1]
+}
+
+// refitCells rebuilds every grid cell's factorization at size n by scaling
+// the cached base into the cell's (reused) storage and factoring in place.
+func (f *Fitter) refitCells(n int) {
+	for li := range f.lsGrid {
+		for oi, os := range f.osGrid {
+			c := &f.cells[li*numOS+oi]
+			k := cellMatrix(c, n)
+			for i := 0; i < n; i++ {
+				row := f.baseRow(li, i)
+				dst := k.Row(i)[:i+1]
+				for j, v := range row {
+					dst[j] = os * v
+				}
+				dst[i] += f.noise[i] + 1e-9*os
+			}
+			ch, err := mat.CholeskyInPlace(k)
+			if err != nil {
+				c.alive = false
+				f.stats.CellFailures++
+				continue
+			}
+			c.chol = ch
+			c.alive = true
+		}
+	}
+}
+
+// extendCells grows every live cell's factor by the newest observation's row.
+// A cell whose extension fails would also fail a full refactorization at the
+// same pivot (the arithmetic is identical), so it is retired rather than
+// rebuilt.
+func (f *Fitter) extendCells(n int) {
+	i := n - 1
+	row := make([]float64, i)
+	for li := range f.lsGrid {
+		base := f.baseRow(li, i)
+		for oi, os := range f.osGrid {
+			c := &f.cells[li*numOS+oi]
+			if !c.alive {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				row[j] = os * base[j]
+			}
+			d := os*base[i] + (f.noise[i] + 1e-9*os)
+			if err := c.chol.Extend(row, d); err != nil {
+				c.alive = false
+				f.stats.CellFailures++
+			}
+		}
+	}
+}
+
+// cellMatrix returns an n×n matrix backed by the cell's reusable storage.
+func cellMatrix(c *fitCell, n int) *mat.Dense {
+	if c.chol != nil && cap(c.chol.L.Data) >= n*n {
+		return &mat.Dense{Rows: n, Cols: n, Data: c.chol.L.Data[:n*n]}
+	}
+	return &mat.Dense{Rows: n, Cols: n, Data: make([]float64, n*n, 2*n*n)}
+}
+
+// Posterior returns the posterior mean and variance at a single input. The
+// variance uses the half-solve identity k*ᵀ(K+Σ)⁻¹k* = ‖L⁻¹k*‖², one
+// forward substitution instead of a full solve.
 func (g *GP) Posterior(x float64) (mean, variance float64) {
 	n := len(g.x)
 	kStar := make([]float64, n)
@@ -120,8 +339,8 @@ func (g *GP) Posterior(x float64) (mean, variance float64) {
 		kStar[i] = g.OutputScale * Matern52(x-g.x[i], g.Lengthscale)
 	}
 	mean = g.Mean + mat.Dot(kStar, g.alpha)
-	v := g.chol.SolveVec(kStar)
-	variance = g.OutputScale - mat.Dot(kStar, v)
+	g.chol.ForwardSolveTo(kStar, kStar)
+	variance = g.OutputScale - mat.Dot(kStar, kStar)
 	if variance < 0 {
 		variance = 0
 	}
@@ -131,38 +350,132 @@ func (g *GP) Posterior(x float64) (mean, variance float64) {
 // JointPosterior returns the posterior mean vector and covariance matrix at
 // the given inputs, for coherent function draws inside the QMC NEI
 // acquisition.
+//
+// The cross-covariance block is solved as one blocked triangular solve
+// V = L⁻¹·K*ᵀ and the covariance formed as K** − VᵀV — half the floating
+// point work of the former per-row full solves (m forward substitutions
+// instead of m forward+backward pairs) and a constant number of allocations
+// instead of two per row.
 func (g *GP) JointPosterior(xs []float64) (mean []float64, cov *mat.Dense) {
 	n := len(g.x)
 	m := len(xs)
-	kStar := mat.New(m, n) // cross-covariances
+	mean = make([]float64, m)
+	v := mat.New(m, n) // row a: k*_a, then overwritten in place by L⁻¹k*_a
 	for a := 0; a < m; a++ {
-		row := kStar.Row(a)
+		row := v.Row(a)
 		for i := 0; i < n; i++ {
 			row[i] = g.OutputScale * Matern52(xs[a]-g.x[i], g.Lengthscale)
 		}
-	}
-	mean = make([]float64, m)
-	sol := mat.New(m, n) // rows: (K+Σ)⁻¹ kStar_a
-	for a := 0; a < m; a++ {
-		mean[a] = g.Mean + mat.Dot(kStar.Row(a), g.alpha)
-		copy(sol.Row(a), g.chol.SolveVec(kStar.Row(a)))
+		mean[a] = g.Mean + mat.Dot(row, g.alpha)
+		g.chol.ForwardSolveTo(row, row)
 	}
 	cov = mat.New(m, m)
+	floor := 1e-10 * g.OutputScale
 	for a := 0; a < m; a++ {
+		va := v.Row(a)
 		for b := a; b < m; b++ {
-			v := g.OutputScale*Matern52(xs[a]-xs[b], g.Lengthscale) - mat.Dot(kStar.Row(a), sol.Row(b))
-			if a == b && v < 1e-10*g.OutputScale {
-				v = 1e-10 * g.OutputScale
+			val := g.OutputScale*Matern52(xs[a]-xs[b], g.Lengthscale) - mat.Dot(va, v.Row(b))
+			if a == b && val < floor {
+				val = floor
 			}
-			cov.Set(a, b, v)
-			cov.Set(b, a, v)
+			cov.Set(a, b, val)
+			cov.Set(b, a, val)
 		}
 	}
 	return mean, cov
 }
 
+// PosteriorBlocks is the joint posterior over [training inputs ∪ cands] in
+// the block form the NEI acquisition samples from: the dense covariance over
+// the (few) training inputs, the cross-covariance from each candidate to the
+// training inputs, and each candidate's marginal variance. The
+// candidate×candidate covariance block — the bulk of the full joint matrix —
+// is never formed: a draw of the candidates conditioned on the training-input
+// draw (f_j = μ_j + w_jᵀ·z_obs + s_j·z_j with w_j = L⁻¹·cross_j) has exactly
+// the right per-candidate joint law with the observations, which is all a
+// per-candidate improvement integrand can depend on.
+type PosteriorBlocks struct {
+	MeanObs  []float64  // posterior mean at the training inputs (n)
+	MeanCand []float64  // posterior mean at the candidates (nc)
+	CovObs   *mat.Dense // posterior covariance over the training inputs (n×n)
+	Cross    *mat.Dense // nc×n: row j = posterior cov(cand_j, training inputs)
+	VarCand  []float64  // posterior marginal variance per candidate (nc)
+}
+
+// JointPosteriorBlocks computes PosteriorBlocks for the training inputs plus
+// the given candidates. It shares JointPosterior's blocked-solve core but
+// does O((n+nc)·n) kernel work instead of O((n+nc)²).
+func (g *GP) JointPosteriorBlocks(cands []float64) *PosteriorBlocks {
+	n := len(g.x)
+	nc := len(cands)
+	b := &PosteriorBlocks{
+		MeanObs:  make([]float64, n),
+		MeanCand: make([]float64, nc),
+		CovObs:   mat.New(n, n),
+		Cross:    mat.New(nc, n),
+		VarCand:  make([]float64, nc),
+	}
+	floor := 1e-10 * g.OutputScale
+
+	// Raw prior covariance over the training inputs, kept in CovObs until the
+	// posterior correction below overwrites it in place.
+	for a := 0; a < n; a++ {
+		row := b.CovObs.Row(a)
+		for i := a; i < n; i++ {
+			v := g.OutputScale * Matern52(g.x[a]-g.x[i], g.Lengthscale)
+			row[i] = v
+			b.CovObs.Data[i*n+a] = v
+		}
+	}
+	vObs := b.CovObs.Clone() // rows become L⁻¹·k*_a
+	for a := 0; a < n; a++ {
+		b.MeanObs[a] = g.Mean + mat.Dot(b.CovObs.Row(a), g.alpha)
+		g.chol.ForwardSolveTo(vObs.Row(a), vObs.Row(a))
+	}
+	for a := 0; a < n; a++ {
+		va := vObs.Row(a)
+		row := b.CovObs.Row(a)
+		for i := a; i < n; i++ {
+			v := row[i] - mat.Dot(va, vObs.Row(i))
+			if a == i && v < floor {
+				v = floor
+			}
+			row[i] = v
+			b.CovObs.Data[i*n+a] = v
+		}
+	}
+
+	vj := make([]float64, n)
+	for j := 0; j < nc; j++ {
+		kc := b.Cross.Row(j) // raw k(cand_j, x_i), finalized in place below
+		for i := 0; i < n; i++ {
+			kc[i] = g.OutputScale * Matern52(cands[j]-g.x[i], g.Lengthscale)
+		}
+		b.MeanCand[j] = g.Mean + mat.Dot(kc, g.alpha)
+		g.chol.ForwardSolveTo(vj, kc)
+		v := g.OutputScale - mat.Dot(vj, vj)
+		if v < floor {
+			v = floor
+		}
+		b.VarCand[j] = v
+		for a := 0; a < n; a++ {
+			kc[a] -= mat.Dot(vj, vObs.Row(a))
+		}
+	}
+	return b
+}
+
 // NumObs returns the number of observations in the GP.
 func (g *GP) NumObs() int { return len(g.x) }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n, 2*n)
+	}
+	return s[:n]
+}
 
 func meanOf(xs []float64) float64 {
 	var s float64

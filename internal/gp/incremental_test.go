@@ -1,0 +1,261 @@
+package gp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tesla/internal/mat"
+	"tesla/internal/rng"
+)
+
+// TestFitterIncrementalMatchesFullRefit: appending observations one at a time
+// (exercising the O(n²) factor-extension path) must produce the same GP a
+// from-scratch fit over the same grid produces — factors, alpha and selected
+// hyperparameters bit-identical.
+func TestFitterIncrementalMatchesFullRefit(t *testing.T) {
+	xs := []float64{20, 35, 23, 29, 26, 31.5, 21.7, 27.3, 33.1, 24.9}
+	f1 := NewFitter()
+	for i, x := range xs[:6] {
+		if err := f1.Observe(x, 0.05*(x-27)*(x-27)+0.1*float64(i%3), 1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f1.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	var g1 *GP
+	for i, x := range xs[6:] {
+		if err := f1.Observe(x, 0.05*(x-27)*(x-27)+0.1*float64(i%3), 1e-4); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if g1, err = f1.Fit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f1.stats.Extends == 0 {
+		t.Fatalf("extension fast path never fired: %+v", f1.stats)
+	}
+
+	// Reference: a fresh fitter over the same data, forced onto the same
+	// output-scale anchor so both use the same hyperparameter grid.
+	f2 := NewFitter()
+	for i := range f1.x {
+		if err := f2.Observe(f1.x[i], f1.y[i], f1.noise[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f2.anchor = f1.anchor
+	f2.osGrid = f1.osGrid
+	g2, err := f2.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.stats.FullRefits != 1 || f2.stats.Extends != 0 {
+		t.Fatalf("reference fitter should have done one full refit: %+v", f2.stats)
+	}
+
+	if g1.Lengthscale != g2.Lengthscale || g1.OutputScale != g2.OutputScale || g1.Mean != g2.Mean {
+		t.Fatalf("hyperparameters diverge: incremental (%g,%g,%g) vs full (%g,%g,%g)",
+			g1.Lengthscale, g1.OutputScale, g1.Mean, g2.Lengthscale, g2.OutputScale, g2.Mean)
+	}
+	for i := range g1.alpha {
+		if g1.alpha[i] != g2.alpha[i] {
+			t.Fatalf("alpha[%d]: incremental %g vs full %g", i, g1.alpha[i], g2.alpha[i])
+		}
+	}
+	l1, l2 := g1.chol.L, g2.chol.L
+	for i := range l1.Data {
+		if d := math.Abs(l1.Data[i] - l2.Data[i]); d > 1e-12 {
+			t.Fatalf("factor entry %d: incremental %g vs full %g (|Δ|=%g)", i, l1.Data[i], l2.Data[i], d)
+		}
+	}
+}
+
+// TestFitterExtensionPathOnStableVariance mirrors the optimizer's pattern
+// (initial design, then one observation per iteration) and checks the fast
+// path dominates when the target variance is stable.
+func TestFitterExtensionPathOnStableVariance(t *testing.T) {
+	f := NewFitter()
+	for _, x := range []float64{20, 35, 24, 28, 31} {
+		if err := f.Observe(x, 3, 1e-6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := f.Observe(21+2*float64(i), 3, 1e-6); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Fit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	if st.Fits != 7 {
+		t.Fatalf("fits %d, want 7", st.Fits)
+	}
+	if st.Extends != 6 || st.FullRefits != 1 {
+		t.Fatalf("constant targets should extend on every refit: %+v", st)
+	}
+}
+
+// TestJointPosteriorMatchesPerRowReference: the blocked triangular solve must
+// agree exactly (bitwise) with an independent per-row implementation of the
+// same math on fixed inputs.
+func TestJointPosteriorMatchesPerRowReference(t *testing.T) {
+	xs, ys, noise := []float64{}, []float64{}, []float64{}
+	for i := 0; i < 12; i++ {
+		x := 20 + 15*float64(i)/11
+		xs = append(xs, x)
+		ys = append(ys, 0.05*(x-27)*(x-27)+math.Sin(float64(i)))
+		noise = append(noise, 1e-4+1e-5*float64(i))
+	}
+	g, err := Fit(xs, ys, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]float64, 61)
+	for i := range pts {
+		pts[i] = 20 + 15*float64(i)/60
+	}
+	mean, cov := g.JointPosterior(pts)
+
+	// Per-row reference: fresh slices per point, no shared workspace.
+	n := len(xs)
+	m := len(pts)
+	vs := make([][]float64, m)
+	refMean := make([]float64, m)
+	for a := 0; a < m; a++ {
+		k := make([]float64, n)
+		for i := 0; i < n; i++ {
+			k[i] = g.OutputScale * Matern52(pts[a]-g.x[i], g.Lengthscale)
+		}
+		refMean[a] = g.Mean + mat.Dot(k, g.alpha)
+		v := make([]float64, n)
+		g.chol.ForwardSolveTo(v, k)
+		vs[a] = v
+	}
+	for a := 0; a < m; a++ {
+		if mean[a] != refMean[a] {
+			t.Fatalf("mean[%d] = %g, reference %g", a, mean[a], refMean[a])
+		}
+		for b := a; b < m; b++ {
+			val := g.OutputScale*Matern52(pts[a]-pts[b], g.Lengthscale) - mat.Dot(vs[a], vs[b])
+			if floor := 1e-10 * g.OutputScale; a == b && val < floor {
+				val = floor
+			}
+			if cov.At(a, b) != val {
+				t.Fatalf("cov[%d,%d] = %g, reference %g", a, b, cov.At(a, b), val)
+			}
+		}
+	}
+}
+
+// TestPosteriorMeanRecoversObservation: with near-zero observation noise the
+// posterior mean at an observed input must reproduce the target.
+func TestPosteriorMeanRecoversObservation(t *testing.T) {
+	xs := []float64{20, 23, 26, 29, 32, 35}
+	ys := make([]float64, len(xs))
+	noise := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + math.Sin(x/3)
+		noise[i] = 1e-10
+	}
+	g, err := Fit(xs, ys, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		m, v := g.Posterior(x)
+		if math.Abs(m-ys[i]) > 1e-4 {
+			t.Fatalf("posterior mean at observed x=%g is %.9g, want %.9g", x, m, ys[i])
+		}
+		if v > 1e-4 {
+			t.Fatalf("posterior variance %g at an observed near-noiseless point", v)
+		}
+	}
+}
+
+func TestFitRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name        string
+		x, y, noise []float64
+	}{
+		{"nan-x", []float64{1, math.NaN(), 3}, []float64{1, 2, 3}, []float64{1e-6, 1e-6, 1e-6}},
+		{"inf-y", []float64{1, 2, 3}, []float64{1, math.Inf(1), 3}, []float64{1e-6, 1e-6, 1e-6}},
+		{"nan-noise", []float64{1, 2, 3}, []float64{1, 2, 3}, []float64{1e-6, math.NaN(), 1e-6}},
+	}
+	for _, c := range cases {
+		_, err := Fit(c.x, c.y, c.noise)
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("%s: error %q does not name the cause", c.name, err)
+		}
+	}
+}
+
+func TestObserveRejectsNonFinite(t *testing.T) {
+	f := NewFitter()
+	if err := f.Observe(math.Inf(-1), 0, 1e-6); err == nil {
+		t.Fatalf("-Inf input accepted")
+	}
+	if f.NumObs() != 0 {
+		t.Fatalf("rejected observation was stored")
+	}
+}
+
+// TestJointPosteriorBlocksMatchesJoint checks the block-form posterior
+// against the full JointPosterior over [training inputs ∪ cands]: the means,
+// the obs×obs block, the cand→obs cross block, and the candidate marginal
+// variances must agree to tight tolerance (the two paths share the blocked
+// forward-solve core but order some reductions differently).
+func TestJointPosteriorBlocksMatchesJoint(t *testing.T) {
+	r := rng.New(31)
+	var x, y, noise []float64
+	for i := 0; i < 9; i++ {
+		x = append(x, 20+float64(i)*1.7)
+		y = append(y, math.Sin(x[i]/3)+0.05*r.Norm())
+		noise = append(noise, 1e-4)
+	}
+	g, err := Fit(x, y, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []float64{19.5, 23.3, 28, 31.1, 36}
+	n, nc := len(x), len(cands)
+
+	pts := append(append([]float64{}, x...), cands...)
+	mean, cov := g.JointPosterior(pts)
+	b := g.JointPosteriorBlocks(cands)
+
+	const tol = 1e-11
+	for a := 0; a < n; a++ {
+		if d := math.Abs(b.MeanObs[a] - mean[a]); d > tol {
+			t.Fatalf("MeanObs[%d] off by %g", a, d)
+		}
+		for i := 0; i < n; i++ {
+			if d := math.Abs(b.CovObs.Data[a*n+i] - cov.Data[a*(n+nc)+i]); d > tol {
+				t.Fatalf("CovObs[%d,%d] off by %g", a, i, d)
+			}
+		}
+	}
+	for j := 0; j < nc; j++ {
+		if d := math.Abs(b.MeanCand[j] - mean[n+j]); d > tol {
+			t.Fatalf("MeanCand[%d] off by %g", j, d)
+		}
+		if d := math.Abs(b.VarCand[j] - cov.Data[(n+j)*(n+nc)+n+j]); d > tol {
+			t.Fatalf("VarCand[%d] off by %g", j, d)
+		}
+		for a := 0; a < n; a++ {
+			if d := math.Abs(b.Cross.Data[j*n+a] - cov.Data[(n+j)*(n+nc)+a]); d > tol {
+				t.Fatalf("Cross[%d,%d] off by %g", j, a, d)
+			}
+		}
+	}
+}

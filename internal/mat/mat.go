@@ -183,11 +183,19 @@ type Cholesky struct {
 // It returns an error if a pivot is non-positive (a not SPD within floating
 // point), in which case the caller typically retries with added jitter.
 func NewCholesky(a *Dense) (*Cholesky, error) {
+	return CholeskyInPlace(a.Clone())
+}
+
+// CholeskyInPlace factors a in place, overwriting it with the lower factor L
+// (upper triangle zeroed). Only the lower triangle of a is read, so callers
+// may build just that half. On error a is left partially overwritten; callers
+// that retry with jitter must refill the matrix from their source first.
+func CholeskyInPlace(a *Dense) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("mat: Cholesky of non-square %dx%d", a.Rows, a.Cols))
 	}
 	n := a.Rows
-	l := a.Clone()
+	l := a
 	for j := 0; j < n; j++ {
 		ljj := l.Data[j*n+j]
 		lrowj := l.Row(j)[:j]
@@ -212,30 +220,110 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 	return &Cholesky{L: l}, nil
 }
 
+// Extend grows the factorization in place by one symmetric row: given the
+// factor of an n×n matrix A, it produces the factor of the (n+1)×(n+1)
+// matrix [[A, k], [kᵀ, d]] in O(n²) — a forward substitution for the new
+// off-diagonal row plus one pivot — instead of the O(n³) full refactorization.
+// The result is bit-identical to refactorizing the extended matrix from
+// scratch (the leading rows of a Cholesky factor depend only on the leading
+// submatrix, and the new row is computed with the same dot/reciprocal
+// sequence NewCholesky uses). The factor's storage is reused when its backing
+// slice has capacity; on a non-positive pivot the factorization is left
+// unchanged and an error is returned.
+func (c *Cholesky) Extend(k []float64, d float64) error {
+	n := c.L.Rows
+	if len(k) != n {
+		panic(fmt.Sprintf("mat: Extend row length %d vs order %d", len(k), n))
+	}
+	m := n + 1
+	// Stage the new row in the tail of the target storage so a failed pivot
+	// leaves the existing factor untouched.
+	row := make([]float64, m)
+	var pivot float64
+	{
+		l := c.L.Data
+		for j := 0; j < n; j++ {
+			ljj := l[j*n+j]
+			v := k[j] - Dot(c.L.Row(j)[:j], row[:j])
+			row[j] = v * (1 / ljj)
+		}
+		pivot = d - Dot(row[:n], row[:n])
+		if pivot <= 0 || math.IsNaN(pivot) {
+			return fmt.Errorf("mat: extended matrix not positive definite (pivot %g)", pivot)
+		}
+		row[n] = math.Sqrt(pivot)
+	}
+
+	old := c.L.Data
+	var data []float64
+	if cap(old) >= m*m {
+		// Restride rows n-1..1 backward (row i moves from offset i·n to i·m,
+		// strictly rightward, so a reverse walk never overwrites unread data).
+		data = old[:m*m]
+		for i := n - 1; i >= 1; i-- {
+			copy(data[i*m:i*m+i+1], data[i*n:i*n+i+1])
+		}
+	} else {
+		data = make([]float64, m*m, 2*m*m)
+		for i := 0; i < n; i++ {
+			copy(data[i*m:i*m+i+1], old[i*n:i*n+i+1])
+		}
+	}
+	// Zero each old row's upper triangle (restriding leaves stale values
+	// behind the diagonal) and install the new row.
+	for i := 0; i < n; i++ {
+		z := data[i*m+i+1 : (i+1)*m]
+		for j := range z {
+			z[j] = 0
+		}
+	}
+	copy(data[n*m:], row)
+	c.L = &Dense{Rows: m, Cols: m, Data: data}
+	return nil
+}
+
 // SolveVec solves A·x = b for x given the factorization of A.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	n := c.L.Rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: SolveVec length %d vs order %d", len(b), n))
-	}
-	// Forward substitution L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		y[i] = (b[i] - Dot(c.L.Row(i)[:i], y[:i])) / c.L.Data[i*n+i]
-	}
-	// Back substitution Lᵀ·x = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.L.Data[k*n+i] * x[k]
-		}
-		x[i] = s / c.L.Data[i*n+i]
-	}
+	x := make([]float64, len(b))
+	c.SolveVecTo(x, b)
 	return x
 }
 
-// Solve solves A·X = B column-by-column for a d×m right-hand side.
+// SolveVecTo solves A·x = b into dst without allocating. dst may alias b.
+func (c *Cholesky) SolveVecTo(dst, b []float64) {
+	n := c.L.Rows
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("mat: SolveVecTo lengths %d,%d vs order %d", len(dst), len(b), n))
+	}
+	// Forward substitution L·y = b (y lands in dst).
+	for i := 0; i < n; i++ {
+		dst[i] = (b[i] - Dot(c.L.Row(i)[:i], dst[:i])) / c.L.Data[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y, in place over y.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.Data[k*n+i] * dst[k]
+		}
+		dst[i] = s / c.L.Data[i*n+i]
+	}
+}
+
+// ForwardSolveTo computes dst = L⁻¹·b (forward substitution only) without
+// allocating. dst may alias b. Combined with a dot product this evaluates
+// quadratic forms bᵀA⁻¹b in half the work of a full solve.
+func (c *Cholesky) ForwardSolveTo(dst, b []float64) {
+	n := c.L.Rows
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("mat: ForwardSolveTo lengths %d,%d vs order %d", len(dst), len(b), n))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = (b[i] - Dot(c.L.Row(i)[:i], dst[:i])) / c.L.Data[i*n+i]
+	}
+}
+
+// Solve solves A·X = B column-by-column for a d×m right-hand side. One
+// scratch column is reused across all right-hand sides.
 func (c *Cholesky) Solve(b *Dense) *Dense {
 	n := c.L.Rows
 	if b.Rows != n {
@@ -247,9 +335,9 @@ func (c *Cholesky) Solve(b *Dense) *Dense {
 		for i := 0; i < n; i++ {
 			col[i] = b.Data[i*b.Cols+j]
 		}
-		x := c.SolveVec(col)
+		c.SolveVecTo(col, col)
 		for i := 0; i < n; i++ {
-			out.Data[i*out.Cols+j] = x[i]
+			out.Data[i*out.Cols+j] = col[i]
 		}
 	}
 	return out

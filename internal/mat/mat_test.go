@@ -288,3 +288,155 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatalf("Clone shares storage")
 	}
 }
+
+// leading returns the k×k leading principal submatrix of a.
+func leading(a *Dense, k int) *Dense {
+	out := New(k, k)
+	for i := 0; i < k; i++ {
+		copy(out.Row(i), a.Row(i)[:k])
+	}
+	return out
+}
+
+// TestCholeskyExtendMatchesFull is the incremental-append property the GP
+// fitter relies on: growing a factor one symmetric row at a time must equal
+// refactorizing the full matrix from scratch (to 1e-12; in fact the two are
+// bit-identical because Extend replays NewCholesky's exact arithmetic).
+func TestCholeskyExtendMatchesFull(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 16} {
+		a := randomSPD(n, uint64(n))
+		ch, err := NewCholesky(leading(a, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k < n; k++ {
+			row := a.Row(k)[:k]
+			if err := ch.Extend(row, a.At(k, k)); err != nil {
+				t.Fatalf("n=%d extend to %d: %v", n, k+1, err)
+			}
+		}
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.L.Rows != n {
+			t.Fatalf("extended factor order %d, want %d", ch.L.Rows, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d := math.Abs(ch.L.At(i, j) - full.L.At(i, j))
+				if d > 1e-12 {
+					t.Fatalf("n=%d: L[%d,%d] incremental %g vs full %g (|Δ|=%g)",
+						n, i, j, ch.L.At(i, j), full.L.At(i, j), d)
+				}
+			}
+		}
+		// The extended factor must be a working factorization, not just
+		// numerically close: round-trip a solve.
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i) - 1.5
+		}
+		x := ch.SolveVec(b)
+		ax := MulVec(a, x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-8) {
+				t.Fatalf("extended solve round-trip: (Ax)[%d] = %g, want %g", i, ax[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCholeskyExtendRejectsIndefinite: appending a row that breaks positive
+// definiteness must error and leave the existing factor intact and usable.
+func TestCholeskyExtendRejectsIndefinite(t *testing.T) {
+	a := randomSPD(4, 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ch.L.Clone()
+	// d = 0 with a non-trivial cross row cannot be SPD.
+	if err := ch.Extend([]float64{1, 2, 3, 4}, 0); err == nil {
+		t.Fatalf("indefinite extension accepted")
+	}
+	if ch.L.Rows != 4 {
+		t.Fatalf("failed extension resized the factor to %d", ch.L.Rows)
+	}
+	for i := range before.Data {
+		if ch.L.Data[i] != before.Data[i] {
+			t.Fatalf("failed extension mutated the factor at %d", i)
+		}
+	}
+}
+
+func TestCholeskyInPlaceMatchesNewCholesky(t *testing.T) {
+	a := randomSPD(7, 11)
+	ref, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := a.Clone()
+	ch, err := CholeskyInPlace(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.L != work {
+		t.Fatalf("CholeskyInPlace must factor into its argument")
+	}
+	for i := range ref.L.Data {
+		if ch.L.Data[i] != ref.L.Data[i] {
+			t.Fatalf("in-place factor differs at %d: %g vs %g", i, ch.L.Data[i], ref.L.Data[i])
+		}
+	}
+}
+
+// TestSolveVecToAliasing: the allocation-free solves must give bit-identical
+// results whether or not dst aliases b.
+func TestSolveVecToAliasing(t *testing.T) {
+	a := randomSPD(8, 21)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = math.Sin(float64(i) + 0.5)
+	}
+	want := ch.SolveVec(b)
+	got := append([]float64(nil), b...)
+	ch.SolveVecTo(got, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aliased SolveVecTo[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForwardSolveQuadraticForm: dot(L⁻¹b, L⁻¹b) must equal bᵀA⁻¹b — the
+// half-solve identity the GP posterior variance uses.
+func TestForwardSolveQuadraticForm(t *testing.T) {
+	a := randomSPD(9, 33)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 9)
+	for i := range b {
+		b[i] = math.Cos(1.7 * float64(i))
+	}
+	v := make([]float64, 9)
+	ch.ForwardSolveTo(v, b)
+	want := Dot(b, ch.SolveVec(b))
+	if !almostEqual(Dot(v, v), want, 1e-9*math.Abs(want)+1e-12) {
+		t.Fatalf("‖L⁻¹b‖² = %g, bᵀA⁻¹b = %g", Dot(v, v), want)
+	}
+	// Aliased form matches too.
+	alias := append([]float64(nil), b...)
+	ch.ForwardSolveTo(alias, alias)
+	for i := range v {
+		if alias[i] != v[i] {
+			t.Fatalf("aliased ForwardSolveTo[%d] = %g, want %g", i, alias[i], v[i])
+		}
+	}
+}

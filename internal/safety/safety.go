@@ -9,9 +9,11 @@
 //  1. validates the incoming telemetry per sensor — NaN, out-of-range,
 //     spikes, flat-lined (stuck) readings and consensus-relative drift each
 //     put a probe into a self-renewing quarantine;
+//
 //  2. evaluates the cold-aisle constraint over the remaining healthy
 //     majority, plus a short-horizon rise-rate prediction and a cooling
 //     interruption check on the live trace;
+//
 //  3. applies a staged fallback with hysteresis:
 //
 //     pass-through → hold-last-safe-set-point → S_min backstop → emergency max cooling
@@ -272,8 +274,8 @@ type Supervisor struct {
 	haveLastCmd bool
 	blankLeft   int // set-point-change blanking countdown
 
-	quarantine  []int // per-DC-sensor countdown; >0 means quarantined
-	healthyHist []float64
+	quarantine   []int // per-DC-sensor countdown; >0 means quarantined
+	healthyHist  []float64
 	interrupted  int
 	stale        int
 	violating    int
