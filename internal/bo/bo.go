@@ -262,7 +262,7 @@ func acquireNEI(objGP, conGP *gp.GP, cands []float64, draws *acqDraws, nSamples,
 			row := contrib[k*nc : (k+1)*nc]
 			for j := range cands {
 				fc := cb.meanCand[j] + mat.Dot(cb.w.Row(j), zConObs) + cb.s[j]*zConCand[j]
-				if fc > 0 {
+				if !(fc <= 0) { // NaN draws count as infeasible
 					continue
 				}
 				f := ob.meanCand[j] + mat.Dot(ob.w.Row(j), zObjObs) + ob.s[j]*zObjCand[j]

@@ -181,6 +181,9 @@ func (f *Fitter) Fit() (*GP, error) {
 		f.span = span
 		f.lsGrid = [numLS]float64{span / 24, span / 12, span / 6, span / 3, span}
 		f.baseN = 0 // bases are per-lengthscale; a new grid invalidates them
+		for li := range f.bases {
+			f.bases[li] = f.bases[li][:0] // extendBases appends; stale rows must go
+		}
 		f.cellN = 0
 	}
 	if anchor != f.anchor {

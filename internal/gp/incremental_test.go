@@ -73,6 +73,56 @@ func TestFitterIncrementalMatchesFullRefit(t *testing.T) {
 	}
 }
 
+// TestFitterSpanGrowthInvalidatesBases: when a new observation widens the data
+// span, the lengthscale grid moves and every cached base matrix must be
+// rebuilt from scratch. A regression here left stale packed rows in front of
+// the rebuilt ones, so kernels were assembled from entries computed with the
+// old grid — failing with "no hyperparameter setting produced a
+// positive-definite kernel" (or, worse, fitting silently wrong).
+func TestFitterSpanGrowthInvalidatesBases(t *testing.T) {
+	f := NewFitter()
+	for _, x := range []float64{20, 25, 23} {
+		if err := f.Observe(x, 0.1*(x-22)*(x-22), 1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	// Extends the span (and again on the next round) so the grid rebuilds.
+	for _, x := range []float64{35, 18} {
+		if err := f.Observe(x, 0.1*(x-22)*(x-22), 1e-4); err != nil {
+			t.Fatal(err)
+		}
+		g1, err := f.Fit()
+		if err != nil {
+			t.Fatalf("fit after span growth: %v", err)
+		}
+		// Must match a fresh fit over the same data on the same grid.
+		f2 := NewFitter()
+		for i := range f.x {
+			if err := f2.Observe(f.x[i], f.y[i], f.noise[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f2.anchor = f.anchor
+		f2.osGrid = f.osGrid
+		g2, err := f2.Fit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.Lengthscale != g2.Lengthscale || g1.OutputScale != g2.OutputScale || g1.Mean != g2.Mean {
+			t.Fatalf("hyperparameters diverge after span growth: (%g,%g,%g) vs fresh (%g,%g,%g)",
+				g1.Lengthscale, g1.OutputScale, g1.Mean, g2.Lengthscale, g2.OutputScale, g2.Mean)
+		}
+		for i := range g1.alpha {
+			if g1.alpha[i] != g2.alpha[i] {
+				t.Fatalf("alpha[%d]: %g vs fresh %g", i, g1.alpha[i], g2.alpha[i])
+			}
+		}
+	}
+}
+
 // TestFitterExtensionPathOnStableVariance mirrors the optimizer's pattern
 // (initial design, then one observation per iteration) and checks the fast
 // path dominates when the target variance is stable.
