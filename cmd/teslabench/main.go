@@ -9,6 +9,7 @@
 //	teslabench -fig 3 -out figures/      # Figure 3 + CSV export
 //	teslabench -fleet                    # fleet orchestrator sweep + BENCH_fleet.json
 //	teslabench -bo                       # BO surrogate hot-path benchmarks + BENCH_bo.json
+//	teslabench -wal                      # durable-store benchmarks + BENCH_wal.json
 package main
 
 import (
@@ -41,11 +42,23 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_fleet.json", "JSON baseline path for -fleet (empty disables)")
 	boBench := flag.Bool("bo", false, "benchmark the BO surrogate hot path (fit/posterior/acquisition/optimize)")
 	boOut := flag.String("boout", "BENCH_bo.json", "JSON baseline path for -bo (empty disables)")
+	walBench := flag.Bool("wal", false, "benchmark the durable store (WAL append, snapshot write, recovery)")
+	walOut := flag.String("walout", "BENCH_wal.json", "JSON baseline path for -wal (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The durable-store benchmarks need no trained models; run standalone.
+	if *walBench {
+		if err := runWALBench(os.Stdout, *walOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench {
+			return
+		}
 	}
 	// The surrogate benchmarks need no trained models either; run standalone.
 	if *boBench {

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"tesla/internal/bo"
+	"tesla/internal/store"
+	"tesla/internal/testbed"
+)
+
+// walAppendRow is one append-throughput measurement: a fixed-shape control
+// step record appended under one fsync policy.
+type walAppendRow struct {
+	Mode          string  `json:"mode"`
+	SyncEvery     int     `json:"sync_every"`
+	NsOp          float64 `json:"ns_op"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	BytesPerRec   int64   `json:"bytes_per_record"`
+	AllocsOp      int64   `json:"allocs_op"`
+}
+
+// walSnapshotRow is one checkpoint measurement at a given controller size:
+// the gob encode of a BO observation history with n evaluations, and the
+// full atomic checkpoint write (WAL sync + temp file + fsync + rename).
+type walSnapshotRow struct {
+	Observations int     `json:"observations"`
+	Bytes        int     `json:"snapshot_bytes"`
+	EncodeNsOp   float64 `json:"encode_ns_op"`
+	WriteNsOp    float64 `json:"write_ns_op"`
+}
+
+// walRecoveryRow is one full recovery (Open: scan, CRC-check and decode every
+// record, load the newest snapshot) over a WAL tail of n records.
+type walRecoveryRow struct {
+	Records       int     `json:"records"`
+	NsOp          float64 `json:"ns_op"`
+	Ms            float64 `json:"ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// walBenchReport is the BENCH_wal.json schema.
+type walBenchReport struct {
+	Generated string           `json:"generated"`
+	Append    []walAppendRow   `json:"append"`
+	Snapshot  []walSnapshotRow `json:"snapshot"`
+	Recovery  []walRecoveryRow `json:"recovery"`
+}
+
+// walBenchRecord builds one control-step record with the default testbed's
+// sensor shape (2 ACU + 35 DC probes), so the framed size matches what teslad
+// actually appends every simulated minute.
+func walBenchRecord() (store.Record, error) {
+	cfg := testbed.DefaultConfig()
+	cfg.Seed = 7
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		return store.Record{}, err
+	}
+	tb.SetSetpoint(23)
+	var s testbed.Sample
+	for i := 0; i < 3; i++ {
+		s = tb.Advance()
+	}
+	return store.Record{Kind: store.KindStep, Setpoint: 23, Level: 1, Sample: s}, nil
+}
+
+// walBenchEvals builds n synthetic BO evaluations, the unit the controller
+// snapshot grows in (bo.ResultState stores the observation history; GPs are
+// refit on restore).
+func walBenchEvals(n int) []bo.Evaluation {
+	evals := make([]bo.Evaluation, n)
+	for i := range evals {
+		x := 20 + 15*float64(i)/float64(n)
+		evals[i] = bo.Evaluation{
+			X: x, Obj: math.Sin(x/3) + 0.02*x, Con: x - 29,
+			ObjNoiseVar: 1e-4, ConNoiseVar: 1e-4,
+		}
+	}
+	return evals
+}
+
+// runWALBench measures the durable-store hot paths — WAL append under each
+// fsync policy, snapshot encode + atomic write vs. observation count, and
+// cold recovery vs. WAL tail length — prints a table and writes
+// BENCH_wal.json.
+func runWALBench(w io.Writer, outPath string) error {
+	rec, err := walBenchRecord()
+	if err != nil {
+		return err
+	}
+	rep := walBenchReport{Generated: time.Now().UTC().Format(time.RFC3339)}
+
+	fmt.Fprintln(w, "WAL append (one control-step record, 2 ACU + 35 DC sensors)")
+	fmt.Fprintf(w, "  %-16s %12s %14s %10s %8s\n", "fsync policy", "ns/op", "records/s", "B/record", "allocs")
+	for _, bc := range []struct {
+		mode string
+		sync int
+	}{
+		{"every-record", 0},
+		{"batch-32", 32},
+		{"never", -1},
+	} {
+		var bytesPer int64
+		res := testing.Benchmark(func(b *testing.B) {
+			st, _, err := store.Open(b.TempDir(), store.Options{WAL: store.WALOptions{SyncEvery: bc.sync}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			r := rec
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Step = uint32(i)
+				if err := st.AppendRecord(&r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if stats := st.Stats(); stats.Records > 0 {
+				bytesPer = int64(stats.Bytes / stats.Records)
+			}
+		})
+		row := walAppendRow{
+			Mode: bc.mode, SyncEvery: bc.sync,
+			NsOp: float64(res.NsPerOp()), BytesPerRec: bytesPer,
+			AllocsOp: res.AllocsPerOp(),
+		}
+		if row.NsOp > 0 {
+			row.RecordsPerSec = 1e9 / row.NsOp
+		}
+		rep.Append = append(rep.Append, row)
+		fmt.Fprintf(w, "  %-16s %12d %14.0f %10d %8d\n",
+			row.Mode, res.NsPerOp(), row.RecordsPerSec, row.BytesPerRec, row.AllocsOp)
+	}
+
+	fmt.Fprintln(w, "\nsnapshot encode + atomic checkpoint write vs. observation count")
+	fmt.Fprintf(w, "  %-14s %12s %14s %14s\n", "observations", "bytes", "encode ns/op", "write ns/op")
+	for _, n := range []int{16, 64, 256, 1024} {
+		state := bo.ResultState{X: 26, Feasible: true, Evals: walBenchEvals(n)}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+			return err
+		}
+		blob := append([]byte(nil), buf.Bytes()...)
+		encRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		wrRes := testing.Benchmark(func(b *testing.B) {
+			st, _, err := store.Open(b.TempDir(), store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.WriteCheckpoint(store.Checkpoint{Step: i + 1, Policy: blob}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		row := walSnapshotRow{
+			Observations: n, Bytes: len(blob),
+			EncodeNsOp: float64(encRes.NsPerOp()), WriteNsOp: float64(wrRes.NsPerOp()),
+		}
+		rep.Snapshot = append(rep.Snapshot, row)
+		fmt.Fprintf(w, "  %-14d %12d %14d %14d\n", n, row.Bytes, encRes.NsPerOp(), wrRes.NsPerOp())
+	}
+
+	fmt.Fprintln(w, "\ncold recovery (scan + CRC + decode every record) vs. WAL tail length")
+	fmt.Fprintf(w, "  %-10s %12s %14s\n", "records", "ms", "records/s")
+	for _, n := range []int{1000, 5000, 20000} {
+		dir, err := os.MkdirTemp("", "walbench-recover")
+		if err != nil {
+			return err
+		}
+		st, _, err := store.Open(dir, store.Options{WAL: store.WALOptions{SyncEvery: -1}})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		r := rec
+		for i := 0; i < n; i++ {
+			r.Step = uint32(i)
+			if err := st.AppendRecord(&r); err != nil {
+				st.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+		}
+		if err := st.Close(); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, got, err := store.Open(dir, store.Options{WAL: store.WALOptions{SyncEvery: -1}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got.Records) != n {
+					b.Fatalf("recovered %d/%d records", len(got.Records), n)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		os.RemoveAll(dir)
+		row := walRecoveryRow{
+			Records: n,
+			NsOp:    float64(res.NsPerOp()),
+			Ms:      float64(res.NsPerOp()) / 1e6,
+		}
+		if row.NsOp > 0 {
+			row.RecordsPerSec = float64(n) * 1e9 / row.NsOp
+		}
+		rep.Recovery = append(rep.Recovery, row)
+		fmt.Fprintf(w, "  %-10d %12.2f %14.0f\n", n, row.Ms, row.RecordsPerSec)
+	}
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n  baseline written to %s\n", outPath)
+	}
+	return nil
+}

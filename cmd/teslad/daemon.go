@@ -34,6 +34,10 @@ type status struct {
 	PolicyDecisions          uint64 `json:"policy_decisions"`
 	PolicyHistoryFallbacks   uint64 `json:"policy_history_fallbacks"`
 	PolicyOptimizerFallbacks uint64 `json:"policy_optimizer_fallbacks"`
+
+	// Durability is the WAL + checkpoint view (zero-valued when -datadir is
+	// unset).
+	Durability durStatus `json:"durability"`
 }
 
 // daemon holds the shared snapshot: the control loop writes it once a step,
@@ -86,6 +90,9 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE tesla_quarantined_sensors gauge\ntesla_quarantined_sensors %d\n", s.QuarantinedSensors)
 	fmt.Fprintf(w, "# TYPE tesla_policy_history_fallbacks_total counter\ntesla_policy_history_fallbacks_total %d\n", s.PolicyHistoryFallbacks)
 	fmt.Fprintf(w, "# TYPE tesla_policy_optimizer_fallbacks_total counter\ntesla_policy_optimizer_fallbacks_total %d\n", s.PolicyOptimizerFallbacks)
+	if s.Durability.Enabled {
+		writeDurabilityMetrics(w, s.Durability)
+	}
 	if d.events != nil {
 		counts := d.events.Counts()
 		kinds := make([]string, 0, len(counts))

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"tesla/internal/control"
+	"tesla/internal/dataset"
+	"tesla/internal/safety"
+	"tesla/internal/store"
+	"tesla/internal/testbed"
+)
+
+// durStatus is the durability block served under /status and exported as
+// tesla_wal_* / tesla_snapshot_* metrics.
+type durStatus struct {
+	Enabled        bool   `json:"enabled"`
+	Recovered      bool   `json:"recovered"`
+	RecoveredSteps int    `json:"recovered_steps"`
+	ReplayedSteps  int    `json:"replayed_steps"`
+	ReplayMism     int    `json:"replay_mismatches"`
+	SnapshotStep   int    `json:"last_checkpoint_step"` // -1 before the first checkpoint
+	WALRecords     uint64 `json:"wal_records"`
+	WALBytes       uint64 `json:"wal_bytes"`
+	WALSyncs       uint64 `json:"wal_syncs"`
+	WALSegments    int    `json:"wal_segments"`
+	Snapshots      uint64 `json:"snapshots_written"`
+	LastSnapBytes  int64  `json:"last_snapshot_bytes"`
+}
+
+// durableRoom is the per-control-loop durability wiring shared by teslad's
+// single-room and fleet modes: it owns the room's store, rebuilds the
+// telemetry view and (for Durable policies) the controller state on boot, and
+// logs / checkpoints the live loop.
+//
+// The daemon drives a live plant, so recovery here restores the trace the
+// policy saw and the controller's learned state — it cannot rewind the plant
+// itself. Catch-up replay re-runs the supervised Decide path over the logged
+// steps past the checkpoint so the controller's windows, hysteresis and
+// counters reflect the full history. (Bit-identity of full recovery against
+// an uninterrupted run is proven where the plant is replayable: the
+// internal/fleet crash-recovery tests.)
+type durableRoom struct {
+	st    *store.Store
+	pol   control.Policy
+	sup   *safety.Supervisor
+	every int // checkpoint interval in control steps
+
+	// View is the recovered telemetry trace (warm-up + steps); empty on a
+	// fresh store.
+	View *dataset.Trace
+	// WarmDone / Steps are how far the durable record reaches.
+	WarmDone int
+	Steps    int
+	// EnergyKWh / Violations / Interruptions are the status counters
+	// recomputed from the step records, in the live loop's exact order.
+	EnergyKWh     float64
+	Violations    int
+	Interruptions int
+
+	replayed   int
+	mismatches int
+	recovered  bool
+}
+
+// durOptions carries the durability flags from main to the run modes.
+type durOptions struct {
+	dir   string
+	every int
+	sync  int
+}
+
+// openDurableRoom opens dir, rebuilds the room's view and controller state,
+// and catches the supervised policy up to the end of the durable record.
+// every is the checkpoint interval (<= 0 selects 15, one checkpoint per
+// simulated quarter hour).
+func openDurableRoom(dir string, every, syncEvery int, periodS float64, na, nd int,
+	pol control.Policy, sup *safety.Supervisor) (*durableRoom, error) {
+	if every <= 0 {
+		every = 15
+	}
+	st, rec, err := store.Open(dir, store.Options{WAL: store.WALOptions{SyncEvery: syncEvery}})
+	if err != nil {
+		return nil, err
+	}
+	warm, steps, err := store.Partition(rec.Records)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	dr := &durableRoom{
+		st: st, pol: pol, sup: sup, every: every,
+		WarmDone: len(warm), Steps: len(steps),
+		recovered: len(rec.Records) > 0,
+	}
+	if len(rec.Records) > 0 {
+		dr.View, err = store.BuildTrace(periodS, rec.Records)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if dr.View.Na() != na || dr.View.Nd() != nd {
+			st.Close()
+			return nil, fmt.Errorf("store %s holds %d/%d sensors, plant has %d/%d", dir, dr.View.Na(), dr.View.Nd(), na, nd)
+		}
+	} else {
+		dr.View = dataset.NewTrace(periodS, na, nd)
+	}
+
+	// Restore the checkpointed controller, when there is one to restore.
+	snap := 0
+	if d, ok := pol.(control.Durable); ok && rec.HaveCheckpoint &&
+		rec.Checkpoint.Step >= 1 && rec.Checkpoint.Step <= len(steps) {
+		if err := d.Restore(rec.Checkpoint.Policy); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("restoring policy from checkpoint: %w", err)
+		}
+		if err := sup.Restore(rec.Checkpoint.Supervisor); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("restoring supervisor from checkpoint: %w", err)
+		}
+		snap = rec.Checkpoint.Step
+	}
+	// Catch-up replay: re-decide the logged steps past the checkpoint so the
+	// controller state reflects the whole durable history. The plant already
+	// executed these steps — the logged set-point stands; a recomputed
+	// decision that differs is counted as a mismatch.
+	for j := snap; j < len(steps); j++ {
+		prefix := dr.View.Slice(0, len(warm)+j)
+		sp := sup.Decide(prefix, prefix.Len()-1)
+		if sp != steps[j].Setpoint {
+			dr.mismatches++
+		}
+		dr.replayed++
+	}
+	// Status counters recomputed from the records, in append order.
+	for j := range steps {
+		s := &steps[j].Sample
+		dr.EnergyKWh += s.ACUPowerKW * periodS / 3600
+		if s.MaxColdAisle > coldLimitC {
+			dr.Violations++
+		}
+		if s.Interrupted {
+			dr.Interruptions++
+		}
+	}
+	return dr, nil
+}
+
+// LogWarm appends one warm-up record; no-op for warm-up steps the store
+// already holds or once step records exist (re-logging warm-up after steps
+// would break the log's ordering invariant).
+func (dr *durableRoom) LogWarm(i int, s testbed.Sample) error {
+	if dr == nil || i < dr.WarmDone || dr.Steps > 0 {
+		return nil
+	}
+	dr.WarmDone = i + 1
+	return dr.st.AppendRecord(&store.Record{Kind: store.KindWarmup, Step: uint32(i), Sample: s})
+}
+
+// LogStep appends one control-step record and checkpoints on the interval.
+func (dr *durableRoom) LogStep(i int, sp float64, s testbed.Sample) error {
+	if dr == nil {
+		return nil
+	}
+	rec := store.Record{Kind: store.KindStep, Step: uint32(i), Setpoint: sp, Level: uint8(dr.sup.Level()), Sample: s}
+	if err := dr.st.AppendRecord(&rec); err != nil {
+		return err
+	}
+	if (i+1)%dr.every == 0 {
+		return dr.checkpoint(i + 1)
+	}
+	return nil
+}
+
+func (dr *durableRoom) checkpoint(step int) error {
+	d, ok := dr.pol.(control.Durable)
+	if !ok {
+		return nil
+	}
+	polBlob, err := d.Snapshot()
+	if err != nil {
+		return err
+	}
+	supBlob, err := dr.sup.Snapshot()
+	if err != nil {
+		return err
+	}
+	return dr.st.WriteCheckpoint(store.Checkpoint{Step: step, Policy: polBlob, Supervisor: supBlob})
+}
+
+// Finalize is the graceful-shutdown path: write a final checkpoint at the
+// exact stopping step, then flush and fsync the WAL. After a SIGTERM the
+// store holds every executed step even under batched fsync, and a restart
+// resumes without replaying anything.
+func (dr *durableRoom) Finalize(step int) error {
+	if dr == nil {
+		return nil
+	}
+	if step > 0 {
+		if err := dr.checkpoint(step); err != nil {
+			dr.st.Close()
+			return err
+		}
+	}
+	return dr.st.Close()
+}
+
+// writeDurabilityMetrics renders the tesla_wal_* / tesla_snapshot_* gauges
+// and counters for the Prometheus exposition.
+func writeDurabilityMetrics(w io.Writer, ds durStatus) {
+	fmt.Fprintf(w, "# TYPE tesla_wal_records_total counter\ntesla_wal_records_total %d\n", ds.WALRecords)
+	fmt.Fprintf(w, "# TYPE tesla_wal_bytes_total counter\ntesla_wal_bytes_total %d\n", ds.WALBytes)
+	fmt.Fprintf(w, "# TYPE tesla_wal_syncs_total counter\ntesla_wal_syncs_total %d\n", ds.WALSyncs)
+	fmt.Fprintf(w, "# TYPE tesla_wal_segments gauge\ntesla_wal_segments %d\n", ds.WALSegments)
+	fmt.Fprintf(w, "# TYPE tesla_snapshot_writes_total counter\ntesla_snapshot_writes_total %d\n", ds.Snapshots)
+	fmt.Fprintf(w, "# TYPE tesla_snapshot_last_step gauge\ntesla_snapshot_last_step %d\n", ds.SnapshotStep)
+	fmt.Fprintf(w, "# TYPE tesla_snapshot_last_bytes gauge\ntesla_snapshot_last_bytes %d\n", ds.LastSnapBytes)
+	fmt.Fprintf(w, "# TYPE tesla_recovered_steps gauge\ntesla_recovered_steps %d\n", ds.RecoveredSteps)
+	fmt.Fprintf(w, "# TYPE tesla_replay_mismatches gauge\ntesla_replay_mismatches %d\n", ds.ReplayMism)
+}
+
+// Status renders the durability block for /status and /metrics.
+func (dr *durableRoom) Status() durStatus {
+	if dr == nil {
+		return durStatus{}
+	}
+	st := dr.st.Stats()
+	return durStatus{
+		Enabled:        true,
+		Recovered:      dr.recovered,
+		RecoveredSteps: dr.Steps,
+		ReplayedSteps:  dr.replayed,
+		ReplayMism:     dr.mismatches,
+		SnapshotStep:   st.LastStep,
+		WALRecords:     st.Records,
+		WALBytes:       st.Bytes,
+		WALSyncs:       st.Syncs,
+		WALSegments:    st.Segments,
+		Snapshots:      st.Snapshots,
+		LastSnapBytes:  st.LastBytes,
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +44,10 @@ type roomStatus struct {
 	SafetyMaxLevel string `json:"safety_max_level"`
 	Escalations    uint64 `json:"safety_escalations"`
 	Overrides      uint64 `json:"policy_overrides"`
+
+	// Durability is the room's WAL + checkpoint view (zero-valued when
+	// -datadir is unset).
+	Durability durStatus `json:"durability"`
 }
 
 // fleetDaemon is the shared state behind `teslad -rooms N`: per-room
@@ -193,7 +198,7 @@ func (fd *fleetDaemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // rooms drive their plants in-process (the Modbus/TSDB wire stack is the
 // single-room mode's job); what fleet mode exercises is the orchestration:
 // isolation, backpressure and aggregate observability.
-func runFleet(ctx context.Context, listen string, rooms, minutes int, speedup float64, seed uint64) error {
+func runFleet(ctx context.Context, listen string, rooms, minutes int, speedup float64, seed uint64, dur durOptions) error {
 	fmt.Printf("teslad: training models (ci scale) for %d rooms...\n", rooms)
 	sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
 	if err != nil {
@@ -247,6 +252,7 @@ func runFleet(ctx context.Context, listen string, rooms, minutes int, speedup fl
 			seed:    seed,
 			minutes: minutes,
 			speedup: speedup,
+			dur:     dur,
 			newPolicy: func(room int, polSeed uint64) (control.Policy, error) {
 				return a.NewTESLAPolicy(polSeed)
 			},
@@ -272,6 +278,7 @@ type roomLoopConfig struct {
 	seed      uint64
 	minutes   int
 	speedup   float64
+	dur       durOptions
 	newPolicy fleet.PolicyFactory
 }
 
@@ -310,17 +317,48 @@ func (fd *fleetDaemon) runRoom(ctx context.Context, rc roomLoopConfig, q *teleme
 		})
 	}
 
-	view := dataset.NewTrace(tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
-	for i := 0; i < 60; i++ {
-		if ctx.Err() != nil {
-			return nil
+	var dr *durableRoom
+	if rc.dur.dir != "" {
+		dr, err = openDurableRoom(filepath.Join(rc.dur.dir, name), rc.dur.every, rc.dur.sync,
+			tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC), pol, sup)
+		if err != nil {
+			return fmt.Errorf("room %s: opening durable store: %w", name, err)
 		}
-		view.Append(tb.Advance())
 	}
 
-	for step := 0; rc.minutes == 0 || step < rc.minutes; {
+	view := dataset.NewTrace(tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
+	if dr != nil {
+		view = dr.View
+	}
+	for i := 0; i < 60; i++ {
 		if ctx.Err() != nil {
-			return nil
+			return dr.Finalize(0)
+		}
+		s := tb.Advance()
+		appendView := dr == nil || (dr.Steps == 0 && i >= dr.WarmDone)
+		if err := dr.LogWarm(i, s); err != nil {
+			return fmt.Errorf("room %s: %w", name, err)
+		}
+		if appendView {
+			view.Append(s)
+		}
+	}
+
+	start := 0
+	if dr != nil {
+		start = dr.Steps
+		fd.updateRoom(rc.idx, func(rs *roomStatus) {
+			rs.StepMinutes = dr.Steps
+			rs.EnergyKWh = dr.EnergyKWh
+			rs.Violations = dr.Violations
+			rs.Interruptions = dr.Interruptions
+			rs.Durability = dr.Status()
+		})
+	}
+	step := start
+	for rc.minutes == 0 || step < rc.minutes {
+		if ctx.Err() != nil {
+			break
 		}
 		sp := sup.Decide(view, view.Len()-1)
 		tb.SetSetpoint(sp)
@@ -328,6 +366,9 @@ func (fd *fleetDaemon) runRoom(ctx context.Context, rc roomLoopConfig, q *teleme
 		view.Append(s)
 		q.Push(telemetry.RoomSample{Room: rc.idx, Seq: uint64(step), Level: int(sup.Level()), S: s})
 
+		if err := dr.LogStep(step, sp, s); err != nil {
+			return fmt.Errorf("room %s: %w", name, err)
+		}
 		step++
 		sst := sup.Stats()
 		fd.updateRoom(rc.idx, func(rs *roomStatus) {
@@ -346,12 +387,18 @@ func (fd *fleetDaemon) runRoom(ctx context.Context, rc roomLoopConfig, q *teleme
 			rs.SafetyMaxLevel = sup.MaxLevel().String()
 			rs.Escalations = sst.Escalations
 			rs.Overrides = sst.Overrides
+			rs.Durability = dr.Status()
 		})
 		if rc.speedup > 0 {
 			if !sleepCtx(ctx, time.Duration(tbCfg.SamplePeriodS/rc.speedup*float64(time.Second))) {
-				return nil
+				break
 			}
 		}
+	}
+	// Graceful exit — signal or completed horizon: final checkpoint at the
+	// exact stopping step, WAL flushed and synced.
+	if err := dr.Finalize(step); err != nil {
+		return fmt.Errorf("room %s: flushing durable store: %w", name, err)
 	}
 	return nil
 }

@@ -8,9 +8,21 @@
 //
 //	teslad -listen 127.0.0.1:8844 -load medium -minutes 120 [-speedup 0]
 //	teslad -listen 127.0.0.1:8844 -rooms 8 -minutes 120 [-seed 11]
+//	teslad -datadir /var/lib/teslad -checkpoint 15 [-walsync 0] ...
 //
 // With -speedup 0 (default) the simulation runs as fast as the CPU allows;
 // a positive value sleeps to pace the loop at speedup× real time.
+//
+// -datadir enables the durable state store: every control step (and the
+// warm-up) is appended to a per-room write-ahead log, and the controller's
+// learned state is checkpointed every -checkpoint steps plus once at
+// graceful shutdown. On restart the daemon recovers the telemetry view, the
+// checkpointed controller and the operator counters, and resumes counting
+// where the durable record ends instead of re-maturing from scratch.
+// -walsync batches WAL fsyncs (0 = every record, n = every n records,
+// negative = never; the shutdown flush always syncs). -policy fixed swaps
+// the single-room controller for the constant-set-point baseline, which
+// boots without training.
 //
 // -rooms N (N > 1) switches to fleet mode: N concurrent room control loops —
 // heterogeneous diurnal loads, per-room TESLA policies and safety
@@ -46,6 +58,7 @@ import (
 	"time"
 
 	"tesla"
+	"tesla/internal/control"
 	"tesla/internal/dataset"
 	"tesla/internal/modbus"
 	"tesla/internal/safety"
@@ -60,17 +73,22 @@ func main() {
 	minutes := flag.Int("minutes", 120, "control-loop duration in minutes (0 = forever)")
 	speedup := flag.Float64("speedup", 0, "0 = run flat out; N = pace at N× real time")
 	rooms := flag.Int("rooms", 1, "machine rooms to run; > 1 switches to fleet mode")
-	seed := flag.Uint64("seed", 11, "fleet master seed (fleet mode)")
+	seed := flag.Uint64("seed", 11, "master seed (fleet substreams and the single-room policy)")
+	policyName := flag.String("policy", "tesla", "single-room controller: tesla|fixed")
+	datadir := flag.String("datadir", "", "directory for the durable WAL + snapshot store (empty disables durability)")
+	checkpoint := flag.Int("checkpoint", 15, "checkpoint controller state every N control steps")
+	walsync := flag.Int("walsync", 0, "WAL fsync batch: 0 = every record, n = every n records, negative = never")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	dur := durOptions{dir: *datadir, every: *checkpoint, sync: *walsync}
 	var err error
 	if *rooms > 1 {
-		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed)
+		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed, dur)
 	} else {
-		err = run(ctx, *listen, *loadName, *minutes, *speedup)
+		err = run(ctx, *listen, *loadName, *policyName, *minutes, *speedup, *seed, dur)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "teslad:", err)
@@ -91,7 +109,7 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-func run(ctx context.Context, listen, loadName string, minutes int, speedup float64) error {
+func run(ctx context.Context, listen, loadName, policyName string, minutes int, speedup float64, seed uint64, dur durOptions) error {
 	var load workload.Setting
 	switch loadName {
 	case "idle":
@@ -104,14 +122,22 @@ func run(ctx context.Context, listen, loadName string, minutes int, speedup floa
 		return fmt.Errorf("unknown load %q", loadName)
 	}
 
-	fmt.Println("teslad: training models (ci scale)...")
-	sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
-	if err != nil {
-		return err
-	}
-	controller, err := sys.Artifacts().NewTESLAPolicy(uint64(time.Now().UnixNano())&0xffff | 1)
-	if err != nil {
-		return err
+	var controller control.Policy
+	switch policyName {
+	case "tesla":
+		fmt.Println("teslad: training models (ci scale)...")
+		sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
+		if err != nil {
+			return err
+		}
+		controller, err = sys.Artifacts().NewTESLAPolicy(seed)
+		if err != nil {
+			return err
+		}
+	case "fixed":
+		controller = control.Fixed{SetpointC: 23}
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
 	}
 
 	// Plant + buses.
@@ -162,6 +188,21 @@ func run(ctx context.Context, listen, loadName string, minutes int, speedup floa
 			telemetry.Point{TimeS: e.TimeS, Value: float64(e.Level)})
 	})
 
+	// Durable store: recover the telemetry view, the checkpointed controller
+	// and the operator counters from whatever a previous process persisted.
+	var dr *durableRoom
+	if dur.dir != "" {
+		dr, err = openDurableRoom(dur.dir, dur.every, dur.sync, tbCfg.SamplePeriodS,
+			len(tb.Sensors.ACU), len(tb.Sensors.DC), controller, sup)
+		if err != nil {
+			return fmt.Errorf("opening durable store %s: %w", dur.dir, err)
+		}
+		if ds := dr.Status(); ds.Recovered {
+			fmt.Printf("teslad: recovered %d control steps (+%d warm-up records) from %s, checkpoint at step %d, %d replayed\n",
+				dr.Steps, dr.WarmDone, dur.dir, ds.SnapshotStep, ds.ReplayedSteps)
+		}
+	}
+
 	// Operator endpoint. Serve errors land on a channel so a broken listener
 	// is reported rather than silently swallowed; on exit the server drains
 	// in-flight operator requests before the process ends.
@@ -184,26 +225,48 @@ func run(ctx context.Context, listen, loadName string, minutes int, speedup floa
 	}()
 	fmt.Printf("teslad: modbus %s, tsdb %s, operator http://%s\n", mbAddr, tsAddr, ln.Addr())
 
-	// Warm-up hour so the model has history.
-	view := dataset.NewTrace(tbCfg.SamplePeriodS, 2, 35)
+	// Warm-up hour so the model has history. The plant restarts cold with the
+	// process, so the settling steps always run; with a recovered view they
+	// only settle the plant — the policy's history comes from the WAL.
+	view := dataset.NewTrace(tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
+	if dr != nil {
+		view = dr.View
+	}
 	if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(23)); err != nil {
 		return err
 	}
 	for i := 0; i < 60; i++ {
 		if ctx.Err() != nil {
 			fmt.Println("teslad: interrupted during warm-up")
-			return nil
+			return dr.Finalize(0)
 		}
 		s, err := collector.CollectInto(tsClient)
 		if err != nil {
 			return err
 		}
 		bridge.Refresh(s)
-		view.Append(s)
+		appendView := dr == nil || (dr.Steps == 0 && i >= dr.WarmDone)
+		if err := dr.LogWarm(i, s); err != nil {
+			return err
+		}
+		if appendView {
+			view.Append(s)
+		}
 	}
 
 	fmt.Println("teslad: control loop running")
 	step := 0
+	if dr != nil {
+		// Resume the operator counters where the durable record ends.
+		step = dr.Steps
+		d.update(func(st *status) {
+			st.StepMinutes = dr.Steps
+			st.EnergyKWh = dr.EnergyKWh
+			st.Violations = dr.Violations
+			st.Interruptions = dr.Interruptions
+			st.Durability = dr.Status()
+		})
+	}
 loop:
 	for minutes == 0 || step < minutes {
 		select {
@@ -226,9 +289,15 @@ loop:
 		view.Append(s)
 		db.Insert("safety_level", nil, telemetry.Point{TimeS: s.TimeS, Value: float64(sup.Level())})
 
+		if err := dr.LogStep(step, sp, s); err != nil {
+			return err
+		}
 		step++
 		sst := sup.Stats()
-		diag := controller.Diagnostics()
+		var diag control.Diagnostics
+		if ts, ok := controller.(*control.TESLA); ok {
+			diag = ts.Diagnostics()
+		}
 		d.update(func(st *status) {
 			st.StepMinutes = step
 			st.SetpointC = s.SetpointC
@@ -251,6 +320,7 @@ loop:
 			st.PolicyDecisions = diag.Decisions
 			st.PolicyHistoryFallbacks = diag.HistoryFallbacks
 			st.PolicyOptimizerFallbacks = diag.OptimizerFallbacks
+			st.Durability = dr.Status()
 		})
 		if step%15 == 0 {
 			st := d.snapshot()
@@ -263,6 +333,15 @@ loop:
 				break
 			}
 		}
+	}
+	// Graceful-shutdown flush: a final checkpoint at the exact stopping step,
+	// then a synced WAL — SIGTERM never loses an executed control step.
+	if dr != nil {
+		if err := dr.Finalize(step); err != nil {
+			return fmt.Errorf("flushing durable store: %w", err)
+		}
+		ds := dr.Status()
+		fmt.Printf("teslad: durable store flushed: %d WAL records, checkpoint at step %d\n", ds.WALRecords, ds.SnapshotStep)
 	}
 	st := d.snapshot()
 	fmt.Printf("teslad: done after %d minutes, %.2f kWh, %d violation minutes, %d safety escalations (peak %s)\n",

@@ -4,9 +4,17 @@
 // and scans the trace for sensor anomalies (stuck probes, spikes) with the
 // telemetry detector.
 //
+// With -store it instead inspects a durable room store (the WAL + snapshot
+// directory teslad and fleet runs write under -datadir): it performs the
+// same recovery a restart would — torn-tail truncation included — then
+// prints the log and checkpoint accounting and the replayed trajectory
+// summary, optionally exporting the rebuilt trace as CSV for the -trace
+// pipeline. Do not point it at a store a live daemon is writing.
+//
 // Usage:
 //
 //	teslareplay -trace run.csv [-scale ci] [-stride 7]
+//	teslareplay -store /var/lib/teslad/room-0 [-csv trace.csv] [-limit 22]
 package main
 
 import (
@@ -18,23 +26,125 @@ import (
 	"tesla/internal/experiment"
 	"tesla/internal/model"
 	"tesla/internal/stats"
+	"tesla/internal/store"
 	"tesla/internal/telemetry"
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "trace CSV to evaluate (required)")
+	tracePath := flag.String("trace", "", "trace CSV to evaluate")
 	scale := flag.String("scale", "ci", "training scale for the model: ci|paper")
 	stride := flag.Int("stride", 7, "evaluation window stride")
+	storeDir := flag.String("store", "", "durable room store (WAL + snapshots) to inspect instead of a CSV trace")
+	csvOut := flag.String("csv", "", "with -store: write the rebuilt trace to this CSV file")
+	coldLim := flag.Float64("limit", 22, "with -store: cold-aisle limit for the violation count")
 	flag.Parse()
 
-	if *tracePath == "" {
+	var err error
+	switch {
+	case *storeDir != "":
+		err = runStore(*storeDir, *csvOut, *coldLim)
+	case *tracePath != "":
+		err = run(*tracePath, *scale, *stride)
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *scale, *stride); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "teslareplay:", err)
 		os.Exit(1)
 	}
+}
+
+// runStore is `teslareplay -store`: recover a durable room store and report
+// what a restart would see.
+func runStore(dir, csvOut string, coldLim float64) error {
+	st, rec, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	warm, steps, err := store.Partition(rec.Records)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s\n", dir)
+	fmt.Printf("  WAL: %d records (%d warm-up + %d steps) in %d segments\n",
+		len(rec.Records), len(warm), len(steps), rec.WAL.Segments)
+	if rec.WAL.Corruptions > 0 {
+		fmt.Printf("  WAL damage: %d corruption sites, %d bytes truncated, %d segments dropped\n",
+			rec.WAL.Corruptions, rec.WAL.TruncatedBytes, rec.WAL.DroppedSegments)
+	}
+	if rec.HaveCheckpoint {
+		c := rec.Checkpoint
+		fmt.Printf("  checkpoint: step %d (policy %dB, supervisor %dB, harness %dB)\n",
+			c.Step, len(c.Policy), len(c.Supervisor), len(c.Harness))
+		if c.Step < len(steps) {
+			fmt.Printf("  recovery would replay steps %d..%d through the controller\n", c.Step, len(steps)-1)
+		}
+	} else {
+		fmt.Printf("  checkpoint: none — recovery would replay all %d steps\n", len(steps))
+	}
+	if rec.InvalidSnapshots > 0 {
+		fmt.Printf("  invalid snapshots: %d\n", rec.InvalidSnapshots)
+	}
+	if len(rec.Records) == 0 {
+		return nil
+	}
+
+	tr, err := store.BuildTrace(60, rec.Records)
+	if err != nil {
+		return err
+	}
+	var energy float64
+	var violations, interruptions int
+	levels := map[uint8]int{}
+	var meanSp, maxCold float64
+	for i := range steps {
+		s := &steps[i].Sample
+		energy += s.ACUPowerKW * tr.PeriodS / 3600
+		if s.MaxColdAisle > coldLim {
+			violations++
+		}
+		if s.Interrupted {
+			interruptions++
+		}
+		levels[steps[i].Level]++
+		meanSp += steps[i].Setpoint
+		if s.MaxColdAisle > maxCold {
+			maxCold = s.MaxColdAisle
+		}
+	}
+	if len(steps) > 0 {
+		meanSp /= float64(len(steps))
+		fmt.Printf("\nreplayed trajectory (%d control steps, %d ACU + %d DC sensors):\n", len(steps), tr.Na(), tr.Nd())
+		fmt.Printf("  cooling energy: %.2f kWh\n", energy)
+		fmt.Printf("  violation minutes: %d (limit %.1f°C), interruption minutes: %d\n", violations, coldLim, interruptions)
+		fmt.Printf("  mean set-point: %.2f°C, max cold-aisle: %.2f°C\n", meanSp, maxCold)
+		fmt.Printf("  safety levels:")
+		for lvl := uint8(0); lvl <= 3; lvl++ {
+			if n := levels[lvl]; n > 0 {
+				fmt.Printf(" L%d×%d", lvl, n)
+			}
+		}
+		fmt.Println()
+	}
+
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d-sample trace to %s\n", tr.Len(), csvOut)
+	}
+	return nil
 }
 
 func run(tracePath, scaleName string, stride int) error {

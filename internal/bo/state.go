@@ -1,0 +1,33 @@
+package bo
+
+import "fmt"
+
+// ResultState is the durable form of a Result: the recommendation plus the
+// observed points and their noise variances. The fitted GPs are deliberately
+// absent — they are a pure function of the evaluations, and refitting on
+// restore is cheaper and safer than serializing Cholesky factors.
+type ResultState struct {
+	X        float64
+	Feasible bool
+	Evals    []Evaluation
+}
+
+// State captures the result for checkpointing.
+func (r *Result) State() ResultState {
+	return ResultState{X: r.X, Feasible: r.Feasible, Evals: append([]Evaluation(nil), r.Evals...)}
+}
+
+// ResultFromState rebuilds a Result, refitting the objective and constraint
+// surrogates from the stored evaluations.
+func ResultFromState(st ResultState) (*Result, error) {
+	res := &Result{X: st.X, Feasible: st.Feasible, Evals: append([]Evaluation(nil), st.Evals...)}
+	if len(res.Evals) == 0 {
+		return res, nil
+	}
+	objGP, conGP, err := fitSurrogates(res.Evals)
+	if err != nil {
+		return nil, fmt.Errorf("bo: refitting surrogates from state: %w", err)
+	}
+	res.ObjGP, res.ConGP = objGP, conGP
+	return res, nil
+}

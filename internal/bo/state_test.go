@@ -1,0 +1,70 @@
+package bo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestResultStateRoundTrip: a Result rebuilt from its state must carry the
+// same recommendation and evaluations, and the refitted surrogates must agree
+// with the originals at every probe point. Agreement is NOT bitwise: the
+// refit anchors its hyperparameter grid to the final data (gp.Fit one-shot
+// semantics) while the original fitter's anchor carries ×2/÷2 hysteresis
+// from the incremental history, so posterior means agree tightly and
+// variances only within the hysteresis band. Control decisions never read
+// these surrogates (each Decide re-optimizes), so that is the full contract.
+func TestResultStateRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(20, 35)
+	cfg.Seed = 11
+	res, err := Optimize(cfg, quadraticProblem(27, 100, 0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.State()
+	got, err := ResultFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X != res.X || got.Feasible != res.Feasible {
+		t.Fatalf("recommendation diverged: %+v vs %+v", got, res)
+	}
+	if !reflect.DeepEqual(got.Evals, res.Evals) {
+		t.Fatal("evaluations diverged across the round trip")
+	}
+	if got.ObjGP == nil || got.ConGP == nil {
+		t.Fatal("surrogates not refitted")
+	}
+	meanClose := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-3*(1+math.Max(math.Abs(a), math.Abs(b)))
+	}
+	varClose := func(a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return lo >= 0 && hi <= 4*lo+1e-12
+	}
+	for _, x := range linspace(cfg.Min, cfg.Max, 17) {
+		m1, v1 := res.ObjGP.Posterior(x)
+		m2, v2 := got.ObjGP.Posterior(x)
+		if !meanClose(m1, m2) || !varClose(v1, v2) {
+			t.Fatalf("objective posterior diverged at %g: (%g,%g) vs (%g,%g)", x, m1, v1, m2, v2)
+		}
+		m1, v1 = res.ConGP.Posterior(x)
+		m2, v2 = got.ConGP.Posterior(x)
+		if !meanClose(m1, m2) || !varClose(v1, v2) {
+			t.Fatalf("constraint posterior diverged at %g: (%g,%g) vs (%g,%g)", x, m1, v1, m2, v2)
+		}
+	}
+}
+
+func TestResultFromEmptyState(t *testing.T) {
+	got, err := ResultFromState(ResultState{X: 20, Feasible: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ObjGP != nil || got.ConGP != nil {
+		t.Fatal("empty state should not fit surrogates")
+	}
+	if got.X != 20 || got.Feasible {
+		t.Fatalf("recommendation diverged: %+v", got)
+	}
+}

@@ -10,7 +10,11 @@
 // exactly the information the real deployments draw from InfluxDB.
 package control
 
-import "tesla/internal/dataset"
+import (
+	"fmt"
+
+	"tesla/internal/dataset"
+)
 
 // Policy decides the ACU set-point at each control step.
 type Policy interface {
@@ -19,6 +23,16 @@ type Policy interface {
 	// Decide returns the set-point to execute given telemetry up to and
 	// including step t.
 	Decide(tr *dataset.Trace, t int) float64
+}
+
+// Durable is the optional interface a policy implements to participate in
+// checkpoint/restore: Snapshot returns an opaque self-versioned blob of the
+// policy's mutable state, Restore resets a freshly constructed policy (same
+// configuration) to it. A policy restored from a snapshot must continue
+// bit-identically to one that never stopped.
+type Durable interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
 }
 
 // Fixed is the industry-practice baseline: a constant set-point (23 °C in
@@ -68,6 +82,32 @@ func (s *SmoothingBuffer) Push(v float64) float64 {
 
 // Len returns the number of values currently buffered.
 func (s *SmoothingBuffer) Len() int { return s.n }
+
+// SmoothingState is a SmoothingBuffer's mutable state for checkpointing.
+type SmoothingState struct {
+	Buf  []float64
+	Next int
+	N    int
+}
+
+// State captures the buffer contents and cursor.
+func (s *SmoothingBuffer) State() SmoothingState {
+	return SmoothingState{Buf: append([]float64(nil), s.buf...), Next: s.next, N: s.n}
+}
+
+// RestoreState resets the buffer to a captured state. The capacity must match
+// the buffer's construction — it is configuration, not state.
+func (s *SmoothingBuffer) RestoreState(st SmoothingState) error {
+	if len(st.Buf) != len(s.buf) {
+		return fmt.Errorf("control: smoothing state holds %d slots, buffer has %d", len(st.Buf), len(s.buf))
+	}
+	if st.Next < 0 || st.Next >= len(s.buf) || st.N < 0 || st.N > len(s.buf) {
+		return fmt.Errorf("control: smoothing cursor %d/%d outside capacity %d", st.Next, st.N, len(s.buf))
+	}
+	copy(s.buf, st.Buf)
+	s.next, s.n = st.Next, st.N
+	return nil
+}
 
 // Reset empties the buffer.
 func (s *SmoothingBuffer) Reset() {

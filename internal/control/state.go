@@ -1,0 +1,96 @@
+package control
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"tesla/internal/bo"
+	"tesla/internal/errmon"
+)
+
+// teslaStateVersion guards the TESLA snapshot schema (the versioned-gob
+// pattern of internal/model/serialize.go).
+const teslaStateVersion = 1
+
+// pendingState mirrors pendingPrediction with exported fields for gob.
+type pendingState struct {
+	DecidedAt   int
+	PredObj     float64
+	PredMaxCold float64
+}
+
+// teslaState is the controller's full mutable state. Configuration (the
+// TESLAConfig and the trained model) is NOT serialized: a restored controller
+// is built by NewTESLA with the same inputs, then handed this blob.
+type teslaState struct {
+	Version    int
+	Monitor    errmon.State
+	Smooth     SmoothingState
+	Pending    []pendingState
+	LastRaw    float64
+	Step       uint64
+	Diag       Diagnostics
+	HaveResult bool
+	Result     bo.ResultState
+}
+
+// Snapshot implements Durable: everything Decide mutates, gob-encoded. The
+// error-monitor RNG rides along so the bootstrap draw stream continues
+// bit-identically, and the step counter so the per-decision BO seed
+// derivation does too.
+func (t *TESLA) Snapshot() ([]byte, error) {
+	st := teslaState{
+		Version: teslaStateVersion,
+		Monitor: t.monitor.State(),
+		Smooth:  t.smooth.State(),
+		LastRaw: t.lastRaw,
+		Step:    t.step,
+		Diag:    t.diag,
+	}
+	for _, p := range t.pending {
+		st.Pending = append(st.Pending, pendingState{DecidedAt: p.decidedAt, PredObj: p.predObj, PredMaxCold: p.predMaxCold})
+	}
+	if t.lastResult != nil {
+		st.HaveResult = true
+		st.Result = t.lastResult.State()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("control: encoding TESLA snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Durable.
+func (t *TESLA) Restore(blob []byte) error {
+	var st teslaState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("control: decoding TESLA snapshot: %w", err)
+	}
+	if st.Version != teslaStateVersion {
+		return fmt.Errorf("control: TESLA snapshot version %d, this build reads %d", st.Version, teslaStateVersion)
+	}
+	if err := t.monitor.Restore(st.Monitor); err != nil {
+		return err
+	}
+	if err := t.smooth.RestoreState(st.Smooth); err != nil {
+		return err
+	}
+	t.pending = t.pending[:0]
+	for _, p := range st.Pending {
+		t.pending = append(t.pending, pendingPrediction{decidedAt: p.DecidedAt, predObj: p.PredObj, predMaxCold: p.PredMaxCold})
+	}
+	t.lastRaw = st.LastRaw
+	t.step = st.Step
+	t.diag = st.Diag
+	t.lastResult = nil
+	if st.HaveResult {
+		res, err := bo.ResultFromState(st.Result)
+		if err != nil {
+			return err
+		}
+		t.lastResult = res
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package control
+
+import (
+	"testing"
+)
+
+// TestSmoothingStateContinuation: a buffer restored mid-wrap must return the
+// same running averages as one that never stopped.
+func TestSmoothingStateContinuation(t *testing.T) {
+	ref := NewSmoothingBuffer(5)
+	for i := 0; i < 7; i++ { // past capacity, so the ring has wrapped
+		ref.Push(20 + float64(i)*0.25)
+	}
+	st := ref.State()
+
+	clone := NewSmoothingBuffer(5)
+	if err := clone.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if clone.Len() != ref.Len() {
+		t.Fatalf("restored length %d, want %d", clone.Len(), ref.Len())
+	}
+	for i := 0; i < 12; i++ {
+		v := 22 + float64(i%3)*0.5
+		if a, b := ref.Push(v), clone.Push(v); a != b {
+			t.Fatalf("push %d diverged: %g != %g", i, a, b)
+		}
+	}
+}
+
+func TestSmoothingStateRejectsMismatch(t *testing.T) {
+	b := NewSmoothingBuffer(5)
+	if err := b.RestoreState(SmoothingState{Buf: make([]float64, 3)}); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if err := b.RestoreState(SmoothingState{Buf: make([]float64, 5), Next: 9}); err == nil {
+		t.Fatal("out-of-range cursor accepted")
+	}
+	if err := b.RestoreState(SmoothingState{Buf: make([]float64, 5), N: 6}); err == nil {
+		t.Fatal("overfull count accepted")
+	}
+}

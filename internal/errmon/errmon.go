@@ -133,6 +133,45 @@ func (m *Monitor) characterize(rg *ring) Uncertainty {
 	}
 }
 
+// State is the monitor's full mutable state, exported for checkpointing. The
+// capacity/bootstrap configuration is NOT part of it — a restored monitor is
+// built with New and the same configuration, then handed the state.
+type State struct {
+	Obj     []float64
+	ObjNext int
+	Con     []float64
+	ConNext int
+	RNG     rng.State
+}
+
+// State captures the residual windows and the bootstrap RNG. The RNG matters
+// for bit-identical recovery: each characterization call draws a fresh base
+// seed from it, so a restored monitor must continue the same draw stream.
+func (m *Monitor) State() State {
+	return State{
+		Obj:     append([]float64(nil), m.obj.buf...),
+		ObjNext: m.obj.next,
+		Con:     append([]float64(nil), m.con.buf...),
+		ConNext: m.con.next,
+		RNG:     m.r.State(),
+	}
+}
+
+// Restore resets the monitor to a previously captured state.
+func (m *Monitor) Restore(st State) error {
+	if len(st.Obj) > m.capacity || len(st.Con) > m.capacity {
+		return fmt.Errorf("errmon: state holds %d/%d errors, capacity is %d",
+			len(st.Obj), len(st.Con), m.capacity)
+	}
+	if st.ObjNext < 0 || st.ObjNext >= m.capacity || st.ConNext < 0 || st.ConNext >= m.capacity {
+		return fmt.Errorf("errmon: ring cursors %d/%d outside capacity %d", st.ObjNext, st.ConNext, m.capacity)
+	}
+	m.obj = ring{buf: append(make([]float64, 0, m.capacity), st.Obj...), next: st.ObjNext}
+	m.con = ring{buf: append(make([]float64, 0, m.capacity), st.Con...), next: st.ConNext}
+	m.r.Restore(st.RNG)
+	return nil
+}
+
 // ring is a fixed-capacity overwrite-oldest buffer.
 type ring struct {
 	buf  []float64

@@ -1,0 +1,70 @@
+package errmon
+
+import (
+	"testing"
+
+	"tesla/internal/rng"
+)
+
+// TestStateRestoreContinuation: a monitor restored into a fresh instance must
+// produce bit-identical characterizations and bootstrap draws from then on —
+// the residual windows, ring cursors and the RNG stream all carry over.
+func TestStateRestoreContinuation(t *testing.T) {
+	build := func() *Monitor {
+		m, err := New(50, 400, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ref := build()
+	r := rng.New(8)
+	// Overfill the windows so the ring cursors are mid-wrap.
+	for i := 0; i < 80; i++ {
+		ref.RecordObjective(r.NormScaled(0.1, 0.4))
+		ref.RecordConstraint(r.NormScaled(-0.2, 0.6))
+	}
+	// Advance the bootstrap RNG so the state is not the seed state.
+	ref.Objective()
+	ref.Constraint()
+
+	st := ref.State()
+	clone := build()
+	if err := clone.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Continue both with identical inputs; every output must match bitwise.
+	r1, r2 := rng.New(9), rng.New(9)
+	for i := 0; i < 30; i++ {
+		ref.RecordObjective(r1.Norm())
+		clone.RecordObjective(r2.Norm())
+		ref.RecordConstraint(r1.Norm())
+		clone.RecordConstraint(r2.Norm())
+	}
+	for i := 0; i < 5; i++ {
+		if a, b := ref.Objective(), clone.Objective(); a != b {
+			t.Fatalf("objective characterization %d diverged: %+v != %+v", i, a, b)
+		}
+		if a, b := ref.Constraint(), clone.Constraint(); a != b {
+			t.Fatalf("constraint characterization %d diverged: %+v != %+v", i, a, b)
+		}
+		if a, b := ref.SampleObjective(), clone.SampleObjective(); a != b {
+			t.Fatalf("bootstrap sample %d diverged: %g != %g", i, a, b)
+		}
+	}
+}
+
+func TestStateRestoreRejectsOversize(t *testing.T) {
+	m, err := New(4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := State{Obj: make([]float64, 5)}
+	if err := m.Restore(st); err == nil {
+		t.Fatal("state larger than capacity accepted")
+	}
+	if err := m.Restore(State{ObjNext: 7}); err == nil {
+		t.Fatal("out-of-range ring cursor accepted")
+	}
+}

@@ -100,6 +100,24 @@ type Config struct {
 	Safety *safety.Config
 	// NewPolicy builds each room's policy. Required.
 	NewPolicy PolicyFactory
+
+	// DataDir enables per-room durability: each room opens a WAL + snapshot
+	// store under DataDir/<room-name>, recovers whatever a previous run left
+	// there, and resumes the horizon where the durable record ends. Empty
+	// disables durability (the previous behavior).
+	DataDir string
+	// SnapshotEvery checkpoints controller state every N evaluation steps
+	// (<= 0 selects 64). Smaller bounds replay work on recovery; larger
+	// spends less time encoding state.
+	SnapshotEvery int
+	// SyncEvery is the WAL fsync batch: 0 syncs every record (default,
+	// strongest durability), n > 0 every n records, negative never.
+	SyncEvery int
+	// HaltAfter is a crash-simulation hook for recovery tests: when > 0,
+	// each room's loop halts before executing evaluation step HaltAfter
+	// (global step index) and returns WITHOUT closing its store — exactly
+	// the torn state a killed process leaves. Zero disables.
+	HaltAfter int
 }
 
 // DefaultConfig returns a fleet of n heterogeneous healthy rooms (diurnal
@@ -229,6 +247,13 @@ type RoomResult struct {
 	// QueueDropped counts this room's telemetry samples evicted under
 	// backpressure — observability loss, never control loss.
 	QueueDropped uint64 `json:"queue_dropped"`
+
+	// Recovery reports what the room's durable store replayed on boot (zero
+	// when durability is disabled or the store was fresh).
+	Recovery RecoveryInfo `json:"recovery"`
+	// Halted is true when the HaltAfter crash hook stopped this room's loop
+	// mid-horizon (the store is deliberately left unclosed).
+	Halted bool `json:"halted,omitempty"`
 
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`

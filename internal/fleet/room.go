@@ -3,123 +3,322 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"time"
 
+	"tesla/internal/control"
 	"tesla/internal/dataset"
 	"tesla/internal/faults"
 	"tesla/internal/rng"
 	"tesla/internal/safety"
+	"tesla/internal/store"
 	"tesla/internal/telemetry"
 	"tesla/internal/testbed"
 )
 
-// runRoom executes one room's full horizon: build the plant from the room's
-// seed substreams, wrap the policy in its own safety supervisor, attach the
-// room's fault scenario, then warm up and run the evaluation loop, pushing
-// every evaluated sample into the room's bounded queue. Everything the
-// function touches is room-local, which is the whole isolation story.
-func runRoom(cfg *Config, idx int, q *telemetry.Queue) (RoomResult, error) {
-	spec := cfg.Rooms[idx]
-	stream := cfg.streamOf(idx)
-	res := RoomResult{Room: idx, Name: cfg.nameOf(idx), Stream: stream}
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
 
-	tbCfg := cfg.Testbed
-	tbCfg.Seed = rng.SeedFor(cfg.Seed, testbedStream(stream))
-	tb, err := testbed.New(tbCfg)
-	if err != nil {
-		return res, fmt.Errorf("fleet: room %s: %w", res.Name, err)
-	}
-	tb.UseProfile(spec.Profile)
-	tb.SetSetpoint(cfg.InitSpC)
+// roomRun is one room's in-flight control loop: the plant, the supervised
+// policy, the recorded trace, the accumulators, and (when durability is on)
+// the room's WAL + snapshot store. Everything is room-local — the isolation
+// contract — and every step flows through applyStep in a fixed order, so the
+// accumulator and hash values are bit-identical whether a step was executed
+// live or re-derived during crash recovery.
+type roomRun struct {
+	cfg   *Config
+	spec  RoomSpec
+	tbCfg testbed.Config
+	tb    *testbed.Testbed
+	pol   control.Policy
+	sup   *safety.Supervisor
+	tr    *dataset.Trace
+	st    *store.Store
+	q     *telemetry.Queue
 
-	pol, err := cfg.NewPolicy(idx, rng.SeedFor(cfg.Seed, policyStream(stream)))
+	res  RoomResult
+	hash uint64
+
+	warmSteps int
+	evalSteps int
+	// startStep is the first evaluation step the live loop executes; recovery
+	// moves it past the steps already re-derived from the WAL.
+	startStep int
+
+	// recWarm/recSteps are the records recovered from the WAL (empty on a
+	// fresh store or with durability disabled).
+	recWarm, recSteps []store.Record
+	haveCkpt          bool
+	ckpt              store.Checkpoint
+}
+
+// buildController constructs the room's policy and its safety supervisor from
+// the room seed substreams — in the initial build and again when recovery must
+// discard a half-restored controller and fall back to full replay. The seeds
+// are pure functions of (fleet seed, stream), so a rebuilt controller is
+// indistinguishable from a freshly booted one.
+func (rr *roomRun) buildController() error {
+	pol, err := rr.cfg.NewPolicy(rr.res.Room, rng.SeedFor(rr.cfg.Seed, policyStream(rr.res.Stream)))
 	if err != nil {
-		return res, fmt.Errorf("fleet: room %s: building policy: %w", res.Name, err)
+		return fmt.Errorf("fleet: room %s: building policy: %w", rr.res.Name, err)
 	}
-	supCfg := safety.DefaultConfig(cfg.ColdLimitC, tbCfg.ACU.SetpointMinC, tbCfg.ACU.SetpointMaxC)
-	if cfg.Safety != nil {
-		supCfg = *cfg.Safety
+	supCfg := safety.DefaultConfig(rr.cfg.ColdLimitC, rr.tbCfg.ACU.SetpointMinC, rr.tbCfg.ACU.SetpointMaxC)
+	if rr.cfg.Safety != nil {
+		supCfg = *rr.cfg.Safety
 	}
 	sup, err := safety.Wrap(pol, supCfg)
 	if err != nil {
-		return res, fmt.Errorf("fleet: room %s: %w", res.Name, err)
+		return fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
+	}
+	rr.pol, rr.sup = pol, sup
+	return nil
+}
+
+// durablePolicy reports whether the room's policy participates in
+// checkpointing. Without it, checkpoints are not written and recovery
+// replays the whole horizon through the freshly built controller — still
+// bit-identical, just more replay work.
+func (rr *roomRun) durablePolicy() (control.Durable, bool) {
+	d, ok := rr.pol.(control.Durable)
+	return d, ok
+}
+
+func (rr *roomRun) mix(v float64) {
+	bits := math.Float64bits(v)
+	for s := 0; s < 64; s += 8 {
+		rr.hash = (rr.hash ^ (bits >> s & 0xff)) * fnvPrime
+	}
+}
+
+// applyStep folds one executed evaluation step into the room accumulators.
+// The call order — and therefore every float rounding — is identical for
+// live and replayed steps; that is what makes the recovery hash bit-exact.
+func (rr *roomRun) applyStep(sp float64, s *testbed.Sample) {
+	rr.res.Steps++
+	rr.res.CEkWh += s.ACUPowerKW * rr.tbCfg.SamplePeriodS / 3600
+	if s.MaxColdAisle > rr.cfg.ColdLimitC {
+		rr.res.TSVFrac++
+	}
+	if s.TrueMaxColdC > rr.cfg.ColdLimitC {
+		rr.res.TrueTSVFrac++
+	}
+	if s.Interrupted {
+		rr.res.CIFrac++
+	}
+	rr.res.MeanSp += s.SetpointC
+	if s.MaxColdAisle > rr.res.MaxCold {
+		rr.res.MaxCold = s.MaxColdAisle
+	}
+	rr.mix(sp)
+	rr.mix(s.MaxColdAisle)
+	rr.mix(s.TrueMaxColdC)
+	rr.mix(s.ACUPowerKW)
+}
+
+// checkSample cross-checks a re-simulated sample against its WAL record.
+// The simulated plant is deterministic, so any divergence means the store
+// belongs to a different build or configuration — counted, not fatal, since
+// the re-simulated trajectory is internally consistent either way.
+func (rr *roomRun) checkSample(logged, got *testbed.Sample) {
+	if logged.SetpointC != got.SetpointC || logged.ACUPowerKW != got.ACUPowerKW ||
+		logged.MaxColdAisle != got.MaxColdAisle || logged.TrueMaxColdC != got.TrueMaxColdC ||
+		logged.TimeS != got.TimeS {
+		rr.res.Recovery.PlantMismatches++
+	}
+}
+
+// newRoomRun builds the room-local world: plant from the room's seed
+// substreams, policy wrapped in its own safety supervisor, fault scenario
+// hooked into the testbed, empty trace.
+func newRoomRun(cfg *Config, idx int, q *telemetry.Queue) (*roomRun, error) {
+	spec := cfg.Rooms[idx]
+	stream := cfg.streamOf(idx)
+	rr := &roomRun{
+		cfg: cfg, spec: spec, q: q, hash: fnvOffset,
+		res: RoomResult{Room: idx, Name: cfg.nameOf(idx), Stream: stream},
+	}
+
+	rr.tbCfg = cfg.Testbed
+	rr.tbCfg.Seed = rng.SeedFor(cfg.Seed, testbedStream(stream))
+	tb, err := testbed.New(rr.tbCfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
+	}
+	rr.tb = tb
+	tb.UseProfile(spec.Profile)
+	tb.SetSetpoint(cfg.InitSpC)
+
+	if err := rr.buildController(); err != nil {
+		return nil, err
 	}
 	if spec.Scenario != nil {
 		eng, err := faults.NewEngine(*spec.Scenario)
 		if err != nil {
-			return res, fmt.Errorf("fleet: room %s: %w", res.Name, err)
+			return nil, fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
 		}
 		tb.AddStepHook(eng)
 	}
 
-	tr := dataset.NewTrace(tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
-	warmSteps := int(cfg.WarmupS / tbCfg.SamplePeriodS)
-	evalSteps := int(cfg.EvalS / tbCfg.SamplePeriodS)
-	res.PlannedSteps = evalSteps
-	for i := 0; i < warmSteps; i++ {
-		tr.Append(tb.Advance())
+	rr.tr = dataset.NewTrace(rr.tbCfg.SamplePeriodS, len(tb.Sensors.ACU), len(tb.Sensors.DC))
+	rr.warmSteps = int(cfg.WarmupS / rr.tbCfg.SamplePeriodS)
+	rr.evalSteps = int(cfg.EvalS / rr.tbCfg.SamplePeriodS)
+	rr.res.PlannedSteps = rr.evalSteps
+	return rr, nil
+}
+
+// warmup advances the plant through the recorded warm-up window, logging any
+// warm-up records the WAL does not already hold.
+func (rr *roomRun) warmup() error {
+	for i := 0; i < rr.warmSteps; i++ {
+		s := rr.tb.Advance()
+		rr.tr.Append(s)
+		switch {
+		case i < len(rr.recWarm):
+			rr.checkSample(&rr.recWarm[i].Sample, &s)
+		// Only re-log missing warm-up records while the log holds no step
+		// records yet: warm-up frames appended after step frames would break
+		// the log's partition invariant on the next recovery.
+		case rr.st != nil && len(rr.recSteps) == 0:
+			rec := store.Record{Kind: store.KindWarmup, Step: uint32(i), Sample: s}
+			if err := rr.st.AppendRecord(&rec); err != nil {
+				return fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint snapshots the controller, supervisor and harness
+// accumulators; step is the first evaluation step a future recovery would
+// still need to replay.
+func (rr *roomRun) writeCheckpoint(d control.Durable, step int) error {
+	polBlob, err := d.Snapshot()
+	if err != nil {
+		return err
+	}
+	supBlob, err := rr.sup.Snapshot()
+	if err != nil {
+		return err
+	}
+	harness, err := rr.encodeHarness()
+	if err != nil {
+		return err
+	}
+	return rr.st.WriteCheckpoint(store.Checkpoint{
+		Step: step, Policy: polBlob, Supervisor: supBlob, Harness: harness,
+	})
+}
+
+// run executes the room's remaining horizon live: decide, actuate, log,
+// checkpoint. Returns without closing the store when the HaltAfter crash
+// hook fires.
+func (rr *roomRun) run() error {
+	cfg := rr.cfg
+	d, durable := rr.durablePolicy()
+	snapEvery := cfg.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 64
 	}
 
-	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
-	hash := uint64(fnvOffset)
-	mix := func(v float64) {
-		bits := math.Float64bits(v)
-		for s := 0; s < 64; s += 8 {
-			hash = (hash ^ (bits >> s & 0xff)) * fnvPrime
+	rr.res.latencies = make([]time.Duration, 0, rr.evalSteps-rr.startStep)
+	for i := rr.startStep; i < rr.evalSteps; i++ {
+		if cfg.HaltAfter > 0 && i == cfg.HaltAfter {
+			// Crash simulation: stop mid-horizon and abandon the store with
+			// whatever is still buffered — the torn state a kill -9 leaves.
+			rr.res.Halted = true
+			return nil
 		}
-	}
-	res.latencies = make([]time.Duration, 0, evalSteps)
-	for i := 0; i < evalSteps; i++ {
 		stepStart := time.Now()
-		sp := sup.Decide(tr, tr.Len()-1)
-		tb.SetSetpoint(sp)
-		s := tb.Advance()
-		tr.Append(s)
-		if spec.StallPerStep > 0 {
-			time.Sleep(spec.StallPerStep)
+		sp := rr.sup.Decide(rr.tr, rr.tr.Len()-1)
+		rr.tb.SetSetpoint(sp)
+		s := rr.tb.Advance()
+		rr.tr.Append(s)
+		if rr.spec.StallPerStep > 0 {
+			time.Sleep(rr.spec.StallPerStep)
 		}
-		res.latencies = append(res.latencies, time.Since(stepStart))
+		rr.res.latencies = append(rr.res.latencies, time.Since(stepStart))
 
 		// Non-blocking by construction: a full queue evicts and counts, so
 		// telemetry backpressure can never stall this loop.
-		q.Push(telemetry.RoomSample{Room: idx, Seq: uint64(i), Level: int(sup.Level()), S: s})
+		rr.q.Push(telemetry.RoomSample{Room: rr.res.Room, Seq: uint64(i), Level: int(rr.sup.Level()), S: s})
+		rr.applyStep(sp, &s)
 
-		res.Steps++
-		res.CEkWh += s.ACUPowerKW * tbCfg.SamplePeriodS / 3600
-		if s.MaxColdAisle > cfg.ColdLimitC {
-			res.TSVFrac++
+		if rr.st != nil {
+			rec := store.Record{
+				Kind: store.KindStep, Step: uint32(i), Setpoint: sp,
+				Level: uint8(rr.sup.Level()), Sample: s,
+			}
+			if err := rr.st.AppendRecord(&rec); err != nil {
+				return fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
+			}
+			if durable && (i+1)%snapEvery == 0 && i+1 < rr.evalSteps {
+				if err := rr.writeCheckpoint(d, i+1); err != nil {
+					return fmt.Errorf("fleet: room %s: checkpoint: %w", rr.res.Name, err)
+				}
+			}
 		}
-		if s.TrueMaxColdC > cfg.ColdLimitC {
-			res.TrueTSVFrac++
-		}
-		if s.Interrupted {
-			res.CIFrac++
-		}
-		res.MeanSp += s.SetpointC
-		if s.MaxColdAisle > res.MaxCold {
-			res.MaxCold = s.MaxColdAisle
-		}
-		mix(sp)
-		mix(s.MaxColdAisle)
-		mix(s.TrueMaxColdC)
-		mix(s.ACUPowerKW)
 	}
-	res.TSVFrac /= float64(res.Steps)
-	res.TrueTSVFrac /= float64(res.Steps)
-	res.CIFrac /= float64(res.Steps)
-	res.MeanSp /= float64(res.Steps)
-	res.TrajectoryHash = hash
+	if rr.st != nil {
+		// Final checkpoint: a restart of a completed horizon recovers without
+		// replaying a single step.
+		if d, ok := rr.durablePolicy(); ok {
+			if err := rr.writeCheckpoint(d, rr.evalSteps); err != nil {
+				return fmt.Errorf("fleet: room %s: final checkpoint: %w", rr.res.Name, err)
+			}
+		}
+		if err := rr.st.Close(); err != nil {
+			return fmt.Errorf("fleet: room %s: closing store: %w", rr.res.Name, err)
+		}
+	}
+	return nil
+}
 
-	st := sup.Stats()
-	res.SafetyMax = sup.MaxLevel()
-	res.Degraded = res.SafetyMax > safety.LevelNormal
-	res.Escalations = st.Escalations
-	res.Overrides = st.Overrides
-	res.Quarantines = st.QuarantineEvents
-	_, res.QueueDropped = q.Stats()
+// finish divides the accumulators and collects the supervisor's counters.
+func (rr *roomRun) finish() RoomResult {
+	if rr.res.Steps > 0 {
+		rr.res.TSVFrac /= float64(rr.res.Steps)
+		rr.res.TrueTSVFrac /= float64(rr.res.Steps)
+		rr.res.CIFrac /= float64(rr.res.Steps)
+		rr.res.MeanSp /= float64(rr.res.Steps)
+	}
+	rr.res.TrajectoryHash = rr.hash
 
-	lat := append([]time.Duration(nil), res.latencies...)
+	st := rr.sup.Stats()
+	rr.res.SafetyMax = rr.sup.MaxLevel()
+	rr.res.Degraded = rr.res.SafetyMax > safety.LevelNormal
+	rr.res.Escalations = st.Escalations
+	rr.res.Overrides = st.Overrides
+	rr.res.Quarantines = st.QuarantineEvents
+	_, rr.res.QueueDropped = rr.q.Stats()
+
+	lat := append([]time.Duration(nil), rr.res.latencies...)
 	ls := latencyStats(lat)
-	res.LatencyP50, res.LatencyP99 = ls.P50, ls.P99
-	return res, nil
+	rr.res.LatencyP50, rr.res.LatencyP99 = ls.P50, ls.P99
+	return rr.res
+}
+
+// runRoom executes one room's full horizon. With durability enabled the room
+// first recovers whatever a previous process persisted under
+// DataDir/<room-name>, replays the WAL tail through the real decision path,
+// and only then continues live — landing on the exact trajectory of a run
+// that never stopped.
+func runRoom(cfg *Config, idx int, q *telemetry.Queue) (RoomResult, error) {
+	rr, err := newRoomRun(cfg, idx, q)
+	if err != nil {
+		return RoomResult{Room: idx, Name: cfg.nameOf(idx)}, err
+	}
+	if cfg.DataDir != "" {
+		if err := rr.openStore(filepath.Join(cfg.DataDir, rr.res.Name)); err != nil {
+			return rr.res, err
+		}
+	}
+	if err := rr.warmup(); err != nil {
+		return rr.res, err
+	}
+	if err := rr.replay(); err != nil {
+		return rr.res, err
+	}
+	if err := rr.run(); err != nil {
+		return rr.res, err
+	}
+	return rr.finish(), nil
 }

@@ -33,6 +33,27 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// State is a Rand's full internal state, exported for checkpointing: a
+// generator restored from it continues the exact variate stream, including
+// the cached Box–Muller half.
+type State struct {
+	S         [4]uint64
+	HaveGauss bool
+	Gauss     float64
+}
+
+// State captures the generator's current state.
+func (r *Rand) State() State {
+	return State{S: r.s, HaveGauss: r.haveGauss, Gauss: r.gauss}
+}
+
+// Restore resets the generator to a previously captured state.
+func (r *Rand) Restore(st State) {
+	r.s = st.S
+	r.haveGauss = st.HaveGauss
+	r.gauss = st.Gauss
+}
+
 // Split derives a statistically independent generator from r, advancing r.
 func (r *Rand) Split() *Rand { return New(r.Uint64() ^ 0xa0761d6478bd642f) }
 

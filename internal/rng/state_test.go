@@ -1,0 +1,38 @@
+package rng
+
+import "testing"
+
+// TestStateRestoreContinuesStream: a generator restored from a captured state
+// must continue the exact variate stream — including the cached Box–Muller
+// half, which an odd Norm() count leaves pending.
+func TestStateRestoreContinuesStream(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 17; i++ {
+		r.Norm()
+	}
+	st := r.State()
+	if !st.HaveGauss {
+		t.Fatal("odd Norm() count should leave a cached gaussian")
+	}
+	want := make([]float64, 64)
+	for i := range want {
+		if i%3 == 0 {
+			want[i] = r.Norm()
+		} else {
+			want[i] = r.Float64()
+		}
+	}
+	r2 := New(99999) // deliberately different seed — Restore must fully overwrite
+	r2.Restore(st)
+	for i := range want {
+		var got float64
+		if i%3 == 0 {
+			got = r2.Norm()
+		} else {
+			got = r2.Float64()
+		}
+		if got != want[i] {
+			t.Fatalf("draw %d diverged after restore: %g != %g", i, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package safety
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// supStateVersion guards the supervisor snapshot schema.
+const supStateVersion = 1
+
+// supState is the supervisor's full mutable state with exported fields for
+// gob. The event ring and sink are observability, not control state, and are
+// deliberately excluded: a restored supervisor decides identically without
+// them. The wrapped policy snapshots itself separately (control.Durable).
+type supState struct {
+	Version      int
+	Level        Level
+	BenignSteps  int
+	MaxLevel     Level
+	LastSafe     float64
+	HaveLastSafe bool
+	LastCmd      float64
+	HaveLastCmd  bool
+	BlankLeft    int
+	Quarantine   []int
+	HealthyHist  []float64
+	Interrupted  int
+	Stale        int
+	Violating    int
+	NearLimit    int
+	EchoMismatch int
+	Stats        Stats
+}
+
+// Snapshot captures everything Decide mutates, gob-encoded. Configuration is
+// not serialized — a restored supervisor is built by Wrap with the same
+// Config, then handed this blob.
+func (s *Supervisor) Snapshot() ([]byte, error) {
+	st := supState{
+		Version:      supStateVersion,
+		Level:        s.level,
+		BenignSteps:  s.benignSteps,
+		MaxLevel:     s.maxLevel,
+		LastSafe:     s.lastSafe,
+		HaveLastSafe: s.haveLastSafe,
+		LastCmd:      s.lastCmd,
+		HaveLastCmd:  s.haveLastCmd,
+		BlankLeft:    s.blankLeft,
+		Quarantine:   append([]int(nil), s.quarantine...),
+		HealthyHist:  append([]float64(nil), s.healthyHist...),
+		Interrupted:  s.interrupted,
+		Stale:        s.stale,
+		Violating:    s.violating,
+		NearLimit:    s.nearLimit,
+		EchoMismatch: s.echoMismatch,
+		Stats:        s.stats,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("safety: encoding supervisor snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore resets the supervisor to a previously captured state.
+func (s *Supervisor) Restore(blob []byte) error {
+	var st supState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("safety: decoding supervisor snapshot: %w", err)
+	}
+	if st.Version != supStateVersion {
+		return fmt.Errorf("safety: supervisor snapshot version %d, this build reads %d", st.Version, supStateVersion)
+	}
+	if st.Level < LevelNormal || st.Level > LevelEmergency || st.MaxLevel < st.Level {
+		return fmt.Errorf("safety: snapshot carries invalid stage %d (max %d)", st.Level, st.MaxLevel)
+	}
+	s.level = st.Level
+	s.benignSteps = st.BenignSteps
+	s.maxLevel = st.MaxLevel
+	s.lastSafe = st.LastSafe
+	s.haveLastSafe = st.HaveLastSafe
+	s.lastCmd = st.LastCmd
+	s.haveLastCmd = st.HaveLastCmd
+	s.blankLeft = st.BlankLeft
+	s.quarantine = append(s.quarantine[:0], st.Quarantine...)
+	s.healthyHist = append(s.healthyHist[:0], st.HealthyHist...)
+	s.interrupted = st.Interrupted
+	s.stale = st.Stale
+	s.violating = st.Violating
+	s.nearLimit = st.NearLimit
+	s.echoMismatch = st.EchoMismatch
+	s.stats = st.Stats
+	return nil
+}

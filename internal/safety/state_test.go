@@ -1,0 +1,92 @@
+package safety
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func mustEncode(t *testing.T, st supState) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRestoreContinuation is the supervisor's bit-identity check: a
+// supervisor restored mid-scenario into a fresh instance must make the same
+// decisions and accumulate the same counters as one that never stopped.
+func TestSnapshotRestoreContinuation(t *testing.T) {
+	cfg := testConfig()
+	mk := func() *Supervisor {
+		s, err := Wrap(&stubPolicy{out: 27}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	tr := mkTrace(6, 80, 20.5, 21)
+	// Sensor 2 drops out for a while (quarantine + hold), then three probes
+	// vanish (backstop), then everything recovers (staged de-escalation).
+	for ts := 20; ts < 26; ts++ {
+		tr.DCTemps[2][ts] = math.NaN()
+	}
+	for ts := 40; ts < 48; ts++ {
+		for _, i := range []int{0, 2, 4} {
+			tr.DCTemps[i][ts] = math.NaN()
+		}
+	}
+
+	ref := mk()
+	refSp := make([]float64, tr.Len())
+	for ts := 0; ts < tr.Len(); ts++ {
+		refSp[ts] = ref.Decide(tr, ts)
+	}
+
+	// Snapshot at several cut points, including mid-quarantine (24),
+	// mid-backstop (44) and mid-de-escalation (50).
+	for _, k := range []int{1, 10, 24, 44, 50, 79} {
+		live := mk()
+		for ts := 0; ts < k; ts++ {
+			live.Decide(tr, ts)
+		}
+		blob, err := live.Snapshot()
+		if err != nil {
+			t.Fatalf("k=%d: Snapshot: %v", k, err)
+		}
+		restored := mk()
+		if err := restored.Restore(blob); err != nil {
+			t.Fatalf("k=%d: Restore: %v", k, err)
+		}
+		if restored.Level() != live.Level() || restored.MaxLevel() != live.MaxLevel() {
+			t.Fatalf("k=%d: restored level %v/%v, want %v/%v",
+				k, restored.Level(), restored.MaxLevel(), live.Level(), live.MaxLevel())
+		}
+		for ts := k; ts < tr.Len(); ts++ {
+			if sp := restored.Decide(tr, ts); sp != refSp[ts] {
+				t.Fatalf("k=%d: decision at step %d diverged: %g != %g", k, ts, sp, refSp[ts])
+			}
+		}
+		if restored.Stats() != ref.Stats() {
+			t.Fatalf("k=%d: stats diverged:\n  restored %+v\n  ref      %+v", k, restored.Stats(), ref.Stats())
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s, err := Wrap(&stubPolicy{out: 27}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+	bad := supState{Version: supStateVersion, Level: Level(9)}
+	blob := mustEncode(t, bad)
+	if err := s.Restore(blob); err == nil {
+		t.Fatal("invalid stage accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		sync int
+	}{
+		{"sync-every", 0},
+		{"sync-batch32", 32},
+		{"sync-never", -1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w, _, err := OpenWAL(b.TempDir(), WALOptions{SyncEvery: bc.sync}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			r := testRecord(7)
+			payload := r.Encode(nil)
+			b.SetBytes(int64(frameHeaderLen + len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.AppendRecord(&r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	for _, n := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("records%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			w, _, err := OpenWAL(dir, WALOptions{SyncEvery: -1}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := testRecord(7)
+			for i := 0; i < n; i++ {
+				if err := w.AppendRecord(&r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := 0
+				w, rec, err := OpenWAL(dir, WALOptions{SyncEvery: -1}, func(p []byte) error {
+					if _, err := DecodeRecord(p); err != nil {
+						return err
+					}
+					got++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec.Records != n || got != n {
+					b.Fatalf("recovered %d/%d", rec.Records, got)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

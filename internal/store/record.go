@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tesla/internal/dataset"
+	"tesla/internal/testbed"
+)
+
+// Kind classifies a WAL record.
+type Kind uint8
+
+// The record kinds a control loop logs.
+const (
+	// KindWarmup is a warm-up telemetry sample recorded before the policy
+	// started deciding (no commanded set-point of its own).
+	KindWarmup Kind = 1
+	// KindStep is one control step: the commanded set-point plus the
+	// telemetry sample the plant returned for it.
+	KindStep Kind = 2
+)
+
+// Record is one durable control-loop entry: the step's inputs (the telemetry
+// sample appended to the trace) and, for KindStep, the decision that produced
+// it. The sequence of records is the trace — recovery rebuilds the in-memory
+// dataset.Trace by replaying them in order.
+type Record struct {
+	Kind Kind
+	// Step is the warm-up index for KindWarmup and the evaluation-step index
+	// for KindStep (each numbered from 0).
+	Step uint32
+	// Setpoint is the commanded set-point (KindStep only; the supervisor's
+	// output, which recovery re-derives and cross-checks).
+	Setpoint float64
+	// Level is the safety-supervisor stage the step executed under.
+	Level uint8
+	// Sample is the telemetry the plant delivered for the step.
+	Sample testbed.Sample
+}
+
+// The codec is hand-rolled little-endian binary rather than gob: records are
+// written once per control step on the hot path, floats must round-trip
+// bit-exactly, and a fixed layout keeps the framing self-describing enough
+// for the torn-tail scanner to re-synchronize by length alone.
+
+// recordHeaderLen is the fixed prefix: kind(1) + level(1) + step(4) +
+// setpoint(8) + 9 float64 sample scalars + interrupted(1) + two u16 counts.
+const recordHeaderLen = 1 + 1 + 4 + 8 + 9*8 + 1 + 2 + 2
+
+// maxSensors bounds the per-record slice counts a decoder will accept —
+// far above any plausible plant, low enough that a corrupt length cannot
+// drive an allocation into gigabytes.
+const maxSensors = 1 << 14
+
+func putF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// Encode appends the record's wire form to buf and returns the result.
+func (r *Record) Encode(buf []byte) []byte {
+	buf = append(buf, byte(r.Kind), r.Level)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Step)
+	buf = putF64(buf, r.Setpoint)
+	s := &r.Sample
+	buf = putF64(buf, s.TimeS)
+	buf = putF64(buf, s.SetpointC)
+	buf = putF64(buf, s.ACUPowerKW)
+	buf = putF64(buf, s.ACUDuty)
+	buf = putF64(buf, s.SupplyC)
+	buf = putF64(buf, s.AvgServerKW)
+	buf = putF64(buf, s.TotalIT)
+	buf = putF64(buf, s.AvgUtil)
+	buf = putF64(buf, s.MaxColdAisle)
+	if s.Interrupted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.ACUTemps)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.DCTemps)))
+	for _, v := range s.ACUTemps {
+		buf = putF64(buf, v)
+	}
+	for _, v := range s.DCTemps {
+		buf = putF64(buf, v)
+	}
+	buf = putF64(buf, s.TrueMaxColdC)
+	return buf
+}
+
+// DecodeRecord parses one record payload produced by Encode.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < recordHeaderLen {
+		return r, fmt.Errorf("store: record payload %d bytes, header needs %d", len(b), recordHeaderLen)
+	}
+	r.Kind = Kind(b[0])
+	if r.Kind != KindWarmup && r.Kind != KindStep {
+		return r, fmt.Errorf("store: unknown record kind %d", b[0])
+	}
+	r.Level = b[1]
+	r.Step = binary.LittleEndian.Uint32(b[2:])
+	r.Setpoint = getF64(b[6:])
+	s := &r.Sample
+	off := 14
+	scalars := []*float64{
+		&s.TimeS, &s.SetpointC, &s.ACUPowerKW, &s.ACUDuty, &s.SupplyC,
+		&s.AvgServerKW, &s.TotalIT, &s.AvgUtil, &s.MaxColdAisle,
+	}
+	for _, p := range scalars {
+		*p = getF64(b[off:])
+		off += 8
+	}
+	s.Interrupted = b[off] != 0
+	off++
+	na := int(binary.LittleEndian.Uint16(b[off:]))
+	nd := int(binary.LittleEndian.Uint16(b[off+2:]))
+	off += 4
+	if na > maxSensors || nd > maxSensors {
+		return r, fmt.Errorf("store: implausible sensor counts %d/%d", na, nd)
+	}
+	want := off + 8*(na+nd) + 8
+	if len(b) != want {
+		return r, fmt.Errorf("store: record payload %d bytes, layout needs %d", len(b), want)
+	}
+	s.ACUTemps = make([]float64, na)
+	for i := range s.ACUTemps {
+		s.ACUTemps[i] = getF64(b[off:])
+		off += 8
+	}
+	s.DCTemps = make([]float64, nd)
+	for i := range s.DCTemps {
+		s.DCTemps[i] = getF64(b[off:])
+		off += 8
+	}
+	s.TrueMaxColdC = getF64(b[off:])
+	return r, nil
+}
+
+// Partition splits a recovered record sequence into its warm-up prefix and
+// evaluation steps, validating that each group's step indices are dense and
+// in order (a WAL whose indices jump has lost interior records and cannot be
+// replayed).
+func Partition(recs []Record) (warmup, steps []Record, err error) {
+	i := 0
+	for ; i < len(recs) && recs[i].Kind == KindWarmup; i++ {
+		if int(recs[i].Step) != i {
+			return nil, nil, fmt.Errorf("store: warm-up record %d carries index %d", i, recs[i].Step)
+		}
+	}
+	warmup = recs[:i]
+	steps = recs[i:]
+	for j, r := range steps {
+		if r.Kind != KindStep {
+			return nil, nil, fmt.Errorf("store: record %d: warm-up record after the first control step", i+j)
+		}
+		if int(r.Step) != j {
+			return nil, nil, fmt.Errorf("store: step record %d carries index %d", j, r.Step)
+		}
+	}
+	return warmup, steps, nil
+}
+
+// BuildTrace reconstructs the in-memory telemetry trace from a recovered
+// record sequence. Sensor counts are taken from the first record; a record
+// that disagrees fails rather than panicking inside the trace append.
+func BuildTrace(periodS float64, recs []Record) (*dataset.Trace, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("store: no records to rebuild a trace from")
+	}
+	na, nd := len(recs[0].Sample.ACUTemps), len(recs[0].Sample.DCTemps)
+	tr := dataset.NewTrace(periodS, na, nd)
+	for i, r := range recs {
+		if len(r.Sample.ACUTemps) != na || len(r.Sample.DCTemps) != nd {
+			return nil, fmt.Errorf("store: record %d has %d/%d sensors, trace expects %d/%d",
+				i, len(r.Sample.ACUTemps), len(r.Sample.DCTemps), na, nd)
+		}
+		tr.Append(r.Sample)
+	}
+	return tr, nil
+}

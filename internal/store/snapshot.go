@@ -1,0 +1,188 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshots are full-state checkpoints written beside the WAL as
+// ckpt-<step>.snap. Each file is
+//
+//	magic "TSLASNP1" | container version u32 | step u64 | payload len u64 |
+//	CRC32C(payload) u32 | payload
+//
+// written to a temp file, fsynced and renamed into place, so a crash during
+// a checkpoint can never damage the previous one. Load walks the files
+// newest-first and returns the first that validates; the keep-count bounds
+// disk usage while always retaining a fallback behind the newest.
+
+var snapMagic = [8]byte{'T', 'S', 'L', 'A', 'S', 'N', 'P', '1'}
+
+// snapContainerVersion guards the file layout; the payload carries its own
+// schema version (Checkpoint.Version).
+const snapContainerVersion = 1
+
+const snapHeaderLen = 8 + 4 + 8 + 8 + 4
+
+// keepSnapshots is how many newest snapshot files survive a checkpoint.
+const keepSnapshots = 2
+
+func snapshotName(step uint64) string {
+	return fmt.Sprintf("ckpt-%012d.snap", step)
+}
+
+// writeSnapshot atomically persists one checkpoint payload for the given
+// step and prunes snapshots beyond the keep-count. It returns the encoded
+// file size.
+func writeSnapshot(dir string, step uint64, payload []byte) (int64, error) {
+	var header [snapHeaderLen]byte
+	copy(header[:8], snapMagic[:])
+	binary.LittleEndian.PutUint32(header[8:], snapContainerVersion)
+	binary.LittleEndian.PutUint64(header[12:], step)
+	binary.LittleEndian.PutUint64(header[20:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[28:], crc32.Checksum(payload, castagnoli))
+
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(header[:]); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	final := filepath.Join(dir, snapshotName(step))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return 0, err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	pruneSnapshots(dir)
+	return int64(snapHeaderLen + len(payload)), nil
+}
+
+func snapshotFiles(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".snap" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func pruneSnapshots(dir string) {
+	names := snapshotFiles(dir)
+	for len(names) > keepSnapshots {
+		_ = os.Remove(filepath.Join(dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// loadSnapshot returns the newest valid snapshot payload, its step, and how
+// many snapshot files failed validation on the way. ok is false when no valid
+// snapshot exists (a fresh store, or every candidate was corrupt).
+func loadSnapshot(dir string) (payload []byte, step uint64, invalid int, ok bool) {
+	names := snapshotFiles(dir)
+	for i := len(names) - 1; i >= 0; i-- {
+		p, s, err := readSnapshotFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			invalid++
+			continue
+		}
+		return p, s, invalid, true
+	}
+	return nil, 0, invalid, false
+}
+
+func readSnapshotFile(path string) ([]byte, uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) < snapHeaderLen || !bytes.Equal(b[:8], snapMagic[:]) {
+		return nil, 0, fmt.Errorf("store: %s: not a snapshot", path)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != snapContainerVersion {
+		return nil, 0, fmt.Errorf("store: %s: container version %d, this build reads %d", path, v, snapContainerVersion)
+	}
+	step := binary.LittleEndian.Uint64(b[12:])
+	n := binary.LittleEndian.Uint64(b[20:])
+	want := binary.LittleEndian.Uint32(b[28:])
+	payload := b[snapHeaderLen:]
+	if uint64(len(payload)) != n {
+		return nil, 0, fmt.Errorf("store: %s: payload %d bytes, header says %d", path, len(payload), n)
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, 0, fmt.Errorf("store: %s: payload CRC mismatch", path)
+	}
+	return payload, step, nil
+}
+
+// Checkpoint is the versioned-gob controller checkpoint the harnesses write:
+// opaque per-layer state blobs so the store stays ignorant of controller
+// internals (each layer versions its own schema behind Snapshot/Restore).
+type Checkpoint struct {
+	// Version is the checkpoint schema version.
+	Version int
+	// Step is the evaluation-step count the checkpoint was taken after: the
+	// first WAL step record that still needs replay is Step.
+	Step int
+	// Policy is the control policy's Snapshot() blob (empty when the policy
+	// is stateless or not durable).
+	Policy []byte
+	// Supervisor is the safety supervisor's Snapshot() blob.
+	Supervisor []byte
+	// Harness is the embedding run's own accumulator state (trajectory hash,
+	// energy integral, counters) — schema owned by the caller.
+	Harness []byte
+}
+
+// checkpointVersion is the current Checkpoint schema.
+const checkpointVersion = 1
+
+// EncodeCheckpoint serializes a checkpoint for writeSnapshot.
+func EncodeCheckpoint(c Checkpoint) ([]byte, error) {
+	c.Version = checkpointVersion
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses a payload written by EncodeCheckpoint.
+func DecodeCheckpoint(payload []byte) (Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+		return c, fmt.Errorf("store: decoding checkpoint: %w", err)
+	}
+	if c.Version != checkpointVersion {
+		return c, fmt.Errorf("store: checkpoint version %d, this build reads %d", c.Version, checkpointVersion)
+	}
+	return c, nil
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("controller state at step 42")
+	if _, err := writeSnapshot(dir, 42, payload); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	got, step, invalid, ok := loadSnapshot(dir)
+	if !ok || invalid != 0 {
+		t.Fatalf("loadSnapshot ok=%v invalid=%d", ok, invalid)
+	}
+	if step != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("loaded step %d payload %q", step, got)
+	}
+}
+
+func TestSnapshotNewestWinsAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	for _, step := range []uint64{10, 20, 30, 40} {
+		if _, err := writeSnapshot(dir, step, []byte{byte(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := snapshotFiles(dir)
+	if len(names) != keepSnapshots {
+		t.Fatalf("%d snapshot files on disk, want %d", len(names), keepSnapshots)
+	}
+	payload, step, _, ok := loadSnapshot(dir)
+	if !ok || step != 40 || payload[0] != 40 {
+		t.Fatalf("newest snapshot: step=%d ok=%v", step, ok)
+	}
+}
+
+func TestSnapshotCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := writeSnapshot(dir, 10, []byte("older")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeSnapshot(dir, 20, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot's payload.
+	newest := filepath.Join(dir, snapshotName(20))
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, step, invalid, ok := loadSnapshot(dir)
+	if !ok || step != 10 || string(payload) != "older" {
+		t.Fatalf("fallback failed: ok=%v step=%d payload=%q", ok, step, payload)
+	}
+	if invalid != 1 {
+		t.Fatalf("invalid=%d, want 1", invalid)
+	}
+	// Truncate the older one too: nothing valid remains.
+	if err := os.Truncate(filepath.Join(dir, snapshotName(10)), 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, invalid, ok := loadSnapshot(dir); ok || invalid != 2 {
+		t.Fatalf("all-corrupt load: ok=%v invalid=%d", ok, invalid)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := Checkpoint{
+		Step:       123,
+		Policy:     []byte{1, 2, 3},
+		Supervisor: []byte{4, 5},
+		Harness:    []byte{6},
+	}
+	payload, err := EncodeCheckpoint(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != checkpointVersion || got.Step != 123 ||
+		!bytes.Equal(got.Policy, c.Policy) || !bytes.Equal(got.Supervisor, c.Supervisor) ||
+		!bytes.Equal(got.Harness, c.Harness) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage payload decoded")
+	}
+}

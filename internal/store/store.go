@@ -1,0 +1,180 @@
+// Package store is the per-room durability subsystem: an append-only,
+// segmented, CRC32C-framed write-ahead log of every control step's inputs
+// and decision, plus periodic versioned-gob snapshots of full controller
+// state. Together they make a control loop restartable without a cold
+// re-maturation window — exactly when a cooling-control outage is most
+// dangerous (the cold aisle rises at ~1 °C/min while control is down,
+// paper Fig. 3).
+//
+// The contract recovery relies on:
+//
+//   - The WAL is the trace. Every telemetry sample appended to the in-memory
+//     dataset.Trace is logged (warm-up included), so the trace the policy saw
+//     is rebuilt bit-exactly from the records.
+//
+//   - Snapshots bound replay, never replace it. A checkpoint captures the
+//     controller's learned state (GP observation history, error-monitor
+//     residual windows and RNG, smoothing buffer, safety-supervisor
+//     quarantine/hysteresis state) after step S; recovery restores it and
+//     re-runs the real Decide path over WAL steps S..K. Because every layer
+//     is deterministic given (state, trace), the replayed decisions are
+//     bit-identical to the logged ones — recovery cross-checks and counts
+//     any mismatch.
+//
+//   - Torn tails are expected, not fatal. fsync batching trades the last
+//     few records for throughput; Open truncates the torn tail to the
+//     longest valid prefix and reports what it discarded. The steps whose
+//     records were lost are simply re-executed by the recovered controller,
+//     which lands on the same trajectory.
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Options assemble a store.
+type Options struct {
+	WAL WALOptions
+}
+
+// Recovered reports everything Open found: the decoded WAL records, the
+// newest valid checkpoint, and the corruption accounting.
+type Recovered struct {
+	// Records are the valid WAL records in append order.
+	Records []Record
+	// Checkpoint is the newest valid checkpoint; HaveCheckpoint is false on
+	// a fresh store (or when every snapshot file was corrupt — replay then
+	// starts from step 0).
+	Checkpoint     Checkpoint
+	HaveCheckpoint bool
+	// InvalidSnapshots counts snapshot files that failed validation.
+	InvalidSnapshots int
+	// WAL is the log scanner's report (torn-tail truncation, dropped
+	// segments).
+	WAL WALRecovery
+}
+
+// Stats is the store's cumulative observability view.
+type Stats struct {
+	Records    uint64 `json:"wal_records"` // appended by this process
+	Bytes      uint64 `json:"wal_bytes"`   // appended by this process, framing included
+	Syncs      uint64 `json:"wal_syncs"`
+	Segments   int    `json:"wal_segments"`
+	Snapshots  uint64 `json:"snapshots_written"`
+	LastStep   int    `json:"last_snapshot_step"`
+	LastBytes  int64  `json:"last_snapshot_bytes"`
+	RecoveredN int    `json:"recovered_records"`
+}
+
+// Store couples one room's WAL and snapshot directory.
+type Store struct {
+	dir string
+	wal *WAL
+
+	snapshots uint64
+	lastStep  int
+	lastBytes int64
+	recovered int
+}
+
+// Open opens (or creates) the store rooted at dir, recovering whatever a
+// previous process left behind. The returned Recovered is never nil.
+func Open(dir string, opts Options) (*Store, *Recovered, error) {
+	if dir == "" {
+		return nil, nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovered{}
+	var decodeErr error
+	wal, wrec, err := OpenWAL(dir, opts.WAL, func(payload []byte) error {
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			// A frame that passes its CRC but fails the codec means a
+			// foreign or newer-schema record; surface it rather than
+			// replaying garbage.
+			decodeErr = err
+			return err
+		}
+		rec.Records = append(rec.Records, r)
+		return nil
+	})
+	if err != nil {
+		if decodeErr != nil {
+			return nil, nil, fmt.Errorf("store: %s: %w", dir, decodeErr)
+		}
+		return nil, nil, err
+	}
+	rec.WAL = *wrec
+
+	payload, step, invalid, ok := loadSnapshot(dir)
+	rec.InvalidSnapshots = invalid
+	if ok {
+		c, err := DecodeCheckpoint(payload)
+		if err != nil {
+			// Checkpoint schema drift: treat as no checkpoint (full replay)
+			// rather than failing the boot.
+			rec.InvalidSnapshots++
+		} else if uint64(c.Step) != step {
+			rec.InvalidSnapshots++
+		} else {
+			rec.Checkpoint = c
+			rec.HaveCheckpoint = true
+		}
+	}
+
+	s := &Store{dir: dir, wal: wal, recovered: len(rec.Records), lastStep: -1}
+	if rec.HaveCheckpoint {
+		s.lastStep = rec.Checkpoint.Step
+	}
+	return s, rec, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// AppendRecord logs one control-loop record.
+func (s *Store) AppendRecord(r *Record) error { return s.wal.AppendRecord(r) }
+
+// Sync forces the WAL to durable storage.
+func (s *Store) Sync() error { return s.wal.Sync() }
+
+// WriteCheckpoint syncs the WAL (a checkpoint must never be newer than the
+// log it bounds) and atomically persists the checkpoint.
+func (s *Store) WriteCheckpoint(c Checkpoint) error {
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	payload, err := EncodeCheckpoint(c)
+	if err != nil {
+		return err
+	}
+	n, err := writeSnapshot(s.dir, uint64(c.Step), payload)
+	if err != nil {
+		return err
+	}
+	s.snapshots++
+	s.lastStep = c.Step
+	s.lastBytes = n
+	return nil
+}
+
+// Stats returns the cumulative counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Records:    s.wal.records,
+		Bytes:      s.wal.bytes,
+		Syncs:      s.wal.syncs,
+		Segments:   s.wal.segments,
+		Snapshots:  s.snapshots,
+		LastStep:   s.lastStep,
+		LastBytes:  s.lastBytes,
+		RecoveredN: s.recovered,
+	}
+}
+
+// Close flushes and fsyncs the WAL. It does not write a checkpoint — callers
+// decide whether the shutdown deserves one.
+func (s *Store) Close() error { return s.wal.Close() }

@@ -1,0 +1,232 @@
+package store
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tesla/internal/testbed"
+)
+
+// testSample builds a deterministic sample for record index i, with awkward
+// float values (negative zero, subnormals-adjacent) to prove bit-exactness.
+func testSample(i int, na, nd int) testbed.Sample {
+	f := func(k int) float64 { return float64(i)*1.25 + float64(k)*0.0625 + 0.1 }
+	s := testbed.Sample{
+		TimeS:        float64(i) * 30,
+		SetpointC:    20 + math.Mod(f(1), 5),
+		ACUPowerKW:   f(2),
+		ACUDuty:      f(3) / 100,
+		SupplyC:      f(4),
+		AvgServerKW:  f(5),
+		TotalIT:      f(6),
+		AvgUtil:      f(7) / 10,
+		MaxColdAisle: f(8),
+		TrueMaxColdC: f(9),
+		Interrupted:  i%7 == 3,
+		ACUTemps:     make([]float64, na),
+		DCTemps:      make([]float64, nd),
+	}
+	for j := range s.ACUTemps {
+		s.ACUTemps[j] = f(10 + j)
+	}
+	for j := range s.DCTemps {
+		s.DCTemps[j] = f(100 + j)
+	}
+	if i == 0 {
+		s.ACUPowerKW = math.Copysign(0, -1) // -0.0 must survive
+	}
+	return s
+}
+
+func testRecord(i int) Record {
+	kind := KindStep
+	step := uint32(i)
+	if i < 3 {
+		kind = KindWarmup
+	} else {
+		step = uint32(i - 3)
+	}
+	return Record{
+		Kind:     kind,
+		Step:     step,
+		Setpoint: 21.5 + float64(i)*0.125,
+		Level:    uint8(i % 4),
+		Sample:   testSample(i, 4, 6),
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		r := testRecord(i)
+		payload := r.Encode(nil)
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("record %d round trip:\n  in:  %+v\n  out: %+v", i, r, got)
+		}
+		// -0.0 must round-trip as -0.0, which DeepEqual alone cannot prove.
+		if i == 0 && math.Signbit(r.Sample.ACUPowerKW) != math.Signbit(got.Sample.ACUPowerKW) {
+			t.Fatal("negative zero lost its sign")
+		}
+	}
+}
+
+func TestRecordDecodeRejectsGarbage(t *testing.T) {
+	r := testRecord(5)
+	payload := r.Encode(nil)
+	if _, err := DecodeRecord(payload[:recordHeaderLen-1]); err == nil {
+		t.Fatal("short payload decoded")
+	}
+	if _, err := DecodeRecord(payload[:len(payload)-1]); err == nil {
+		t.Fatal("truncated sensor block decoded")
+	}
+	bad := append([]byte(nil), payload...)
+	bad[0] = 99
+	if _, err := DecodeRecord(bad); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = testRecord(i)
+	}
+	warm, steps, err := Partition(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != 3 || len(steps) != 7 {
+		t.Fatalf("partitioned %d/%d, want 3/7", len(warm), len(steps))
+	}
+
+	// A gap in the step indices must fail.
+	gap := append([]Record(nil), recs...)
+	gap[5].Step = 7
+	if _, _, err := Partition(gap); err == nil {
+		t.Fatal("index gap accepted")
+	}
+	// Warm-up after the first step must fail.
+	late := append([]Record(nil), recs...)
+	late[6].Kind = KindWarmup
+	if _, _, err := Partition(late); err == nil {
+		t.Fatal("late warm-up accepted")
+	}
+}
+
+func TestBuildTrace(t *testing.T) {
+	recs := make([]Record, 12)
+	for i := range recs {
+		recs[i] = testRecord(i)
+	}
+	tr, err := BuildTrace(30, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(recs) {
+		t.Fatalf("trace length %d, want %d", tr.Len(), len(recs))
+	}
+	for i, r := range recs {
+		if tr.MaxCold[i] != r.Sample.MaxColdAisle || tr.Setpoint[i] != r.Sample.SetpointC {
+			t.Fatalf("trace row %d diverges from record", i)
+		}
+	}
+	// Sensor-count mismatch must fail, not panic.
+	recs[7].Sample.DCTemps = recs[7].Sample.DCTemps[:3]
+	if _, err := BuildTrace(30, recs); err == nil {
+		t.Fatal("sensor-count mismatch accepted")
+	}
+	if _, err := BuildTrace(30, nil); err == nil {
+		t.Fatal("empty record set accepted")
+	}
+}
+
+func TestStoreRecoversRecordsAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HaveCheckpoint || len(rec.Records) != 0 {
+		t.Fatalf("fresh store recovered %+v", rec)
+	}
+	const n = 15
+	for i := 0; i < n; i++ {
+		r := testRecord(i)
+		if err := s.AppendRecord(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck := Checkpoint{Step: 9, Policy: []byte("p"), Supervisor: []byte("s"), Harness: []byte("h")}
+	if err := s.WriteCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records != n || st.Snapshots != 1 || st.LastStep != 9 || st.LastBytes <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rec2.Records) != n {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), n)
+	}
+	for i := range rec2.Records {
+		want := testRecord(i)
+		if !reflect.DeepEqual(rec2.Records[i], want) {
+			t.Fatalf("record %d diverged across restart", i)
+		}
+	}
+	if !rec2.HaveCheckpoint || rec2.Checkpoint.Step != 9 || string(rec2.Checkpoint.Policy) != "p" {
+		t.Fatalf("checkpoint not recovered: %+v", rec2.Checkpoint)
+	}
+	if st2 := s2.Stats(); st2.RecoveredN != n || st2.LastStep != 9 {
+		t.Fatalf("reopened stats %+v", st2)
+	}
+}
+
+func TestStoreCheckpointSurvivesTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{WAL: WALOptions{SyncEvery: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		r := testRecord(i)
+		if err := s.AppendRecord(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteCheckpoint(Checkpoint{Step: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without Close: appends after the checkpoint stay in the bufio
+	// buffer and are simply gone — the checkpoint must still load and the
+	// durable prefix must cover it.
+	for i := 8; i < 12; i++ {
+		r := testRecord(i)
+		if err := s.AppendRecord(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !rec.HaveCheckpoint || rec.Checkpoint.Step != 4 {
+		t.Fatalf("checkpoint lost: %+v", rec)
+	}
+	if len(rec.Records) != 8 {
+		t.Fatalf("durable prefix has %d records, want the 8 synced by the checkpoint", len(rec.Records))
+	}
+}

@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The write-ahead log is a directory of append-only segment files named
+// wal-<firstRecordIndex>.seg. Each record is framed as
+//
+//	[payload length: uint32 LE][CRC32C(payload): uint32 LE][payload]
+//
+// A crash can leave the final segment with a torn tail — a partial frame, a
+// partial payload, or garbage bytes from a dropped buffer. Open scans every
+// segment, keeps the longest valid prefix, truncates the torn tail of the
+// last readable segment in place, and reports exactly what it discarded. A
+// frame that fails its CRC mid-log (not at the tail) poisons everything after
+// it: the scanner stops there, truncates, and counts the later segments as
+// dropped rather than guessing at resynchronization.
+
+// frameHeaderLen is the per-record framing overhead.
+const frameHeaderLen = 8
+
+// maxPayload bounds a frame the reader will believe. A torn length prefix is
+// random bytes; without the bound it could demand a multi-gigabyte read.
+const maxPayload = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WALOptions tune the log.
+type WALOptions struct {
+	// SegmentBytes rotates to a fresh segment once the current one reaches
+	// this size (<= 0 selects 4 MiB).
+	SegmentBytes int64
+	// SyncEvery fsyncs after this many appended records. 0 syncs every
+	// record; negative never syncs (the OS flushes on its own schedule —
+	// fastest, weakest durability).
+	SyncEvery int
+}
+
+// WALRecovery reports what Open found on disk.
+type WALRecovery struct {
+	// Records is how many valid records were read back.
+	Records int
+	// Segments is how many segment files survive.
+	Segments int
+	// TruncatedBytes counts bytes cut from the torn tail (partial frames,
+	// CRC-failed frames and everything after them in that segment).
+	TruncatedBytes int64
+	// DroppedSegments counts whole segments discarded because an earlier
+	// segment's tail was corrupt.
+	DroppedSegments int
+	// Corruptions counts distinct corruption sites (0 on a clean open; a torn
+	// tail and each dropped segment count one each).
+	Corruptions int
+}
+
+// WAL is the append side of the log. Not safe for concurrent use — one WAL
+// per control loop, like the policies whose steps it records.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	f         *os.File
+	bw        *bufio.Writer
+	segBytes  int64
+	nextIndex uint64 // index the next appended record will get
+
+	records    uint64 // appended this process
+	bytes      uint64 // appended this process (framing included)
+	syncs      uint64
+	segments   int
+	sinceSync  int
+	frame      [frameHeaderLen]byte
+	scratchBuf []byte
+}
+
+func segmentName(firstIndex uint64) string {
+	return fmt.Sprintf("wal-%016d.seg", firstIndex)
+}
+
+// OpenWAL opens (or creates) the log in dir, scans existing segments,
+// truncates any torn tail and positions the writer after the last valid
+// record. The decoded payloads are returned through the visit callback in
+// order (nil to skip).
+func OpenWAL(dir string, opts WALOptions, visit func(payload []byte) error) (*WAL, *WALRecovery, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &WALRecovery{}
+	w := &WAL{dir: dir, opts: opts}
+	var lastSeg string
+	var lastSegValid int64
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		n, valid, clean, err := scanSegment(path, func(p []byte) error {
+			if visit != nil {
+				return visit(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Records += n
+		w.nextIndex += uint64(n)
+		lastSeg, lastSegValid = path, valid
+		if !clean {
+			rec.Corruptions++
+			info, err := os.Stat(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec.TruncatedBytes += info.Size() - valid
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, nil, err
+			}
+			// Everything after a corrupt frame is unreachable; drop the
+			// later segments outright.
+			for _, later := range names[i+1:] {
+				rec.DroppedSegments++
+				rec.Corruptions++
+				if err := os.Remove(filepath.Join(dir, later)); err != nil {
+					return nil, nil, err
+				}
+			}
+			break
+		}
+	}
+
+	// Resume the last segment if it has room, else start a fresh one.
+	switch {
+	case lastSeg != "" && lastSegValid < opts.SegmentBytes:
+		f, err := os.OpenFile(lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.f, w.segBytes = f, lastSegValid
+	default:
+		if err := w.rotate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	w.bw = bufio.NewWriterSize(w.f, 1<<16)
+	w.segments = countSegments(dir)
+	rec.Segments = w.segments
+	return w, rec, nil
+}
+
+func segmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".seg" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func countSegments(dir string) int {
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}
+
+// scanSegment reads records until EOF or the first invalid frame. It returns
+// the record count, the byte offset of the end of the last valid record, and
+// whether the segment ended cleanly at EOF.
+func scanSegment(path string, visit func([]byte) error) (n int, validEnd int64, clean bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var header [frameHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			// EOF exactly at a frame boundary is the clean case; anything
+			// else (partial header) is a torn tail.
+			return n, validEnd, err == io.EOF, nil
+		}
+		length := binary.LittleEndian.Uint32(header[0:])
+		want := binary.LittleEndian.Uint32(header[4:])
+		if length == 0 || length > maxPayload {
+			return n, validEnd, false, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return n, validEnd, false, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return n, validEnd, false, nil
+		}
+		if visit != nil {
+			if verr := visit(payload); verr != nil {
+				return n, validEnd, false, verr
+			}
+		}
+		n++
+		validEnd += frameHeaderLen + int64(length)
+	}
+}
+
+// rotate closes the current segment (fsynced) and opens the next.
+func (w *WAL) rotate() error {
+	if w.f != nil {
+		if err := w.bw.Flush(); err != nil {
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(w.nextIndex)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.segBytes = 0
+	w.segments++
+	if w.bw == nil {
+		w.bw = bufio.NewWriterSize(f, 1<<16)
+	} else {
+		w.bw.Reset(f)
+	}
+	// Make the new name durable so recovery after a crash sees the segment.
+	if d, err := os.Open(w.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Append frames and writes one record payload, rotating and fsyncing per the
+// options.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxPayload {
+		return fmt.Errorf("store: record payload %d bytes outside (0, %d]", len(payload), maxPayload)
+	}
+	if w.segBytes >= w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(w.frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frame[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.bw.Write(w.frame[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.segBytes += frameHeaderLen + int64(len(payload))
+	w.bytes += frameHeaderLen + uint64(len(payload))
+	w.records++
+	w.nextIndex++
+	w.sinceSync++
+	if w.opts.SyncEvery >= 0 && w.sinceSync >= w.opts.SyncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// AppendRecord encodes and appends a typed record.
+func (w *WAL) AppendRecord(r *Record) error {
+	w.scratchBuf = r.Encode(w.scratchBuf[:0])
+	return w.Append(w.scratchBuf)
+}
+
+// Sync flushes the userspace buffer and fsyncs the current segment.
+func (w *WAL) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs++
+	w.sinceSync = 0
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log.
+func (w *WAL) Close() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
