@@ -44,11 +44,26 @@ func main() {
 	boOut := flag.String("boout", "BENCH_bo.json", "JSON baseline path for -bo (empty disables)")
 	walBench := flag.Bool("wal", false, "benchmark the durable store (WAL append, snapshot write, recovery)")
 	walOut := flag.String("walout", "BENCH_wal.json", "JSON baseline path for -wal (empty disables)")
+	gwBench := flag.Bool("gateway", false, "drive the ACU gateway to saturation (devices × in-flight window sweep)")
+	gwDevices := flag.String("gwdevices", "250,1000", "comma-separated device counts for -gateway")
+	gwWindows := flag.String("gwwindows", "4,16", "comma-separated in-flight windows for -gateway")
+	gwOps := flag.Int("gwops", 20, "requests per generator per cell for -gateway")
+	gwOut := flag.String("gwout", "BENCH_gateway.json", "JSON baseline path for -gateway (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The gateway load harness needs no trained models; run standalone.
+	if *gwBench {
+		if err := runGatewayBench(os.Stdout, *gwDevices, *gwWindows, *gwOps, *gwOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench {
+			return
+		}
 	}
 	// The durable-store benchmarks need no trained models; run standalone.
 	if *walBench {

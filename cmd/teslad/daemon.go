@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"tesla/internal/gateway"
 	"tesla/internal/telemetry"
 )
 
@@ -46,6 +47,7 @@ type daemon struct {
 	mu     sync.RWMutex
 	st     status
 	events *telemetry.EventLog
+	gw     *gateway.Gateway
 }
 
 func (d *daemon) update(fn func(*status)) {
@@ -63,8 +65,13 @@ func (d *daemon) snapshot() status {
 func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
 		status
+		Gateway      *gateway.Stats    `json:"gateway,omitempty"`
 		RecentEvents []telemetry.Entry `json:"recent_events"`
 	}{status: d.snapshot()}
+	if d.gw != nil {
+		gs := d.gw.Stats()
+		out.Gateway = &gs
+	}
 	if d.events != nil {
 		out.RecentEvents = d.events.Recent(16)
 	}
@@ -93,6 +100,9 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.Durability.Enabled {
 		writeDurabilityMetrics(w, s.Durability)
 	}
+	if d.gw != nil {
+		writeGatewayMetrics(w, d.gw.Stats())
+	}
 	if d.events != nil {
 		counts := d.events.Counts()
 		kinds := make([]string, 0, len(counts))
@@ -118,6 +128,23 @@ func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
+}
+
+// writeGatewayMetrics exposes the ACU gateway's health — the actuation-path
+// counters an operator alerts on (drops, reconnects, dial failures).
+func writeGatewayMetrics(w http.ResponseWriter, gs gateway.Stats) {
+	fmt.Fprintf(w, "# TYPE tesla_gateway_devices gauge\ntesla_gateway_devices %d\n", gs.Devices)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_connected gauge\ntesla_gateway_connected %d\n", gs.Connected)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_in_flight gauge\ntesla_gateway_in_flight %d\n", gs.InFlight)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_requests_total counter\ntesla_gateway_requests_total %d\n", gs.Submitted)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_completed_total counter\ntesla_gateway_completed_total %d\n", gs.Completed)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_failed_total counter\ntesla_gateway_failed_total %d\n", gs.Failed)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_dropped_total counter\ntesla_gateway_dropped_total %d\n", gs.Dropped)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_reconnects_total counter\ntesla_gateway_reconnects_total %d\n", gs.Reconnects)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_dial_failures_total counter\ntesla_gateway_dial_failures_total %d\n", gs.DialFailures)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_wire_reads_total counter\ntesla_gateway_wire_reads_total %d\n", gs.WireReads)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_merged_reads_total counter\ntesla_gateway_merged_reads_total %d\n", gs.MergedReads)
+	fmt.Fprintf(w, "# TYPE tesla_gateway_writes_total counter\ntesla_gateway_writes_total %d\n", gs.Writes)
 }
 
 // levelOrdinal maps the supervisor stage name back to its numeric ordinal for

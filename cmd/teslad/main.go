@@ -60,6 +60,7 @@ import (
 	"tesla"
 	"tesla/internal/control"
 	"tesla/internal/dataset"
+	"tesla/internal/gateway"
 	"tesla/internal/modbus"
 	"tesla/internal/safety"
 	"tesla/internal/telemetry"
@@ -164,11 +165,16 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	defer tsSrv.Close()
 	collector := telemetry.NewCollector(tb)
 	tsClient := telemetry.NewClient(tsAddr)
-	mbClient, err := modbus.Dial(mbAddr)
+
+	// All actuation flows through the gateway — the same component that
+	// fronts the fleet at scale — so its health counters on /status and
+	// /metrics reflect the real command path, not a side channel.
+	gw := gateway.New(gateway.Config{Timeout: 2 * time.Second})
+	defer gw.Close()
+	acuDev, err := gw.Add("acu-0", mbAddr)
 	if err != nil {
 		return err
 	}
-	defer mbClient.Close()
 
 	// The daemon never runs the policy bare: the safety supervisor validates
 	// every telemetry step and owns the staged fallbacks, its events flow
@@ -206,7 +212,7 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	// Operator endpoint. Serve errors land on a channel so a broken listener
 	// is reported rather than silently swallowed; on exit the server drains
 	// in-flight operator requests before the process ends.
-	d := &daemon{events: events}
+	d := &daemon{events: events, gw: gw}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", d.handleStatus)
 	mux.HandleFunc("/metrics", d.handleMetrics)
@@ -232,7 +238,7 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	if dr != nil {
 		view = dr.View
 	}
-	if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(23)); err != nil {
+	if err := acuDev.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(23)); err != nil {
 		return err
 	}
 	for i := 0; i < 60; i++ {
@@ -278,7 +284,7 @@ loop:
 		default:
 		}
 		sp := sup.Decide(view, view.Len()-1)
-		if err := mbClient.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(sp)); err != nil {
+		if err := acuDev.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(sp)); err != nil {
 			return err
 		}
 		s, err := collector.CollectInto(tsClient)

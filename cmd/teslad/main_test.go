@@ -8,6 +8,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tesla/internal/gateway"
+	"tesla/internal/modbus"
 )
 
 // TestHandlersConcurrentWithUpdates hammers /status and /metrics while the
@@ -93,5 +96,55 @@ func TestSleepCtxCancellation(t *testing.T) {
 	}
 	if !sleepCtx(context.Background(), time.Millisecond) {
 		t.Fatal("uncancelled sleep did not complete")
+	}
+}
+
+// TestDaemonSurfacesGatewayHealth: with a gateway attached, /status carries
+// the gateway block and /metrics the tesla_gateway_* series.
+func TestDaemonSurfacesGatewayHealth(t *testing.T) {
+	bank := modbus.NewMapBank()
+	bank.SetHolding(modbus.RegSetpoint, modbus.EncodeTempC(23))
+	srv := modbus.NewServer(bank)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gw := gateway.New(gateway.Config{Timeout: time.Second})
+	defer gw.Close()
+	dev, err := gw.Add("acu-0", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(24)); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &daemon{gw: gw}
+	rec := httptest.NewRecorder()
+	d.handleStatus(rec, httptest.NewRequest("GET", "/status", nil))
+	var body struct {
+		Gateway *gateway.Stats `json:"gateway"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Gateway == nil || body.Gateway.Devices != 1 || body.Gateway.Writes != 1 {
+		t.Fatalf("gateway block = %+v", body.Gateway)
+	}
+
+	rec = httptest.NewRecorder()
+	d.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	out := rec.Body.String()
+	for _, want := range []string{
+		"tesla_gateway_devices 1",
+		"tesla_gateway_connected 1",
+		"tesla_gateway_writes_total 1",
+		"tesla_gateway_dropped_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -350,12 +350,15 @@ func Run(cfg Config) (*Result, error) {
 	if res.WallSeconds > 0 {
 		res.StepsPerSec = float64(res.TotalSteps) / res.WallSeconds
 	}
-	res.Latency = latencyStats(all)
+	res.Latency = ComputeLatencyStats(all)
 	return res, nil
 }
 
-// latencyStats computes percentiles over per-step wall latencies.
-func latencyStats(d []time.Duration) LatencyStats {
+// ComputeLatencyStats computes percentiles over per-operation wall
+// latencies (sorting d in place). Exported so other load harnesses — the
+// gateway bench in particular — report quantiles with the same estimator
+// the fleet orchestrator uses.
+func ComputeLatencyStats(d []time.Duration) LatencyStats {
 	if len(d) == 0 {
 		return LatencyStats{}
 	}

@@ -291,7 +291,7 @@ func (rr *roomRun) finish() RoomResult {
 	_, rr.res.QueueDropped = rr.q.Stats()
 
 	lat := append([]time.Duration(nil), rr.res.latencies...)
-	ls := latencyStats(lat)
+	ls := ComputeLatencyStats(lat)
 	rr.res.LatencyP50, rr.res.LatencyP99 = ls.P50, ls.P99
 	return rr.res
 }

@@ -1,0 +1,61 @@
+package gateway
+
+import "sort"
+
+// block is one wire block read serving one or more queued read ops. Every
+// member op's [addr, addr+count) range lies inside [addr, addr+count) of
+// the block.
+type block struct {
+	fn    byte
+	addr  uint16
+	count uint16
+	ops   []*op
+}
+
+// coalesceReads merges a run of read ops into the fewest block reads that
+// cover them, telegraf-style: group by function code, sort by address,
+// then merge a range into the current block when the bridged gap of
+// unrequested registers is ≤ gap and the total span stays ≤ maxBlock.
+// All arithmetic is in int space — a merge can never wrap past 0xFFFF,
+// which is exactly the server-side bug this package's transport fixed.
+func coalesceReads(ops []*op, gap, maxBlock uint16) []block {
+	if len(ops) == 0 {
+		return nil
+	}
+	byFn := map[byte][]*op{}
+	fns := make([]byte, 0, 2)
+	for _, o := range ops {
+		if _, seen := byFn[o.fn]; !seen {
+			fns = append(fns, o.fn)
+		}
+		byFn[o.fn] = append(byFn[o.fn], o)
+	}
+	var out []block
+	for _, fn := range fns {
+		group := byFn[fn]
+		sort.SliceStable(group, func(i, j int) bool {
+			if group[i].addr != group[j].addr {
+				return group[i].addr < group[j].addr
+			}
+			return group[i].count < group[j].count
+		})
+		cur := block{fn: fn, addr: group[0].addr, count: group[0].count, ops: []*op{group[0]}}
+		for _, o := range group[1:] {
+			start, end := int(cur.addr), int(cur.addr)+int(cur.count)
+			a, b := int(o.addr), int(o.addr)+int(o.count)
+			merged := b
+			if end > merged {
+				merged = end
+			}
+			if a <= end+int(gap) && merged-start <= int(maxBlock) {
+				cur.count = uint16(merged - start)
+				cur.ops = append(cur.ops, o)
+				continue
+			}
+			out = append(out, cur)
+			cur = block{fn: fn, addr: o.addr, count: o.count, ops: []*op{o}}
+		}
+		out = append(out, cur)
+	}
+	return out
+}

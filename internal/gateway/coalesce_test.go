@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"testing"
+
+	"tesla/internal/modbus"
+)
+
+func rdOp(fn byte, addr, count uint16) *op {
+	return &op{fn: fn, addr: addr, count: count, done: make(chan opResult, 1)}
+}
+
+func spans(bs []block) [][3]int {
+	out := make([][3]int, len(bs))
+	for i, b := range bs {
+		out[i] = [3]int{int(b.addr), int(b.count), len(b.ops)}
+	}
+	return out
+}
+
+func TestCoalesceAdjacentAndOverlapping(t *testing.T) {
+	ops := []*op{
+		rdOp(modbus.FuncReadInput, 0, 2),
+		rdOp(modbus.FuncReadInput, 2, 2), // adjacent
+		rdOp(modbus.FuncReadInput, 3, 3), // overlapping
+	}
+	bs := coalesceReads(ops, 0, 125)
+	if len(bs) != 1 || bs[0].addr != 0 || bs[0].count != 6 || len(bs[0].ops) != 3 {
+		t.Fatalf("blocks = %v", spans(bs))
+	}
+}
+
+func TestCoalesceRespectsGapZero(t *testing.T) {
+	ops := []*op{
+		rdOp(modbus.FuncReadInput, 0, 2),
+		rdOp(modbus.FuncReadInput, 3, 1), // one-register hole
+	}
+	if bs := coalesceReads(ops, 0, 125); len(bs) != 2 {
+		t.Fatalf("gap 0 merged across a hole: %v", spans(bs))
+	}
+	// Allowing a gap of 1 bridges the hole.
+	bs := coalesceReads(ops, 1, 125)
+	if len(bs) != 1 || bs[0].addr != 0 || bs[0].count != 4 {
+		t.Fatalf("gap 1 blocks = %v", spans(bs))
+	}
+}
+
+func TestCoalesceRespectsMaxBlock(t *testing.T) {
+	ops := []*op{
+		rdOp(modbus.FuncReadInput, 0, 100),
+		rdOp(modbus.FuncReadInput, 100, 26), // would make 126 > 125
+	}
+	bs := coalesceReads(ops, 0, 125)
+	if len(bs) != 2 {
+		t.Fatalf("exceeded max block: %v", spans(bs))
+	}
+}
+
+func TestCoalesceSeparatesFunctions(t *testing.T) {
+	ops := []*op{
+		rdOp(modbus.FuncReadInput, 0, 2),
+		rdOp(modbus.FuncReadHolding, 2, 2),
+	}
+	if bs := coalesceReads(ops, 0, 125); len(bs) != 2 {
+		t.Fatalf("merged across function codes: %v", spans(bs))
+	}
+}
+
+func TestCoalesceNeverWrapsAddressSpace(t *testing.T) {
+	ops := []*op{
+		rdOp(modbus.FuncReadInput, 0xFFFE, 2),
+		rdOp(modbus.FuncReadInput, 0xFF00, 4),
+	}
+	bs := coalesceReads(ops, 0, 125)
+	for _, b := range bs {
+		if int(b.addr)+int(b.count) > 0x10000 {
+			t.Fatalf("block [%d,+%d) wraps past 0xFFFF", b.addr, b.count)
+		}
+	}
+	// Unsorted input comes back sorted: the 0xFF00 block first.
+	if bs[0].addr != 0xFF00 || bs[1].addr != 0xFFFE {
+		t.Fatalf("blocks = %v", spans(bs))
+	}
+}

@@ -1,0 +1,452 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tesla/internal/modbus"
+)
+
+// ConnState is a device's connection state machine position.
+type ConnState int32
+
+const (
+	StateDisconnected ConnState = iota
+	StateConnecting
+	StateConnected
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateConnected:
+		return "connected"
+	default:
+		return "disconnected"
+	}
+}
+
+// op is one queued register operation. Exactly one opResult is delivered
+// on done for every op that enters the queue.
+type op struct {
+	write bool
+	fn    byte // read function code (FuncReadInput / FuncReadHolding)
+	addr  uint16
+	count uint16
+	value uint16
+	done  chan opResult
+}
+
+type opResult struct {
+	vals []uint16
+	err  error
+}
+
+// Device is one ACU endpoint behind the gateway. All exported methods are
+// safe for concurrent use; the wire is driven by a single loop goroutine.
+type Device struct {
+	id   string
+	addr string
+	cfg  Config
+
+	queue chan *op
+	stop  chan struct{}
+
+	// closeMu orders submissions against close(): once closed is set no op
+	// can enter the queue, so the loop's final drain leaves nothing behind.
+	closeMu sync.Mutex
+	closed  bool
+
+	// connMu lets close() interrupt an in-flight exchange owned by the loop.
+	connMu sync.Mutex
+	client *modbus.Client
+
+	state    atomic.Int32
+	inflight atomic.Int64
+
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	dropped     atomic.Uint64
+	reconnects  atomic.Uint64
+	dialFails   atomic.Uint64
+	wireReads   atomic.Uint64
+	mergedReads atomic.Uint64
+	writes      atomic.Uint64
+
+	// Loop-local reconnect pacing; no lock needed.
+	everConnected bool
+	backoff       time.Duration
+	nextDial      time.Time
+	lastDialErr   error
+}
+
+func newDevice(id, addr string, cfg Config) *Device {
+	d := &Device{
+		id:   id,
+		addr: addr,
+		cfg:  cfg,
+		// cap == InFlight makes every guarded send non-blocking: at most
+		// InFlight ops are admitted and each leaves the queue before its
+		// result is delivered.
+		queue:   make(chan *op, cfg.InFlight),
+		stop:    make(chan struct{}),
+		backoff: cfg.BackoffMin,
+	}
+	return d
+}
+
+// ID returns the device identifier.
+func (d *Device) ID() string { return d.id }
+
+// Addr returns the device's Modbus/TCP address.
+func (d *Device) Addr() string { return d.addr }
+
+// State reports the connection state machine's current position.
+func (d *Device) State() ConnState { return ConnState(d.state.Load()) }
+
+// DeviceStats is one device's counter snapshot.
+type DeviceStats struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+
+	InFlight     int    `json:"in_flight"`
+	Submitted    uint64 `json:"submitted"`
+	Completed    uint64 `json:"completed"`
+	Failed       uint64 `json:"failed"`
+	Dropped      uint64 `json:"dropped"`
+	Reconnects   uint64 `json:"reconnects"`
+	DialFailures uint64 `json:"dial_failures"`
+	WireReads    uint64 `json:"wire_reads"`
+	MergedReads  uint64 `json:"merged_reads"`
+	Writes       uint64 `json:"writes"`
+}
+
+// Stats snapshots the device's counters.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		ID:           d.id,
+		Addr:         d.addr,
+		State:        d.State().String(),
+		InFlight:     int(d.inflight.Load()),
+		Submitted:    d.submitted.Load(),
+		Completed:    d.completed.Load(),
+		Failed:       d.failed.Load(),
+		Dropped:      d.dropped.Load(),
+		Reconnects:   d.reconnects.Load(),
+		DialFailures: d.dialFails.Load(),
+		WireReads:    d.wireReads.Load(),
+		MergedReads:  d.mergedReads.Load(),
+		Writes:       d.writes.Load(),
+	}
+}
+
+// ReadInput reads count input registers starting at addr.
+func (d *Device) ReadInput(addr, count uint16) ([]uint16, error) {
+	r := <-d.submit(&op{fn: modbus.FuncReadInput, addr: addr, count: count, done: make(chan opResult, 1)})
+	return r.vals, r.err
+}
+
+// ReadHolding reads count holding registers starting at addr.
+func (d *Device) ReadHolding(addr, count uint16) ([]uint16, error) {
+	r := <-d.submit(&op{fn: modbus.FuncReadHolding, addr: addr, count: count, done: make(chan opResult, 1)})
+	return r.vals, r.err
+}
+
+// WriteHolding writes value to the holding register at addr. Writes are
+// barriers: reads submitted afterwards observe the write.
+func (d *Device) WriteHolding(addr, value uint16) error {
+	r := <-d.submit(&op{write: true, addr: addr, value: value, done: make(chan opResult, 1)})
+	return r.err
+}
+
+// submit admits o into the bounded in-flight window (or rejects it) and
+// returns the channel its single result will arrive on.
+func (d *Device) submit(o *op) <-chan opResult {
+	if d.inflight.Add(1) > int64(d.cfg.InFlight) {
+		d.inflight.Add(-1)
+		d.dropped.Add(1)
+		o.done <- opResult{err: fmt.Errorf("gateway: device %s: %w", d.id, ErrWindowFull)}
+		return o.done
+	}
+	d.closeMu.Lock()
+	if d.closed {
+		d.closeMu.Unlock()
+		d.inflight.Add(-1)
+		o.done <- opResult{err: ErrClosed}
+		return o.done
+	}
+	d.submitted.Add(1)
+	d.queue <- o // never blocks: admitted ops ≤ InFlight == cap(queue)
+	d.closeMu.Unlock()
+
+	// Wrap delivery so window release and counters are settled before the
+	// caller sees the result.
+	out := make(chan opResult, 1)
+	go func() {
+		r := <-o.done
+		if r.err != nil {
+			d.failed.Add(1)
+		} else {
+			d.completed.Add(1)
+		}
+		d.inflight.Add(-1)
+		out <- r
+	}()
+	return out
+}
+
+// close stops the device: no new submissions, queued ops fail with
+// ErrClosed, and any in-flight exchange is interrupted via the client.
+func (d *Device) close() {
+	d.closeMu.Lock()
+	if d.closed {
+		d.closeMu.Unlock()
+		return
+	}
+	d.closed = true
+	d.closeMu.Unlock()
+	close(d.stop)
+	d.closeClient() // unblocks a read sitting inside an exchange
+}
+
+func (d *Device) isStopped() bool {
+	select {
+	case <-d.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *Device) setClient(c *modbus.Client) {
+	d.connMu.Lock()
+	d.client = c
+	d.connMu.Unlock()
+}
+
+func (d *Device) getClient() *modbus.Client {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	return d.client
+}
+
+func (d *Device) closeClient() {
+	d.connMu.Lock()
+	if d.client != nil {
+		d.client.Close()
+		d.client = nil
+	}
+	d.connMu.Unlock()
+}
+
+// loop is the device's single wire goroutine: batch-drain the queue,
+// coalesce, execute, deliver.
+func (d *Device) loop() {
+	defer func() {
+		d.closeClient()
+		d.state.Store(int32(StateDisconnected))
+		for { // fail whatever close() stranded in the queue
+			select {
+			case o := <-d.queue:
+				o.done <- opResult{err: ErrClosed}
+			default:
+				return
+			}
+		}
+	}()
+	batch := make([]*op, 0, d.cfg.InFlight)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case o := <-d.queue:
+			batch = append(batch[:0], o)
+		drain:
+			for len(batch) < cap(batch) {
+				select {
+				case o2 := <-d.queue:
+					batch = append(batch, o2)
+				default:
+					break drain
+				}
+			}
+			d.process(batch)
+		}
+	}
+}
+
+// process executes one drained batch in order, treating writes as barriers
+// and coalescing each maximal run of reads into block reads.
+func (d *Device) process(batch []*op) {
+	run := make([]*op, 0, len(batch))
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		for _, b := range coalesceReads(run, d.cfg.CoalesceGap, d.cfg.MaxBlock) {
+			d.execBlock(b)
+		}
+		run = run[:0]
+	}
+	for _, o := range batch {
+		if o.write {
+			flush()
+			d.execWrite(o)
+			continue
+		}
+		run = append(run, o)
+	}
+	flush()
+}
+
+// ensure returns a live client, dialing if the backoff gate allows. It
+// never sleeps: inside the backoff window callers fail fast, keeping the
+// loop responsive while a device is down.
+func (d *Device) ensure() (*modbus.Client, error) {
+	if c := d.getClient(); c != nil {
+		return c, nil
+	}
+	if d.isStopped() {
+		return nil, ErrClosed
+	}
+	if now := time.Now(); now.Before(d.nextDial) {
+		return nil, fmt.Errorf("gateway: device %s down (redial in %v): %w",
+			d.id, d.nextDial.Sub(now).Round(time.Millisecond), errOf(d.lastDialErr))
+	}
+	d.state.Store(int32(StateConnecting))
+	c, err := modbus.DialOptions(d.addr, modbus.ClientOptions{
+		Timeout: d.cfg.Timeout,
+		Retries: 0, // the gateway owns retry/backoff policy, not the client
+		Unit:    d.cfg.Unit,
+	})
+	if err != nil {
+		d.dialFails.Add(1)
+		d.lastDialErr = err
+		d.scheduleRedial()
+		d.state.Store(int32(StateDisconnected))
+		return nil, fmt.Errorf("gateway: device %s dial: %w", d.id, err)
+	}
+	if d.isStopped() { // lost the race with close()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if d.everConnected {
+		d.reconnects.Add(1)
+	}
+	d.everConnected = true
+	d.backoff = d.cfg.BackoffMin
+	d.setClient(c)
+	d.state.Store(int32(StateConnected))
+	return c, nil
+}
+
+func errOf(err error) error {
+	if err == nil {
+		return fmt.Errorf("not yet dialed")
+	}
+	return err
+}
+
+func (d *Device) scheduleRedial() {
+	d.nextDial = time.Now().Add(d.backoff)
+	d.backoff *= 2
+	if d.backoff > d.cfg.BackoffMax {
+		d.backoff = d.cfg.BackoffMax
+	}
+}
+
+// call runs one wire exchange through the state machine. A protocol-level
+// answer (Modbus exception, echo mismatch) leaves the connection up; a
+// transport failure drops it and arms the backoff gate.
+func (d *Device) call(fn func(c *modbus.Client) error) error {
+	c, err := d.ensure()
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	if err == nil {
+		return nil
+	}
+	if isProtocolError(err) {
+		return err
+	}
+	d.closeClient()
+	d.state.Store(int32(StateDisconnected))
+	d.scheduleRedial()
+	if d.isStopped() {
+		return ErrClosed
+	}
+	return fmt.Errorf("gateway: device %s: %w", d.id, err)
+}
+
+func isProtocolError(err error) bool {
+	var exc *modbus.ExceptionError
+	var echo *modbus.EchoMismatchError
+	return errors.As(err, &exc) || errors.As(err, &echo)
+}
+
+// execBlock issues one coalesced block read and distributes sub-slices to
+// the member ops. If a merged read of >1 ops is refused with a Modbus
+// exception (e.g. a hole in the register map), it degrades to per-op reads
+// so coalescing can never fail a request that was individually valid.
+func (d *Device) execBlock(b block) {
+	d.wireReads.Add(1)
+	if n := len(b.ops); n > 1 {
+		d.mergedReads.Add(uint64(n - 1))
+	}
+	var vals []uint16
+	err := d.call(func(c *modbus.Client) error {
+		var e error
+		vals, e = readFn(c, b.fn)(b.addr, b.count)
+		return e
+	})
+	if err != nil {
+		var exc *modbus.ExceptionError
+		if len(b.ops) > 1 && errors.As(err, &exc) {
+			for _, o := range b.ops {
+				d.execSingle(o)
+			}
+			return
+		}
+		for _, o := range b.ops {
+			o.done <- opResult{err: err}
+		}
+		return
+	}
+	for _, o := range b.ops {
+		off := int(o.addr) - int(b.addr)
+		o.done <- opResult{vals: append([]uint16(nil), vals[off:off+int(o.count)]...)}
+	}
+}
+
+func (d *Device) execSingle(o *op) {
+	d.wireReads.Add(1)
+	var vals []uint16
+	err := d.call(func(c *modbus.Client) error {
+		var e error
+		vals, e = readFn(c, o.fn)(o.addr, o.count)
+		return e
+	})
+	o.done <- opResult{vals: vals, err: err}
+}
+
+func (d *Device) execWrite(o *op) {
+	d.writes.Add(1)
+	err := d.call(func(c *modbus.Client) error {
+		return c.WriteHolding(o.addr, o.value)
+	})
+	o.done <- opResult{err: err}
+}
+
+func readFn(c *modbus.Client, fn byte) func(addr, count uint16) ([]uint16, error) {
+	if fn == modbus.FuncReadHolding {
+		return c.ReadHolding
+	}
+	return c.ReadInput
+}

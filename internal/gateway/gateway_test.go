@@ -1,0 +1,521 @@
+package gateway
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tesla/internal/modbus"
+	"tesla/internal/testbed"
+)
+
+// startACU runs a Modbus server over a fresh ACU-shaped register bank.
+func startACU(t *testing.T) (*modbus.Server, string, *modbus.MapBank) {
+	t.Helper()
+	bank := modbus.NewMapBank()
+	bank.SetHolding(modbus.RegSetpoint, modbus.EncodeTempC(23))
+	bank.SetInput(modbus.RegInletTemp0, modbus.EncodeTempC(21.5))
+	bank.SetInput(modbus.RegInletTemp1, modbus.EncodeTempC(22.5))
+	bank.SetInput(modbus.RegPowerW, 4200)
+	bank.SetInput(modbus.RegDuty, 500)
+	srv := modbus.NewServer(bank)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, bank
+}
+
+// startStall listens and accepts but never responds — a hung device.
+func startStall(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { // swallow requests, never answer
+				buf := make([]byte, 256)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// deadAddr returns an address nothing listens on (fails fast with refused).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDeviceReadWriteRoundTrip(t *testing.T) {
+	_, addr, _ := startACU(t)
+	gw := New(Config{Timeout: time.Second})
+	defer gw.Close()
+	dev, err := gw.Add("acu-0", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vals, err := dev.ReadInput(modbus.RegInletTemp0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := modbus.DecodeTempC(vals[0]); got != 21.5 {
+		t.Fatalf("inlet0 = %v", got)
+	}
+	if err := dev.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(24)); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := dev.ReadHolding(modbus.RegSetpoint, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := modbus.DecodeTempC(sp[0]); got != 24 {
+		t.Fatalf("setpoint after write = %v", got)
+	}
+	if dev.State() != StateConnected {
+		t.Fatalf("state = %v", dev.State())
+	}
+	ds := dev.Stats()
+	if ds.Submitted != 3 || ds.Completed != 3 || ds.Failed != 0 || ds.Dropped != 0 || ds.Writes != 1 {
+		t.Fatalf("stats = %+v", ds)
+	}
+}
+
+// TestProcessCoalescesAdjacentReads drives the executor directly with one
+// batch: four adjacent single-register reads must cost one wire read.
+func TestProcessCoalescesAdjacentReads(t *testing.T) {
+	_, addr, _ := startACU(t)
+	d := newDevice("acu", addr, Config{Timeout: time.Second}.withDefaults())
+	defer d.close()
+
+	batch := []*op{
+		rdOp(modbus.FuncReadInput, 0, 1),
+		rdOp(modbus.FuncReadInput, 1, 1),
+		rdOp(modbus.FuncReadInput, 2, 1),
+		rdOp(modbus.FuncReadInput, 3, 1),
+	}
+	d.process(batch)
+	want := []uint16{modbus.EncodeTempC(21.5), modbus.EncodeTempC(22.5), 4200, 500}
+	for i, o := range batch {
+		r := <-o.done
+		if r.err != nil {
+			t.Fatalf("op %d: %v", i, r.err)
+		}
+		if len(r.vals) != 1 || r.vals[0] != want[i] {
+			t.Fatalf("op %d vals = %v, want [%d]", i, r.vals, want[i])
+		}
+	}
+	if ds := d.Stats(); ds.WireReads != 1 || ds.MergedReads != 3 {
+		t.Fatalf("wire reads = %d, merged = %d, want 1, 3", ds.WireReads, ds.MergedReads)
+	}
+}
+
+// TestProcessWriteBarrier: a write splits the surrounding reads into two
+// wire reads, and only the read after the barrier observes the new value.
+func TestProcessWriteBarrier(t *testing.T) {
+	_, addr, _ := startACU(t)
+	d := newDevice("acu", addr, Config{Timeout: time.Second}.withDefaults())
+	defer d.close()
+
+	before := rdOp(modbus.FuncReadHolding, modbus.RegSetpoint, 1)
+	wr := &op{write: true, addr: modbus.RegSetpoint, value: modbus.EncodeTempC(25), done: make(chan opResult, 1)}
+	after := rdOp(modbus.FuncReadHolding, modbus.RegSetpoint, 1)
+	d.process([]*op{before, wr, after})
+
+	if r := <-before.done; r.err != nil || r.vals[0] != modbus.EncodeTempC(23) {
+		t.Fatalf("read before barrier = %v, %v", r.vals, r.err)
+	}
+	if r := <-wr.done; r.err != nil {
+		t.Fatalf("write: %v", r.err)
+	}
+	if r := <-after.done; r.err != nil || r.vals[0] != modbus.EncodeTempC(25) {
+		t.Fatalf("read after barrier = %v, %v", r.vals, r.err)
+	}
+	if ds := d.Stats(); ds.WireReads != 2 || ds.Writes != 1 {
+		t.Fatalf("wire reads = %d, writes = %d, want 2, 1", ds.WireReads, ds.Writes)
+	}
+}
+
+// TestMergedReadFallback: a gap-bridging merged read that the device refuses
+// (hole in the register map) degrades to per-op reads — coalescing can never
+// fail a request that was individually valid.
+func TestMergedReadFallback(t *testing.T) {
+	bank := modbus.NewMapBank()
+	bank.SetInput(0, 10)
+	bank.SetInput(2, 30) // hole at register 1
+	srv := modbus.NewServer(bank)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := newDevice("acu", addr, Config{Timeout: time.Second, CoalesceGap: 1}.withDefaults())
+	defer d.close()
+	a, b := rdOp(modbus.FuncReadInput, 0, 1), rdOp(modbus.FuncReadInput, 2, 1)
+	d.process([]*op{a, b})
+	if r := <-a.done; r.err != nil || r.vals[0] != 10 {
+		t.Fatalf("op a = %v, %v", r.vals, r.err)
+	}
+	if r := <-b.done; r.err != nil || r.vals[0] != 30 {
+		t.Fatalf("op b = %v, %v", r.vals, r.err)
+	}
+	// One merged attempt plus two fallback singles.
+	if ds := d.Stats(); ds.WireReads != 3 {
+		t.Fatalf("wire reads = %d, want 3", ds.WireReads)
+	}
+}
+
+// TestWindowBoundExactAccounting: with the window pinned full by a stalled
+// device, further submissions are rejected immediately with ErrWindowFull
+// and every rejection is counted — no queueing, no blocking.
+func TestWindowBoundExactAccounting(t *testing.T) {
+	addr := startStall(t)
+	const window = 4
+	gw := New(Config{Timeout: 500 * time.Millisecond, InFlight: window, BackoffMin: time.Millisecond})
+	defer gw.Close()
+	dev, err := gw.Add("stalled", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the window: these park inside the stalled exchange for ~Timeout.
+	pending := make([]<-chan opResult, window)
+	for i := range pending {
+		pending[i] = dev.submit(rdOp(modbus.FuncReadInput, 0, 1))
+	}
+	time.Sleep(50 * time.Millisecond) // let the loop drain them into a batch
+
+	const extra = 7
+	for i := 0; i < extra; i++ {
+		start := time.Now()
+		_, err := dev.ReadInput(0, 1)
+		if !errors.Is(err, ErrWindowFull) {
+			t.Fatalf("overflow submit %d: err = %v", i, err)
+		}
+		if time.Since(start) > 100*time.Millisecond {
+			t.Fatalf("overflow submit %d blocked", i)
+		}
+	}
+	for _, ch := range pending {
+		<-ch
+	}
+	ds := dev.Stats()
+	if ds.Dropped != extra {
+		t.Fatalf("dropped = %d, want %d", ds.Dropped, extra)
+	}
+	if ds.Submitted != window || ds.Submitted != ds.Completed+ds.Failed {
+		t.Fatalf("accounting: %+v", ds)
+	}
+	if ds.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiesce", ds.InFlight)
+	}
+}
+
+// TestReconnectCountsAndRecovers: dropping the transport mid-stream fails
+// the in-flight request, arms the backoff gate, and the next request redials
+// — with the reconnect counted.
+func TestReconnectCountsAndRecovers(t *testing.T) {
+	srv, addr, _ := startACU(t)
+	gw := New(Config{Timeout: time.Second, BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond})
+	defer gw.Close()
+	dev, err := gw.Add("acu", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadInput(0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.DisconnectAll()
+	// Until the device notices the dead conn and redials, requests may fail;
+	// it must recover within the deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := dev.ReadInput(0, 1); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("device never recovered after DisconnectAll")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ds := dev.Stats(); ds.Reconnects < 1 {
+		t.Fatalf("reconnects = %d, want ≥ 1", ds.Reconnects)
+	}
+	if dev.State() != StateConnected {
+		t.Fatalf("state = %v", dev.State())
+	}
+}
+
+// TestCloseInterruptsStalledExchange: Gateway.Close must not wait out a
+// 5-second exchange timeout against a hung device.
+func TestCloseInterruptsStalledExchange(t *testing.T) {
+	addr := startStall(t)
+	gw := New(Config{Timeout: 5 * time.Second})
+	dev, err := gw.Add("stalled", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		_, err := dev.ReadInput(0, 1)
+		res <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // request is now parked in the exchange
+
+	start := time.Now()
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("Close blocked %v behind a stalled exchange", took)
+	}
+	select {
+	case err := <-res:
+		if err == nil {
+			t.Fatal("stalled request reported success after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled request still running after Close")
+	}
+	if _, err := dev.ReadInput(0, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestPollerFeedsRollup: the poller's samples land in the telemetry rollup,
+// and a failed sweep surfaces as a sequence gap once the device recovers —
+// exact accounting end to end.
+func TestPollerFeedsRollup(t *testing.T) {
+	srv, addr, _ := startACU(t)
+	_, addr2, _ := startACU(t)
+	gw := New(Config{Timeout: time.Second, BackoffMin: time.Millisecond, BackoffMax: 10 * time.Millisecond})
+	defer gw.Close()
+	if _, err := gw.Add("acu-0", addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Add("acu-1", addr2); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(gw, PollerConfig{ColdLimitC: 27, PeriodS: 60})
+
+	if ok, failed := p.PollOnce(0); ok != 2 || failed != 0 {
+		t.Fatalf("sweep 1: ok %d failed %d", ok, failed)
+	}
+	// Kill device 0's transport: sweep 2 fails for it, seq still advances.
+	srv.DisconnectAll()
+	_, failed := p.PollOnce(60)
+	if failed != 1 {
+		t.Fatalf("sweep 2 failed = %d, want 1", failed)
+	}
+	time.Sleep(20 * time.Millisecond) // let the backoff gate expire
+	if ok, failed := p.PollOnce(120); ok != 2 || failed != 0 {
+		t.Fatalf("sweep 3: ok %d failed %d", ok, failed)
+	}
+	p.DrainOnce()
+
+	r := p.Rollup()
+	if r.Samples != 5 {
+		t.Fatalf("rollup samples = %d, want 5", r.Samples)
+	}
+	if r.Gaps != 1 {
+		t.Fatalf("rollup gaps = %d, want 1 (the failed sweep)", r.Gaps)
+	}
+	if r.MaxColdC != 22.5 {
+		t.Fatalf("rollup max cold = %v", r.MaxColdC)
+	}
+	aggs := p.RoomAggs()
+	if aggs[0].Gaps != 1 || aggs[1].Gaps != 0 {
+		t.Fatalf("per-device gaps = %d, %d", aggs[0].Gaps, aggs[1].Gaps)
+	}
+	if polls, failures := p.Counts(); polls != 6 || failures != 1 {
+		t.Fatalf("counts = %d polls, %d failures", polls, failures)
+	}
+}
+
+// TestGatewaySoak hammers a mixed fleet — healthy, hung, and dead devices —
+// from many goroutines, injects a mass disconnect mid-flight, and then
+// proves three invariants: windows stayed bounded, accounting is exact
+// (submitted + dropped = attempts, submitted = completed + failed), and
+// closing the gateway leaks no goroutines. Run under -race -cpu 1,4.
+func TestGatewaySoak(t *testing.T) {
+	srv, healthy, _ := startACU(t)
+	stalled := startStall(t)
+	dead := deadAddr(t)
+	// Baseline after the fixture listeners are up: their accept loops live
+	// until t.Cleanup, but per-connection goroutines on both sides must be
+	// gone once the gateway closes its conns.
+	baseline := runtime.NumGoroutine()
+
+	const window = 4
+	gw := New(Config{
+		Timeout:    50 * time.Millisecond,
+		InFlight:   window,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+	})
+	addrs := []string{healthy, healthy, healthy, stalled, stalled, dead}
+	devs := make([]*Device, len(addrs))
+	for i, a := range addrs {
+		d, err := gw.Add(string(rune('a'+i)), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+
+	// Window-bound watchdog: sample every device's live in-flight count.
+	var maxSeen atomic.Int64
+	watchStop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		for {
+			select {
+			case <-watchStop:
+				return
+			default:
+				for _, d := range devs {
+					if n := d.inflight.Load(); n > maxSeen.Load() {
+						maxSeen.Store(n)
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var attempts, drops atomic.Uint64
+	var wg sync.WaitGroup
+	for _, d := range devs {
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(d *Device, w int) {
+				defer wg.Done()
+				for j := 0; j < 25; j++ {
+					attempts.Add(1)
+					var err error
+					if j%5 == 4 {
+						err = d.WriteHolding(modbus.RegSetpoint, modbus.EncodeTempC(22))
+					} else {
+						_, err = d.ReadInput(uint16(j%4), 1)
+					}
+					if errors.Is(err, ErrWindowFull) {
+						drops.Add(1)
+					}
+				}
+			}(d, w)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	srv.DisconnectAll() // mass disconnect mid-soak
+	wg.Wait()
+	close(watchStop)
+	watchWG.Wait()
+
+	if m := maxSeen.Load(); m > window {
+		t.Fatalf("observed %d in-flight, window is %d", m, window)
+	}
+	var submitted, completed, failed, dropped uint64
+	for _, d := range devs {
+		ds := d.Stats()
+		if ds.Submitted != ds.Completed+ds.Failed {
+			t.Fatalf("device %s: %+v", ds.ID, ds)
+		}
+		if ds.InFlight != 0 {
+			t.Fatalf("device %s: %d in-flight after quiesce", ds.ID, ds.InFlight)
+		}
+		submitted += ds.Submitted
+		completed += ds.Completed
+		failed += ds.Failed
+		dropped += ds.Dropped
+	}
+	if got := attempts.Load(); submitted+dropped != got {
+		t.Fatalf("submitted %d + dropped %d != attempts %d", submitted, dropped, got)
+	}
+	if got := drops.Load(); dropped != got {
+		t.Fatalf("stats dropped %d != callers' ErrWindowFull count %d", dropped, got)
+	}
+	agg := gw.Stats()
+	if agg.Submitted != submitted || agg.Dropped != dropped {
+		t.Fatalf("aggregate %+v disagrees with per-device sums", agg)
+	}
+
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero goroutine leaks: everything the gateway spawned must exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d after Close\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPollerSampleShape: decoded register values land in the right Sample
+// fields (the gateway is the only producer the rollup sees in fleet mode).
+func TestPollerSampleShape(t *testing.T) {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := modbus.NewACUBridge(tb)
+	s := tb.Advance()
+	bridge.Refresh(s)
+	srv := modbus.NewServer(bridge.Bank)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gw := New(Config{Timeout: time.Second})
+	defer gw.Close()
+	if _, err := gw.Add("acu", addr); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(gw, PollerConfig{ColdLimitC: 27, PeriodS: 60})
+	if ok, _ := p.PollOnce(s.TimeS); ok != 1 {
+		t.Fatal("poll failed")
+	}
+	p.DrainOnce()
+	agg := p.RoomAggs()[0]
+	// Register encoding quantizes to 0.01 °C; compare at that tolerance.
+	if diff := agg.LastSetpointC - s.SetpointC; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("setpoint %v vs testbed %v", agg.LastSetpointC, s.SetpointC)
+	}
+	if diff := agg.LastPowerKW - s.ACUPowerKW; diff > 0.001 || diff < -0.001 {
+		t.Fatalf("power %v vs testbed %v", agg.LastPowerKW, s.ACUPowerKW)
+	}
+}

@@ -1,0 +1,114 @@
+package gateway
+
+import (
+	"tesla/internal/modbus"
+	"tesla/internal/telemetry"
+	"tesla/internal/testbed"
+)
+
+// PollerConfig tunes a telemetry poller over a gateway's devices.
+type PollerConfig struct {
+	// ColdLimitC is the cold-aisle violation threshold fed to the ingestor.
+	ColdLimitC float64
+	// PeriodS is the poll period in seconds (energy/violation accounting).
+	PeriodS float64
+	// QueueCap bounds each device's telemetry queue (default 64).
+	QueueCap int
+	// Batch is the ingestor's per-queue drain bound per sweep (default 64).
+	Batch int
+}
+
+// Poller sweeps every gateway device over Modbus and feeds the decoded
+// samples into the existing telemetry pipeline — per-device bounded queues
+// drained by one Ingestor into the fleet Rollup.
+//
+// Accounting is exact end to end: the per-device sequence number advances
+// on every sweep, poll succeed or fail, so a failed poll surfaces as a
+// sequence gap in the rollup (exactly like a sample lost to queue
+// eviction) rather than silently narrowing the denominator.
+type Poller struct {
+	devs   []*Device
+	queues []*telemetry.Queue
+	ing    *telemetry.Ingestor
+	seq    []uint64
+
+	polls    uint64
+	failures uint64
+}
+
+// NewPoller builds a poller over the gateway's current device set.
+func NewPoller(gw *Gateway, cfg PollerConfig) *Poller {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	devs := gw.Devices()
+	queues := make([]*telemetry.Queue, len(devs))
+	for i := range queues {
+		queues[i] = telemetry.NewQueue(cfg.QueueCap)
+	}
+	return &Poller{
+		devs:   devs,
+		queues: queues,
+		ing:    telemetry.NewIngestor(queues, cfg.ColdLimitC, cfg.PeriodS, cfg.Batch),
+		seq:    make([]uint64, len(devs)),
+	}
+}
+
+// PollOnce sweeps every device once: the ACU input block (inlet temps,
+// power, duty) plus the set-point holding register, submitted together so
+// the device loop coalesces them. timeS stamps the resulting samples.
+// Returns how many devices answered and how many failed this sweep.
+func (p *Poller) PollOnce(timeS float64) (ok, failed int) {
+	type pending struct {
+		inputs, setp <-chan opResult
+	}
+	reqs := make([]pending, len(p.devs))
+	for i, d := range p.devs {
+		// Async submits: all devices poll concurrently, each device's two
+		// reads land in one batch drain.
+		reqs[i] = pending{
+			inputs: d.submit(&op{fn: modbus.FuncReadInput, addr: modbus.RegInletTemp0, count: 4, done: make(chan opResult, 1)}),
+			setp:   d.submit(&op{fn: modbus.FuncReadHolding, addr: modbus.RegSetpoint, count: 1, done: make(chan opResult, 1)}),
+		}
+	}
+	for i := range p.devs {
+		in := <-reqs[i].inputs
+		sp := <-reqs[i].setp
+		p.polls++
+		if in.err != nil || sp.err != nil {
+			// Advance the sequence WITHOUT pushing: the miss is visible to
+			// the rollup as a seq gap.
+			p.seq[i]++
+			p.failures++
+			failed++
+			continue
+		}
+		t0 := modbus.DecodeTempC(in.vals[0])
+		t1 := modbus.DecodeTempC(in.vals[1])
+		s := testbed.Sample{
+			TimeS:        timeS,
+			ACUTemps:     []float64{t0, t1},
+			SetpointC:    modbus.DecodeTempC(sp.vals[0]),
+			ACUPowerKW:   float64(in.vals[2]) / 1000,
+			ACUDuty:      float64(in.vals[3]) / 1000,
+			Interrupted:  in.vals[2] < 100,
+			MaxColdAisle: max(t0, t1),
+		}
+		p.queues[i].Push(telemetry.RoomSample{Room: i, Seq: p.seq[i], S: s})
+		p.seq[i]++
+		ok++
+	}
+	return ok, failed
+}
+
+// DrainOnce runs one ingestor sweep; returns samples ingested.
+func (p *Poller) DrainOnce() int { return p.ing.DrainOnce() }
+
+// Rollup returns the fleet aggregate over everything polled so far.
+func (p *Poller) Rollup() telemetry.Rollup { return p.ing.Rollup() }
+
+// RoomAggs returns the per-device ingested views (index = device order).
+func (p *Poller) RoomAggs() []telemetry.RoomAgg { return p.ing.RoomAggs() }
+
+// Counts reports total polls attempted and failed.
+func (p *Poller) Counts() (polls, failures uint64) { return p.polls, p.failures }

@@ -1,0 +1,317 @@
+package modbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerCloseWithIdleConn: Close must not wait for idle peers to hang
+// up. Before the fix the `closed` flag was never checked and live conns were
+// not closed, so Close blocked on wg.Wait forever.
+func TestServerCloseWithIdleConn(t *testing.T) {
+	srv := NewServer(NewMapBank())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Let the accept loop register the connection, then stay silent.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Server.Close did not return while a peer stayed idle")
+	}
+	// The handler's side of the conn is closed: the peer observes EOF.
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still alive after Close")
+	}
+}
+
+// fakeServer runs a raw TCP responder for one connection: respond receives
+// the request frame and returns the response frame (nil closes the conn).
+func fakeServer(t *testing.T, respond func(req []byte) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					header := make([]byte, 7)
+					if _, err := io.ReadFull(conn, header); err != nil {
+						return
+					}
+					pdu := make([]byte, binary.BigEndian.Uint16(header[4:6])-1)
+					if _, err := io.ReadFull(conn, pdu); err != nil {
+						return
+					}
+					resp := respond(append(header, pdu...))
+					if resp == nil {
+						return
+					}
+					if _, err := conn.Write(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// frameFor wraps a response PDU in an MBAP header copied from the request.
+func frameFor(req, pdu []byte) []byte {
+	out := make([]byte, 7+len(pdu))
+	copy(out[0:2], req[0:2])
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(pdu)+1))
+	out[6] = req[6]
+	copy(out[7:], pdu)
+	return out
+}
+
+// TestWriteEchoMismatch: a write echo naming a different register or value
+// must surface as *EchoMismatchError. Before the fix only length and
+// function code were checked, so a reordered or corrupted echo passed as a
+// confirmed actuation.
+func TestWriteEchoMismatch(t *testing.T) {
+	addr := fakeServer(t, func(req []byte) []byte {
+		// Echo the write with the value corrupted by one bit.
+		pdu := append([]byte(nil), req[7:]...)
+		pdu[4] ^= 0x01
+		return frameFor(req, pdu)
+	})
+	client, err := DialOptions(addr, ClientOptions{Timeout: time.Second, Unit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	err = client.WriteHolding(0, 2300)
+	var mismatch *EchoMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("corrupted echo accepted: err = %v", err)
+	}
+	if mismatch.Addr != 0 || mismatch.Value != 2300 || mismatch.EchoValue != 2301 {
+		t.Fatalf("mismatch fields = %+v", mismatch)
+	}
+
+	// A faithful echo still succeeds.
+	addrOK := fakeServer(t, func(req []byte) []byte { return frameFor(req, req[7:]) })
+	clientOK, err := DialOptions(addrOK, ClientOptions{Timeout: time.Second, Unit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientOK.Close()
+	if err := clientOK.WriteHolding(0, 2300); err != nil {
+		t.Fatalf("faithful echo rejected: %v", err)
+	}
+}
+
+// TestBlockReadNoWraparound: a block read crossing 0xFFFF must be rejected,
+// not silently wrapped onto register 0. The bank maps 0xFFFE, 0xFFFF and 0,
+// so before the fix the wraparound read succeeded and returned register 0's
+// value as the third register.
+func TestBlockReadNoWraparound(t *testing.T) {
+	bank := NewMapBank()
+	bank.SetInput(0xFFFE, 11)
+	bank.SetInput(0xFFFF, 22)
+	bank.SetInput(0, 33)
+	_, client := startServer(t, bank)
+
+	_, err := client.ReadInput(0xFFFE, 3)
+	var exc *ExceptionError
+	if !errors.As(err, &exc) || exc.Code != ExcIllegalAddress {
+		t.Fatalf("wraparound read not rejected: err = %v", err)
+	}
+	// The non-wrapping tail of the space still reads fine.
+	vals, err := client.ReadInput(0xFFFE, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 11 || vals[1] != 22 {
+		t.Fatalf("tail read = %v", vals)
+	}
+}
+
+// TestServerRejectsNonzeroProtocolID: MBAP protocol id must be zero; a
+// frame claiming any other protocol drops the connection.
+func TestServerRejectsNonzeroProtocolID(t *testing.T) {
+	srv := NewServer(NewMapBank())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	frame := []byte{0, 1, 0, 1 /* protocol id 1 */, 0, 6, 1, FuncReadInput, 0, 0, 0, 1}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, err = conn.Read(make([]byte, 1))
+	var nerr net.Error
+	if err == nil || (errors.As(err, &nerr) && nerr.Timeout()) {
+		t.Fatalf("want connection dropped, got %v", err)
+	}
+}
+
+// TestClientRejectsWrongUnitID: a response stamped with a different unit id
+// belongs to some other device behind a gateway and must not be accepted.
+func TestClientRejectsWrongUnitID(t *testing.T) {
+	addr := fakeServer(t, func(req []byte) []byte {
+		// A well-formed single-register read response — wrong unit id only.
+		resp := frameFor(req, []byte{req[7], 2, 0x08, 0xfc})
+		resp[6] = req[6] + 1
+		return resp
+	})
+	client, err := DialOptions(addr, ClientOptions{Timeout: 300 * time.Millisecond, Unit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.ReadHolding(0, 1); err == nil {
+		t.Fatal("response with wrong unit id accepted")
+	}
+}
+
+// TestCloseDuringBackoffPrompt: Close must interrupt a request sleeping in
+// its retry backoff. Before the fix the client mutex was held across the
+// whole ladder, so Close blocked until every backoff elapsed.
+func TestCloseDuringBackoffPrompt(t *testing.T) {
+	addr := startStallProxy(t, "", 1000)
+	opts := ClientOptions{Timeout: 100 * time.Millisecond, Retries: 5, Backoff: 2 * time.Second, Unit: 1}
+	client, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqErr := make(chan error, 1)
+	go func() {
+		_, err := client.ReadInput(0, 1)
+		reqErr <- err
+	}()
+	// Let the first attempt time out and the 2 s backoff begin.
+	time.Sleep(250 * time.Millisecond)
+	start := time.Now()
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("Close blocked %v behind a retrying request", took)
+	}
+	select {
+	case err := <-reqErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("interrupted request returned %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("request still running after Close")
+	}
+}
+
+// TestConcurrentRequestsInterleaveBackoff: two callers retrying against a
+// dead endpoint must serve their backoff sleeps concurrently. Before the
+// fix the ladders serialized behind one mutex (~N × ladder wall time).
+func TestConcurrentRequestsInterleaveBackoff(t *testing.T) {
+	// A live listener to dial through, closed before the requests start, so
+	// every attempt fails fast (RST/refused) and wall time ≈ backoff only.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	opts := ClientOptions{Timeout: 200 * time.Millisecond, Retries: 2, Backoff: 200 * time.Millisecond, Unit: 1}
+	client, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ln.Close()
+
+	// Each request: fail, sleep 200 ms, fail, sleep 400 ms, fail ≈ 600 ms.
+	// Four in parallel must take ~one ladder, not four.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.ReadInput(0, 1); err == nil {
+				t.Error("request against dead endpoint succeeded")
+			}
+		}()
+	}
+	wg.Wait()
+	if wall := time.Since(start); wall > 1500*time.Millisecond {
+		t.Fatalf("4 concurrent ladders took %v — backoff sleeps are serialized", wall)
+	}
+}
+
+// TestCloseRaceUnderLoad hammers a flaky endpoint from several goroutines
+// and closes the client mid-flight; everything must return promptly with no
+// deadlock (run under -race).
+func TestCloseRaceUnderLoad(t *testing.T) {
+	bank := NewMapBank()
+	bank.SetInput(0, 7)
+	srv := NewServer(bank)
+	backend, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := startStallProxy(t, backend, 2)
+
+	opts := ClientOptions{Timeout: 50 * time.Millisecond, Retries: 3, Backoff: 20 * time.Millisecond, Unit: 1}
+	client, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				client.ReadInput(0, 1) // errors are expected after Close
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("requests still in flight long after Close")
+	}
+}

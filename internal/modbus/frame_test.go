@@ -1,0 +1,176 @@
+package modbus
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// TestHandlePDUTable drives the server's PDU dispatcher with well-formed,
+// truncated and out-of-range requests. Every malformed PDU must come back
+// as an exception — never a panic, never a silent wrong answer.
+func TestHandlePDUTable(t *testing.T) {
+	bank := NewMapBank()
+	bank.SetInput(0, 100)
+	bank.SetInput(1, 101)
+	bank.SetHolding(5, 500)
+	bank.SetInput(0xFFFF, 9)
+	srv := NewServer(bank)
+
+	rd := func(fn byte, addr, count uint16) []byte {
+		pdu := make([]byte, 5)
+		pdu[0] = fn
+		binary.BigEndian.PutUint16(pdu[1:3], addr)
+		binary.BigEndian.PutUint16(pdu[3:5], count)
+		return pdu
+	}
+	cases := []struct {
+		name    string
+		pdu     []byte
+		excCode byte   // 0 = expect success
+		want    []byte // non-nil: exact expected response
+	}{
+		{name: "empty pdu", pdu: nil, excCode: ExcIllegalFunction},
+		{name: "unknown function", pdu: []byte{0x2b, 0, 0}, excCode: ExcIllegalFunction},
+		{name: "read input ok", pdu: rd(FuncReadInput, 0, 2), want: []byte{FuncReadInput, 4, 0, 100, 0, 101}},
+		{name: "read holding ok", pdu: rd(FuncReadHolding, 5, 1), want: []byte{FuncReadHolding, 2, 0x01, 0xf4}},
+		{name: "read truncated", pdu: []byte{FuncReadInput, 0, 0}, excCode: ExcIllegalAddress},
+		{name: "read oversized pdu", pdu: append(rd(FuncReadInput, 0, 1), 0xff), excCode: ExcIllegalAddress},
+		{name: "read count zero", pdu: rd(FuncReadInput, 0, 0), excCode: ExcIllegalAddress},
+		{name: "read count over 125", pdu: rd(FuncReadInput, 0, 126), excCode: ExcIllegalAddress},
+		{name: "read unmapped", pdu: rd(FuncReadInput, 400, 1), excCode: ExcIllegalAddress},
+		{name: "read wraparound", pdu: rd(FuncReadInput, 0xFFFF, 2), excCode: ExcIllegalAddress},
+		{name: "read last register", pdu: rd(FuncReadInput, 0xFFFF, 1), want: []byte{FuncReadInput, 2, 0, 9}},
+		{name: "write ok echoes", pdu: rd(FuncWriteSingle, 5, 1234), want: rd(FuncWriteSingle, 5, 1234)},
+		{name: "write truncated", pdu: []byte{FuncWriteSingle, 0, 5}, excCode: ExcIllegalAddress},
+		{name: "write unmapped", pdu: rd(FuncWriteSingle, 77, 1), excCode: ExcIllegalAddress},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := srv.handlePDU(tc.pdu)
+			if tc.excCode != 0 {
+				if len(resp) != 2 || resp[0]&0x80 == 0 || resp[1] != tc.excCode {
+					t.Fatalf("response % x, want exception %#02x", resp, tc.excCode)
+				}
+				return
+			}
+			if tc.want != nil {
+				if string(resp) != string(tc.want) {
+					t.Fatalf("response % x, want % x", resp, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// FuzzHandlePDU asserts the dispatcher's structural invariants over
+// arbitrary request bytes: no panic, and every response is either a
+// two-byte exception or a well-formed success for the requested function.
+func FuzzHandlePDU(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{FuncReadInput, 0, 0, 0, 1})
+	f.Add([]byte{FuncReadHolding, 0xff, 0xfe, 0, 3})
+	f.Add([]byte{FuncWriteSingle, 0, 0, 0x30, 0x39})
+	f.Add([]byte{0x10, 0, 0, 0, 2, 4, 0, 1, 0, 2})
+	bank := NewMapBank()
+	for i := uint16(0); i < 16; i++ {
+		bank.SetInput(i, i)
+		bank.SetHolding(i, i)
+	}
+	bank.SetInput(0xFFFE, 1)
+	bank.SetInput(0xFFFF, 2)
+	srv := NewServer(bank)
+	f.Fuzz(func(t *testing.T, pdu []byte) {
+		resp := srv.handlePDU(pdu)
+		if len(resp) < 2 {
+			t.Fatalf("pdu % x: %d-byte response", pdu, len(resp))
+		}
+		if resp[0]&0x80 != 0 {
+			if len(resp) != 2 {
+				t.Fatalf("pdu % x: %d-byte exception", pdu, len(resp))
+			}
+			if len(pdu) > 0 && resp[0]&0x7f != pdu[0] {
+				t.Fatalf("pdu % x: exception for function %#02x", pdu, resp[0]&0x7f)
+			}
+			return
+		}
+		// Success: must mirror the function code and, for reads, carry
+		// exactly the advertised byte count.
+		if len(pdu) == 0 || resp[0] != pdu[0] {
+			t.Fatalf("pdu % x: response function %#02x", pdu, resp[0])
+		}
+		switch pdu[0] {
+		case FuncReadInput, FuncReadHolding:
+			count := binary.BigEndian.Uint16(pdu[3:5])
+			if int(resp[1]) != 2*int(count) || len(resp) != 2+2*int(count) {
+				t.Fatalf("pdu % x: read response shape % x", pdu, resp[:2])
+			}
+			if int(binary.BigEndian.Uint16(pdu[1:3]))+int(count) > 0x10000 {
+				t.Fatalf("pdu % x: wraparound read succeeded", pdu)
+			}
+		case FuncWriteSingle:
+			if len(resp) != 5 || string(resp) != string(pdu) {
+				t.Fatalf("pdu % x: write echo % x", pdu, resp)
+			}
+		}
+	})
+}
+
+// TestClientFramingErrors drives the client's response parser with broken
+// wire bytes. Every case must surface an error in bounded time — a framing
+// bug here is what turns a flaky device into a hung control loop.
+func TestClientFramingErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		respond func(req []byte) []byte
+	}{
+		{"truncated mbap header", func(req []byte) []byte { return []byte{0, 1, 0} }},
+		{"length zero", func(req []byte) []byte {
+			return []byte{req[0], req[1], 0, 0, 0, 0, 1}
+		}},
+		{"length one", func(req []byte) []byte {
+			return []byte{req[0], req[1], 0, 0, 0, 1, 1}
+		}},
+		{"length over 260", func(req []byte) []byte {
+			return []byte{req[0], req[1], 0, 0, 0xff, 0xff, 1}
+		}},
+		{"truncated body", func(req []byte) []byte {
+			// Header promises 4 PDU bytes, delivers 1.
+			return []byte{req[0], req[1], 0, 0, 0, 5, 1, FuncReadInput}
+		}},
+		{"wrong transaction id", func(req []byte) []byte {
+			resp := frameFor(req, []byte{req[7], 2, 0, 1})
+			resp[0] ^= 0xff
+			return resp
+		}},
+		{"byte count disagrees", func(req []byte) []byte {
+			return frameFor(req, []byte{req[7], 6, 0, 1})
+		}},
+		{"wrong function echoed", func(req []byte) []byte {
+			return frameFor(req, []byte{FuncReadHolding, 2, 0, 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := fakeServer(t, tc.respond)
+			client, err := DialOptions(addr, ClientOptions{Timeout: 200 * time.Millisecond, Unit: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			done := make(chan error, 1)
+			go func() {
+				_, err := client.ReadInput(0, 1)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatalf("malformed response accepted")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("client hung on malformed response")
+			}
+		})
+	}
+}

@@ -29,6 +29,10 @@ const (
 	ExcIllegalAddress  = 0x02
 )
 
+// ErrClosed is returned by client requests issued against (or interrupted
+// by) a closed client.
+var ErrClosed = errors.New("modbus: client closed")
+
 // RegisterBank is the server-side register model.
 type RegisterBank interface {
 	// ReadInput returns the value of input register addr.
@@ -113,11 +117,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
+	conns    map[net.Conn]struct{}
 }
 
 // NewServer wraps a bank.
 func NewServer(bank RegisterBank) *Server {
-	return &Server{bank: bank}
+	return &Server{bank: bank, conns: map[net.Conn]struct{}{}}
 }
 
 // Start listens on addr and returns the bound address.
@@ -132,10 +137,15 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the server and waits for connection handlers.
+// Close stops the server: no new connections are accepted, live connections
+// are closed (unblocking their handlers mid-read), and every handler has
+// exited by the time Close returns — even if the peers stay silent forever.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	var err error
 	if s.listener != nil {
@@ -145,6 +155,42 @@ func (s *Server) Close() error {
 	return err
 }
 
+// DisconnectAll drops every live connection while continuing to listen — a
+// chaos hook for exercising client reconnect paths under load.
+func (s *Server) DisconnectAll() {
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// track registers a live connection; it reports false (and closes the
+// connection) when the server is already shutting down, so a conn accepted
+// in the Close race can never outlive Close.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -152,25 +198,37 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
 	}
 }
 
-// serveConn processes request frames until the peer disconnects.
+// serveConn processes request frames until the peer disconnects or the
+// server closes the connection under it.
 func (s *Server) serveConn(conn net.Conn) {
 	header := make([]byte, 7)
 	for {
 		if _, err := io.ReadFull(conn, header); err != nil {
 			return
 		}
+		if s.isClosed() {
+			return
+		}
 		txID := binary.BigEndian.Uint16(header[0:2])
+		proto := binary.BigEndian.Uint16(header[2:4])
 		length := binary.BigEndian.Uint16(header[4:6])
 		unit := header[6]
+		if proto != 0 {
+			return // not Modbus/TCP; drop the connection
+		}
 		if length < 2 || length > 260 {
 			return // malformed frame; drop the connection
 		}
@@ -207,6 +265,11 @@ func (s *Server) handlePDU(pdu []byte) []byte {
 		addr := binary.BigEndian.Uint16(pdu[1:3])
 		count := binary.BigEndian.Uint16(pdu[3:5])
 		if count == 0 || count > 125 {
+			return exception(fn, ExcIllegalAddress)
+		}
+		// addr+i would wrap past 0xFFFF in uint16 arithmetic and silently
+		// read register 0; the register space simply ends at 0xFFFF.
+		if int(addr)+int(count) > 0x10000 {
 			return exception(fn, ExcIllegalAddress)
 		}
 		out := make([]byte, 2+2*int(count))
@@ -280,13 +343,26 @@ func DefaultClientOptions() ClientOptions {
 	}
 }
 
-// Client is a Modbus/TCP master.
+// Client is a Modbus/TCP master, safe for concurrent use.
 type Client struct {
-	mu   sync.Mutex
 	addr string
 	opts ClientOptions
-	conn net.Conn // nil after a transport failure until the next redial
-	txID uint16
+
+	// exMu serializes wire exchanges: exactly one request owns the TCP
+	// stream at a time. It is held only for the exchange itself — never
+	// across backoff sleeps or redials — so concurrent callers interleave
+	// between a retrying request's attempts instead of queueing behind its
+	// whole backoff ladder.
+	exMu sync.Mutex
+	txID uint16 // guarded by exMu
+
+	// mu guards the connection pointer and lifecycle flag. Close takes only
+	// this lock, so it returns promptly even while an exchange is blocked in
+	// I/O — closing the conn unblocks that I/O with an error.
+	mu     sync.Mutex
+	conn   net.Conn // nil after a transport failure until the next redial
+	closed bool
+	done   chan struct{} // closed by Close; aborts backoff sleeps
 }
 
 // Dial connects to a Modbus server with DefaultClientOptions.
@@ -300,13 +376,20 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("modbus: dial: %w", err)
 	}
-	return &Client{addr: addr, opts: opts, conn: conn}, nil
+	return &Client{addr: addr, opts: opts, conn: conn, done: make(chan struct{})}, nil
 }
 
-// Close terminates the connection.
+// Close terminates the connection and aborts in-flight requests: blocked
+// I/O errors out when the conn closes, and retry backoffs are interrupted.
+// Close never waits for a retry ladder to finish.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	close(c.done)
 	if c.conn == nil {
 		return nil
 	}
@@ -315,29 +398,83 @@ func (c *Client) Close() error {
 	return err
 }
 
-// roundTrip sends a PDU and returns the response PDU, retrying transient
-// transport failures over a fresh connection. After a mid-frame timeout the
-// TCP stream may hold a stale half-response, so the failed connection is
-// always dropped rather than reused.
-func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
+func (c *Client) isClosed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.closed
+}
+
+// ensureConn returns the live connection, redialing if the last attempt
+// dropped it. The dial happens with no lock held; if a concurrent caller
+// won the redial race, its connection is kept and ours discarded.
+func (c *Client) ensureConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn := c.conn; conn != nil {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("redial: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if c.conn == nil {
+		c.conn = conn
+		return conn, nil
+	}
+	conn.Close()
+	return c.conn, nil
+}
+
+// dropConn discards a failed connection. After a mid-frame timeout the TCP
+// stream may hold a stale half-response, so a failed connection is never
+// reused.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends a PDU and returns the response PDU, retrying transient
+// transport failures over a fresh connection. No lock is held across the
+// backoff sleeps or redials — only the exchange itself is serialized — so a
+// retrying request never blocks its siblings or Close.
+func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 	var lastErr error
 	backoff := c.opts.Backoff
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 && backoff > 0 {
-			time.Sleep(backoff)
+			t := time.NewTimer(backoff)
+			select {
+			case <-c.done:
+				t.Stop()
+				return nil, ErrClosed
+			case <-t.C:
+			}
 			backoff *= 2
 		}
-		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, c.opts.Timeout)
-			if err != nil {
-				lastErr = fmt.Errorf("redial: %w", err)
-				continue
+		conn, err := c.ensureConn()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
 			}
-			c.conn = conn
+			lastErr = err
+			continue
 		}
-		resp, err := c.exchange(pdu)
+		resp, err := c.exchange(conn, pdu)
 		if err == nil {
 			return resp, nil
 		}
@@ -345,43 +482,53 @@ func (c *Client) roundTrip(pdu []byte) ([]byte, error) {
 		if errors.As(err, &exc) {
 			return nil, err
 		}
+		c.dropConn(conn)
+		if c.isClosed() {
+			return nil, ErrClosed
+		}
 		lastErr = err
-		c.conn.Close()
-		c.conn = nil
 	}
 	return nil, fmt.Errorf("modbus: request failed after %d attempt(s): %w", c.opts.Retries+1, lastErr)
 }
 
-// exchange performs one framed request/response on the live connection.
-func (c *Client) exchange(pdu []byte) ([]byte, error) {
+// exchange performs one framed request/response on conn. The exchange lock
+// guarantees the response read belongs to the request written, so the
+// transaction and unit identifiers must both match ours.
+func (c *Client) exchange(conn net.Conn, pdu []byte) ([]byte, error) {
+	c.exMu.Lock()
+	defer c.exMu.Unlock()
 	c.txID++
+	txID := c.txID
 	frame := make([]byte, 7+len(pdu))
-	binary.BigEndian.PutUint16(frame[0:2], c.txID)
+	binary.BigEndian.PutUint16(frame[0:2], txID)
 	binary.BigEndian.PutUint16(frame[2:4], 0)
 	binary.BigEndian.PutUint16(frame[4:6], uint16(len(pdu)+1))
 	frame[6] = c.opts.Unit
 	copy(frame[7:], pdu)
 	if c.opts.Timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
 			return nil, err
 		}
 	}
-	if _, err := c.conn.Write(frame); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		return nil, err
 	}
 	header := make([]byte, 7)
-	if _, err := io.ReadFull(c.conn, header); err != nil {
+	if _, err := io.ReadFull(conn, header); err != nil {
 		return nil, err
 	}
-	if got := binary.BigEndian.Uint16(header[0:2]); got != c.txID {
-		return nil, fmt.Errorf("modbus: transaction id mismatch: %d != %d", got, c.txID)
+	if got := binary.BigEndian.Uint16(header[0:2]); got != txID {
+		return nil, fmt.Errorf("modbus: transaction id mismatch: %d != %d", got, txID)
 	}
 	length := binary.BigEndian.Uint16(header[4:6])
 	if length < 2 || length > 260 {
 		return nil, fmt.Errorf("modbus: bad response length %d", length)
 	}
+	if header[6] != c.opts.Unit {
+		return nil, fmt.Errorf("modbus: response unit id %d, want %d", header[6], c.opts.Unit)
+	}
 	resp := make([]byte, length-1)
-	if _, err := io.ReadFull(c.conn, resp); err != nil {
+	if _, err := io.ReadFull(conn, resp); err != nil {
 		return nil, err
 	}
 	if len(resp) >= 2 && resp[0]&0x80 != 0 {
@@ -419,7 +566,23 @@ func (c *Client) ReadHolding(addr, count uint16) ([]uint16, error) {
 	return c.readRegisters(FuncReadHolding, addr, count)
 }
 
-// WriteHolding writes one holding register.
+// EchoMismatchError reports a write whose echoed address or value differs
+// from the request — a reordered or corrupted response that must not be
+// treated as a confirmed actuation. The safety supervisor's
+// command-echo-mismatch rule consumes this as a failed set-point write.
+type EchoMismatchError struct {
+	Addr, Value         uint16 // requested
+	EchoAddr, EchoValue uint16 // echoed by the device
+}
+
+func (e *EchoMismatchError) Error() string {
+	return fmt.Sprintf("modbus: write echo mismatch: wrote %d=%d, device echoed %d=%d",
+		e.Addr, e.Value, e.EchoAddr, e.EchoValue)
+}
+
+// WriteHolding writes one holding register. The device confirms a write by
+// echoing the request; an echo naming a different register or value is a
+// mismatch error, never a silent success.
 func (c *Client) WriteHolding(addr, value uint16) error {
 	pdu := make([]byte, 5)
 	pdu[0] = FuncWriteSingle
@@ -431,6 +594,11 @@ func (c *Client) WriteHolding(addr, value uint16) error {
 	}
 	if len(resp) != 5 || resp[0] != FuncWriteSingle {
 		return fmt.Errorf("modbus: malformed write response")
+	}
+	echoAddr := binary.BigEndian.Uint16(resp[1:3])
+	echoValue := binary.BigEndian.Uint16(resp[3:5])
+	if echoAddr != addr || echoValue != value {
+		return &EchoMismatchError{Addr: addr, Value: value, EchoAddr: echoAddr, EchoValue: echoValue}
 	}
 	return nil
 }

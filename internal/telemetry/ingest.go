@@ -33,6 +33,7 @@ type RoomAgg struct {
 	Room    int    `json:"room"`
 	Samples uint64 `json:"samples"`
 	Gaps    uint64 `json:"seq_gaps"` // samples lost to queue eviction, from seq jumps
+	Dropped uint64 `json:"dropped"`  // this room's queue evictions (live counter)
 
 	LastSeq       uint64  `json:"last_seq"`
 	LastTimeS     float64 `json:"last_time_s"`
@@ -163,11 +164,17 @@ func (in *Ingestor) Rollup() Rollup {
 	return out
 }
 
-// RoomAggs snapshots the per-room ingested views.
+// RoomAggs snapshots the per-room ingested views, folding in each queue's
+// live drop counter — so a single hot room's evictions are attributable
+// instead of vanishing into the fleet total.
 func (in *Ingestor) RoomAggs() []RoomAgg {
 	in.mu.Lock()
-	defer in.mu.Unlock()
-	return append([]RoomAgg(nil), in.rooms...)
+	out := append([]RoomAgg(nil), in.rooms...)
+	in.mu.Unlock()
+	for i, q := range in.queues {
+		_, out[i].Dropped = q.Stats()
+	}
+	return out
 }
 
 // Run drains on the given interval until stop closes, then performs final

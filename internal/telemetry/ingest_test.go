@@ -89,6 +89,10 @@ func TestIngestorDetectsGapsAndDrops(t *testing.T) {
 	if in.RoomAggs()[0].Gaps != 8 {
 		t.Fatalf("room gaps = %d, want 8", in.RoomAggs()[0].Gaps)
 	}
+	// Per-room drop attribution matches the queue's own counter.
+	if agg := in.RoomAggs()[0]; agg.Dropped != 8 {
+		t.Fatalf("room dropped = %d, want 8", agg.Dropped)
+	}
 }
 
 func TestIngestorRunDrainsBacklogOnStop(t *testing.T) {
