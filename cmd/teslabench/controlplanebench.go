@@ -1,0 +1,421 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"tesla/internal/control"
+	"tesla/internal/controlplane"
+	"tesla/internal/dataset"
+	"tesla/internal/fleet"
+)
+
+// cpIntegratorPolicy is a cheap stateful Durable policy for the control-plane
+// sweep: every decision folds the whole observed history into an integral
+// term, so any failover or migration that is not bit-identical shows up as a
+// diverged trajectory hash.
+type cpIntegratorPolicy struct {
+	bias float64
+	acc  float64
+	n    int
+}
+
+func newCPBenchPolicy(room int, seed uint64) (control.Policy, error) {
+	return &cpIntegratorPolicy{bias: 22.9 + float64(seed%32)/96}, nil
+}
+
+func (p *cpIntegratorPolicy) Name() string { return "cp-bench-integrator" }
+
+func (p *cpIntegratorPolicy) Decide(tr *dataset.Trace, t int) float64 {
+	p.acc += tr.MaxCold[t] - 21.5
+	p.n++
+	return p.bias - 0.002*p.acc/float64(p.n)*10
+}
+
+type cpIntegratorState struct {
+	Acc float64
+	N   int
+}
+
+func (p *cpIntegratorPolicy) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cpIntegratorState{p.acc, p.n}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (p *cpIntegratorPolicy) Restore(blob []byte) error {
+	var st cpIntegratorState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return err
+	}
+	p.acc, p.n = st.Acc, st.N
+	return nil
+}
+
+// cpBenchFleetCfg is the sweep's fleet: n rooms, 30 warm-up + 60 evaluated
+// steps, checkpoint every 8 — the same CI-friendly horizon the control-plane
+// chaos tests use.
+func cpBenchFleetCfg(n int, seed uint64) fleet.Config {
+	cfg := fleet.DefaultConfig(n, seed, newCPBenchPolicy)
+	cfg.WarmupS = 1800
+	cfg.EvalS = 3600
+	cfg.SnapshotEvery = 8
+	return cfg
+}
+
+// cpCluster is an in-process coordinator + shards wired over loopback HTTP —
+// the same deployment shape as `teslad -role coordinator|shard`, minus the
+// process boundary, so the sweep measures control-plane latencies rather
+// than exec overhead.
+type cpCluster struct {
+	coord    *controlplane.Coordinator
+	coordSrv *httptest.Server
+	shards   map[string]*controlplane.Shard
+	srvs     map[string]*httptest.Server
+}
+
+func startCPCluster(fcfg fleet.Config, roots map[string]string, delay time.Duration) (*cpCluster, error) {
+	rpc := controlplane.ClientOptions{Retries: 2, BackoffMin: 2 * time.Millisecond, BackoffMax: 20 * time.Millisecond, Timeout: 5 * time.Second}
+	coord, err := controlplane.NewCoordinator(controlplane.CoordinatorConfig{
+		Fleet:          fcfg,
+		SuspectAfter:   40 * time.Millisecond,
+		DeadAfter:      90 * time.Millisecond,
+		ReconcileEvery: 10 * time.Millisecond,
+		RPC:            rpc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl := &cpCluster{coord: coord, shards: map[string]*controlplane.Shard{}, srvs: map[string]*httptest.Server{}}
+	cl.coordSrv = httptest.NewServer(coord.Handler())
+	coord.Start()
+	for id, dir := range roots {
+		sh, err := controlplane.NewShard(controlplane.ShardConfig{
+			ID:             id,
+			Fleet:          fcfg,
+			DataDir:        dir,
+			StepDelay:      delay,
+			Coordinator:    cl.coordSrv.URL,
+			HeartbeatEvery: 10 * time.Millisecond,
+			RPC:            rpc,
+		})
+		if err != nil {
+			cl.stop()
+			return nil, err
+		}
+		srv := httptest.NewServer(sh.Handler())
+		sh.SetAdvertise(srv.URL)
+		sh.Start()
+		cl.shards[id] = sh
+		cl.srvs[id] = srv
+	}
+	return cl, nil
+}
+
+func (cl *cpCluster) stop() {
+	cl.coord.Stop()
+	for _, sh := range cl.shards {
+		sh.Stop()
+	}
+	cl.coordSrv.Close()
+	for _, srv := range cl.srvs {
+		srv.Close()
+	}
+}
+
+// waitFleet polls the coordinator's fleet view until cond holds.
+func (cl *cpCluster) waitFleet(timeout time.Duration, what string, cond func(controlplane.FleetView) bool) (controlplane.FleetView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		v := cl.coord.Fleet()
+		if cond(v) {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			dump, _ := json.Marshal(v)
+			return v, fmt.Errorf("timed out waiting for %s; fleet view: %s", what, dump)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// verifyCPHashes compares every finished room against the uninterrupted
+// single-process reference; a mismatch fails the whole sweep — a bench that
+// measures a broken failover fast is worse than no bench.
+func verifyCPHashes(v controlplane.FleetView, want map[int]uint64) (int, error) {
+	checked := 0
+	for _, p := range v.Placements {
+		if !p.Done || p.Result == nil {
+			return checked, fmt.Errorf("room %d not done in final view", p.Room)
+		}
+		if p.Result.TrajectoryHash != want[p.Room] {
+			return checked, fmt.Errorf("room %d: trajectory hash %#x differs from uninterrupted reference %#x",
+				p.Room, p.Result.TrajectoryHash, want[p.Room])
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// cpDist summarizes a latency sample set in milliseconds.
+type cpDist struct {
+	Samples []float64 `json:"samples_ms"`
+	Min     float64   `json:"min_ms"`
+	P50     float64   `json:"p50_ms"`
+	P90     float64   `json:"p90_ms"`
+	Max     float64   `json:"max_ms"`
+	Mean    float64   `json:"mean_ms"`
+}
+
+func summarize(samples []float64) cpDist {
+	d := cpDist{Samples: samples}
+	if len(samples) == 0 {
+		return d
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	q := func(p float64) float64 { return s[int(p*float64(len(s)-1)+0.5)] }
+	d.Min, d.Max, d.P50, d.P90 = s[0], s[len(s)-1], q(0.5), q(0.9)
+	for _, v := range s {
+		d.Mean += v
+	}
+	d.Mean /= float64(len(s))
+	return d
+}
+
+// cpBenchReport is the BENCH_controlplane.json schema.
+type cpBenchReport struct {
+	Generated  string `json:"generated"`
+	Rooms      int    `json:"rooms"`
+	Trials     int    `json:"trials"`
+	StepDelay  string `json:"step_delay"`
+	DeadAfter  string `json:"dead_after"`
+	Failover   cpDist `json:"failover"`
+	Migration  cpDist `json:"migration_pause"`
+	HashChecks int    `json:"trajectory_hash_checks"`
+}
+
+// failoverTrial boots a two-shard shared-root cluster, kills the loaded
+// shard mid-flight and measures kill → every one of its rooms re-placed on
+// the survivor. Returns the failover time and the number of hash checks.
+func failoverTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64) (float64, int, error) {
+	dirA, err := os.MkdirTemp("", "cpbench-shared")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dirA)
+	cl, err := startCPCluster(fcfg, map[string]string{"worker-a": dirA, "worker-b": dirA}, delay)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.stop()
+
+	// Rooms placed and visibly stepping before the chaos starts.
+	_, err = cl.waitFleet(30*time.Second, "initial placement + progress", func(v controlplane.FleetView) bool {
+		if v.Placed+v.Done != v.Rooms {
+			return false
+		}
+		for _, p := range v.Placements {
+			if !p.Done && p.Step == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Kill whichever shard holds the most rooms.
+	v := cl.coord.Fleet()
+	load := map[string]int{}
+	for _, p := range v.Placements {
+		if !p.Done {
+			load[p.Shard]++
+		}
+	}
+	victim := ""
+	for id, n := range load {
+		if victim == "" || n > load[victim] {
+			victim = id
+		}
+	}
+	if victim == "" {
+		return 0, 0, fmt.Errorf("fleet finished before the kill — raise StepDelay or the horizon")
+	}
+	t0 := time.Now()
+	cl.shards[victim].Kill()
+	_, err = cl.waitFleet(30*time.Second, "failover re-placement", func(v controlplane.FleetView) bool {
+		for _, p := range v.Placements {
+			if !p.Done && p.Shard == victim {
+				return false
+			}
+			if !p.Done && p.Shard == "" {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	failoverMs := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	final, err := cl.waitFleet(60*time.Second, "fleet completion", func(v controlplane.FleetView) bool { return v.Done == v.Rooms })
+	if err != nil {
+		return 0, 0, err
+	}
+	checks, err := verifyCPHashes(final, want)
+	return failoverMs, checks, err
+}
+
+// migrationTrial boots a two-shard distinct-root cluster and live-migrates
+// one in-flight room to the other shard, recording the control-plane pause
+// (drain barrier → stepping on the target).
+func migrationTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64) (float64, int, error) {
+	dirA, err := os.MkdirTemp("", "cpbench-a")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "cpbench-b")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dirB)
+	cl, err := startCPCluster(fcfg, map[string]string{"worker-a": dirA, "worker-b": dirB}, delay)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.stop()
+
+	v, err := cl.waitFleet(30*time.Second, "initial placement + progress", func(v controlplane.FleetView) bool {
+		if v.Placed+v.Done != v.Rooms {
+			return false
+		}
+		for _, p := range v.Placements {
+			if !p.Done && p.Step == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	room, target := -1, ""
+	for _, p := range v.Placements {
+		if p.Done {
+			continue
+		}
+		if p.Shard == "worker-a" {
+			room, target = p.Room, "worker-b"
+		} else if p.Shard == "worker-b" {
+			room, target = p.Room, "worker-a"
+		}
+		if room >= 0 {
+			break
+		}
+	}
+	if room < 0 {
+		return 0, 0, fmt.Errorf("fleet finished before the migration — raise StepDelay or the horizon")
+	}
+	rep, err := cl.coord.Migrate(context.Background(), room, target)
+	if err != nil {
+		return 0, 0, fmt.Errorf("migrating room %d to %s: %w", room, target, err)
+	}
+
+	final, err := cl.waitFleet(60*time.Second, "fleet completion", func(v controlplane.FleetView) bool { return v.Done == v.Rooms })
+	if err != nil {
+		return 0, 0, err
+	}
+	checks, err := verifyCPHashes(final, want)
+	return rep.PauseMs, checks, err
+}
+
+// runControlplaneBench sweeps the sharded control plane under chaos: per
+// trial, one shard-kill failover (shared durable root) and one live
+// migration (distinct roots), each verified bit-identical against the
+// uninterrupted reference before its latency counts. Prints a table and
+// writes BENCH_controlplane.json.
+func runControlplaneBench(w io.Writer, rooms, trials int, outPath string) error {
+	const (
+		seed  = 29
+		delay = 3 * time.Millisecond
+	)
+	fcfg := cpBenchFleetCfg(rooms, seed)
+	ref, err := fleet.Run(fcfg)
+	if err != nil {
+		return err
+	}
+	want := make(map[int]uint64, len(ref.Rooms))
+	for _, r := range ref.Rooms {
+		want[r.Room] = r.TrajectoryHash
+	}
+
+	rep := cpBenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Rooms:     rooms, Trials: trials,
+		StepDelay: delay.String(), DeadAfter: "90ms",
+	}
+	fmt.Fprintf(w, "control-plane chaos sweep: %d rooms, %d trials (heartbeat 10ms, dead after 90ms, step delay %v)\n", rooms, trials, delay)
+
+	var failovers, migrations []float64
+	for i := 0; i < trials; i++ {
+		ms, checks, err := failoverTrial(fcfg, delay, want)
+		if err != nil {
+			return fmt.Errorf("failover trial %d: %w", i, err)
+		}
+		failovers = append(failovers, ms)
+		rep.HashChecks += checks
+		fmt.Fprintf(w, "  trial %d: shard kill -> rooms re-placed in %8.1f ms (%d hashes verified)\n", i, ms, checks)
+	}
+	for i := 0; i < trials; i++ {
+		ms, checks, err := migrationTrial(fcfg, delay, want)
+		if err != nil {
+			return fmt.Errorf("migration trial %d: %w", i, err)
+		}
+		migrations = append(migrations, ms)
+		rep.HashChecks += checks
+		fmt.Fprintf(w, "  trial %d: live migration paused control for %8.1f ms (%d hashes verified)\n", i, ms, checks)
+	}
+	rep.Failover = summarize(failovers)
+	rep.Migration = summarize(migrations)
+
+	fmt.Fprintf(w, "\n  %-18s %8s %8s %8s %8s %8s\n", "distribution", "min", "p50", "p90", "max", "mean")
+	for _, row := range []struct {
+		name string
+		d    cpDist
+	}{{"failover ms", rep.Failover}, {"migration pause ms", rep.Migration}} {
+		fmt.Fprintf(w, "  %-18s %8.1f %8.1f %8.1f %8.1f %8.1f\n", row.name, row.d.Min, row.d.P50, row.d.P90, row.d.Max, row.d.Mean)
+	}
+	fmt.Fprintf(w, "  %d trajectory hashes verified bit-identical to the uninterrupted reference\n", rep.HashChecks)
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  baseline written to %s\n", outPath)
+	}
+	return nil
+}

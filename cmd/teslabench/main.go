@@ -10,6 +10,7 @@
 //	teslabench -fleet                    # fleet orchestrator sweep + BENCH_fleet.json
 //	teslabench -bo                       # BO surrogate hot-path benchmarks + BENCH_bo.json
 //	teslabench -wal                      # durable-store benchmarks + BENCH_wal.json
+//	teslabench -controlplane             # control-plane chaos sweep + BENCH_controlplane.json
 package main
 
 import (
@@ -49,11 +50,25 @@ func main() {
 	gwWindows := flag.String("gwwindows", "4,16", "comma-separated in-flight windows for -gateway")
 	gwOps := flag.Int("gwops", 20, "requests per generator per cell for -gateway")
 	gwOut := flag.String("gwout", "BENCH_gateway.json", "JSON baseline path for -gateway (empty disables)")
+	cpBench := flag.Bool("controlplane", false, "chaos-sweep the sharded control plane (shard-kill failover + live migration latencies)")
+	cpRooms := flag.Int("cprooms", 4, "fleet size for -controlplane")
+	cpTrials := flag.Int("cptrials", 5, "failover and migration trials for -controlplane")
+	cpOut := flag.String("cpout", "BENCH_controlplane.json", "JSON baseline path for -controlplane (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The control-plane chaos sweep needs no trained models; run standalone.
+	if *cpBench {
+		if err := runControlplaneBench(os.Stdout, *cpRooms, *cpTrials, *cpOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench {
+			return
+		}
 	}
 	// The gateway load harness needs no trained models; run standalone.
 	if *gwBench {

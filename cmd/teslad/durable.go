@@ -206,6 +206,16 @@ func (dr *durableRoom) Finalize(step int) error {
 	return dr.st.Close()
 }
 
+// Abandon releases the room's store the way a dying process would: the
+// descriptor closes without flushing, buffered records are lost, and the
+// single-writer lock lifts so another opener can recover. Test/crash-sim use.
+func (dr *durableRoom) Abandon() {
+	if dr == nil {
+		return
+	}
+	dr.st.Abandon()
+}
+
 // writeDurabilityMetrics renders the tesla_wal_* / tesla_snapshot_* gauges
 // and counters for the Prometheus exposition.
 func writeDurabilityMetrics(w io.Writer, ds durStatus) {

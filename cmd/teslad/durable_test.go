@@ -89,6 +89,9 @@ func TestDurableRoomCheckpointCatchUp(t *testing.T) {
 	if got := dr.Status().SnapshotStep; got != 10 {
 		t.Fatalf("last periodic checkpoint at step %d, want 10", got)
 	}
+	// Release the descriptor (and the single-writer lock) the way a dead
+	// process would, without flushing anything extra.
+	dr.Abandon()
 
 	tb2, _, pol2, sup2 := newTestLoop(t)
 	_ = tb2

@@ -9,6 +9,9 @@
 //	teslad -listen 127.0.0.1:8844 -load medium -minutes 120 [-speedup 0]
 //	teslad -listen 127.0.0.1:8844 -rooms 8 -minutes 120 [-seed 11]
 //	teslad -datadir /var/lib/teslad -checkpoint 15 [-walsync 0] ...
+//	teslad -role coordinator -rooms 8 -seed 11 -listen 127.0.0.1:9000
+//	teslad -role shard -id shard-a -datadir /var/lib/teslad/a \
+//	       -coordinator http://127.0.0.1:9000 -listen 127.0.0.1:9001
 //
 // With -speedup 0 (default) the simulation runs as fast as the CPU allows;
 // a positive value sleeps to pace the loop at speedup× real time.
@@ -28,6 +31,19 @@
 // heterogeneous diurnal loads, per-room TESLA policies and safety
 // supervisors seeded from per-room substreams of -seed — feed a bounded
 // per-room telemetry queue pipeline whose rollup backs the fleet endpoints.
+//
+// -role coordinator|shard switches to the sharded control plane: one
+// coordinator process places rooms on shard workers via consistent hashing,
+// tracks their heartbeat leases and re-places rooms when shards die; shard
+// processes host room control loops and keep stepping them whether or not
+// the coordinator stays reachable. Coordinator and shards must be launched
+// with identical -rooms, -seed, -minutes and -policy values (the shared
+// fleet contract). Shards sharing one -datadir root recover each other's
+// rooms on failover; distinct roots rely on live migration (/migrate on the
+// coordinator). The coordinator serves /fleet, /shards, /migrate, /healthz
+// (503 while any room is unplaced) and /metrics (failover, migration and
+// fencing counters); each shard serves its internal API plus /healthz and
+// /metrics.
 //
 // SIGINT/SIGTERM stop the control loop at the next step boundary, drain the
 // operator HTTP server gracefully and print the final summary.
@@ -79,6 +95,11 @@ func main() {
 	datadir := flag.String("datadir", "", "directory for the durable WAL + snapshot store (empty disables durability)")
 	checkpoint := flag.Int("checkpoint", 15, "checkpoint controller state every N control steps")
 	walsync := flag.Int("walsync", 0, "WAL fsync batch: 0 = every record, n = every n records, negative = never")
+	role := flag.String("role", "", "control-plane role: coordinator|shard (empty = standalone daemon)")
+	shardID := flag.String("id", "", "shard identity on the placement ring (-role shard)")
+	coordURL := flag.String("coordinator", "", "coordinator base URL the shard registers with (-role shard; empty = autonomous)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this shard back on (default: the bound -listen address)")
+	stepDelay := flag.Duration("stepdelay", 0, "pace each hosted room's loop by this much per control step (-role shard)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,7 +107,10 @@ func main() {
 
 	dur := durOptions{dir: *datadir, every: *checkpoint, sync: *walsync}
 	var err error
-	if *rooms > 1 {
+	if *role != "" {
+		cp := cpOptions{role: *role, id: *shardID, coordinator: *coordURL, advertise: *advertise, stepDelay: *stepDelay}
+		err = runControlPlane(ctx, *listen, *rooms, *minutes, *seed, *policyName, dur, cp)
+	} else if *rooms > 1 {
 		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed, dur)
 	} else {
 		err = run(ctx, *listen, *loadName, *policyName, *minutes, *speedup, *seed, dur)

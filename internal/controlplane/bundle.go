@@ -1,0 +1,98 @@
+package controlplane
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PackBundle reads a drained room's store directory into a migration
+// bundle: every WAL segment (replay re-advances the plant from step 0, so
+// the full log ships, not just the tail past the checkpoint) plus the
+// newest snapshot (older ones are garbage the next compaction would drop).
+// The directory must be quiescent — call it only after Drain closed the
+// store.
+func PackBundle(dir string, room int, name string, step int) (Bundle, error) {
+	b := Bundle{Room: room, Name: name, Step: step}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return b, fmt.Errorf("controlplane: pack %s: %w", dir, err)
+	}
+	var segs, snaps []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".seg":
+			segs = append(segs, e.Name())
+		case ".snap":
+			snaps = append(snaps, e.Name())
+		}
+	}
+	sort.Strings(segs)
+	sort.Strings(snaps)
+	ship := segs
+	if len(snaps) > 0 {
+		// Zero-padded step numbers sort lexically; the last is the newest.
+		ship = append(ship, snaps[len(snaps)-1])
+	}
+	if len(ship) == 0 {
+		return b, fmt.Errorf("controlplane: pack %s: no durable state to ship", dir)
+	}
+	for _, fn := range ship {
+		data, err := os.ReadFile(filepath.Join(dir, fn))
+		if err != nil {
+			return b, fmt.Errorf("controlplane: pack %s: %w", dir, err)
+		}
+		b.Files = append(b.Files, BundleFile{Name: fn, Data: data})
+	}
+	return b, nil
+}
+
+// UnpackBundle installs a shipped bundle into the target shard's store
+// directory for the room. It refuses a directory that already holds store
+// files — a resume landing on a room another host still owns is a bug, not
+// something to merge — and fsyncs everything so the hand-off is as durable
+// as the source was.
+func UnpackBundle(dir string, b Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("controlplane: unpack %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("controlplane: unpack %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if ext := filepath.Ext(e.Name()); ext == ".seg" || ext == ".snap" {
+			return fmt.Errorf("controlplane: unpack %s: target already holds store file %s", dir, e.Name())
+		}
+	}
+	for _, f := range b.Files {
+		// The file names come off the wire; keep them inside dir.
+		if f.Name != filepath.Base(f.Name) || strings.HasPrefix(f.Name, ".") {
+			return fmt.Errorf("controlplane: unpack %s: suspicious file name %q", dir, f.Name)
+		}
+		path := filepath.Join(dir, f.Name)
+		fh, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("controlplane: unpack %s: %w", dir, err)
+		}
+		if _, err := fh.Write(f.Data); err == nil {
+			err = fh.Sync()
+		}
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("controlplane: unpack %s: %w", path, err)
+		}
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

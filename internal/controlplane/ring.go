@@ -1,0 +1,112 @@
+// Package controlplane shards a TESLA fleet across room-shard workers
+// coordinated over an internal HTTP/JSON control plane.
+//
+// The coordinator places rooms on shards via consistent hashing, tracks
+// shard liveness with epoch-fenced heartbeat leases, re-places rooms from
+// their durable stores when a shard dies, and orchestrates live migration
+// (drain → ship snapshot+WAL → resume). Because every room's trajectory is a
+// pure function of (fleet seed, room stream) and the durable store replays
+// through the real decision path, a room that failed over or migrated
+// produces the same trajectory hash, bit for bit, as the same room in an
+// uninterrupted single-process run — the property the package's tests pin.
+//
+// Degradation is graceful in both directions: a shard keeps stepping its
+// rooms when the coordinator is unreachable (control never depends on the
+// control plane), and the coordinator keeps serving fleet state from the
+// last heartbeats when shards go quiet.
+package controlplane
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per shard on the placement ring —
+// enough that a handful of shards split rooms roughly evenly, small enough
+// that rebuilding the ring on membership change stays trivial.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash placement ring. Placement is a pure function of
+// the member set and the key, so coordinator restarts and every replica of
+// the ring agree on where a room lives without coordination. Not safe for
+// concurrent use; the coordinator guards it with its own lock.
+type Ring struct {
+	vnodes int
+	nodes  map[string]struct{}
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring. vnodes <= 0 selects the default.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node. Adding an existing node is a no-op.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{ringHash(fmt.Sprintf("%s#%d", node, v)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node; keys it owned redistribute to the survivors while
+// every other key keeps its placement — the property failover relies on.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the node owning key: the first ring point clockwise from
+// the key's hash. Empty string when the ring has no members.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,68 @@
+package controlplane
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.Lookup(fmt.Sprintf("room-%d#%d", i, i))]++
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if counts[n] == 0 {
+			t.Errorf("node %s owns no keys: %v", n, counts)
+		}
+	}
+}
+
+func TestRingRemoveMovesOnlyOwnedKeys(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	before := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("room-%d#%d", i, i)
+		before[k] = r.Lookup(k)
+	}
+	r.Remove("b")
+	for k, owner := range before {
+		after := r.Lookup(k)
+		if owner != "b" && after != owner {
+			t.Fatalf("key %s moved %s→%s although its owner survived", k, owner, after)
+		}
+		if owner == "b" && after == "b" {
+			t.Fatalf("key %s still on removed node", k)
+		}
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("nodes after remove: %v", got)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(32)
+		// Insertion order must not matter.
+		for _, n := range []string{"c", "a", "b"} {
+			r.Add(n)
+		}
+		return r
+	}
+	r1, r2 := build(), build()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if r1.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("placement of %s differs between identical rings", k)
+		}
+	}
+	if r1.Lookup("x") == "" || NewRing(0).Lookup("x") != "" {
+		t.Fatal("empty-ring / populated-ring lookup contract broken")
+	}
+}

@@ -1,0 +1,203 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testClientOpts() ClientOptions {
+	return ClientOptions{Ident: "test", Retries: 3, BackoffMin: time.Millisecond, BackoffMax: 5 * time.Millisecond}
+}
+
+// TestClientRetriesWithStableIdempotencyKey: a 500 is retried, and every
+// attempt of the same logical call carries the same idempotency key — the
+// contract that lets handlers deduplicate replays.
+func TestClientRetriesWithStableIdempotencyKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	fails := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get(idemHeader))
+		n := len(keys)
+		mu.Unlock()
+		if n <= fails {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"step":7}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, testClientOpts())
+	var out DrainResponse
+	if err := c.Call(context.Background(), http.MethodPost, "/drain", DrainRequest{Room: 1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Step != 7 {
+		t.Fatalf("step %d, want 7", out.Step)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != fails+1 {
+		t.Fatalf("%d attempts, want %d", len(keys), fails+1)
+	}
+	for i, k := range keys {
+		if k == "" || k != keys[0] {
+			t.Fatalf("attempt %d key %q differs from %q", i, k, keys[0])
+		}
+	}
+}
+
+// TestClientFencedNotRetried: 409 is a verdict, not a fault — one attempt,
+// ErrFenced surfaced.
+func TestClientFencedNotRetried(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.WriteHeader(http.StatusConflict)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, testClientOpts())
+	err := c.Call(context.Background(), http.MethodPost, "/heartbeat", HeartbeatRequest{}, nil)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("got %v, want ErrFenced", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("fenced call attempted %d times", attempts)
+	}
+}
+
+// TestClientRetriesExhausted: a persistently failing endpoint errors after
+// the bounded retry budget, not never.
+func TestClientRetriesExhausted(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	opts := testClientOpts()
+	opts.Retries = 2
+	c := NewClient(srv.URL, opts)
+	if err := c.Call(context.Background(), http.MethodPost, "/assign", AssignRequest{}, nil); err == nil {
+		t.Fatal("exhausted retries returned nil")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+// TestClientTimeoutPerAttempt: a hung server trips the per-attempt timeout
+// instead of wedging the caller.
+func TestClientTimeoutPerAttempt(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block) // unblock handlers before Close waits on them
+
+	opts := testClientOpts()
+	opts.Timeout = 30 * time.Millisecond
+	opts.Retries = 1
+	c := NewClient(srv.URL, opts)
+	start := time.Now()
+	if err := c.Call(context.Background(), http.MethodPost, "/assign", AssignRequest{}, nil); err == nil {
+		t.Fatal("hung endpoint returned nil")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("call took %v — per-attempt timeout not applied", el)
+	}
+}
+
+// TestBackoffJitterSeededAndSpread: the jitter stream is deterministic per
+// (seed, ident) and actually varies across attempts.
+func TestBackoffJitterSeededAndSpread(t *testing.T) {
+	mk := func(ident string, seed uint64) []time.Duration {
+		o := testClientOpts()
+		o.Ident, o.Seed = ident, seed
+		c := NewClient("http://invalid", o)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.backoff(i % 3)
+		}
+		return out
+	}
+	a1, a2 := mk("shard-a", 1), mk("shard-a", 1)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same (seed, ident) produced different backoff streams")
+		}
+	}
+	b := mk("shard-b", 1)
+	same := 0
+	for i := range a1 {
+		if a1[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Fatal("different idents share a jitter stream")
+	}
+	// Bounds: attempt 0 jitter lies in [0.5, 1.5) × BackoffMin.
+	o := testClientOpts()
+	c := NewClient("http://invalid", o)
+	for i := 0; i < 100; i++ {
+		d := c.backoff(0)
+		if d < o.BackoffMin/2 || d >= o.BackoffMin*3/2 {
+			t.Fatalf("backoff %v outside [%v, %v)", d, o.BackoffMin/2, o.BackoffMin*3/2)
+		}
+	}
+}
+
+// TestIdemCacheReplays: the server-side cache replays a completed mutation's
+// response instead of executing it twice, and bounds its memory.
+func TestIdemCacheReplays(t *testing.T) {
+	ic := newIdemCache(4)
+	executions := 0
+	h := func(w http.ResponseWriter, r *http.Request) {
+		if ic.replay(w, r.Header.Get(idemHeader)) {
+			return
+		}
+		executions++
+		writeJSON(w, r, ic, http.StatusOK, DrainResponse{Step: executions})
+	}
+	call := func(key string) string {
+		req := httptest.NewRequest(http.MethodPost, "/drain", nil)
+		req.Header.Set(idemHeader, key)
+		rec := httptest.NewRecorder()
+		h(rec, req)
+		return rec.Body.String()
+	}
+	first := call("k1")
+	if second := call("k1"); second != first {
+		t.Fatalf("replay %q differs from original %q", second, first)
+	}
+	if executions != 1 {
+		t.Fatalf("handler executed %d times for one key", executions)
+	}
+	for i := 0; i < 10; i++ {
+		call(string(rune('a' + i)))
+	}
+	if len(ic.byKey) > 4 {
+		t.Fatalf("cache grew to %d entries, cap 4", len(ic.byKey))
+	}
+}

@@ -216,6 +216,11 @@ func (c *Config) nameOf(i int) string {
 	return fmt.Sprintf("room-%d", c.streamOf(i))
 }
 
+// RoomName resolves room i's display name — also the room's store directory
+// under DataDir, which is why hosts that manage room stores without a
+// running room (the sharded control plane's migration path) need it.
+func (c *Config) RoomName(i int) string { return c.nameOf(i) }
+
 // RoomResult is one room's authoritative outcome, computed inside the room's
 // own control loop (the ingestion rollup is the lossy observability view).
 type RoomResult struct {

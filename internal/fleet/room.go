@@ -208,68 +208,94 @@ func (rr *roomRun) writeCheckpoint(d control.Durable, step int) error {
 	})
 }
 
+// snapInterval resolves the effective checkpoint interval.
+func (rr *roomRun) snapInterval() int {
+	if rr.cfg.SnapshotEvery > 0 {
+		return rr.cfg.SnapshotEvery
+	}
+	return 64
+}
+
+// stepOnce executes evaluation step i live: decide, actuate, sample, push
+// telemetry, fold accumulators, log, checkpoint on the interval. The body is
+// shared by the batch loop (run) and the step-wise Runner the control plane
+// hosts, so both produce the same bits.
+func (rr *roomRun) stepOnce(i int, d control.Durable, durable bool, snapEvery int) error {
+	stepStart := time.Now()
+	sp := rr.sup.Decide(rr.tr, rr.tr.Len()-1)
+	rr.tb.SetSetpoint(sp)
+	s := rr.tb.Advance()
+	rr.tr.Append(s)
+	if rr.spec.StallPerStep > 0 {
+		time.Sleep(rr.spec.StallPerStep)
+	}
+	rr.res.latencies = append(rr.res.latencies, time.Since(stepStart))
+
+	// Non-blocking by construction: a full queue evicts and counts, so
+	// telemetry backpressure can never stall this loop.
+	rr.q.Push(telemetry.RoomSample{Room: rr.res.Room, Seq: uint64(i), Level: int(rr.sup.Level()), S: s})
+	rr.applyStep(sp, &s)
+
+	if rr.st != nil {
+		rec := store.Record{
+			Kind: store.KindStep, Step: uint32(i), Setpoint: sp,
+			Level: uint8(rr.sup.Level()), Sample: s,
+		}
+		if err := rr.st.AppendRecord(&rec); err != nil {
+			return fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
+		}
+		if durable && (i+1)%snapEvery == 0 && i+1 < rr.evalSteps {
+			if err := rr.writeCheckpoint(d, i+1); err != nil {
+				return fmt.Errorf("fleet: room %s: checkpoint: %w", rr.res.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// closeStore writes the final checkpoint (durable policies only) and closes
+// the store; a restart of the completed horizon then recovers without
+// replaying a single step.
+func (rr *roomRun) closeStore() error {
+	if rr.st == nil {
+		return nil
+	}
+	if d, ok := rr.durablePolicy(); ok {
+		if err := rr.writeCheckpoint(d, rr.res.Steps); err != nil {
+			return fmt.Errorf("fleet: room %s: final checkpoint: %w", rr.res.Name, err)
+		}
+	}
+	if err := rr.st.Close(); err != nil {
+		return fmt.Errorf("fleet: room %s: closing store: %w", rr.res.Name, err)
+	}
+	rr.st = nil
+	return nil
+}
+
 // run executes the room's remaining horizon live: decide, actuate, log,
-// checkpoint. Returns without closing the store when the HaltAfter crash
-// hook fires.
+// checkpoint. When the HaltAfter crash hook fires the store is abandoned the
+// way a killed process leaves it — unflushed buffer lost, lock released by
+// descriptor death, tail possibly torn.
 func (rr *roomRun) run() error {
 	cfg := rr.cfg
 	d, durable := rr.durablePolicy()
-	snapEvery := cfg.SnapshotEvery
-	if snapEvery <= 0 {
-		snapEvery = 64
-	}
+	snapEvery := rr.snapInterval()
 
 	rr.res.latencies = make([]time.Duration, 0, rr.evalSteps-rr.startStep)
 	for i := rr.startStep; i < rr.evalSteps; i++ {
 		if cfg.HaltAfter > 0 && i == cfg.HaltAfter {
-			// Crash simulation: stop mid-horizon and abandon the store with
-			// whatever is still buffered — the torn state a kill -9 leaves.
 			rr.res.Halted = true
+			if rr.st != nil {
+				rr.st.Abandon()
+				rr.st = nil
+			}
 			return nil
 		}
-		stepStart := time.Now()
-		sp := rr.sup.Decide(rr.tr, rr.tr.Len()-1)
-		rr.tb.SetSetpoint(sp)
-		s := rr.tb.Advance()
-		rr.tr.Append(s)
-		if rr.spec.StallPerStep > 0 {
-			time.Sleep(rr.spec.StallPerStep)
-		}
-		rr.res.latencies = append(rr.res.latencies, time.Since(stepStart))
-
-		// Non-blocking by construction: a full queue evicts and counts, so
-		// telemetry backpressure can never stall this loop.
-		rr.q.Push(telemetry.RoomSample{Room: rr.res.Room, Seq: uint64(i), Level: int(rr.sup.Level()), S: s})
-		rr.applyStep(sp, &s)
-
-		if rr.st != nil {
-			rec := store.Record{
-				Kind: store.KindStep, Step: uint32(i), Setpoint: sp,
-				Level: uint8(rr.sup.Level()), Sample: s,
-			}
-			if err := rr.st.AppendRecord(&rec); err != nil {
-				return fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
-			}
-			if durable && (i+1)%snapEvery == 0 && i+1 < rr.evalSteps {
-				if err := rr.writeCheckpoint(d, i+1); err != nil {
-					return fmt.Errorf("fleet: room %s: checkpoint: %w", rr.res.Name, err)
-				}
-			}
+		if err := rr.stepOnce(i, d, durable, snapEvery); err != nil {
+			return err
 		}
 	}
-	if rr.st != nil {
-		// Final checkpoint: a restart of a completed horizon recovers without
-		// replaying a single step.
-		if d, ok := rr.durablePolicy(); ok {
-			if err := rr.writeCheckpoint(d, rr.evalSteps); err != nil {
-				return fmt.Errorf("fleet: room %s: final checkpoint: %w", rr.res.Name, err)
-			}
-		}
-		if err := rr.st.Close(); err != nil {
-			return fmt.Errorf("fleet: room %s: closing store: %w", rr.res.Name, err)
-		}
-	}
-	return nil
+	return rr.closeStore()
 }
 
 // finish divides the accumulators and collects the supervisor's counters.

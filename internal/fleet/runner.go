@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"tesla/internal/control"
+	"tesla/internal/telemetry"
+)
+
+// Runner is the step-wise form of one room's control loop, built for hosts
+// that need to start, pause, hand off or kill a room mid-horizon — the
+// sharded control plane. It drives exactly the same code path as Run's batch
+// loop (construction, recovery, per-step execution and accumulator folding
+// are shared with roomRun), so a room stepped by a Runner produces the same
+// trajectory hash, bit for bit, as the same room inside a batch fleet run.
+//
+// A Runner is not safe for concurrent use; give each room one goroutine.
+type Runner struct {
+	rr      *roomRun
+	cfg     Config
+	d       control.Durable
+	durable bool
+	snap    int
+	next    int
+	closed  bool
+}
+
+// NewRunner builds, recovers and warms up room idx of cfg, leaving the
+// Runner positioned at the first evaluation step that still needs to
+// execute. With cfg.DataDir set the room's store is opened (single-writer
+// locked), whatever a previous host persisted is replayed through the real
+// Decide path, and stepping resumes where the durable record ends — the
+// crash-recovery machinery, reused as the failover/migration path.
+// lockHolder names this host in the store's lock file so a racing second
+// host gets a useful refusal.
+func NewRunner(cfg Config, idx int, q *telemetry.Queue, lockHolder string) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(cfg.Rooms) {
+		return nil, fmt.Errorf("fleet: room index %d outside fleet of %d", idx, len(cfg.Rooms))
+	}
+	if q == nil {
+		cap := cfg.QueueCap
+		if cap <= 0 {
+			cap = 512
+		}
+		q = telemetry.NewQueue(cap)
+	}
+	r := &Runner{cfg: cfg}
+	rr, err := newRoomRun(&r.cfg, idx, q)
+	if err != nil {
+		return nil, err
+	}
+	r.rr = rr
+	if r.cfg.DataDir != "" {
+		if err := rr.openStoreAs(filepath.Join(r.cfg.DataDir, rr.res.Name), lockHolder); err != nil {
+			return nil, err
+		}
+	}
+	if err := rr.warmup(); err != nil {
+		r.abandonStore()
+		return nil, err
+	}
+	if err := rr.replay(); err != nil {
+		r.abandonStore()
+		return nil, err
+	}
+	r.d, r.durable = rr.durablePolicy()
+	r.snap = rr.snapInterval()
+	r.next = rr.startStep
+	rr.res.latencies = make([]time.Duration, 0, rr.evalSteps-rr.startStep)
+	return r, nil
+}
+
+func (r *Runner) abandonStore() {
+	if r.rr.st != nil {
+		r.rr.st.Abandon()
+		r.rr.st = nil
+	}
+}
+
+// Name returns the room's display name.
+func (r *Runner) Name() string { return r.rr.res.Name }
+
+// Room returns the room's index in the fleet config.
+func (r *Runner) Room() int { return r.rr.res.Room }
+
+// StepIndex is the next evaluation step Step would execute — after recovery,
+// the first step the durable record does not already cover.
+func (r *Runner) StepIndex() int { return r.next }
+
+// PlannedSteps is the room's evaluation horizon.
+func (r *Runner) PlannedSteps() int { return r.rr.evalSteps }
+
+// Done reports whether the horizon is complete.
+func (r *Runner) Done() bool { return r.next >= r.rr.evalSteps }
+
+// Recovery reports what the room's store contributed when the Runner opened.
+func (r *Runner) Recovery() RecoveryInfo { return r.rr.res.Recovery }
+
+// Step executes one evaluation step — identical, bit for bit, to the same
+// step inside a batch fleet run.
+func (r *Runner) Step() error {
+	if r.closed {
+		return fmt.Errorf("fleet: room %s: runner closed", r.rr.res.Name)
+	}
+	if r.Done() {
+		return fmt.Errorf("fleet: room %s: horizon complete", r.rr.res.Name)
+	}
+	if err := r.rr.stepOnce(r.next, r.d, r.durable, r.snap); err != nil {
+		return err
+	}
+	r.next++
+	return nil
+}
+
+// Drain is the hand-off write barrier: checkpoint the controller at the
+// current step boundary, flush and close the store, release the lock. The
+// room can then be resumed by another host — from this or any machine that
+// can see the data directory — continuing bit-identically at StepIndex. The
+// Runner is unusable afterwards.
+func (r *Runner) Drain() (step int, err error) {
+	if r.closed {
+		return r.next, fmt.Errorf("fleet: room %s: runner closed", r.rr.res.Name)
+	}
+	r.closed = true
+	return r.next, r.rr.closeStore()
+}
+
+// Finish completes a Done Runner: final checkpoint, store closed, metrics
+// divided and counters collected. The result matches the RoomResult the same
+// room produces inside a batch fleet run.
+func (r *Runner) Finish() (RoomResult, error) {
+	if r.closed {
+		return r.rr.res, fmt.Errorf("fleet: room %s: runner closed", r.rr.res.Name)
+	}
+	if !r.Done() {
+		return r.rr.res, fmt.Errorf("fleet: room %s: finish at step %d of %d", r.rr.res.Name, r.next, r.rr.evalSteps)
+	}
+	r.closed = true
+	if err := r.rr.closeStore(); err != nil {
+		return r.rr.res, err
+	}
+	return r.rr.finish(), nil
+}
+
+// Abandon simulates this host dying with the room live: the store descriptor
+// closes without flushing (buffered records lost, tail possibly torn) and
+// the lock releases the way a dead process's descriptors release it. The
+// room recovers on its next host exactly as after a real kill -9.
+func (r *Runner) Abandon() {
+	r.closed = true
+	r.abandonStore()
+}
+
+// Status is a cheap mid-run observability snapshot (the authoritative result
+// comes from Finish).
+type RunnerStatus struct {
+	Room      int     `json:"room"`
+	Name      string  `json:"name"`
+	Step      int     `json:"step"`
+	Planned   int     `json:"planned"`
+	EnergyKWh float64 `json:"energy_kwh"`
+	MaxColdC  float64 `json:"max_cold_c"`
+}
+
+// Status snapshots the room's progress.
+func (r *Runner) Status() RunnerStatus {
+	return RunnerStatus{
+		Room:      r.rr.res.Room,
+		Name:      r.rr.res.Name,
+		Step:      r.next,
+		Planned:   r.rr.evalSteps,
+		EnergyKWh: r.rr.res.CEkWh,
+		MaxColdC:  r.rr.res.MaxCold,
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tesla/internal/modbus"
+	"tesla/internal/rng"
 )
 
 // ConnState is a device's connection state machine position.
@@ -83,6 +84,7 @@ type Device struct {
 	backoff       time.Duration
 	nextDial      time.Time
 	lastDialErr   error
+	jitter        *rng.Rand // per-device seeded stream scattering redials
 }
 
 func newDevice(id, addr string, cfg Config) *Device {
@@ -96,8 +98,19 @@ func newDevice(id, addr string, cfg Config) *Device {
 		queue:   make(chan *op, cfg.InFlight),
 		stop:    make(chan struct{}),
 		backoff: cfg.BackoffMin,
+		jitter:  rng.New(rng.SeedFor(cfg.Seed, idHash(id))),
 	}
 	return d
+}
+
+// idHash maps a device id onto a jitter substream index (FNV-1a).
+func idHash(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // ID returns the device identifier.
@@ -354,11 +367,22 @@ func errOf(err error) error {
 }
 
 func (d *Device) scheduleRedial() {
-	d.nextDial = time.Now().Add(d.backoff)
+	d.nextDial = time.Now().Add(d.redialDelay())
 	d.backoff *= 2
 	if d.backoff > d.cfg.BackoffMax {
 		d.backoff = d.cfg.BackoffMax
 	}
+}
+
+// redialDelay is the next redial wait: the current exponential backoff
+// scattered by the device's seeded jitter stream, so devices disconnected by
+// the same event spread their redials instead of stampeding together.
+func (d *Device) redialDelay() time.Duration {
+	if d.cfg.JitterFrac <= 0 {
+		return d.backoff
+	}
+	f := 1 - d.cfg.JitterFrac + 2*d.cfg.JitterFrac*d.jitter.Float64()
+	return time.Duration(f * float64(d.backoff))
 }
 
 // call runs one wire exchange through the state machine. A protocol-level

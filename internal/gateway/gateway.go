@@ -57,6 +57,15 @@ type Config struct {
 	MaxBlock uint16
 	// Unit is the Modbus unit identifier stamped on every request. Default 1.
 	Unit byte
+	// JitterFrac scatters each redial delay uniformly in
+	// [1-JitterFrac, 1+JitterFrac) × backoff, so a fleet of devices cut off
+	// by one network event does not redial in lockstep and hammer the ACUs
+	// in synchronized waves. Default 0.2; negative disables jitter.
+	JitterFrac float64
+	// Seed seeds the per-device jitter streams (each device derives its own
+	// substream from its id), keeping redial timing deterministic per
+	// (Seed, device id) for reproducible tests and simulations.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +86,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Unit == 0 {
 		c.Unit = 1
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.2
+	} else if c.JitterFrac < 0 {
+		c.JitterFrac = 0
 	}
 	return c
 }

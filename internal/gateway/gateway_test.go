@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"runtime"
 	"sync"
@@ -517,5 +518,127 @@ func TestPollerSampleShape(t *testing.T) {
 	}
 	if diff := agg.LastPowerKW - s.ACUPowerKW; diff > 0.001 || diff < -0.001 {
 		t.Fatalf("power %v vs testbed %v", agg.LastPowerKW, s.ACUPowerKW)
+	}
+}
+
+// TestRedialJitterSeededSpread: redial delays are scattered per device by a
+// seeded stream — deterministic for a (Seed, id) pair, bounded by
+// JitterFrac, and spread across devices so a fleet-wide disconnect does not
+// produce a synchronized redial stampede.
+func TestRedialJitterSeededSpread(t *testing.T) {
+	cfg := Config{BackoffMin: 100 * time.Millisecond, BackoffMax: time.Second, Seed: 7}.withDefaults()
+
+	mk := func(id string) []time.Duration {
+		d := newDevice(id, "127.0.0.1:1", cfg)
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = d.redialDelay()
+		}
+		return out
+	}
+
+	// Determinism: same (Seed, id) reproduces the exact delay sequence.
+	a1, a2 := mk("acu-0"), mk("acu-0")
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("delay %d: %v vs %v — jitter not deterministic per (seed, id)", i, a1[i], a2[i])
+		}
+	}
+
+	// Bounds: every delay lies in [1-J, 1+J) x backoff.
+	lo := time.Duration((1 - cfg.JitterFrac) * float64(cfg.BackoffMin))
+	hi := time.Duration((1 + cfg.JitterFrac) * float64(cfg.BackoffMin))
+	for i, d := range a1 {
+		if d < lo || d >= hi {
+			t.Fatalf("delay %d = %v outside [%v, %v)", i, d, lo, hi)
+		}
+	}
+
+	// Spread: across a fleet cut off by the same event, first-redial delays
+	// must not collapse onto one instant.
+	firsts := map[time.Duration]bool{}
+	for i := 0; i < 16; i++ {
+		firsts[mk(fmt.Sprintf("acu-%d", i))[0]] = true
+	}
+	if len(firsts) < 8 {
+		t.Fatalf("16 devices share only %d distinct first redial delays — no spread", len(firsts))
+	}
+
+	// JitterFrac < 0 disables scatter entirely.
+	plain := Config{BackoffMin: 100 * time.Millisecond, JitterFrac: -1}.withDefaults()
+	d := newDevice("acu-0", "127.0.0.1:1", plain)
+	if got := d.redialDelay(); got != plain.BackoffMin {
+		t.Fatalf("jitter disabled but delay %v != backoff %v", got, plain.BackoffMin)
+	}
+}
+
+// TestPollerHandoffResumesSeqs simulates a room hand-off: the devices'
+// polling moves to a new gateway + poller (a new host), seeded with the
+// predecessor's sequence counters. The successor re-emits no sequence
+// number (no duplicate samples) and its rollup charges exactly the
+// predecessor's share as seq gaps — per-device accounting stays exact
+// across the hand-off.
+func TestPollerHandoffResumesSeqs(t *testing.T) {
+	_, addr0, _ := startACU(t)
+	_, addr1, _ := startACU(t)
+
+	gw1 := New(Config{Timeout: time.Second})
+	for i, a := range []string{addr0, addr1} {
+		if _, err := gw1.Add(fmt.Sprintf("acu-%d", i), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1 := NewPoller(gw1, PollerConfig{ColdLimitC: 27, PeriodS: 60})
+	for i := 0; i < 2; i++ {
+		if ok, failed := p1.PollOnce(float64(60 * i)); ok != 2 || failed != 0 {
+			t.Fatalf("p1 sweep %d: ok %d failed %d", i, ok, failed)
+		}
+	}
+	p1.DrainOnce()
+	token := p1.Seqs()
+	gw1.Close() // old host releases the devices
+
+	if token[0] != 2 || token[1] != 2 {
+		t.Fatalf("hand-off token %v, want [2 2]", token)
+	}
+
+	gw2 := New(Config{Timeout: time.Second})
+	defer gw2.Close()
+	for i, a := range []string{addr0, addr1} {
+		if _, err := gw2.Add(fmt.Sprintf("acu-%d", i), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2 := NewPoller(gw2, PollerConfig{ColdLimitC: 27, PeriodS: 60, StartSeqs: token})
+	for i := 2; i < 4; i++ {
+		if ok, failed := p2.PollOnce(float64(60 * i)); ok != 2 || failed != 0 {
+			t.Fatalf("p2 sweep %d: ok %d failed %d", i, ok, failed)
+		}
+	}
+	p2.DrainOnce()
+
+	// No duplicates: the successor's counters continue where the token ends.
+	if s := p2.Seqs(); s[0] != 4 || s[1] != 4 {
+		t.Fatalf("successor seqs %v, want [4 4]", s)
+	}
+
+	r1, r2 := p1.Rollup(), p2.Rollup()
+	if r1.Samples != 4 || r1.Gaps != 0 {
+		t.Fatalf("predecessor rollup: %d samples, %d gaps, want 4, 0", r1.Samples, r1.Gaps)
+	}
+	// The successor's ingestor never saw seqs 0..1 — exactly the
+	// predecessor's share surfaces as gaps, nothing more, nothing less.
+	if r2.Samples != 4 || r2.Gaps != 4 {
+		t.Fatalf("successor rollup: %d samples, %d gaps, want 4, 4", r2.Samples, r2.Gaps)
+	}
+	for i, agg := range p2.RoomAggs() {
+		if agg.Samples != 2 || agg.Gaps != 2 || agg.LastSeq != 3 {
+			t.Fatalf("device %d agg after hand-off: %+v", i, agg)
+		}
+	}
+	// Per-device stream accounting across both hosts: samples + successor
+	// gaps == final sequence position for every device.
+	if got := r2.Samples + r2.Gaps; got != 8 {
+		t.Fatalf("successor samples+gaps = %d, want 8 (= final seqs)", got)
 	}
 }

@@ -16,6 +16,12 @@ type PollerConfig struct {
 	QueueCap int
 	// Batch is the ingestor's per-queue drain bound per sweep (default 64).
 	Batch int
+	// StartSeqs, when non-nil, seeds the per-device sequence counters
+	// (index = device order) instead of starting at zero — the hand-off
+	// path: a successor poller resuming a predecessor's Seqs() continues
+	// the per-device streams without duplicate sequence numbers, and any
+	// sweeps missed between the two surface as exact seq gaps.
+	StartSeqs []uint64
 }
 
 // Poller sweeps every gateway device over Modbus and feeds the decoded
@@ -46,12 +52,22 @@ func NewPoller(gw *Gateway, cfg PollerConfig) *Poller {
 	for i := range queues {
 		queues[i] = telemetry.NewQueue(cfg.QueueCap)
 	}
+	seq := make([]uint64, len(devs))
+	copy(seq, cfg.StartSeqs)
 	return &Poller{
 		devs:   devs,
 		queues: queues,
 		ing:    telemetry.NewIngestor(queues, cfg.ColdLimitC, cfg.PeriodS, cfg.Batch),
-		seq:    make([]uint64, len(devs)),
+		seq:    seq,
 	}
+}
+
+// Seqs snapshots the per-device sequence counters (index = device order) —
+// the hand-off token: feed it to a successor poller's StartSeqs so the
+// per-device sample streams continue without duplicates. Call between
+// sweeps, not concurrently with PollOnce.
+func (p *Poller) Seqs() []uint64 {
+	return append([]uint64(nil), p.seq...)
 }
 
 // PollOnce sweeps every device once: the ACU input block (inlet temps,

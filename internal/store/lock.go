@@ -1,0 +1,86 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrStoreLocked is the sentinel every LockedError wraps: the data directory
+// is already open for writing by another store instance. Two control loops
+// appending to one WAL would interleave frames and corrupt the trajectory —
+// exactly the race a botched migration or failover would hit — so Open
+// refuses loudly instead.
+var ErrStoreLocked = errors.New("store: data directory locked")
+
+// LockedError reports a refused Open with the identity the current holder
+// recorded when it took the lock. errors.Is(err, ErrStoreLocked) matches it.
+type LockedError struct {
+	// Dir is the data directory that was refused.
+	Dir string
+	// Holder is the identity string the current owner wrote into the lock
+	// file ("<pid>" by default, or Options.LockHolder).
+	Holder string
+}
+
+func (e *LockedError) Error() string {
+	holder := e.Holder
+	if holder == "" {
+		holder = "unknown holder"
+	}
+	return fmt.Sprintf("store: %s locked by %s", e.Dir, holder)
+}
+
+func (e *LockedError) Unwrap() error { return ErrStoreLocked }
+
+// lockFileName is the advisory lock file kept in every store directory. The
+// file itself is just a mailbox for the holder's identity; mutual exclusion
+// comes from the OS lock on its descriptor, which dies with the process — a
+// kill -9 never leaves a stale lock behind.
+const lockFileName = "LOCK"
+
+// dirLock is one acquired store-directory lock.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the single-writer lock for dir, recording holder in
+// the lock file. It never blocks: a held lock returns *LockedError.
+func acquireDirLock(dir, holder string) (*dirLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockExclusive(f); err != nil {
+		// Read whoever holds it for the error message, then bail.
+		buf := make([]byte, 256)
+		n, _ := f.ReadAt(buf, 0)
+		f.Close()
+		return nil, &LockedError{Dir: dir, Holder: strings.TrimSpace(string(buf[:n]))}
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.WriteAt([]byte(holder), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock. The lock file stays behind (removing it would race
+// a concurrent acquirer onto a dead inode); only the descriptor's OS lock
+// matters, and closing releases it.
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	_ = f.Truncate(0)
+	return f.Close()
+}

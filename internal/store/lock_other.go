@@ -1,0 +1,23 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// flockExclusive has no OS-level advisory lock on this platform; refuse any
+// lock file that already holds content so the single-writer invariant still
+// fails closed (a crashed process may require removing the LOCK file by
+// hand here — the unix build has no such failure mode).
+func flockExclusive(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() > 0 {
+		return fmt.Errorf("lock file not empty")
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive lock on f's descriptor.
+// flock locks belong to the open file description, so two Opens of the same
+// directory conflict even inside one process — which is how the tests
+// simulate two shards racing for a room — and the lock evaporates the moment
+// the descriptor closes, including on process death.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

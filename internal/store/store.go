@@ -36,6 +36,10 @@ import (
 // Options assemble a store.
 type Options struct {
 	WAL WALOptions
+	// LockHolder is the identity recorded in the directory's single-writer
+	// lock file — what a refused Open reports as the current owner. Empty
+	// selects "pid <pid>".
+	LockHolder string
 }
 
 // Recovered reports everything Open found: the decoded WAL records, the
@@ -69,8 +73,9 @@ type Stats struct {
 
 // Store couples one room's WAL and snapshot directory.
 type Store struct {
-	dir string
-	wal *WAL
+	dir  string
+	wal  *WAL
+	lock *dirLock
 
 	snapshots uint64
 	lastStep  int
@@ -79,12 +84,24 @@ type Store struct {
 }
 
 // Open opens (or creates) the store rooted at dir, recovering whatever a
-// previous process left behind. The returned Recovered is never nil.
+// previous process left behind. The directory is locked single-writer for
+// the life of the store: a second Open — another shard taking the room mid
+// failover, a zombie racing its replacement — fails with a LockedError
+// naming the current holder instead of interleaving WAL frames. The
+// returned Recovered is never nil.
 func Open(dir string, opts Options) (*Store, *Recovered, error) {
 	if dir == "" {
 		return nil, nil, fmt.Errorf("store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	holder := opts.LockHolder
+	if holder == "" {
+		holder = fmt.Sprintf("pid %d", os.Getpid())
+	}
+	lock, err := acquireDirLock(dir, holder)
+	if err != nil {
 		return nil, nil, err
 	}
 	rec := &Recovered{}
@@ -102,6 +119,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		return nil
 	})
 	if err != nil {
+		lock.release()
 		if decodeErr != nil {
 			return nil, nil, fmt.Errorf("store: %s: %w", dir, decodeErr)
 		}
@@ -125,7 +143,7 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		}
 	}
 
-	s := &Store{dir: dir, wal: wal, recovered: len(rec.Records), lastStep: -1}
+	s := &Store{dir: dir, wal: wal, lock: lock, recovered: len(rec.Records), lastStep: -1}
 	if rec.HaveCheckpoint {
 		s.lastStep = rec.Checkpoint.Step
 	}
@@ -175,6 +193,21 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// Close flushes and fsyncs the WAL. It does not write a checkpoint — callers
-// decide whether the shutdown deserves one.
-func (s *Store) Close() error { return s.wal.Close() }
+// Close flushes and fsyncs the WAL and releases the directory lock. It does
+// not write a checkpoint — callers decide whether the shutdown deserves one.
+func (s *Store) Close() error {
+	err := s.wal.Close()
+	if lerr := s.lock.release(); err == nil {
+		err = lerr
+	}
+	return err
+}
+
+// Abandon simulates process death: the WAL descriptor closes WITHOUT
+// flushing its userspace buffer (buffered records are lost, exactly what a
+// kill -9 loses) and the directory lock is released the way a dying
+// process's descriptors would release it. The store is unusable afterwards.
+func (s *Store) Abandon() {
+	s.wal.Abandon()
+	_ = s.lock.release()
+}

@@ -218,6 +218,7 @@ func TestStoreCheckpointSurvivesTornWAL(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	s.Abandon()
 	s2, rec, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)

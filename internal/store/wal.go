@@ -316,3 +316,10 @@ func (w *WAL) Close() error {
 	}
 	return w.f.Close()
 }
+
+// Abandon closes the segment descriptor without flushing the userspace
+// buffer — the write-path state a killed process leaves. Whatever the last
+// Sync did not cover is gone, which is the torn tail recovery is built for.
+func (w *WAL) Abandon() {
+	_ = w.f.Close()
+}

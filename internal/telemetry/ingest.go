@@ -26,6 +26,28 @@ type Rollup struct {
 	SafetyLevels [4]uint64 `json:"safety_levels"`
 }
 
+// Merge folds another rollup into r. Counters and integrals add, the
+// cold-aisle maximum takes the worse reading, and the safety histogram sums
+// bucket-wise — so a coordinator merging per-shard rollups reports the same
+// fleet aggregate a single-process ingestor would have, as long as each
+// sample was folded by exactly one shard.
+func (r *Rollup) Merge(o Rollup) {
+	r.Rooms += o.Rooms
+	r.Samples += o.Samples
+	r.Dropped += o.Dropped
+	r.Gaps += o.Gaps
+	if o.MaxColdC > r.MaxColdC {
+		r.MaxColdC = o.MaxColdC
+	}
+	r.TotalCoolingKW += o.TotalCoolingKW
+	r.CoolingKWh += o.CoolingKWh
+	r.ViolationMin += o.ViolationMin
+	r.InterruptionMin += o.InterruptionMin
+	for i := range r.SafetyLevels {
+		r.SafetyLevels[i] += o.SafetyLevels[i]
+	}
+}
+
 // RoomAgg is the ingested view of one room: latest values plus accumulators.
 // It lags the room's control loop by whatever sits in the queue — by design;
 // the control loop's own metrics are the authoritative record.
