@@ -11,6 +11,7 @@
 //	teslabench -bo                       # BO surrogate hot-path benchmarks + BENCH_bo.json
 //	teslabench -wal                      # durable-store benchmarks + BENCH_wal.json
 //	teslabench -controlplane             # control-plane chaos sweep + BENCH_controlplane.json
+//	teslabench -ingest                   # telemetry ingest pipeline + BENCH_ingest.json
 package main
 
 import (
@@ -50,15 +51,28 @@ func main() {
 	gwWindows := flag.String("gwwindows", "4,16", "comma-separated in-flight windows for -gateway")
 	gwOps := flag.Int("gwops", 20, "requests per generator per cell for -gateway")
 	gwOut := flag.String("gwout", "BENCH_gateway.json", "JSON baseline path for -gateway (empty disables)")
+	ingestBench := flag.Bool("ingest", false, "drive the telemetry ingest pipeline (append path, wire decode, streaming subscribe, tier identity)")
+	ingestSamples := flag.Uint64("ingestsamples", 4_000_000, "append-path samples for -ingest")
+	ingestOut := flag.String("ingestout", "BENCH_ingest.json", "JSON baseline path for -ingest (empty disables)")
 	cpBench := flag.Bool("controlplane", false, "chaos-sweep the sharded control plane (shard-kill failover + live migration latencies)")
 	cpRooms := flag.Int("cprooms", 4, "fleet size for -controlplane")
 	cpTrials := flag.Int("cptrials", 5, "failover and migration trials for -controlplane")
 	cpOut := flag.String("cpout", "BENCH_controlplane.json", "JSON baseline path for -controlplane (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench && !*ingestBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The ingest pipeline harness needs no trained models; run standalone.
+	if *ingestBench {
+		if err := runIngestBench(os.Stdout, *ingestSamples, *ingestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench {
+			return
+		}
 	}
 	// The control-plane chaos sweep needs no trained models; run standalone.
 	if *cpBench {

@@ -11,6 +11,7 @@ import (
 	"tesla/internal/control"
 	"tesla/internal/controlplane"
 	"tesla/internal/fleet"
+	"tesla/internal/telemetry"
 )
 
 // cpOptions carries the control-plane role flags from main.
@@ -20,6 +21,7 @@ type cpOptions struct {
 	coordinator string // coordinator base URL the shard reports to
 	advertise   string // base URL the coordinator dials this shard back on
 	stepDelay   time.Duration
+	inputs      string // -inputs spec: telemetry ingest pipeline on a shard
 }
 
 // roleFleetConfig builds the fleet configuration a control-plane role runs
@@ -160,7 +162,7 @@ func runCoordinator(ctx context.Context, listen string, fcfg fleet.Config, seed 
 // every hosted room (checkpoint + close, locks released) so the rooms can be
 // re-hosted elsewhere.
 func runShard(ctx context.Context, listen string, fcfg fleet.Config, seed uint64, dur durOptions, cp cpOptions) error {
-	sh, err := controlplane.NewShard(controlplane.ShardConfig{
+	shCfg := controlplane.ShardConfig{
 		ID:          cp.id,
 		Fleet:       fcfg,
 		DataDir:     dur.dir,
@@ -168,7 +170,21 @@ func runShard(ctx context.Context, listen string, fcfg fleet.Config, seed uint64
 		Coordinator: cp.coordinator,
 		Advertise:   cp.advertise,
 		Seed:        seed,
-	})
+	}
+	// A shard can run its own ingest pipeline (http/subscribe inputs; no
+	// gateway, so no modbus) — its ledgers ride every heartbeat so the
+	// coordinator's /fleet and /metrics roll up fleet-wide ingest health.
+	if cp.inputs != "" {
+		db := telemetry.NewDBWithRetention(telemetry.RetentionConfig{})
+		ing, err := startIngest(db, cp.inputs, nil, 0, 0, nil)
+		if err != nil {
+			return fmt.Errorf("starting shard ingest pipeline: %w", err)
+		}
+		defer ing.Stop()
+		shCfg.IngestStats = ing.Stats
+		fmt.Printf("teslad: shard %s ingest pipeline running (%s)\n", cp.id, cp.inputs)
+	}
+	sh, err := controlplane.NewShard(shCfg)
 	if err != nil {
 		return err
 	}

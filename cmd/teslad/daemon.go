@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"tesla/internal/gateway"
+	"tesla/internal/ingest"
 	"tesla/internal/telemetry"
 )
 
@@ -48,6 +49,7 @@ type daemon struct {
 	st     status
 	events *telemetry.EventLog
 	gw     *gateway.Gateway
+	ing    *ingest.Service
 }
 
 func (d *daemon) update(fn func(*status)) {
@@ -66,11 +68,16 @@ func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
 		status
 		Gateway      *gateway.Stats    `json:"gateway,omitempty"`
+		Ingest       *ingest.Stats     `json:"ingest,omitempty"`
 		RecentEvents []telemetry.Entry `json:"recent_events"`
 	}{status: d.snapshot()}
 	if d.gw != nil {
 		gs := d.gw.Stats()
 		out.Gateway = &gs
+	}
+	if d.ing != nil {
+		is := d.ing.Stats()
+		out.Ingest = &is
 	}
 	if d.events != nil {
 		out.RecentEvents = d.events.Recent(16)
@@ -102,6 +109,9 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if d.gw != nil {
 		writeGatewayMetrics(w, d.gw.Stats())
+	}
+	if d.ing != nil {
+		writeIngestMetrics(w, d.ing.Stats())
 	}
 	if d.events != nil {
 		counts := d.events.Counts()

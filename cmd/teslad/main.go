@@ -12,6 +12,7 @@
 //	teslad -role coordinator -rooms 8 -seed 11 -listen 127.0.0.1:9000
 //	teslad -role shard -id shard-a -datadir /var/lib/teslad/a \
 //	       -coordinator http://127.0.0.1:9000 -listen 127.0.0.1:9001
+//	teslad -inputs modbus,http=127.0.0.1:8086,subscribe=host:9200 ...
 //
 // With -speedup 0 (default) the simulation runs as fast as the CPU allows;
 // a positive value sleeps to pace the loop at speedup× real time.
@@ -45,6 +46,15 @@
 // fencing counters); each shard serves its internal API plus /healthz and
 // /metrics.
 //
+// -inputs attaches the production-volume telemetry ingest pipeline
+// (internal/ingest): comma-separated input specs — modbus[=measurement]
+// polls the daemon's ACU gateway, http[=addr] accepts batched
+// line-protocol writes, subscribe=host:port[;...] consumes sequenced
+// delta streams — feeding a retention-tiered store with exact loss
+// accounting. /status gains an "ingest" block and /metrics gains
+// tesla_ingest_* + tesla_tsdb_* series; on -role shard the ledgers ride
+// every heartbeat into the coordinator's /fleet rollup.
+//
 // SIGINT/SIGTERM stop the control loop at the next step boundary, drain the
 // operator HTTP server gracefully and print the final summary.
 //
@@ -66,10 +76,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -77,6 +89,7 @@ import (
 	"tesla/internal/control"
 	"tesla/internal/dataset"
 	"tesla/internal/gateway"
+	"tesla/internal/ingest"
 	"tesla/internal/modbus"
 	"tesla/internal/safety"
 	"tesla/internal/telemetry"
@@ -100,6 +113,7 @@ func main() {
 	coordURL := flag.String("coordinator", "", "coordinator base URL the shard registers with (-role shard; empty = autonomous)")
 	advertise := flag.String("advertise", "", "base URL the coordinator dials this shard back on (default: the bound -listen address)")
 	stepDelay := flag.Duration("stepdelay", 0, "pace each hosted room's loop by this much per control step (-role shard)")
+	inputs := flag.String("inputs", "", "telemetry ingest inputs, comma-separated specs: modbus[=measurement], http[=addr], subscribe=host:port[;host:port...] (empty disables the ingest pipeline)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -108,12 +122,12 @@ func main() {
 	dur := durOptions{dir: *datadir, every: *checkpoint, sync: *walsync}
 	var err error
 	if *role != "" {
-		cp := cpOptions{role: *role, id: *shardID, coordinator: *coordURL, advertise: *advertise, stepDelay: *stepDelay}
+		cp := cpOptions{role: *role, id: *shardID, coordinator: *coordURL, advertise: *advertise, stepDelay: *stepDelay, inputs: *inputs}
 		err = runControlPlane(ctx, *listen, *rooms, *minutes, *seed, *policyName, dur, cp)
 	} else if *rooms > 1 {
 		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed, dur)
 	} else {
-		err = run(ctx, *listen, *loadName, *policyName, *minutes, *speedup, *seed, dur)
+		err = run(ctx, *listen, *loadName, *policyName, *minutes, *speedup, *seed, dur, *inputs)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "teslad:", err)
@@ -134,7 +148,7 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-func run(ctx context.Context, listen, loadName, policyName string, minutes int, speedup float64, seed uint64, dur durOptions) error {
+func run(ctx context.Context, listen, loadName, policyName string, minutes int, speedup float64, seed uint64, dur durOptions, inputs string) error {
 	var load workload.Setting
 	switch loadName {
 	case "idle":
@@ -180,7 +194,13 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	}
 	defer mbSrv.Close()
 
+	// With -inputs the store runs with retention tiers so production-volume
+	// ingest stays memory-bounded; without it the plain unbounded store keeps
+	// the historical single-room behaviour bit-for-bit.
 	db := telemetry.NewDB()
+	if inputs != "" {
+		db = telemetry.NewDBWithRetention(telemetry.RetentionConfig{})
+	}
 	tsSrv := telemetry.NewServer(db)
 	tsAddr, err := tsSrv.Start("127.0.0.1:0")
 	if err != nil {
@@ -198,6 +218,24 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	acuDev, err := gw.Add("acu-0", mbAddr)
 	if err != nil {
 		return err
+	}
+
+	// Optional production-volume ingest pipeline: plugin inputs (modbus
+	// poller over the same gateway, HTTP line-protocol writes, streaming
+	// subscriptions) feed the retention-tiered store with exact accounting.
+	// The compaction clock is the simulation sample clock, not wall time:
+	// every sample this daemon produces is stamped in sim seconds, and
+	// retention cutoffs must live in the same domain.
+	var simClock atomic.Uint64
+	var ing *ingest.Service
+	if inputs != "" {
+		simNow := func() float64 { return math.Float64frombits(simClock.Load()) }
+		ing, err = startIngest(db, inputs, gw, 22, tbCfg.SamplePeriodS, simNow)
+		if err != nil {
+			return fmt.Errorf("starting ingest pipeline: %w", err)
+		}
+		defer ing.Stop()
+		fmt.Printf("teslad: ingest pipeline running (%s)\n", inputs)
 	}
 
 	// The daemon never runs the policy bare: the safety supervisor validates
@@ -236,7 +274,7 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	// Operator endpoint. Serve errors land on a channel so a broken listener
 	// is reported rather than silently swallowed; on exit the server drains
 	// in-flight operator requests before the process ends.
-	d := &daemon{events: events, gw: gw}
+	d := &daemon{events: events, gw: gw, ing: ing}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", d.handleStatus)
 	mux.HandleFunc("/metrics", d.handleMetrics)
@@ -275,6 +313,7 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 			return err
 		}
 		bridge.Refresh(s)
+		simClock.Store(math.Float64bits(s.TimeS))
 		appendView := dr == nil || (dr.Steps == 0 && i >= dr.WarmDone)
 		if err := dr.LogWarm(i, s); err != nil {
 			return err
@@ -316,6 +355,7 @@ loop:
 			return err
 		}
 		bridge.Refresh(s)
+		simClock.Store(math.Float64bits(s.TimeS))
 		view.Append(s)
 		db.Insert("safety_level", nil, telemetry.Point{TimeS: s.TimeS, Value: float64(sup.Level())})
 

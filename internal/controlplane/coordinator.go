@@ -10,6 +10,7 @@ import (
 
 	"tesla/internal/fleet"
 	"tesla/internal/gateway"
+	"tesla/internal/ingest"
 	"tesla/internal/telemetry"
 )
 
@@ -65,6 +66,7 @@ type shardState struct {
 	client   *Client
 	rollup   telemetry.Rollup
 	gateway  *gateway.Stats
+	ingest   *ingest.Stats
 }
 
 // roomState is the coordinator's view of one room's placement.
@@ -112,6 +114,7 @@ type FleetView struct {
 	Shards   []ShardInfo     `json:"shards"`
 	Rollup   telemetry.Rollup `json:"rollup"`
 	Gateway  *gateway.Stats  `json:"gateway,omitempty"`
+	Ingest   *ingest.Stats   `json:"ingest,omitempty"`
 	Placements []RoomPlacement `json:"placements"`
 }
 
@@ -391,6 +394,8 @@ func (c *Coordinator) Fleet() FleetView {
 	v := FleetView{Rooms: len(c.rooms)}
 	var gw gateway.Stats
 	haveGw := false
+	var ing ingest.Stats
+	haveIng := false
 	ids := make([]string, 0, len(c.shards))
 	for id := range c.shards {
 		ids = append(ids, id)
@@ -416,6 +421,10 @@ func (c *Coordinator) Fleet() FleetView {
 				mergeGateway(&gw, *sh.gateway)
 				haveGw = true
 			}
+			if sh.ingest != nil {
+				ing.Merge(*sh.ingest)
+				haveIng = true
+			}
 		}
 	}
 	// The merged Rooms field counts per-shard ingestor instances over time;
@@ -423,6 +432,9 @@ func (c *Coordinator) Fleet() FleetView {
 	v.Rollup.Rooms = len(c.rooms)
 	if haveGw {
 		v.Gateway = &gw
+	}
+	if haveIng {
+		v.Ingest = &ing
 	}
 	for i := range c.rooms {
 		rm := &c.rooms[i]
@@ -510,6 +522,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	sh.health = ShardAlive
 	sh.rollup = req.Rollup
 	sh.gateway = req.Gateway
+	sh.ingest = req.Ingest
 
 	var resp HeartbeatResponse
 	for _, st := range req.Rooms {
@@ -592,5 +605,13 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE tesla_rooms_unplaced gauge\ntesla_rooms_unplaced %d\n", v.Unplaced)
 	fmt.Fprintf(w, "# TYPE tesla_rooms_done gauge\ntesla_rooms_done %d\n", v.Done)
 	fmt.Fprintf(w, "# TYPE tesla_fleet_samples_ingested_total counter\ntesla_fleet_samples_ingested_total %d\n", v.Rollup.Samples)
+	if v.Ingest != nil {
+		fmt.Fprintf(w, "# TYPE tesla_fleet_ingest_attempts_total counter\ntesla_fleet_ingest_attempts_total %d\n", v.Ingest.Attempts)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_ingest_ingested_total counter\ntesla_fleet_ingest_ingested_total %d\n", v.Ingest.Ingested)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_ingest_dropped_total counter\ntesla_fleet_ingest_dropped_total %d\n", v.Ingest.Dropped)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_ingest_seq_gaps_total counter\ntesla_fleet_ingest_seq_gaps_total %d\n", v.Ingest.SeqGaps)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_tsdb_raw_points gauge\ntesla_fleet_tsdb_raw_points %d\n", v.Ingest.TSDB.RawPoints)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_tsdb_inserted_total counter\ntesla_fleet_tsdb_inserted_total %d\n", v.Ingest.TSDB.Inserted)
+	}
 	fmt.Fprintf(w, "# TYPE tesla_fleet_max_cold_aisle_celsius gauge\ntesla_fleet_max_cold_aisle_celsius %g\n", v.Rollup.MaxColdC)
 }

@@ -15,6 +15,7 @@ import (
 
 	"tesla/internal/fleet"
 	"tesla/internal/gateway"
+	"tesla/internal/ingest"
 	"tesla/internal/rng"
 	"tesla/internal/telemetry"
 )
@@ -68,6 +69,7 @@ type HeartbeatRequest struct {
 	Rooms   []RoomStatus     `json:"rooms"`
 	Rollup  telemetry.Rollup `json:"rollup"`
 	Gateway *gateway.Stats   `json:"gateway,omitempty"`
+	Ingest  *ingest.Stats    `json:"ingest,omitempty"`
 }
 
 // HeartbeatResponse lists assignments the shard must relinquish: rooms whose

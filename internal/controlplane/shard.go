@@ -12,6 +12,7 @@ import (
 
 	"tesla/internal/fleet"
 	"tesla/internal/gateway"
+	"tesla/internal/ingest"
 	"tesla/internal/telemetry"
 )
 
@@ -51,6 +52,10 @@ type ShardConfig struct {
 	// GatewayStats, when set, is sampled into every heartbeat so the
 	// coordinator's fleet view includes field-bus health.
 	GatewayStats func() gateway.Stats
+	// IngestStats, when set, is sampled into every heartbeat so the
+	// coordinator's fleet view includes this shard's telemetry-ingest
+	// pipeline (inputs, exact drop/gap ledger, TSDB tier sizes).
+	IngestStats func() ingest.Stats
 }
 
 // hostState is a hosted room's lifecycle stage.
@@ -571,6 +576,10 @@ func (s *Shard) beat() bool {
 	if s.cfg.GatewayStats != nil {
 		gs := s.cfg.GatewayStats()
 		req.Gateway = &gs
+	}
+	if s.cfg.IngestStats != nil {
+		is := s.cfg.IngestStats()
+		req.Ingest = &is
 	}
 
 	var resp HeartbeatResponse

@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+
+	"tesla/internal/gateway"
+	"tesla/internal/telemetry"
+)
+
+// ModbusConfig tunes a ModbusInput.
+type ModbusConfig struct {
+	// Gateway is the device fleet to sweep; its device set must be final
+	// before Start. Required.
+	Gateway *gateway.Gateway
+	// Poller configures the underlying gateway.Poller (cold limit, period,
+	// queue bounds, seq hand-off).
+	Poller gateway.PollerConfig
+	// Measurement names the emitted series (default "acu").
+	Measurement string
+}
+
+// ModbusInput is the pull plugin over an ACU fleet. It owns a
+// gateway.Poller — the existing sweep/queue/ingest pipeline with its exact
+// per-device sequence accounting — rather than a bespoke poll loop, and on
+// every Gather emits each freshly answered device's state as three points
+// (setpoint_c, max_cold_c, power_kw) through pre-resolved series refs.
+// Failed polls surface as sequence gaps in the rollup and are mirrored
+// into the input's SeqGaps, so fleet loss is visible at the ingest layer
+// without double counting.
+type ModbusInput struct {
+	cfg ModbusConfig
+
+	mu          sync.Mutex
+	sink        *Sink
+	poller      *gateway.Poller
+	refs        [][3]telemetry.SeriesRef // per device: setpoint_c, max_cold_c, power_kw
+	prevSamples []uint64
+	prevGaps    uint64
+	prevFails   uint64
+
+	gathers uint64
+	errors  uint64
+	seqGaps uint64
+}
+
+// NewModbusInput builds the input; the poller is created at Start so the
+// gateway's device set is complete.
+func NewModbusInput(cfg ModbusConfig) *ModbusInput {
+	if cfg.Measurement == "" {
+		cfg.Measurement = "acu"
+	}
+	return &ModbusInput{cfg: cfg}
+}
+
+// Name implements Input.
+func (m *ModbusInput) Name() string { return "modbus" }
+
+// Poller exposes the underlying poller (rollup, seq hand-off for shard
+// migration). Valid after Start.
+func (m *ModbusInput) Poller() *gateway.Poller {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.poller
+}
+
+// Start implements Input: build the poller and resolve one series ref per
+// device field, so the gather path appends without allocation.
+func (m *ModbusInput) Start(sink *Sink) error {
+	if m.cfg.Gateway == nil {
+		return fmt.Errorf("modbus input: Gateway is required")
+	}
+	devs := m.cfg.Gateway.Devices()
+	if len(devs) == 0 {
+		return fmt.Errorf("modbus input: gateway has no devices")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sink = sink
+	m.poller = gateway.NewPoller(m.cfg.Gateway, m.cfg.Poller)
+	m.refs = make([][3]telemetry.SeriesRef, len(devs))
+	m.prevSamples = make([]uint64, len(devs))
+	db := sink.DB()
+	for i, d := range devs {
+		tags := func(field string) map[string]string {
+			return map[string]string{"device": d.ID(), "field": field}
+		}
+		m.refs[i] = [3]telemetry.SeriesRef{
+			db.Ref(m.cfg.Measurement, tags("setpoint_c")),
+			db.Ref(m.cfg.Measurement, tags("max_cold_c")),
+			db.Ref(m.cfg.Measurement, tags("power_kw")),
+		}
+	}
+	return nil
+}
+
+// Gather implements Input: one sweep + drain, then emit every device that
+// answered. Returns an error when any device failed this sweep (counted,
+// not fatal — the service just tallies it).
+func (m *ModbusInput) Gather(timeS float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.poller == nil {
+		return fmt.Errorf("modbus input: not started")
+	}
+	m.gathers++
+	_, failed := m.poller.PollOnce(timeS)
+	m.poller.DrainOnce()
+	for i, agg := range m.poller.RoomAggs() {
+		if agg.Samples == m.prevSamples[i] {
+			continue
+		}
+		m.prevSamples[i] = agg.Samples
+		t := agg.LastTimeS
+		m.sink.AddRef(m.refs[i][0], telemetry.Point{TimeS: t, Value: agg.LastSetpointC})
+		m.sink.AddRef(m.refs[i][1], telemetry.Point{TimeS: t, Value: agg.LastMaxColdC})
+		m.sink.AddRef(m.refs[i][2], telemetry.Point{TimeS: t, Value: agg.LastPowerKW})
+	}
+	roll := m.poller.Rollup()
+	m.seqGaps += roll.Gaps - m.prevGaps
+	m.prevGaps = roll.Gaps
+	_, fails := m.poller.Counts()
+	m.errors += fails - m.prevFails
+	m.prevFails = fails
+	if failed > 0 {
+		return fmt.Errorf("modbus input: %d device(s) failed this sweep", failed)
+	}
+	return nil
+}
+
+// Stop implements Input. The gateway is owned by the caller, so there is
+// nothing to tear down beyond detaching from it.
+func (m *ModbusInput) Stop() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.poller = nil
+	return nil
+}
+
+// Stats implements Input.
+func (m *ModbusInput) Stats() InputStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return InputStats{
+		Name:    "modbus",
+		Gathers: m.gathers,
+		Errors:  m.errors,
+		SeqGaps: m.seqGaps,
+	}
+}

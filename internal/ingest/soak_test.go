@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tesla/internal/telemetry"
+)
+
+// TestSoakIngestPipeline runs the whole pipeline hot for a few hundred
+// milliseconds — a bursty stream publisher, an HTTP poster that interleaves
+// malformed lines, a hung subscriber that accepts the stream but never
+// reads, and the compactor folding raw points into tiers the entire time —
+// then checks that every ledger balances exactly and that teardown leaks
+// zero goroutines.
+func TestSoakIngestPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	baseline := runtime.NumGoroutine()
+	nowS := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+	db := telemetry.NewDBWithRetention(telemetry.RetentionConfig{
+		RawWindowS:    0.1,
+		MinuteWindowS: 1,
+		MinuteS:       0.02,
+		HourS:         0.2,
+	})
+	srv, err := NewStreamServer("127.0.0.1:0", StreamServerConfig{Retain: 8192, Heartbeat: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := NewService(Config{DB: db, GatherEvery: time.Hour, CompactEvery: 5 * time.Millisecond, Now: nowS})
+	h := NewHTTPInput("127.0.0.1:0")
+	sub := NewSubscribeInput([]string{srv.Addr()}, SubscribeConfig{BackoffMin: 5 * time.Millisecond})
+	svc.Add(h)
+	svc.Add(sub)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hung subscriber: completes the handshake, never reads a byte.
+	hung, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(hung, "SUB 1\n")
+
+	// Bursty pusher: bursts of sequenced single-field records.
+	var published atomic.Uint64
+	pushDone := make(chan struct{})
+	go func() {
+		defer close(pushDone)
+		for burst := 0; burst < 40; burst++ {
+			for i := 0; i < 50; i++ {
+				srv.Publish(fmt.Sprintf("stream,src=burst v=%d %.6f", burst*50+i, nowS()))
+				published.Add(1)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	// HTTP poster: batches with one malformed line each.
+	var postedOK, postedBad atomic.Uint64
+	postDone := make(chan struct{})
+	go func() {
+		defer close(postDone)
+		url := "http://" + h.Addr() + "/write"
+		for batch := 0; batch < 30; batch++ {
+			var sb strings.Builder
+			for i := 0; i < 20; i++ {
+				fmt.Fprintf(&sb, "poster,src=http v=%d %.6f\n", batch*20+i, nowS())
+			}
+			sb.WriteString("this line is not protocol\n")
+			resp, err := http.Post(url, "text/plain", strings.NewReader(sb.String()))
+			if err == nil {
+				resp.Body.Close()
+				postedOK.Add(20)
+				postedBad.Add(1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	<-pushDone
+	<-postDone
+	waitUntil(t, 5*time.Second, func() bool { return sub.SubStats()[0].LastSeq == srv.Head() }, "subscriber catch-up")
+
+	// Ledgers, top to bottom. Ingest layer: every record presented is
+	// stored or counted dropped.
+	st := svc.Stats()
+	if st.Attempts != st.Ingested+st.Dropped {
+		t.Fatalf("ingest ledger broken: attempts %d != ingested %d + dropped %d", st.Attempts, st.Ingested, st.Dropped)
+	}
+	if st.Dropped != postedBad.Load() {
+		t.Fatalf("dropped %d, posted %d malformed lines", st.Dropped, postedBad.Load())
+	}
+	if want := postedOK.Load() + published.Load(); st.Ingested != want {
+		t.Fatalf("ingested %d, want %d (http ok + stream)", st.Ingested, want)
+	}
+
+	// Subscription layer: delivered + gaps == resume point, and nothing
+	// gapped with the ring sized over the whole run.
+	s := sub.SubStats()[0]
+	if s.Received+s.Gaps != s.LastSeq {
+		t.Fatalf("sub ledger broken: %+v", s)
+	}
+	if s.Gaps != 0 || s.Received != published.Load() {
+		t.Fatalf("lossless run lost records: %+v (published %d)", s, published.Load())
+	}
+
+	// Storage layer: every point the sinks accepted is live in a chunk,
+	// folded into a tier, or exactly counted as a late drop — and the
+	// compactor really ran against this load.
+	ts := st.TSDB
+	if ts.Inserted != uint64(ts.RawPoints)+ts.RawCompacted {
+		t.Fatalf("tsdb ledger broken: inserted %d != raw %d + compacted %d", ts.Inserted, ts.RawPoints, ts.RawCompacted)
+	}
+	if ts.Inserted+ts.LateDropped != st.Ingested {
+		t.Fatalf("cross-layer ledger broken: tsdb inserted %d + late %d != sink ingested %d",
+			ts.Inserted, ts.LateDropped, st.Ingested)
+	}
+	if ts.Compactions == 0 || ts.RawCompacted == 0 {
+		t.Fatalf("compactor idle under load: %+v", ts)
+	}
+
+	// Teardown with the hung subscriber still attached must not leak.
+	svc.Stop()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hung.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d after teardown\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

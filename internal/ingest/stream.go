@@ -1,0 +1,248 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The subscribe wire protocol. A device (or its edge proxy) runs a
+// StreamServer and publishes every sample as a sequenced line-protocol
+// record. A subscriber dials, sends one request line
+//
+//	SUB <fromSeq>\n
+//
+// and then reads frames until it hangs up:
+//
+//	D <seq> <line-protocol record>\n     // a delta
+//	H <head>\n                           // heartbeat while idle
+//
+// Sequence numbers are per-stream, contiguous from 1. The server retains a
+// bounded ring of recent records; a subscriber asking for seqs that have
+// aged out is resumed at the oldest retained record, and the jump is
+// visible to it as an exact sequence gap — the protocol never papers over
+// loss. Slow or hung subscribers are disconnected by a write deadline
+// rather than buffered without bound; they resubscribe from their last
+// seq and account the difference the same way.
+
+// StreamServerConfig tunes a StreamServer.
+type StreamServerConfig struct {
+	// Retain bounds the delta ring (default 4096 records).
+	Retain int
+	// Heartbeat is the idle-heartbeat interval; a conn with nothing to
+	// send gets an H frame this often (default 500ms). The write deadline
+	// for every frame is 4x this.
+	Heartbeat time.Duration
+}
+
+// StreamServer is the device side of the subscribe protocol: a TCP
+// listener over a bounded ring of sequenced records.
+type StreamServer struct {
+	cfg StreamServerConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	buf    []string // ring: buf[i] has seq base+uint64(i)
+	base   uint64   // seq of buf[0]; ring covers [base, head]
+	head   uint64   // seq of newest published record; 0 = none yet
+	notify chan struct{}
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	published atomic.Uint64
+	evicted   atomic.Uint64
+	active    atomic.Int64
+}
+
+// NewStreamServer listens on addr (port 0 picks a free port).
+func NewStreamServer(addr string, cfg StreamServerConfig) (*StreamServer, error) {
+	if cfg.Retain <= 0 {
+		cfg.Retain = 4096
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream server: %w", err)
+	}
+	s := &StreamServer{
+		cfg:    cfg,
+		ln:     ln,
+		base:   1,
+		notify: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *StreamServer) Addr() string { return s.ln.Addr().String() }
+
+// Publish appends one record to the stream and returns its sequence
+// number. Records must be single line-protocol lines (no newlines).
+func (s *StreamServer) Publish(line string) uint64 {
+	s.mu.Lock()
+	s.head++
+	seq := s.head
+	s.buf = append(s.buf, line)
+	if len(s.buf) > s.cfg.Retain {
+		drop := len(s.buf) - s.cfg.Retain
+		s.buf = append(s.buf[:0], s.buf[drop:]...)
+		s.base += uint64(drop)
+		s.evicted.Add(uint64(drop))
+	}
+	close(s.notify)
+	s.notify = make(chan struct{})
+	s.mu.Unlock()
+	s.published.Add(1)
+	return seq
+}
+
+// Head returns the newest published sequence number (0 if none).
+func (s *StreamServer) Head() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head
+}
+
+// Counts reports records published and evicted from the ring, and the
+// number of currently attached subscribers.
+func (s *StreamServer) Counts() (published, evicted uint64, subscribers int) {
+	return s.published.Load(), s.evicted.Load(), int(s.active.Load())
+}
+
+// DropSubscribers closes every attached subscriber conn (the listener
+// stays up). Subscribers resubscribe from their last seq; fault-injection
+// harnesses use this to exercise that path deterministically.
+func (s *StreamServer) DropSubscribers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Close stops the listener and every subscriber conn.
+func (s *StreamServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.notify)
+	s.notify = make(chan struct{})
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *StreamServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *StreamServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	conn.SetReadDeadline(time.Now().Add(4 * s.cfg.Heartbeat))
+	req, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	rest, ok := strings.CutPrefix(strings.TrimSpace(req), "SUB ")
+	if !ok {
+		fmt.Fprintf(conn, "E bad request\n")
+		return
+	}
+	from, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		fmt.Fprintf(conn, "E bad seq\n")
+		return
+	}
+	if from == 0 {
+		from = 1
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	w := bufio.NewWriter(conn)
+	next := from
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if next < s.base {
+			// Aged out of the ring: resume at the oldest retained record.
+			// The subscriber sees the seq jump and accounts the gap.
+			next = s.base
+		}
+		var frames []string
+		head := s.head
+		for next <= head && len(frames) < 64 {
+			frames = append(frames, fmt.Sprintf("D %d %s\n", next, s.buf[next-s.base]))
+			next++
+		}
+		notify := s.notify
+		s.mu.Unlock()
+
+		conn.SetWriteDeadline(time.Now().Add(4 * s.cfg.Heartbeat))
+		if len(frames) == 0 {
+			select {
+			case <-notify:
+				continue
+			case <-time.After(s.cfg.Heartbeat):
+				if _, err := fmt.Fprintf(w, "H %d\n", head); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+		}
+		for _, f := range frames {
+			if _, err := w.WriteString(f); err != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

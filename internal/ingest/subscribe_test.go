@@ -1,0 +1,170 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tesla/internal/telemetry"
+)
+
+func newStreamServer(t *testing.T, cfg StreamServerConfig) *StreamServer {
+	t.Helper()
+	srv, err := NewStreamServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func startSubscribe(t *testing.T, db *telemetry.DB, targets []string, cfg SubscribeConfig) (*SubscribeInput, *Sink) {
+	t.Helper()
+	in := NewSubscribeInput(targets, cfg)
+	sink := NewSink(db)
+	if err := in.Start(sink); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { in.Stop() })
+	return in, sink
+}
+
+// subLedgerOK asserts the per-subscription invariant: every sequence number
+// up to the resume point is accounted as delivered or as a gap.
+func subLedgerOK(t *testing.T, s SubStats) {
+	t.Helper()
+	if s.Received+s.Gaps != s.LastSeq {
+		t.Fatalf("sub ledger broken for %s: received %d + gaps %d != lastSeq %d",
+			s.Target, s.Received, s.Gaps, s.LastSeq)
+	}
+}
+
+// TestSubscribeDeliversDeltas: records published before and after the
+// subscription all land in the DB, in order, with zero gaps.
+func TestSubscribeDeliversDeltas(t *testing.T) {
+	srv := newStreamServer(t, StreamServerConfig{Heartbeat: 20 * time.Millisecond})
+	for i := 1; i <= 5; i++ {
+		srv.Publish(fmt.Sprintf("m,src=push v=%d %d", i, i))
+	}
+	db := telemetry.NewDB()
+	in, _ := startSubscribe(t, db, []string{srv.Addr()}, SubscribeConfig{})
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].LastSeq == 5 }, "backlog replay")
+	for i := 6; i <= 10; i++ {
+		srv.Publish(fmt.Sprintf("m,src=push v=%d %d", i, i))
+	}
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].LastSeq == 10 }, "live deltas")
+
+	s := in.SubStats()[0]
+	subLedgerOK(t, s)
+	if s.Gaps != 0 || s.Received != 10 {
+		t.Fatalf("stats %+v, want 10 received 0 gaps", s)
+	}
+	pts := db.Query("m", map[string]string{"src": "push", "field": "v"}, 0, 100)
+	if len(pts) != 10 {
+		t.Fatalf("stored %d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.TimeS != float64(i+1) || p.Value != float64(i+1) {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+}
+
+// TestSubscribeAgedOutGapExact: a subscriber asking for records the ring
+// already evicted is resumed at the oldest retained record, and the jump is
+// accounted as an exact gap — evicted count == observed gap.
+func TestSubscribeAgedOutGapExact(t *testing.T) {
+	srv := newStreamServer(t, StreamServerConfig{Retain: 4, Heartbeat: 20 * time.Millisecond})
+	for i := 1; i <= 10; i++ {
+		srv.Publish(fmt.Sprintf("m v=%d %d", i, i))
+	}
+	db := telemetry.NewDB()
+	in, _ := startSubscribe(t, db, []string{srv.Addr()}, SubscribeConfig{})
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].LastSeq == 10 }, "resume at ring base")
+
+	s := in.SubStats()[0]
+	subLedgerOK(t, s)
+	if s.Received != 4 || s.Gaps != 6 {
+		t.Fatalf("stats %+v, want received 4 (ring) gaps 6 (evicted)", s)
+	}
+	_, evicted, _ := srv.Counts()
+	if evicted != s.Gaps {
+		t.Fatalf("server evicted %d but subscriber accounted %d gaps", evicted, s.Gaps)
+	}
+}
+
+// TestSubscribeResubscribeOnDrop: dropped conns are re-established from
+// the last acknowledged seq; records published while disconnected are
+// replayed from the ring, so nothing is lost and no gap is charged.
+func TestSubscribeResubscribeOnDrop(t *testing.T) {
+	srv := newStreamServer(t, StreamServerConfig{Retain: 1024, Heartbeat: 10 * time.Millisecond})
+	db := telemetry.NewDB()
+	in, _ := startSubscribe(t, db, []string{srv.Addr()}, SubscribeConfig{
+		BackoffMin: 5 * time.Millisecond,
+	})
+	srv.Publish("m v=1 1")
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].LastSeq == 1 }, "first delta")
+
+	for drop := 0; drop < 3; drop++ {
+		srv.DropSubscribers()
+		// Publish while the subscriber is down: these must replay on
+		// resubscribe, not gap.
+		head := srv.Head()
+		srv.Publish(fmt.Sprintf("m v=%d %d", head+1, head+1))
+		srv.Publish(fmt.Sprintf("m v=%d %d", head+2, head+2))
+		waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].LastSeq == srv.Head() }, "catch-up after drop")
+	}
+
+	s := in.SubStats()[0]
+	subLedgerOK(t, s)
+	if s.Gaps != 0 {
+		t.Fatalf("retained records charged as gaps: %+v", s)
+	}
+	if s.Resubscribes < 3 {
+		t.Fatalf("resubscribes = %d, want >= 3", s.Resubscribes)
+	}
+	if s.Received != srv.Head() {
+		t.Fatalf("received %d, head %d", s.Received, srv.Head())
+	}
+	if uint64(db.Len()) != srv.Head() {
+		t.Fatalf("stored %d points for %d published", db.Len(), srv.Head())
+	}
+}
+
+// TestSubscribeHeartbeatsKeepIdleStreamAlive: an idle stream stays up on
+// heartbeats alone and resumes instantly when publishing restarts.
+func TestSubscribeHeartbeatsKeepIdleStreamAlive(t *testing.T) {
+	srv := newStreamServer(t, StreamServerConfig{Heartbeat: 10 * time.Millisecond})
+	db := telemetry.NewDB()
+	in, _ := startSubscribe(t, db, []string{srv.Addr()}, SubscribeConfig{})
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].Heartbeats >= 5 }, "heartbeats")
+	s := in.SubStats()[0]
+	if s.Resubscribes != 0 || !s.Connected {
+		t.Fatalf("idle stream churned: %+v", s)
+	}
+	srv.Publish("m v=1 1")
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].LastSeq == 1 }, "delta after idle")
+}
+
+// TestSubscribeServerRestart: a dead target is retried with backoff until
+// it returns; the new server starts a fresh stream whose lower seqs the
+// subscriber ignores as replays (it is already past them).
+func TestSubscribeDeadTargetRetries(t *testing.T) {
+	srv := newStreamServer(t, StreamServerConfig{Heartbeat: 10 * time.Millisecond})
+	addr := srv.Addr()
+	srv.Close()
+	db := telemetry.NewDB()
+	in, _ := startSubscribe(t, db, []string{addr}, SubscribeConfig{
+		DialTimeout: 100 * time.Millisecond,
+		BackoffMin:  5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	})
+	waitUntil(t, 2*time.Second, func() bool { return in.SubStats()[0].DialFailures >= 3 }, "dial retries")
+	if in.SubStats()[0].Connected {
+		t.Fatal("claims connected with no server")
+	}
+	st := in.Stats()
+	if st.Subscriptions != 0 || st.Errors == 0 {
+		t.Fatalf("input stats %+v", st)
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchDB builds a store with n in-order points on one series.
+func benchDB(n int) *DB {
+	db := NewDB()
+	ref := db.Ref("m", map[string]string{"sensor": "0"})
+	for i := 0; i < n; i++ {
+		ref.Append(Point{TimeS: float64(i), Value: float64(i)})
+	}
+	return db
+}
+
+// BenchmarkQuery pins the range-query cost. The old engine copied and
+// re-sorted the whole series per call (O(n log n) for any window); the
+// chunked engine binary-searches and copies only the window.
+func BenchmarkQuery(b *testing.B) {
+	db := benchDB(100_000)
+	tags := map[string]string{"sensor": "0"}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := db.Query("m", tags, 50_000, 50_100)
+		if len(pts) != 101 {
+			b.Fatalf("got %d points", len(pts))
+		}
+	}
+}
+
+// BenchmarkLatest pins the latest-point cost. The old engine scanned the
+// whole series per call; the chunked engine answers from a cache.
+func BenchmarkLatest(b *testing.B) {
+	db := benchDB(100_000)
+	tags := map[string]string{"sensor": "0"}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, ok := db.Latest("m", tags)
+		if !ok || p.TimeS != 99_999 {
+			b.Fatalf("Latest = %+v", p)
+		}
+	}
+}
+
+// BenchmarkInsert pins the in-order append fast path through a SeriesRef.
+func BenchmarkInsert(b *testing.B) {
+	db := NewDB()
+	ref := db.Ref("m", nil)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref.Append(Point{TimeS: float64(i), Value: 1})
+	}
+}
+
+// BenchmarkIngestBatch pins the wire-decode path: line-protocol batches the
+// size an input plugin would post.
+func BenchmarkIngestBatch(b *testing.B) {
+	var sb strings.Builder
+	const lines = 512
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "acu,device=d%d power_kw=%d.5 %d\n", i%16, i%7, i)
+	}
+	batch := sb.String()
+	db := NewDB()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, rej, err := db.IngestBatch(batch); rej != 0 || err != nil {
+			b.Fatalf("rejected %d: %v", rej, err)
+		}
+	}
+	b.ReportMetric(float64(b.N*lines)/b.Elapsed().Seconds(), "lines/s")
+}

@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -64,18 +63,18 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer r.Body.Close()
-	sc := bufio.NewScanner(io.LimitReader(r.Body, 16<<20))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	n := 0
-	for sc.Scan() {
-		if err := s.DB.IngestLine(sc.Text()); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		n++
-	}
-	if err := sc.Err(); err != nil {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Batched wire decoding: one pass over the body, malformed lines are
+	// rejected individually and everything else lands — the client learns
+	// exactly which lines failed, and a retry of the full batch is safe for
+	// the good lines (idempotent upsert semantics are the caller's concern).
+	n, rejected, ierr := s.DB.IngestBatch(string(body))
+	if rejected > 0 {
+		http.Error(w, fmt.Sprintf("wrote %d lines, rejected %d: %v", n, rejected, ierr), http.StatusBadRequest)
 		return
 	}
 	fmt.Fprintf(w, "wrote %d lines\n", n)
@@ -109,10 +108,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad to", http.StatusBadRequest)
 		return
 	}
-	pts := s.DB.Query(measurement, tags, from, to)
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(pts); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	// tier selects a downsampled resolution; absent or "raw" serves points.
+	switch q.Get("tier") {
+	case "", "raw":
+		pts := s.DB.Query(measurement, tags, from, to)
+		if err := json.NewEncoder(w).Encode(pts); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "1m":
+		if err := json.NewEncoder(w).Encode(s.DB.QueryAgg(TierMinute, measurement, tags, from, to)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "1h":
+		if err := json.NewEncoder(w).Encode(s.DB.QueryAgg(TierHour, measurement, tags, from, to)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "bad tier (want raw, 1m or 1h)", http.StatusBadRequest)
 	}
 }
 

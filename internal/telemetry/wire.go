@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Batched wire decoding. The reference parser (ingestLine) allocates two
+// maps per record; at production volume that is the entire ingest budget.
+// batchDecoder parses the same protocol with zero steady-state allocations:
+// tag key/values are collected into a reusable scratch slice, the canonical
+// series key is rendered into a reusable buffer, and resolved series are
+// cached per batch so every record after the first on a series is a pure
+// append. A differential fuzz test (FuzzBatchMatchesLine) pins the decoder
+// to the reference parser's accept/reject behavior and stored values.
+
+type kvPair struct{ k, v string }
+
+type batchDecoder struct {
+	db   *DB
+	refs map[string]*memSeries
+	kvs  []kvPair
+	key  []byte
+}
+
+func (db *DB) newBatchDecoder() *batchDecoder {
+	return &batchDecoder{db: db, refs: make(map[string]*memSeries, 16)}
+}
+
+// splitLine3 splits s into exactly three whitespace-separated tokens, with
+// strings.Fields' definition of whitespace (any Unicode space) so the fast
+// and reference parsers tokenize identically.
+func splitLine3(s string) (a, b, c string, ok bool) {
+	fields := [3]string{}
+	n := 0
+	i := 0
+	for i < len(s) {
+		for i < len(s) {
+			r, size := decodeRune(s[i:])
+			if !unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		if i == len(s) {
+			break
+		}
+		start := i
+		for i < len(s) {
+			r, size := decodeRune(s[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		if n == 3 {
+			return "", "", "", false
+		}
+		fields[n] = s[start:i]
+		n++
+	}
+	if n != 3 {
+		return "", "", "", false
+	}
+	return fields[0], fields[1], fields[2], true
+}
+
+// decodeRune is utf8.DecodeRuneInString with a single-byte ASCII fast path.
+func decodeRune(s string) (rune, int) {
+	if b := s[0]; b < utf8.RuneSelf {
+		return rune(b), 1
+	}
+	return utf8.DecodeRuneInString(s)
+}
+
+// ingest decodes one record and appends its points. Mirrors ingestLine's
+// semantics exactly, including atomic rejection of half-bad records and the
+// tag-named-"field" override quirk.
+func (d *batchDecoder) ingest(line string) error {
+	s := strings.TrimSpace(line)
+	if s == "" || s[0] == '#' {
+		return nil
+	}
+	head, fieldTok, tsTok, ok := splitLine3(s)
+	if !ok {
+		return fmt.Errorf("telemetry: line needs 'series fields timestamp', got %q", s)
+	}
+	// Measurement and tags.
+	measurement := head
+	rest := ""
+	if i := strings.IndexByte(head, ','); i >= 0 {
+		measurement, rest = head[:i], head[i+1:]
+	}
+	if measurement == "" {
+		return fmt.Errorf("telemetry: empty measurement in %q", s)
+	}
+	kvs := d.kvs[:0]
+	if len(rest) > 0 || len(head) > len(measurement) {
+		// head had a comma: every segment (including empty trailing ones,
+		// which the reference parser also sees) must be a well-formed tag.
+		for {
+			kv := rest
+			done := true
+			if i := strings.IndexByte(rest, ','); i >= 0 {
+				kv, rest, done = rest[:i], rest[i+1:], false
+			}
+			i := strings.IndexByte(kv, '=')
+			if i <= 0 {
+				d.kvs = kvs
+				return fmt.Errorf("telemetry: malformed tag %q", kv)
+			}
+			kvs = append(kvs, kvPair{kv[:i], kv[i+1:]})
+			if done {
+				break
+			}
+		}
+	}
+	d.kvs = kvs
+	// Sort tags (stable insertion sort: tag counts are tiny and
+	// sort.SliceStable allocates) and dedupe keeping the LAST occurrence of
+	// a repeated key — map-assignment semantics of the reference parser.
+	for i := 1; i < len(kvs); i++ {
+		for j := i; j > 0 && kvs[j].k < kvs[j-1].k; j-- {
+			kvs[j], kvs[j-1] = kvs[j-1], kvs[j]
+		}
+	}
+	w := 0
+	for i := range kvs {
+		if i+1 < len(kvs) && kvs[i+1].k == kvs[i].k {
+			continue
+		}
+		kvs[w] = kvs[i]
+		w++
+	}
+	kvs = kvs[:w]
+
+	ts, err := strconv.ParseFloat(tsTok, 64)
+	if err != nil {
+		return fmt.Errorf("telemetry: bad timestamp in %q: %w", s, err)
+	}
+
+	// Parse every field before inserting any (atomic rejection). Scratch on
+	// the stack for the common few-field case.
+	var fvArr [8]kvPair
+	fvs := fvArr[:0]
+	rest = fieldTok
+	for {
+		fv := rest
+		done := true
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			fv, rest, done = rest[:i], rest[i+1:], false
+		}
+		i := strings.IndexByte(fv, '=')
+		if i <= 0 {
+			return fmt.Errorf("telemetry: malformed field %q", fv)
+		}
+		if _, err := strconv.ParseFloat(fv[i+1:], 64); err != nil {
+			return fmt.Errorf("telemetry: bad field value in %q: %w", fv, err)
+		}
+		fvs = append(fvs, kvPair{fv[:i], fv[i+1:]})
+		if done {
+			break
+		}
+	}
+
+	// A literal tag named "field" overrides the implicit per-field tag, as
+	// the reference parser's map ordering does.
+	hasFieldTag := false
+	for _, kv := range kvs {
+		if kv.k == "field" {
+			hasFieldTag = true
+			break
+		}
+	}
+	for _, f := range fvs {
+		v, _ := strconv.ParseFloat(f.v, 64) // validated above
+		ms := d.resolve(measurement, kvs, f.k, hasFieldTag)
+		ms.insert(Point{TimeS: ts, Value: v})
+	}
+	return nil
+}
+
+// resolve returns the series for measurement + tags + the implicit field
+// tag, consulting the per-batch cache first. The cache key renders the
+// canonical form into a reusable buffer; a map lookup keyed by string(buf)
+// does not allocate.
+func (d *batchDecoder) resolve(measurement string, kvs []kvPair, field string, hasFieldTag bool) *memSeries {
+	key := d.key[:0]
+	key = append(key, measurement...)
+	key = append(key, 0)
+	wroteField := hasFieldTag
+	first := true
+	writeKV := func(k, v string) {
+		if !first {
+			key = append(key, ',')
+		}
+		first = false
+		key = append(key, k...)
+		key = append(key, '=')
+		key = append(key, v...)
+	}
+	for _, kv := range kvs {
+		if !wroteField && kv.k > "field" {
+			writeKV("field", field)
+			wroteField = true
+		}
+		writeKV(kv.k, kv.v)
+	}
+	if !wroteField {
+		writeKV("field", field)
+	}
+	d.key = key
+	if s, ok := d.refs[string(key)]; ok {
+		return s
+	}
+	// Miss: materialize the canonical tag string (everything after the NUL).
+	canon := string(key[len(measurement)+1:])
+	s := d.db.getSeries(seriesKey{measurement, canon})
+	d.refs[string(key)] = s
+	return s
+}
