@@ -16,6 +16,7 @@ import (
 	"tesla/internal/controlplane"
 	"tesla/internal/dataset"
 	"tesla/internal/fleet"
+	"tesla/internal/modbus"
 )
 
 // cpIntegratorPolicy is a cheap stateful Durable policy for the control-plane
@@ -84,7 +85,7 @@ type cpCluster struct {
 	srvs     map[string]*httptest.Server
 }
 
-func startCPCluster(fcfg fleet.Config, roots map[string]string, delay time.Duration) (*cpCluster, error) {
+func startCPCluster(fcfg fleet.Config, roots map[string]string, delay time.Duration, fieldBus bool) (*cpCluster, error) {
 	rpc := controlplane.ClientOptions{Retries: 2, BackoffMin: 2 * time.Millisecond, BackoffMax: 20 * time.Millisecond, Timeout: 5 * time.Second}
 	coord, err := controlplane.NewCoordinator(controlplane.CoordinatorConfig{
 		Fleet:          fcfg,
@@ -108,6 +109,7 @@ func startCPCluster(fcfg fleet.Config, roots map[string]string, delay time.Durat
 			Coordinator:    cl.coordSrv.URL,
 			HeartbeatEvery: 10 * time.Millisecond,
 			RPC:            rpc,
+			FieldBus:       fieldBus,
 		})
 		if err != nil {
 			cl.stop()
@@ -200,6 +202,7 @@ type cpBenchReport struct {
 	Trials     int    `json:"trials"`
 	StepDelay  string `json:"step_delay"`
 	DeadAfter  string `json:"dead_after"`
+	Gateway    bool   `json:"gateway"`
 	Failover   cpDist `json:"failover"`
 	Migration  cpDist `json:"migration_pause"`
 	HashChecks int    `json:"trajectory_hash_checks"`
@@ -208,13 +211,13 @@ type cpBenchReport struct {
 // failoverTrial boots a two-shard shared-root cluster, kills the loaded
 // shard mid-flight and measures kill → every one of its rooms re-placed on
 // the survivor. Returns the failover time and the number of hash checks.
-func failoverTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64) (float64, int, error) {
+func failoverTrial(fcfg fleet.Config, delay time.Duration, fieldBus bool, want map[int]uint64) (float64, int, error) {
 	dirA, err := os.MkdirTemp("", "cpbench-shared")
 	if err != nil {
 		return 0, 0, err
 	}
 	defer os.RemoveAll(dirA)
-	cl, err := startCPCluster(fcfg, map[string]string{"worker-a": dirA, "worker-b": dirA}, delay)
+	cl, err := startCPCluster(fcfg, map[string]string{"worker-a": dirA, "worker-b": dirA}, delay, fieldBus)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -282,7 +285,7 @@ func failoverTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64) 
 // migrationTrial boots a two-shard distinct-root cluster and live-migrates
 // one in-flight room to the other shard, recording the control-plane pause
 // (drain barrier → stepping on the target).
-func migrationTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64) (float64, int, error) {
+func migrationTrial(fcfg fleet.Config, delay time.Duration, fieldBus bool, want map[int]uint64) (float64, int, error) {
 	dirA, err := os.MkdirTemp("", "cpbench-a")
 	if err != nil {
 		return 0, 0, err
@@ -293,7 +296,7 @@ func migrationTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64)
 		return 0, 0, err
 	}
 	defer os.RemoveAll(dirB)
-	cl, err := startCPCluster(fcfg, map[string]string{"worker-a": dirA, "worker-b": dirB}, delay)
+	cl, err := startCPCluster(fcfg, map[string]string{"worker-a": dirA, "worker-b": dirB}, delay, fieldBus)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -339,6 +342,15 @@ func migrationTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64)
 	if err != nil {
 		return 0, 0, err
 	}
+	if fieldBus {
+		// Both shards stay alive, so the merged field ledger must be exact:
+		// one polled sample per evaluated step per room, zero gaps — the
+		// migration bundle's seq hand-off accounted every number once.
+		steps := int(fcfg.EvalS/fcfg.Testbed.SamplePeriodS) * final.Rooms
+		if final.Field == nil || int(final.Field.Samples) != steps || final.Field.Gaps != 0 {
+			return 0, 0, fmt.Errorf("field ledger not exact after migration (want %d samples, 0 gaps): %+v", steps, final.Field)
+		}
+	}
 	checks, err := verifyCPHashes(final, want)
 	return rep.PauseMs, checks, err
 }
@@ -348,12 +360,17 @@ func migrationTrial(fcfg fleet.Config, delay time.Duration, want map[int]uint64)
 // migration (distinct roots), each verified bit-identical against the
 // uninterrupted reference before its latency counts. Prints a table and
 // writes BENCH_controlplane.json.
-func runControlplaneBench(w io.Writer, rooms, trials int, outPath string) error {
+func runControlplaneBench(w io.Writer, rooms, trials int, fieldBus bool, outPath string) error {
 	const (
 		seed  = 29
 		delay = 3 * time.Millisecond
 	)
 	fcfg := cpBenchFleetCfg(rooms, seed)
+	if fieldBus {
+		// Shards actuate over Modbus registers; the reference must quantize
+		// identically or no hash could ever match.
+		fcfg.Quantize = modbus.QuantizeTempC
+	}
 	ref, err := fleet.Run(fcfg)
 	if err != nil {
 		return err
@@ -367,12 +384,17 @@ func runControlplaneBench(w io.Writer, rooms, trials int, outPath string) error 
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Rooms:     rooms, Trials: trials,
 		StepDelay: delay.String(), DeadAfter: "90ms",
+		Gateway: fieldBus,
 	}
-	fmt.Fprintf(w, "control-plane chaos sweep: %d rooms, %d trials (heartbeat 10ms, dead after 90ms, step delay %v)\n", rooms, trials, delay)
+	mode := ""
+	if fieldBus {
+		mode = ", per-shard modbus field bus"
+	}
+	fmt.Fprintf(w, "control-plane chaos sweep: %d rooms, %d trials (heartbeat 10ms, dead after 90ms, step delay %v%s)\n", rooms, trials, delay, mode)
 
 	var failovers, migrations []float64
 	for i := 0; i < trials; i++ {
-		ms, checks, err := failoverTrial(fcfg, delay, want)
+		ms, checks, err := failoverTrial(fcfg, delay, fieldBus, want)
 		if err != nil {
 			return fmt.Errorf("failover trial %d: %w", i, err)
 		}
@@ -381,7 +403,7 @@ func runControlplaneBench(w io.Writer, rooms, trials int, outPath string) error 
 		fmt.Fprintf(w, "  trial %d: shard kill -> rooms re-placed in %8.1f ms (%d hashes verified)\n", i, ms, checks)
 	}
 	for i := 0; i < trials; i++ {
-		ms, checks, err := migrationTrial(fcfg, delay, want)
+		ms, checks, err := migrationTrial(fcfg, delay, fieldBus, want)
 		if err != nil {
 			return fmt.Errorf("migration trial %d: %w", i, err)
 		}

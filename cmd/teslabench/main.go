@@ -57,6 +57,7 @@ func main() {
 	cpBench := flag.Bool("controlplane", false, "chaos-sweep the sharded control plane (shard-kill failover + live migration latencies)")
 	cpRooms := flag.Int("cprooms", 4, "fleet size for -controlplane")
 	cpTrials := flag.Int("cptrials", 5, "failover and migration trials for -controlplane")
+	cpGateway := flag.Bool("cpgateway", false, "run -controlplane trials with per-shard Modbus field buses (wire-actuated rooms, seq hand-off on migration)")
 	cpOut := flag.String("cpout", "BENCH_controlplane.json", "JSON baseline path for -controlplane (empty disables)")
 	flag.Parse()
 
@@ -76,7 +77,7 @@ func main() {
 	}
 	// The control-plane chaos sweep needs no trained models; run standalone.
 	if *cpBench {
-		if err := runControlplaneBench(os.Stdout, *cpRooms, *cpTrials, *cpOut); err != nil {
+		if err := runControlplaneBench(os.Stdout, *cpRooms, *cpTrials, *cpGateway, *cpOut); err != nil {
 			fmt.Fprintln(os.Stderr, "teslabench:", err)
 			os.Exit(1)
 		}

@@ -22,6 +22,8 @@ type cpOptions struct {
 	advertise   string // base URL the coordinator dials this shard back on
 	stepDelay   time.Duration
 	inputs      string // -inputs spec: telemetry ingest pipeline on a shard
+	gateway     bool   // -gateway: per-room Modbus field bus on a shard
+	ingOpts     ingestOptions
 }
 
 // roleFleetConfig builds the fleet configuration a control-plane role runs
@@ -170,23 +172,28 @@ func runShard(ctx context.Context, listen string, fcfg fleet.Config, seed uint64
 		Coordinator: cp.coordinator,
 		Advertise:   cp.advertise,
 		Seed:        seed,
-	}
-	// A shard can run its own ingest pipeline (http/subscribe inputs; no
-	// gateway, so no modbus) — its ledgers ride every heartbeat so the
-	// coordinator's /fleet and /metrics roll up fleet-wide ingest health.
-	if cp.inputs != "" {
-		db := telemetry.NewDBWithRetention(telemetry.RetentionConfig{})
-		ing, err := startIngest(db, cp.inputs, nil, 0, 0, nil)
-		if err != nil {
-			return fmt.Errorf("starting shard ingest pipeline: %w", err)
-		}
-		defer ing.Stop()
-		shCfg.IngestStats = ing.Stats
-		fmt.Printf("teslad: shard %s ingest pipeline running (%s)\n", cp.id, cp.inputs)
+		FieldBus:    cp.gateway,
 	}
 	sh, err := controlplane.NewShard(shCfg)
 	if err != nil {
 		return err
+	}
+	// A shard can run its own ingest pipeline — its ledgers ride every
+	// heartbeat so the coordinator's /fleet and /metrics roll up fleet-wide
+	// ingest health. With -gateway the pipeline gets the shard's field-bus
+	// gateway, so "modbus" in -inputs sweeps the hosted rooms' ACU devices
+	// as they appear and leave (the input runs in dynamic mode).
+	if cp.inputs != "" {
+		db := telemetry.NewDBWithRetention(telemetry.RetentionConfig{})
+		opts := cp.ingOpts
+		opts.dynamic = true
+		ing, err := startIngest(db, cp.inputs, sh.Gateway(), fcfg.ColdLimitC, fcfg.Testbed.SamplePeriodS, nil, opts)
+		if err != nil {
+			return fmt.Errorf("starting shard ingest pipeline: %w", err)
+		}
+		defer ing.Stop()
+		sh.SetIngestStats(ing.Stats)
+		fmt.Printf("teslad: shard %s ingest pipeline running (%s)\n", cp.id, cp.inputs)
 	}
 	ln, srvErr, drain, err := serveHandler(listen, sh.Handler())
 	if err != nil {
@@ -199,10 +206,14 @@ func runShard(ctx context.Context, listen string, fcfg fleet.Config, seed uint64
 		sh.SetAdvertise(fmt.Sprintf("http://%s", ln.Addr()))
 	}
 	sh.Start()
+	bus := ""
+	if cp.gateway {
+		bus = " [modbus field bus]"
+	}
 	if cp.coordinator != "" {
-		fmt.Printf("teslad: shard %s at http://%s reporting to %s\n", cp.id, ln.Addr(), cp.coordinator)
+		fmt.Printf("teslad: shard %s%s at http://%s reporting to %s\n", cp.id, bus, ln.Addr(), cp.coordinator)
 	} else {
-		fmt.Printf("teslad: shard %s at http://%s (autonomous — assign rooms via POST /assign)\n", cp.id, ln.Addr())
+		fmt.Printf("teslad: shard %s%s at http://%s (autonomous — assign rooms via POST /assign)\n", cp.id, bus, ln.Addr())
 	}
 
 	select {

@@ -10,22 +10,41 @@ import (
 	"tesla/internal/telemetry"
 )
 
+// ingestOptions carries the pipeline cadence flags plus the modbus input
+// mode. Zero cadences fall back to the historical defaults (gather every
+// second, compact every five).
+type ingestOptions struct {
+	gatherEvery  time.Duration
+	compactEvery time.Duration
+	// dynamic makes the modbus input track the gateway's device set live —
+	// the shard role, where room ACUs appear and leave as the coordinator
+	// places and migrates rooms long after the pipeline boots.
+	dynamic bool
+}
+
 // startIngest assembles and starts the telemetry ingest pipeline from a
 // -inputs spec list ("http=addr,subscribe=host:port;host:port,modbus").
 // The modbus input is only registered when the daemon has a gateway to
-// poll; gw may be nil for roles without one (shards host rooms, not ACUs).
+// poll; gw may be nil for roles without one.
 // now, when non-nil, is the compaction clock — the single-room daemon
 // passes its simulation sample clock so retention cutoffs live in the same
 // time domain as the sample timestamps (wall clock would instantly fold
 // every sim-stamped point); nil keeps the wall-clock default for roles
 // whose pushers stamp records with real time.
-func startIngest(db *telemetry.DB, specs string, gw *gateway.Gateway, coldLimitC, periodS float64, now func() float64) (*ingest.Service, error) {
+func startIngest(db *telemetry.DB, specs string, gw *gateway.Gateway, coldLimitC, periodS float64, now func() float64, opts ingestOptions) (*ingest.Service, error) {
+	if opts.gatherEvery <= 0 {
+		opts.gatherEvery = time.Second
+	}
+	if opts.compactEvery <= 0 {
+		opts.compactEvery = 5 * time.Second
+	}
 	reg := ingest.NewRegistry()
 	if gw != nil {
 		err := reg.Register("modbus", func(arg string) (ingest.Input, error) {
 			cfg := ingest.ModbusConfig{
 				Gateway: gw,
 				Poller:  gateway.PollerConfig{ColdLimitC: coldLimitC, PeriodS: periodS},
+				Dynamic: opts.dynamic,
 			}
 			if arg != "" {
 				cfg.Measurement = arg
@@ -45,8 +64,8 @@ func startIngest(db *telemetry.DB, specs string, gw *gateway.Gateway, coldLimitC
 	}
 	svc := ingest.NewService(ingest.Config{
 		DB:           db,
-		GatherEvery:  time.Second,
-		CompactEvery: 5 * time.Second,
+		GatherEvery:  opts.gatherEvery,
+		CompactEvery: opts.compactEvery,
 		Now:          now,
 	})
 	for _, in := range inputs {

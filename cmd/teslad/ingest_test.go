@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tesla/internal/gateway"
 	"tesla/internal/ingest"
 	"tesla/internal/telemetry"
 )
@@ -16,20 +17,42 @@ import (
 // names and empty pipelines, and modbus is only available with a gateway.
 func TestStartIngestSpecValidation(t *testing.T) {
 	db := telemetry.NewDBWithRetention(telemetry.RetentionConfig{})
-	if _, err := startIngest(db, "", nil, 0, 0, nil); err == nil {
+	if _, err := startIngest(db, "", nil, 0, 0, nil, ingestOptions{}); err == nil {
 		t.Fatal("empty spec built a pipeline")
 	}
-	if _, err := startIngest(db, "bogus", nil, 0, 0, nil); err == nil {
+	if _, err := startIngest(db, "bogus", nil, 0, 0, nil, ingestOptions{}); err == nil {
 		t.Fatal("unknown input name accepted")
 	}
-	if _, err := startIngest(db, "modbus", nil, 0, 0, nil); err == nil {
+	if _, err := startIngest(db, "modbus", nil, 0, 0, nil, ingestOptions{}); err == nil {
 		t.Fatal("modbus input built without a gateway")
 	}
-	svc, err := startIngest(db, "http=127.0.0.1:0", nil, 0, 0, nil)
+	svc, err := startIngest(db, "http=127.0.0.1:0", nil, 0, 0, nil, ingestOptions{})
 	if err != nil {
 		t.Fatalf("http spec: %v", err)
 	}
 	svc.Stop()
+}
+
+// TestStartIngestShardGatewayMode: the shard wiring — a modbus input over a
+// gateway that has no devices yet must start in dynamic mode (rooms and
+// their ACU sims are placed long after the pipeline boots), and the cadence
+// flags reach the service.
+func TestStartIngestShardGatewayMode(t *testing.T) {
+	db := telemetry.NewDBWithRetention(telemetry.RetentionConfig{})
+	gw := gateway.New(gateway.Config{Timeout: time.Second})
+	defer gw.Close()
+
+	if _, err := startIngest(db, "modbus", gw, 22, 60, nil, ingestOptions{}); err == nil {
+		t.Fatal("static modbus input started over an empty gateway")
+	}
+	svc, err := startIngest(db, "modbus", gw, 22, 60, nil, ingestOptions{dynamic: true, gatherEvery: time.Hour, compactEvery: time.Hour})
+	if err != nil {
+		t.Fatalf("dynamic modbus input over an empty gateway: %v", err)
+	}
+	defer svc.Stop()
+	if n := len(svc.InputStats()); n != 1 {
+		t.Fatalf("inputs = %d, want 1", n)
+	}
 }
 
 // TestDaemonSurfacesIngestPipeline: with an ingest service attached, writes

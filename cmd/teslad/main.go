@@ -114,6 +114,9 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL the coordinator dials this shard back on (default: the bound -listen address)")
 	stepDelay := flag.Duration("stepdelay", 0, "pace each hosted room's loop by this much per control step (-role shard)")
 	inputs := flag.String("inputs", "", "telemetry ingest inputs, comma-separated specs: modbus[=measurement], http[=addr], subscribe=host:port[;host:port...] (empty disables the ingest pipeline)")
+	gatewayOn := flag.Bool("gateway", false, "run a Modbus field bus under every hosted room (-role shard): in-process ACU device sims actuated and polled through a per-shard gateway")
+	gatherEvery := flag.Duration("gatherevery", time.Second, "ingest pipeline pull-input gather cadence")
+	compactEvery := flag.Duration("compactevery", 5*time.Second, "ingest pipeline TSDB compaction cadence")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -122,12 +125,14 @@ func main() {
 	dur := durOptions{dir: *datadir, every: *checkpoint, sync: *walsync}
 	var err error
 	if *role != "" {
-		cp := cpOptions{role: *role, id: *shardID, coordinator: *coordURL, advertise: *advertise, stepDelay: *stepDelay, inputs: *inputs}
+		cp := cpOptions{role: *role, id: *shardID, coordinator: *coordURL, advertise: *advertise, stepDelay: *stepDelay, inputs: *inputs,
+			gateway: *gatewayOn, ingOpts: ingestOptions{gatherEvery: *gatherEvery, compactEvery: *compactEvery, dynamic: true}}
 		err = runControlPlane(ctx, *listen, *rooms, *minutes, *seed, *policyName, dur, cp)
 	} else if *rooms > 1 {
 		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed, dur)
 	} else {
-		err = run(ctx, *listen, *loadName, *policyName, *minutes, *speedup, *seed, dur, *inputs)
+		err = run(ctx, *listen, *loadName, *policyName, *minutes, *speedup, *seed, dur, *inputs,
+			ingestOptions{gatherEvery: *gatherEvery, compactEvery: *compactEvery})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "teslad:", err)
@@ -148,7 +153,7 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-func run(ctx context.Context, listen, loadName, policyName string, minutes int, speedup float64, seed uint64, dur durOptions, inputs string) error {
+func run(ctx context.Context, listen, loadName, policyName string, minutes int, speedup float64, seed uint64, dur durOptions, inputs string, ingOpts ingestOptions) error {
 	var load workload.Setting
 	switch loadName {
 	case "idle":
@@ -230,7 +235,7 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 	var ing *ingest.Service
 	if inputs != "" {
 		simNow := func() float64 { return math.Float64frombits(simClock.Load()) }
-		ing, err = startIngest(db, inputs, gw, 22, tbCfg.SamplePeriodS, simNow)
+		ing, err = startIngest(db, inputs, gw, 22, tbCfg.SamplePeriodS, simNow, ingOpts)
 		if err != nil {
 			return fmt.Errorf("starting ingest pipeline: %w", err)
 		}

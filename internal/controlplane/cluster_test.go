@@ -109,6 +109,13 @@ type cluster struct {
 // 90ms, reconcile every 10ms.
 func startCluster(t *testing.T, fcfg fleet.Config, roots map[string]string, delay time.Duration) *cluster {
 	t.Helper()
+	return startClusterFB(t, fcfg, roots, delay, false)
+}
+
+// startClusterFB is startCluster with the per-shard Modbus field bus
+// switched on or off.
+func startClusterFB(t *testing.T, fcfg fleet.Config, roots map[string]string, delay time.Duration, fieldBus bool) *cluster {
+	t.Helper()
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Fleet:          fcfg,
 		SuspectAfter:   40 * time.Millisecond,
@@ -131,6 +138,7 @@ func startCluster(t *testing.T, fcfg fleet.Config, roots map[string]string, dela
 			Coordinator:    cl.coordSrv.URL,
 			HeartbeatEvery: 10 * time.Millisecond,
 			RPC:            fastRPC(),
+			FieldBus:       fieldBus,
 		})
 		if err != nil {
 			t.Fatal(err)

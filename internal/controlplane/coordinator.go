@@ -67,6 +67,7 @@ type shardState struct {
 	rollup   telemetry.Rollup
 	gateway  *gateway.Stats
 	ingest   *ingest.Stats
+	field    *telemetry.Rollup
 }
 
 // roomState is the coordinator's view of one room's placement.
@@ -115,6 +116,10 @@ type FleetView struct {
 	Rollup   telemetry.Rollup `json:"rollup"`
 	Gateway  *gateway.Stats  `json:"gateway,omitempty"`
 	Ingest   *ingest.Stats   `json:"ingest,omitempty"`
+	// Field is the fleet-wide field-bus poll ledger: every live shard's
+	// per-room Modbus poller rollups merged. Absent when no shard runs a
+	// field bus.
+	Field *telemetry.Rollup `json:"field,omitempty"`
 	Placements []RoomPlacement `json:"placements"`
 }
 
@@ -350,6 +355,7 @@ func (c *Coordinator) Migrate(ctx context.Context, room int, target string) (Mig
 		return fail(fmt.Errorf("controlplane: bundle room %d from %s: %w", room, from, err))
 	}
 	b.Step = dr.Step
+	b.GatewaySeqs = dr.GatewaySeqs
 
 	// Commit the new placement before the resume RPC for the same reason
 	// Reconcile does: the target starts reporting the room the moment it
@@ -396,6 +402,8 @@ func (c *Coordinator) Fleet() FleetView {
 	haveGw := false
 	var ing ingest.Stats
 	haveIng := false
+	var fld telemetry.Rollup
+	haveFld := false
 	ids := make([]string, 0, len(c.shards))
 	for id := range c.shards {
 		ids = append(ids, id)
@@ -425,6 +433,10 @@ func (c *Coordinator) Fleet() FleetView {
 				ing.Merge(*sh.ingest)
 				haveIng = true
 			}
+			if sh.field != nil {
+				fld.Merge(*sh.field)
+				haveFld = true
+			}
 		}
 	}
 	// The merged Rooms field counts per-shard ingestor instances over time;
@@ -435,6 +447,9 @@ func (c *Coordinator) Fleet() FleetView {
 	}
 	if haveIng {
 		v.Ingest = &ing
+	}
+	if haveFld {
+		v.Field = &fld
 	}
 	for i := range c.rooms {
 		rm := &c.rooms[i]
@@ -523,6 +538,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	sh.rollup = req.Rollup
 	sh.gateway = req.Gateway
 	sh.ingest = req.Ingest
+	sh.field = req.Field
 
 	var resp HeartbeatResponse
 	for _, st := range req.Rooms {
@@ -612,6 +628,15 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE tesla_fleet_ingest_seq_gaps_total counter\ntesla_fleet_ingest_seq_gaps_total %d\n", v.Ingest.SeqGaps)
 		fmt.Fprintf(w, "# TYPE tesla_fleet_tsdb_raw_points gauge\ntesla_fleet_tsdb_raw_points %d\n", v.Ingest.TSDB.RawPoints)
 		fmt.Fprintf(w, "# TYPE tesla_fleet_tsdb_inserted_total counter\ntesla_fleet_tsdb_inserted_total %d\n", v.Ingest.TSDB.Inserted)
+	}
+	if v.Gateway != nil {
+		// Fleet-wide sums over every live shard's gateway, under the same
+		// metric names the shards expose with {shard=...} labels.
+		writeGatewayMetrics(w, "", *v.Gateway)
+	}
+	if v.Field != nil {
+		fmt.Fprintf(w, "# TYPE tesla_fleet_field_samples_total counter\ntesla_fleet_field_samples_total %d\n", v.Field.Samples)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_field_seq_gaps_total counter\ntesla_fleet_field_seq_gaps_total %d\n", v.Field.Gaps)
 	}
 	fmt.Fprintf(w, "# TYPE tesla_fleet_max_cold_aisle_celsius gauge\ntesla_fleet_max_cold_aisle_celsius %g\n", v.Rollup.MaxColdC)
 }

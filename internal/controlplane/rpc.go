@@ -70,6 +70,10 @@ type HeartbeatRequest struct {
 	Rollup  telemetry.Rollup `json:"rollup"`
 	Gateway *gateway.Stats   `json:"gateway,omitempty"`
 	Ingest  *ingest.Stats    `json:"ingest,omitempty"`
+	// Field is the shard's field-bus poll ledger (per-room Modbus pollers
+	// merged with retired rooms' final ledgers); set only on shards running
+	// a field bus.
+	Field *telemetry.Rollup `json:"field,omitempty"`
 }
 
 // HeartbeatResponse lists assignments the shard must relinquish: rooms whose
@@ -110,6 +114,10 @@ type DrainRequest struct {
 // DrainResponse reports the barrier step.
 type DrainResponse struct {
 	Step int `json:"step"`
+	// GatewaySeqs is the drained room's field-bus hand-off token
+	// (Poller.Seqs() at the drain barrier); nil when the source shard runs
+	// no field bus. The coordinator copies it into the migration bundle.
+	GatewaySeqs []uint64 `json:"gateway_seqs,omitempty"`
 }
 
 // BundleFile is one durable-store file shipped during migration. Data is
@@ -126,6 +134,11 @@ type Bundle struct {
 	Name  string       `json:"name"`
 	Step  int          `json:"step"`
 	Files []BundleFile `json:"files"`
+	// GatewaySeqs carries the source host's field-bus poller hand-off token
+	// so the target's poller resumes the room's sequence stream exactly —
+	// every sequence number accounted once across both hosts' ledgers, no
+	// duplicate samples, no double-counted gaps. Nil without a field bus.
+	GatewaySeqs []uint64 `json:"gateway_seqs,omitempty"`
 }
 
 // ResumeRequest installs a shipped bundle on the target shard and resumes

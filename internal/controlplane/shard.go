@@ -13,7 +13,9 @@ import (
 	"tesla/internal/fleet"
 	"tesla/internal/gateway"
 	"tesla/internal/ingest"
+	"tesla/internal/modbus"
 	"tesla/internal/telemetry"
+	"tesla/internal/testbed"
 )
 
 // ShardConfig assembles one room-shard worker.
@@ -56,6 +58,18 @@ type ShardConfig struct {
 	// coordinator's fleet view includes this shard's telemetry-ingest
 	// pipeline (inputs, exact drop/gap ledger, TSDB tier sizes).
 	IngestStats func() ingest.Stats
+	// FieldBus puts a real Modbus field path under every hosted room: one
+	// in-process ACU device sim per room served over TCP, a shared shard
+	// gateway actuating set-points and polling telemetry across that wire,
+	// and the decide path quantized to wire resolution (Fleet.Quantize
+	// defaults to modbus.QuantizeTempC) so trajectories stay bit-identical
+	// to a quantized single-process reference. Live migration carries each
+	// room's Poller.Seqs() hand-off token in the bundle, so the successor's
+	// poller continues the sequence stream with every number accounted
+	// exactly once across both hosts' ledgers.
+	FieldBus bool
+	// FieldBusConfig tunes the shard gateway when FieldBus is set.
+	FieldBusConfig gateway.Config
 }
 
 // hostState is a hosted room's lifecycle stage.
@@ -79,6 +93,7 @@ type roomHost struct {
 	runner *fleet.Runner
 	ing    *telemetry.Ingestor
 	q      *telemetry.Queue
+	fb     *fieldBus // nil unless the shard runs a field bus
 
 	recovered bool // captured at creation: runner opened onto durable history
 
@@ -92,6 +107,9 @@ type roomHost struct {
 	ingOnce  sync.Once
 	relOnce  sync.Once
 	relStep  int
+	relSeqs  []uint64 // field-bus hand-off token captured at relinquish
+
+	fieldMerged bool // guarded by Shard.mu: fb's final ledger folded into fieldRetired
 
 	// Guarded by Shard.mu.
 	state  hostState
@@ -107,12 +125,15 @@ type roomHost struct {
 type Shard struct {
 	cfg ShardConfig
 
-	mu      sync.Mutex
-	rooms   map[int]*roomHost
-	retired telemetry.Rollup // rollup contribution of rooms no longer hosted
-	lease   uint64
-	killed  bool
-	paused  bool // heartbeats suppressed (zombie simulation)
+	gw *gateway.Gateway // field-bus gateway; nil unless cfg.FieldBus
+
+	mu           sync.Mutex
+	rooms        map[int]*roomHost
+	retired      telemetry.Rollup // rollup contribution of rooms no longer hosted
+	fieldRetired telemetry.Rollup // field-bus ledgers of rooms no longer hosted
+	lease        uint64
+	killed       bool
+	paused       bool // heartbeats suppressed (zombie simulation)
 
 	fencedRooms  uint64 // assignments relinquished after coordinator fencing
 	leaseFences  uint64 // whole-lease fences (shard was presumed dead)
@@ -143,11 +164,20 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	}
 	cfg.RPC.Ident = cfg.ID
 	cfg.RPC.Seed = cfg.Seed
+	if cfg.FieldBus && cfg.Fleet.Quantize == nil {
+		// The wire carries centidegree registers; quantizing the decide path
+		// makes the Modbus-actuated trajectory bit-identical to a quantized
+		// in-process reference.
+		cfg.Fleet.Quantize = modbus.QuantizeTempC
+	}
 	s := &Shard{
 		cfg:   cfg,
 		rooms: make(map[int]*roomHost),
 		idem:  newIdemCache(0),
 		stop:  make(chan struct{}),
+	}
+	if cfg.FieldBus {
+		s.gw = gateway.New(cfg.FieldBusConfig)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -201,6 +231,9 @@ func (s *Shard) Stop() {
 		s.relinquish(h, false)
 	}
 	s.wg.Wait()
+	if s.gw != nil {
+		s.gw.Close()
+	}
 }
 
 // Kill simulates this shard dying mid-step — kill -9, not shutdown. Room
@@ -227,8 +260,17 @@ func (s *Shard) Kill() {
 		h.runner.Abandon()
 		h.ingOnce.Do(func() { close(h.ingStop) })
 		<-h.ingDone
+		if h.fb != nil {
+			// The field path dies with the process; its in-memory seq ledger
+			// is lost exactly as a crashed gateway's would be — the successor
+			// starts a fresh stream (no hand-off token).
+			h.fb.close()
+		}
 	}
 	s.wg.Wait()
+	if s.gw != nil {
+		s.gw.Close()
+	}
 }
 
 // PauseHeartbeats suppresses lease renewal without stopping room loops —
@@ -260,6 +302,34 @@ func (s *Shard) Rollup() telemetry.Rollup {
 	return out
 }
 
+// FieldRollup merges every hosted room's live field-bus poll ledger with
+// the retired contribution of rooms that already left this shard. Zero
+// when the shard runs no field bus.
+func (s *Shard) FieldRollup() telemetry.Rollup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.fieldRetired
+	for _, h := range s.rooms {
+		if h.fb != nil && !h.fieldMerged {
+			out.Merge(h.fb.rollup())
+		}
+	}
+	return out
+}
+
+// Gateway exposes the shard's field-bus gateway — the handle the daemon
+// registers its modbus ingest input against. Nil unless FieldBus is set.
+func (s *Shard) Gateway() *gateway.Gateway { return s.gw }
+
+// SetIngestStats wires the heartbeat's ingest-pipeline sampler after
+// construction — the daemon boots its ingest pipeline against the shard's
+// gateway, which exists only once the shard does. Call before Start.
+func (s *Shard) SetIngestStats(f func() ingest.Stats) {
+	s.mu.Lock()
+	s.cfg.IngestStats = f
+	s.mu.Unlock()
+}
+
 // Statuses snapshots the hosted rooms' statuses.
 func (s *Shard) Statuses() []RoomStatus {
 	s.mu.Lock()
@@ -286,6 +356,14 @@ func (s *Shard) FencedRooms() uint64 {
 // shared-root failover path — the room recovers and resumes where that
 // record ends.
 func (s *Shard) Assign(room int, epoch uint64) (AssignResponse, error) {
+	return s.assign(room, epoch, nil)
+}
+
+// assign is Assign plus the field-bus hand-off: startSeqs, when non-nil, is
+// the predecessor poller's Seqs() token from a migration bundle, seeding
+// this host's poller so the room's sequence stream continues without
+// duplicates or double-counted gaps.
+func (s *Shard) assign(room int, epoch uint64, startSeqs []uint64) (AssignResponse, error) {
 	s.mu.Lock()
 	if s.killed {
 		s.mu.Unlock()
@@ -311,23 +389,44 @@ func (s *Shard) Assign(room int, epoch uint64) (AssignResponse, error) {
 		queueCap = 512
 	}
 	q := telemetry.NewQueue(queueCap)
+
+	h := &roomHost{
+		room:     room,
+		epoch:    epoch,
+		q:        q,
+		stop:     make(chan struct{}),
+		kill:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		ingStop:  make(chan struct{}),
+		ingDone:  make(chan struct{}),
+	}
+	if s.gw != nil {
+		// The hooks close over h; h.fb is installed below, after the runner
+		// exists (the bridge needs the plant), and before any loop goroutine
+		// starts. Warmup and recovery replay never actuate, so late-binding
+		// the bus is safe.
+		cfg.Actuate = func(_ int, spC float64) error { return h.fb.actuate(spC) }
+		cfg.Publish = func(_ int, smp testbed.Sample) { h.fb.publish(smp) }
+	}
 	r, err := fleet.NewRunner(cfg, room, q, s.cfg.ID)
 	if err != nil {
 		return AssignResponse{}, err
 	}
-
-	h := &roomHost{
-		room:      room,
-		epoch:     epoch,
-		recovered: r.Recovery().Recovered,
-		runner:    r,
-		q:         q,
-		ing:       telemetry.NewIngestor([]*telemetry.Queue{q}, cfg.ColdLimitC, cfg.Testbed.SamplePeriodS, cfg.Batch),
-		stop:      make(chan struct{}),
-		kill:      make(chan struct{}),
-		loopDone:  make(chan struct{}),
-		ingStop:   make(chan struct{}),
-		ingDone:   make(chan struct{}),
+	h.runner = r
+	h.recovered = r.Recovery().Recovered
+	h.ing = telemetry.NewIngestor([]*telemetry.Queue{q}, cfg.ColdLimitC, cfg.Testbed.SamplePeriodS, cfg.Batch)
+	if s.gw != nil {
+		fb, err := newFieldBus(s.gw, cfg.RoomName(room), r.Plant(), gateway.PollerConfig{
+			ColdLimitC: cfg.ColdLimitC,
+			PeriodS:    cfg.Testbed.SamplePeriodS,
+			Batch:      cfg.Batch,
+			StartSeqs:  startSeqs,
+		})
+		if err != nil {
+			r.Abandon()
+			return AssignResponse{}, err
+		}
+		h.fb = fb
 	}
 	startStep, recovered := r.StepIndex(), r.Recovery().Recovered
 	h.status = RoomStatus{Room: room, Epoch: epoch, Step: startStep, Planned: r.PlannedSteps()}
@@ -336,12 +435,18 @@ func (s *Shard) Assign(room int, epoch uint64) (AssignResponse, error) {
 	if s.killed {
 		s.mu.Unlock()
 		r.Abandon()
+		if h.fb != nil {
+			h.fb.close()
+		}
 		return AssignResponse{}, fmt.Errorf("controlplane: shard %s is stopped", s.cfg.ID)
 	}
 	if prev, ok := s.rooms[room]; ok {
 		// Raced with a concurrent assign; keep the incumbent.
 		s.mu.Unlock()
 		r.Abandon()
+		if h.fb != nil {
+			h.fb.close()
+		}
 		return AssignResponse{Step: prev.status.Step, Recovered: prev.recovered}, nil
 	}
 	s.rooms[room] = h
@@ -399,6 +504,7 @@ func (s *Shard) roomLoop(h *roomHost) {
 	// who observes a finished room also observes its complete rollup.
 	h.ingOnce.Do(func() { close(h.ingStop) })
 	<-h.ingDone
+	s.closeFieldBus(h)
 	s.mu.Lock()
 	if err != nil {
 		h.state = hostFailed
@@ -424,7 +530,25 @@ func (s *Shard) Drain(room int) (DrainResponse, error) {
 		return DrainResponse{}, fmt.Errorf("controlplane: shard %s does not host room %d", s.cfg.ID, room)
 	}
 	step := s.relinquish(h, false)
-	return DrainResponse{Step: step}, nil
+	return DrainResponse{Step: step, GatewaySeqs: h.relSeqs}, nil
+}
+
+// closeFieldBus tears down a host's field path and folds its final poll
+// ledger into the shard's retired field rollup exactly once. Returns the
+// hand-off token (nil when the host runs no field bus). Idempotent; every
+// caller sees the same token.
+func (s *Shard) closeFieldBus(h *roomHost) []uint64 {
+	if h.fb == nil {
+		return nil
+	}
+	seqs, roll := h.fb.close()
+	s.mu.Lock()
+	if !h.fieldMerged {
+		h.fieldMerged = true
+		s.fieldRetired.Merge(roll)
+	}
+	s.mu.Unlock()
+	return seqs
 }
 
 // relinquish stops a host's loop, closes (or abandons) its store, folds its
@@ -438,6 +562,9 @@ func (s *Shard) relinquish(h *roomHost, abandon bool) int {
 		<-h.loopDone
 		h.ingOnce.Do(func() { close(h.ingStop) })
 		<-h.ingDone
+		// The loop has exited: flush and close the field path, capturing the
+		// hand-off token the drain response carries to the migration target.
+		h.relSeqs = s.closeFieldBus(h)
 
 		step := h.runner.StepIndex()
 		s.mu.Lock()
@@ -478,7 +605,7 @@ func (s *Shard) Resume(req ResumeRequest) (ResumeResponse, error) {
 	if err := UnpackBundle(dir, req.Bundle); err != nil {
 		return ResumeResponse{}, err
 	}
-	ar, err := s.Assign(req.Room, req.Epoch)
+	ar, err := s.assign(req.Room, req.Epoch, req.Bundle.GatewaySeqs)
 	if err != nil {
 		return ResumeResponse{}, err
 	}
@@ -571,15 +698,23 @@ func (s *Shard) beat() bool {
 		st := h.status
 		req.Rooms = append(req.Rooms, st)
 	}
+	gwStats, ingStats := s.cfg.GatewayStats, s.cfg.IngestStats
 	s.mu.Unlock()
 	req.Rollup = s.Rollup()
-	if s.cfg.GatewayStats != nil {
-		gs := s.cfg.GatewayStats()
+	if gwStats != nil {
+		gs := gwStats()
+		req.Gateway = &gs
+	} else if s.gw != nil {
+		gs := s.gw.Stats()
 		req.Gateway = &gs
 	}
-	if s.cfg.IngestStats != nil {
-		is := s.cfg.IngestStats()
+	if ingStats != nil {
+		is := ingStats()
 		req.Ingest = &is
+	}
+	if s.gw != nil {
+		fr := s.FieldRollup()
+		req.Field = &fr
 	}
 
 	var resp HeartbeatResponse
@@ -718,6 +853,12 @@ func (s *Shard) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE tesla_shard_seq_gaps_total counter\ntesla_shard_seq_gaps_total{shard=%q} %d\n", s.cfg.ID, ru.Gaps)
 	fmt.Fprintf(w, "# TYPE tesla_shard_fenced_rooms_total counter\ntesla_shard_fenced_rooms_total{shard=%q} %d\n", s.cfg.ID, fenced)
 	fmt.Fprintf(w, "# TYPE tesla_shard_heartbeat_failures_total counter\ntesla_shard_heartbeat_failures_total{shard=%q} %d\n", s.cfg.ID, fails)
+	if s.gw != nil {
+		writeGatewayMetrics(w, fmt.Sprintf("{shard=%q}", s.cfg.ID), s.gw.Stats())
+		fr := s.FieldRollup()
+		fmt.Fprintf(w, "# TYPE tesla_shard_field_samples_total counter\ntesla_shard_field_samples_total{shard=%q} %d\n", s.cfg.ID, fr.Samples)
+		fmt.Fprintf(w, "# TYPE tesla_shard_field_seq_gaps_total counter\ntesla_shard_field_seq_gaps_total{shard=%q} %d\n", s.cfg.ID, fr.Gaps)
+	}
 }
 
 func statusFor(err error) int {

@@ -118,6 +118,29 @@ type Config struct {
 	// (global step index) and returns WITHOUT closing its store — exactly
 	// the torn state a killed process leaves. Zero disables.
 	HaltAfter int
+
+	// Quantize, when set, transforms every decided set-point before it is
+	// applied, logged and hashed — on the live path AND during WAL replay.
+	// It must be pure and idempotent (e.g. modbus.QuantizeTempC, the
+	// centidegree register round-trip) so a recovered or migrated room
+	// re-derives exactly the bits a gateway-actuated live run produced,
+	// and so a reference run with the same Quantize is bit-identical to a
+	// run actuated through the real field bus.
+	Quantize func(spC float64) float64
+	// Actuate, when set, replaces the direct testbed set-point write on
+	// the LIVE path only: the host routes the (already quantized) command
+	// through its field bus — gateway write → Modbus → device bridge —
+	// and the bridge latches the value into the plant before the step
+	// advances. Replay never actuates: recovery re-applies set-points
+	// directly, which is bit-identical as long as Quantize matches the
+	// field bus's rounding. An actuation error aborts the room's run.
+	Actuate func(room int, spC float64) error
+	// Publish, when set, observes every live sample right after the plant
+	// advances — the field-bus refresh hook: the host updates its device
+	// sim's input registers and runs its poll sweep here, one polled
+	// sample per control step. Live-only, like Actuate; it must not
+	// mutate the sample or the plant.
+	Publish func(room int, s testbed.Sample)
 }
 
 // DefaultConfig returns a fleet of n heterogeneous healthy rooms (diurnal

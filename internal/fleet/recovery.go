@@ -193,6 +193,12 @@ func (rr *roomRun) replay() error {
 	for j := snap; j < len(rr.recSteps); j++ {
 		rec := &rr.recSteps[j]
 		sp := rr.sup.Decide(rr.tr, rr.tr.Len()-1)
+		// Replay applies the same set-point quantization as the live loop
+		// (logged set-points are post-quantization), but never actuates —
+		// the plant is re-advanced directly.
+		if rr.cfg.Quantize != nil {
+			sp = rr.cfg.Quantize(sp)
+		}
 		if sp != rec.Setpoint {
 			info.DecisionMismatches++
 		}

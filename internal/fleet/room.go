@@ -223,9 +223,21 @@ func (rr *roomRun) snapInterval() int {
 func (rr *roomRun) stepOnce(i int, d control.Durable, durable bool, snapEvery int) error {
 	stepStart := time.Now()
 	sp := rr.sup.Decide(rr.tr, rr.tr.Len()-1)
-	rr.tb.SetSetpoint(sp)
+	if rr.cfg.Quantize != nil {
+		sp = rr.cfg.Quantize(sp)
+	}
+	if rr.cfg.Actuate != nil {
+		if err := rr.cfg.Actuate(rr.res.Room, sp); err != nil {
+			return fmt.Errorf("fleet: room %s: actuate step %d: %w", rr.res.Name, i, err)
+		}
+	} else {
+		rr.tb.SetSetpoint(sp)
+	}
 	s := rr.tb.Advance()
 	rr.tr.Append(s)
+	if rr.cfg.Publish != nil {
+		rr.cfg.Publish(rr.res.Room, s)
+	}
 	if rr.spec.StallPerStep > 0 {
 		time.Sleep(rr.spec.StallPerStep)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"tesla/internal/control"
 	"tesla/internal/telemetry"
+	"tesla/internal/testbed"
 )
 
 // Runner is the step-wise form of one room's control loop, built for hosts
@@ -100,6 +101,13 @@ func (r *Runner) Done() bool { return r.next >= r.rr.evalSteps }
 
 // Recovery reports what the room's store contributed when the Runner opened.
 func (r *Runner) Recovery() RecoveryInfo { return r.rr.res.Recovery }
+
+// Plant exposes the room's simulated testbed so a host can attach its
+// field-bus stack (device sim bridge + gateway device) between NewRunner
+// and the first Step — warmup and replay never actuate, so late binding
+// is safe. The control loop itself must never touch the plant directly
+// once Config.Actuate is set.
+func (r *Runner) Plant() *testbed.Testbed { return r.rr.tb }
 
 // Step executes one evaluation step — identical, bit for bit, to the same
 // step inside a batch fleet run.

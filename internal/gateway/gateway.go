@@ -102,6 +102,7 @@ type Gateway struct {
 	mu      sync.RWMutex
 	devices map[string]*Device
 	order   []*Device
+	retired []*Device
 	closed  bool
 
 	wg sync.WaitGroup
@@ -133,6 +134,33 @@ func (g *Gateway) Add(id, addr string) (*Device, error) {
 		d.loop()
 	}()
 	return d, nil
+}
+
+// Remove stops a device and detaches it from the gateway: pending and
+// in-flight requests fail with ErrClosed and the id becomes free for a
+// later Add — the room hand-off path, where a migrated room's device
+// leaves the source shard's gateway and may return after a fail-back.
+// The device's cumulative counters stay in Stats() (its Devices/Connected
+// gauges do not), so removal never makes completed work disappear from
+// the ledgers. Returns false if no such device exists.
+func (g *Gateway) Remove(id string) bool {
+	g.mu.Lock()
+	d, ok := g.devices[id]
+	if ok {
+		delete(g.devices, id)
+		for i, o := range g.order {
+			if o == d {
+				g.order = append(g.order[:i], g.order[i+1:]...)
+				break
+			}
+		}
+		g.retired = append(g.retired, d)
+	}
+	g.mu.Unlock()
+	if ok {
+		d.close()
+	}
+	return ok
 }
 
 // Get returns a device by id.
@@ -169,15 +197,19 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
-// Stats aggregates every device's counters.
+// Stats aggregates every device's counters, including devices since
+// removed — their cumulative work stays on the ledger; only the live
+// Devices/Connected gauges reflect the current set.
 func (g *Gateway) Stats() Stats {
 	g.mu.RLock()
 	devs := append([]*Device(nil), g.order...)
+	live := len(devs)
+	devs = append(devs, g.retired...)
 	g.mu.RUnlock()
-	s := Stats{Devices: len(devs)}
-	for _, d := range devs {
+	s := Stats{Devices: live}
+	for i, d := range devs {
 		ds := d.Stats()
-		if ds.State == StateConnected.String() {
+		if i < live && ds.State == StateConnected.String() {
 			s.Connected++
 		}
 		s.Submitted += ds.Submitted

@@ -575,9 +575,9 @@ func TestRedialJitterSeededSpread(t *testing.T) {
 // TestPollerHandoffResumesSeqs simulates a room hand-off: the devices'
 // polling moves to a new gateway + poller (a new host), seeded with the
 // predecessor's sequence counters. The successor re-emits no sequence
-// number (no duplicate samples) and its rollup charges exactly the
-// predecessor's share as seq gaps — per-device accounting stays exact
-// across the hand-off.
+// number (no duplicate samples) and charges no gaps for the range the
+// predecessor already accounted for — merging both rollups accounts
+// every sequence number exactly once across the hand-off.
 func TestPollerHandoffResumesSeqs(t *testing.T) {
 	_, addr0, _ := startACU(t)
 	_, addr1, _ := startACU(t)
@@ -626,19 +626,22 @@ func TestPollerHandoffResumesSeqs(t *testing.T) {
 	if r1.Samples != 4 || r1.Gaps != 0 {
 		t.Fatalf("predecessor rollup: %d samples, %d gaps, want 4, 0", r1.Samples, r1.Gaps)
 	}
-	// The successor's ingestor never saw seqs 0..1 — exactly the
-	// predecessor's share surfaces as gaps, nothing more, nothing less.
-	if r2.Samples != 4 || r2.Gaps != 4 {
-		t.Fatalf("successor rollup: %d samples, %d gaps, want 4, 4", r2.Samples, r2.Gaps)
+	// The predecessor already accounted for seqs 0..1 — the seeded
+	// successor must NOT re-count them as gaps, or a merged ledger would
+	// double-charge the hand-off range.
+	if r2.Samples != 4 || r2.Gaps != 0 {
+		t.Fatalf("successor rollup: %d samples, %d gaps, want 4, 0", r2.Samples, r2.Gaps)
 	}
 	for i, agg := range p2.RoomAggs() {
-		if agg.Samples != 2 || agg.Gaps != 2 || agg.LastSeq != 3 {
+		if agg.Samples != 2 || agg.Gaps != 0 || agg.LastSeq != 3 {
 			t.Fatalf("device %d agg after hand-off: %+v", i, agg)
 		}
 	}
-	// Per-device stream accounting across both hosts: samples + successor
-	// gaps == final sequence position for every device.
-	if got := r2.Samples + r2.Gaps; got != 8 {
-		t.Fatalf("successor samples+gaps = %d, want 8 (= final seqs)", got)
+	// Merged stream accounting across both hosts: every sequence number
+	// appears exactly once — samples + gaps == final sequence positions.
+	merged := r1
+	merged.Merge(r2)
+	if got := merged.Samples + merged.Gaps; got != 8 {
+		t.Fatalf("merged samples+gaps = %d, want 8 (= final seqs)", got)
 	}
 }

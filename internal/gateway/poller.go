@@ -19,8 +19,11 @@ type PollerConfig struct {
 	// StartSeqs, when non-nil, seeds the per-device sequence counters
 	// (index = device order) instead of starting at zero — the hand-off
 	// path: a successor poller resuming a predecessor's Seqs() continues
-	// the per-device streams without duplicate sequence numbers, and any
-	// sweeps missed between the two surface as exact seq gaps.
+	// the per-device streams without duplicate sequence numbers. The
+	// ingestor's per-device cursors are seeded too, so the predecessor's
+	// range is not re-counted as gaps here: merging both hosts' rollups
+	// accounts every sequence number exactly once (sample or gap), and
+	// only sweeps genuinely missed between the two surface as gaps.
 	StartSeqs []uint64
 }
 
@@ -44,20 +47,31 @@ type Poller struct {
 
 // NewPoller builds a poller over the gateway's current device set.
 func NewPoller(gw *Gateway, cfg PollerConfig) *Poller {
+	return NewPollerOver(gw.Devices(), cfg)
+}
+
+// NewPollerOver builds a poller over an explicit device subset — the
+// per-room path: a shard hosting many rooms gives each room its own
+// single-device poller on the shared gateway, so each room's sequence
+// ledger migrates independently of its siblings.
+func NewPollerOver(devs []*Device, cfg PollerConfig) *Poller {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
-	devs := gw.Devices()
 	queues := make([]*telemetry.Queue, len(devs))
 	for i := range queues {
 		queues[i] = telemetry.NewQueue(cfg.QueueCap)
 	}
 	seq := make([]uint64, len(devs))
 	copy(seq, cfg.StartSeqs)
+	ing := telemetry.NewIngestor(queues, cfg.ColdLimitC, cfg.PeriodS, cfg.Batch)
+	for i, s := range seq {
+		ing.SeedSeq(i, s)
+	}
 	return &Poller{
 		devs:   devs,
 		queues: queues,
-		ing:    telemetry.NewIngestor(queues, cfg.ColdLimitC, cfg.PeriodS, cfg.Batch),
+		ing:    ing,
 		seq:    seq,
 	}
 }

@@ -10,14 +10,22 @@ import (
 
 // ModbusConfig tunes a ModbusInput.
 type ModbusConfig struct {
-	// Gateway is the device fleet to sweep; its device set must be final
-	// before Start. Required.
+	// Gateway is the device fleet to sweep. Required.
 	Gateway *gateway.Gateway
 	// Poller configures the underlying gateway.Poller (cold limit, period,
 	// queue bounds, seq hand-off).
 	Poller gateway.PollerConfig
 	// Measurement names the emitted series (default "acu").
 	Measurement string
+	// Dynamic re-resolves the gateway's device set on every Gather instead
+	// of fixing it at Start — the shard role, where rooms (and their ACU
+	// devices) are assigned, migrated away and finished long after the
+	// ingest pipeline boots. When the set changes the poller is rebuilt
+	// over it, carrying each surviving device's sequence counter by device
+	// id and folding the outgoing poller's ledger into the cumulative
+	// counters, so continuing streams keep exact accounting across
+	// rebuilds. Start then accepts an empty device set.
+	Dynamic bool
 }
 
 // ModbusInput is the pull plugin over an ACU fleet. It owns a
@@ -31,9 +39,18 @@ type ModbusConfig struct {
 type ModbusInput struct {
 	cfg ModbusConfig
 
+	// gatherMu serializes sweeps and is the ONLY lock held across device
+	// I/O. The state lock below never spans PollOnce, so Stats() and
+	// Poller() — and the daemon's /status and /metrics behind them —
+	// answer instantly even while a sweep sits on a hung device waiting
+	// out the wire timeout.
+	gatherMu sync.Mutex
+
 	mu          sync.Mutex
+	started     bool
 	sink        *Sink
 	poller      *gateway.Poller
+	devs        []*gateway.Device
 	refs        [][3]telemetry.SeriesRef // per device: setpoint_c, max_cold_c, power_kw
 	prevSamples []uint64
 	prevGaps    uint64
@@ -45,7 +62,7 @@ type ModbusInput struct {
 }
 
 // NewModbusInput builds the input; the poller is created at Start so the
-// gateway's device set is complete.
+// gateway's device set is complete (or, with Dynamic, tracked from then on).
 func NewModbusInput(cfg ModbusConfig) *ModbusInput {
 	if cfg.Measurement == "" {
 		cfg.Measurement = "acu"
@@ -57,7 +74,9 @@ func NewModbusInput(cfg ModbusConfig) *ModbusInput {
 func (m *ModbusInput) Name() string { return "modbus" }
 
 // Poller exposes the underlying poller (rollup, seq hand-off for shard
-// migration). Valid after Start.
+// migration). Valid after Start; with Dynamic it may be nil (no devices)
+// and a later rebuild replaces it, so callers must not cache it across
+// device-set changes.
 func (m *ModbusInput) Poller() *gateway.Poller {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -71,16 +90,33 @@ func (m *ModbusInput) Start(sink *Sink) error {
 		return fmt.Errorf("modbus input: Gateway is required")
 	}
 	devs := m.cfg.Gateway.Devices()
-	if len(devs) == 0 {
+	if len(devs) == 0 && !m.cfg.Dynamic {
 		return fmt.Errorf("modbus input: gateway has no devices")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sink = sink
-	m.poller = gateway.NewPoller(m.cfg.Gateway, m.cfg.Poller)
+	m.started = true
+	m.installLocked(devs, m.cfg.Poller.StartSeqs)
+	return nil
+}
+
+// installLocked builds the poller and series refs over devs. The caller
+// holds m.mu and guarantees no sweep is in flight (Start, or Gather under
+// gatherMu).
+func (m *ModbusInput) installLocked(devs []*gateway.Device, startSeqs []uint64) {
+	m.prevGaps, m.prevFails = 0, 0
+	if len(devs) == 0 {
+		m.poller, m.devs, m.refs, m.prevSamples = nil, nil, nil, nil
+		return
+	}
+	pcfg := m.cfg.Poller
+	pcfg.StartSeqs = startSeqs
+	m.poller = gateway.NewPollerOver(devs, pcfg)
+	m.devs = devs
 	m.refs = make([][3]telemetry.SeriesRef, len(devs))
 	m.prevSamples = make([]uint64, len(devs))
-	db := sink.DB()
+	db := m.sink.DB()
 	for i, d := range devs {
 		tags := func(field string) map[string]string {
 			return map[string]string{"device": d.ID(), "field": field}
@@ -91,22 +127,92 @@ func (m *ModbusInput) Start(sink *Sink) error {
 			db.Ref(m.cfg.Measurement, tags("power_kw")),
 		}
 	}
-	return nil
+}
+
+// syncDevicesLocked rebuilds the poller when the gateway's device set
+// changed, folding the outgoing poller's final ledger into the cumulative
+// counters and carrying per-device sequence counters by device id — a
+// device that survives the change continues its stream with no duplicate
+// and no phantom gap.
+func (m *ModbusInput) syncDevicesLocked() {
+	devs := m.cfg.Gateway.Devices()
+	if sameDevices(m.devs, devs) {
+		return
+	}
+	var carried map[string]uint64
+	if m.poller != nil {
+		m.foldLedgerLocked()
+		seqs := m.poller.Seqs()
+		carried = make(map[string]uint64, len(m.devs))
+		for i, d := range m.devs {
+			carried[d.ID()] = seqs[i]
+		}
+	}
+	startSeqs := make([]uint64, len(devs))
+	for i, d := range devs {
+		startSeqs[i] = carried[d.ID()]
+	}
+	m.installLocked(devs, startSeqs)
+}
+
+func sameDevices(a, b []*gateway.Device) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldLedgerLocked moves the current poller's gap/failure deltas into the
+// input's cumulative counters.
+func (m *ModbusInput) foldLedgerLocked() {
+	roll := m.poller.Rollup()
+	m.seqGaps += roll.Gaps - m.prevGaps
+	m.prevGaps = roll.Gaps
+	_, fails := m.poller.Counts()
+	m.errors += fails - m.prevFails
+	m.prevFails = fails
 }
 
 // Gather implements Input: one sweep + drain, then emit every device that
 // answered. Returns an error when any device failed this sweep (counted,
 // not fatal — the service just tallies it).
 func (m *ModbusInput) Gather(timeS float64) error {
+	m.gatherMu.Lock()
+	defer m.gatherMu.Unlock()
+
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.poller == nil {
+	if !m.started {
+		m.mu.Unlock()
 		return fmt.Errorf("modbus input: not started")
 	}
 	m.gathers++
-	_, failed := m.poller.PollOnce(timeS)
-	m.poller.DrainOnce()
-	for i, agg := range m.poller.RoomAggs() {
+	if m.cfg.Dynamic {
+		m.syncDevicesLocked()
+	}
+	p := m.poller
+	m.mu.Unlock()
+	if p == nil {
+		// Dynamic input with no devices yet: nothing to sweep.
+		return nil
+	}
+
+	// Device I/O happens with only gatherMu held.
+	_, failed := p.PollOnce(timeS)
+	p.DrainOnce()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.poller != p || m.sink == nil {
+		// Stopped while the sweep was on the wire; its results die with
+		// the detached poller.
+		return nil
+	}
+	for i, agg := range p.RoomAggs() {
 		if agg.Samples == m.prevSamples[i] {
 			continue
 		}
@@ -116,12 +222,7 @@ func (m *ModbusInput) Gather(timeS float64) error {
 		m.sink.AddRef(m.refs[i][1], telemetry.Point{TimeS: t, Value: agg.LastMaxColdC})
 		m.sink.AddRef(m.refs[i][2], telemetry.Point{TimeS: t, Value: agg.LastPowerKW})
 	}
-	roll := m.poller.Rollup()
-	m.seqGaps += roll.Gaps - m.prevGaps
-	m.prevGaps = roll.Gaps
-	_, fails := m.poller.Counts()
-	m.errors += fails - m.prevFails
-	m.prevFails = fails
+	m.foldLedgerLocked()
 	if failed > 0 {
 		return fmt.Errorf("modbus input: %d device(s) failed this sweep", failed)
 	}
@@ -133,7 +234,9 @@ func (m *ModbusInput) Gather(timeS float64) error {
 func (m *ModbusInput) Stop() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.started = false
 	m.poller = nil
+	m.devs = nil
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package ingest
 
 import (
+	"io"
 	"math"
+	"net"
 	"testing"
 	"time"
 
@@ -167,5 +169,143 @@ func TestModbusInputFailedPollIsSeqGap(t *testing.T) {
 	}
 	if ingested != 6 { // 2 successful sweeps x 3 fields
 		t.Fatalf("ingested %d, want 6", ingested)
+	}
+}
+
+// TestModbusInputStatsResponsiveDuringHungSweep is the regression gate for
+// the lock-over-I/O bug: Gather used to hold the input's state lock across
+// the whole device sweep, so Stats()/Poller() — and /status and /metrics
+// behind them — stalled for the full wire timeout whenever one device hung.
+// A sweep stuck on a device that accepts but never answers must leave the
+// introspection path instant.
+func TestModbusInputStatsResponsiveDuringHungSweep(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) // swallow requests, never answer
+		}
+	}()
+
+	gw := gateway.New(gateway.Config{Timeout: 2 * time.Second})
+	if _, err := gw.Add("hung0", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	db := telemetry.NewDB()
+	svc := NewService(Config{DB: db, GatherEvery: time.Hour})
+	m := NewModbusInput(ModbusConfig{Gateway: gw, Poller: gateway.PollerConfig{ColdLimitC: 27, PeriodS: 60}})
+	svc.Add(m)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Gather(0) // blocks on the hung device until the wire timeout
+	}()
+	time.Sleep(100 * time.Millisecond) // let the sweep reach the wire
+
+	start := time.Now()
+	m.Stats()
+	m.Poller()
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Errorf("Stats/Poller stalled %v behind a hung-device sweep; must answer instantly", el)
+	}
+
+	gw.Close() // interrupt the hung exchange so the sweep can finish
+	<-done
+	svc.Stop()
+}
+
+// TestModbusInputDynamicDeviceSet: with Dynamic set the input starts over
+// an empty gateway and tracks devices as they appear and leave — the shard
+// role, where rooms are assigned and migrated away while the pipeline
+// runs. A surviving device's sequence stream continues across every poller
+// rebuild with no duplicate and no phantom gap.
+func TestModbusInputDynamicDeviceSet(t *testing.T) {
+	gw := gateway.New(gateway.Config{Timeout: time.Second})
+	defer gw.Close()
+
+	db := telemetry.NewDB()
+	svc := NewService(Config{DB: db, GatherEvery: time.Hour})
+	m := NewModbusInput(ModbusConfig{
+		Gateway: gw,
+		Poller:  gateway.PollerConfig{ColdLimitC: 27, PeriodS: 60},
+		Dynamic: true,
+	})
+	svc.Add(m)
+	if err := svc.Start(); err != nil {
+		t.Fatalf("dynamic modbus input must start over an empty device set: %v", err)
+	}
+	defer svc.Stop()
+
+	if err := m.Gather(0); err != nil {
+		t.Fatalf("gather over no devices: %v", err)
+	}
+
+	fix0 := newACUFixture(t)
+	if _, err := gw.Add("acu0", fix0.addr); err != nil {
+		t.Fatal(err)
+	}
+	s0 := fix0.tb.Advance()
+	fix0.bridge.Refresh(s0)
+	if err := m.Gather(s0.TimeS); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Latest("acu", map[string]string{"device": "acu0", "field": "power_kw"}); !ok {
+		t.Fatal("acu0 not ingested after appearing dynamically")
+	}
+
+	fix1 := newACUFixture(t)
+	if _, err := gw.Add("acu1", fix1.addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sa := fix0.tb.Advance()
+		fix0.bridge.Refresh(sa)
+		sb := fix1.tb.Advance()
+		fix1.bridge.Refresh(sb)
+		if err := m.Gather(sa.TimeS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := db.Latest("acu", map[string]string{"device": "acu1", "field": "power_kw"}); !ok {
+		t.Fatal("acu1 not ingested after appearing dynamically")
+	}
+	// acu0 was swept once alone and twice alongside acu1 — its counter
+	// carried across the rebuild, so no seq restarted and no gap appeared.
+	if seqs := m.Poller().Seqs(); seqs[0] != 3 || seqs[1] != 2 {
+		t.Fatalf("seqs after grow rebuild %v, want [3 2]", seqs)
+	}
+	if is := m.Stats(); is.SeqGaps != 0 || is.Errors != 0 {
+		t.Fatalf("grow rebuild charged phantom loss: %+v", is)
+	}
+
+	// acu0 leaves (its room migrated away): only acu1 keeps being swept,
+	// still with exact accounting.
+	gw.Remove("acu0")
+	s := fix1.tb.Advance()
+	fix1.bridge.Refresh(s)
+	if err := m.Gather(s.TimeS); err != nil {
+		t.Fatal(err)
+	}
+	is := m.Stats()
+	if is.SeqGaps != 0 || is.Errors != 0 {
+		t.Fatalf("shrink rebuild charged phantom loss: %+v", is)
+	}
+	if is.Gathers != 5 {
+		t.Fatalf("gathers = %d, want 5", is.Gathers)
+	}
+	if seqs := m.Poller().Seqs(); len(seqs) != 1 || seqs[0] != 3 {
+		t.Fatalf("seqs after shrink rebuild %v, want [3]", seqs)
 	}
 }

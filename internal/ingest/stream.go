@@ -58,6 +58,12 @@ type StreamServer struct {
 	published atomic.Uint64
 	evicted   atomic.Uint64
 	active    atomic.Int64
+
+	// idleWake, when set (tests only, before any conn is accepted), fires
+	// after an idle wait elapses and before the heartbeat frame is built —
+	// the seam that lets a test publish "during the wait" deterministically
+	// and assert the H frame carries the fresh head.
+	idleWake func()
 }
 
 // NewStreamServer listens on addr (port 0 picks a free port).
@@ -221,12 +227,22 @@ func (s *StreamServer) serveConn(conn net.Conn) {
 		notify := s.notify
 		s.mu.Unlock()
 
-		conn.SetWriteDeadline(time.Now().Add(4 * s.cfg.Heartbeat))
 		if len(frames) == 0 {
 			select {
 			case <-notify:
 				continue
 			case <-time.After(s.cfg.Heartbeat):
+				if s.idleWake != nil {
+					s.idleWake()
+				}
+				// Deadline armed only now, after the idle wait, so the
+				// heartbeat write gets its full 4× budget; head re-read at
+				// send time so an idle subscriber is never told a head
+				// that predates publishes landing during the wait.
+				conn.SetWriteDeadline(time.Now().Add(4 * s.cfg.Heartbeat))
+				s.mu.Lock()
+				head = s.head
+				s.mu.Unlock()
 				if _, err := fmt.Fprintf(w, "H %d\n", head); err != nil {
 					return
 				}
@@ -236,6 +252,7 @@ func (s *StreamServer) serveConn(conn net.Conn) {
 				continue
 			}
 		}
+		conn.SetWriteDeadline(time.Now().Add(4 * s.cfg.Heartbeat))
 		for _, f := range frames {
 			if _, err := w.WriteString(f); err != nil {
 				return

@@ -62,6 +62,15 @@ func DecodeTempC(v uint16) float64 { return decodeTempC(v) }
 // EncodeTempC converts °C to the ×100 register encoding (for masters).
 func EncodeTempC(c float64) uint16 { return encodeTempC(c) }
 
+// QuantizeTempC is the centidegree rounding a temperature suffers when it
+// crosses the ACU register map (°C → ×100 register → °C). It is pure and
+// idempotent: Encode(Quantize(x)) == Encode(x), so a value quantized once
+// survives any number of further register round-trips bit-exactly. Hosts
+// that actuate through Modbus hand this to the control loop's set-point
+// quantizer so replayed, migrated and reference trajectories apply the
+// exact same field-bus rounding as the live gateway write path.
+func QuantizeTempC(c float64) float64 { return decodeTempC(encodeTempC(c)) }
+
 func clampU16(v float64) uint16 {
 	if v < 0 {
 		return 0

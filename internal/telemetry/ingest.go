@@ -186,6 +186,21 @@ func (in *Ingestor) Rollup() Rollup {
 	return out
 }
 
+// SeedSeq primes one room's sequence cursor so the next sample at sequence
+// `next` continues a predecessor's stream seamlessly: the records the
+// predecessor already accounted for (samples or gaps, seqs < next) are not
+// re-counted as gaps here. next == 0 keeps the fresh-stream cursor. Call
+// before the first sample for the room is folded — the hand-off path, where
+// a successor ingestor resumes a Poller.Seqs() token.
+func (in *Ingestor) SeedSeq(room int, next uint64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if room < 0 || room >= len(in.rooms) || next == 0 {
+		return
+	}
+	in.rooms[room].LastSeq = next - 1
+}
+
 // RoomAggs snapshots the per-room ingested views, folding in each queue's
 // live drop counter — so a single hot room's evictions are attributable
 // instead of vanishing into the fleet total.
