@@ -59,11 +59,25 @@ func main() {
 	cpTrials := flag.Int("cptrials", 5, "failover and migration trials for -controlplane")
 	cpGateway := flag.Bool("cpgateway", false, "run -controlplane trials with per-shard Modbus field buses (wire-actuated rooms, seq hand-off on migration)")
 	cpOut := flag.String("cpout", "BENCH_controlplane.json", "JSON baseline path for -controlplane (empty disables)")
+	schedBench := flag.Bool("scheduler", false, "sweep the fleet job scheduler (rooms × policy × mode) with a joint-objective non-regression gate")
+	schedRooms := flag.String("schedrooms", "3,6", "comma-separated room counts for -scheduler")
+	schedMinutes := flag.Int("schedminutes", 30, "evaluated control steps per room for -scheduler")
+	schedOut := flag.String("schedout", "BENCH_scheduler.json", "JSON baseline path for -scheduler (empty disables)")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench && !*ingestBench {
+	if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench && !*ingestBench && !*schedBench {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The scheduler sweep uses training-free policies; run standalone.
+	if *schedBench {
+		if err := runSchedBench(os.Stdout, *schedRooms, *schedMinutes, 13, *schedOut); err != nil {
+			fmt.Fprintln(os.Stderr, "teslabench:", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *fig == 0 && *report == "" && !*faultMatrix && !*fleetBench && !*boBench && !*walBench && !*gwBench && !*cpBench && !*ingestBench {
+			return
+		}
 	}
 	// The ingest pipeline harness needs no trained models; run standalone.
 	if *ingestBench {
@@ -241,11 +255,15 @@ func (g *generator) writeReport(scaleName, path string) error {
 	if err != nil {
 		return err
 	}
+	sched, err := experiment.RunFleetSchedulingStudy(g.art, 0, g.hours*3600, 11)
+	if err != nil {
+		return err
+	}
 	rep := &experiment.Report{
 		ScaleName: scaleName,
 		Generated: time.Now(),
 		Table3:    &t3, Table4: &t4, Table5: &t5,
-		Study: &study, Matrix: &matrix,
+		Study: &study, Matrix: &matrix, Sched: sched,
 	}
 	f, err := os.Create(path)
 	if err != nil {

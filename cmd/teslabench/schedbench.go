@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tesla/internal/control"
+	"tesla/internal/experiment"
+	"tesla/internal/fleet"
+	"tesla/internal/scheduler"
+	"tesla/internal/testbed"
+)
+
+// schedBenchRow is one cell of the rooms × policy × scheduler-mode sweep.
+type schedBenchRow struct {
+	Rooms  int    `json:"rooms"`
+	Policy string `json:"policy"`
+	Mode   string `json:"mode"`
+	Steps  int    `json:"steps"`
+
+	StepsPerSec float64 `json:"steps_per_sec"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	CoolingKWh  float64 `json:"cooling_kwh"`
+	TrueTSVFrac float64 `json:"true_tsv_frac"`
+	JointScore  float64 `json:"joint_score"`
+	// JointDeltaPct is this cell's joint-score change against the
+	// no-scheduler cell of the same (rooms, policy): negative = the
+	// scheduler helped.
+	JointDeltaPct float64 `json:"joint_delta_pct"`
+
+	Placements uint64 `json:"placements"`
+	Deferrals  uint64 `json:"deferrals"`
+	Migrations uint64 `json:"migrations"`
+	Completed  int    `json:"completed"`
+}
+
+// schedBenchReport is the BENCH_scheduler.json schema — the scheduler
+// throughput and joint-objective baseline later PRs regress against.
+type schedBenchReport struct {
+	Generated    string          `json:"generated"`
+	StepsPerRoom int             `json:"steps_per_room"`
+	Seed         uint64          `json:"seed"`
+	Rows         []schedBenchRow `json:"rows"`
+}
+
+// runSchedBench sweeps the fleet scheduler over rooms × policy × mode. The
+// policies are the training-free ones (fixed, modelfree) so the sweep needs
+// no Prepare and measures scheduling + physics, not model inference. The
+// sweep hard-asserts the joint objective is non-regressing: within every
+// (rooms, policy) group the full scheduler must not score worse than no
+// scheduler — a broken placement heuristic fails the bench, not just a
+// later diff of the JSON.
+func runSchedBench(w io.Writer, roomsSpec string, stepsPerRoom int, seed uint64, outPath string) error {
+	roomCounts, err := parseCounts(roomsSpec)
+	if err != nil {
+		return fmt.Errorf("-schedrooms: %w", err)
+	}
+	if stepsPerRoom < 2 {
+		return fmt.Errorf("-schedminutes must be >= 2, got %d", stepsPerRoom)
+	}
+
+	rep := schedBenchReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		StepsPerRoom: stepsPerRoom,
+		Seed:         seed,
+	}
+	policies := []string{"fixed", "modelfree"}
+	modes := []scheduler.Mode{scheduler.ModeNone, scheduler.ModeDefer, scheduler.ModeFull}
+
+	fmt.Fprintf(w, "fleet scheduler sweep: %d steps/room, seed %d, training-free policies\n", stepsPerRoom, seed)
+	fmt.Fprintf(w, "  %5s %-10s %-6s %7s %10s %9s %8s %7s %6s %6s %5s\n",
+		"rooms", "policy", "mode", "steps", "steps/s", "CE(kWh)", "tTSV(%)", "joint", "Δ(%)", "defer", "migr")
+	for _, rooms := range roomCounts {
+		for _, policy := range policies {
+			var noneJoint float64
+			for _, mode := range modes {
+				evalS := float64(stepsPerRoom) * 60
+				fc := fleet.Config{
+					Testbed:    testbed.DefaultConfig(),
+					Rooms:      experiment.TiledSpecs(rooms, seed),
+					Seed:       seed,
+					WarmupS:    600,
+					EvalS:      evalS,
+					InitSpC:    23,
+					ColdLimitC: 22,
+					NewPolicy:  schedBenchPolicy(policy),
+				}
+				res, err := scheduler.RunFleet(scheduler.FleetConfig{
+					Fleet: fc,
+					Sched: scheduler.DefaultConfig(mode),
+					Jobs:  experiment.ScaledSchedJobs(rooms, evalS),
+				})
+				if err != nil {
+					return fmt.Errorf("scheduler bench rooms=%d policy=%s mode=%s: %w", rooms, policy, mode, err)
+				}
+				row := schedBenchRow{
+					Rooms: rooms, Policy: policy, Mode: mode.String(),
+					Steps:       res.TotalSteps,
+					StepsPerSec: res.StepsPerSec,
+					WallSeconds: res.WallSeconds,
+					CoolingKWh:  res.CoolingKWh,
+					TrueTSVFrac: res.TrueTSVFrac,
+					JointScore:  res.JointScore,
+					Placements:  res.Sched.Placements,
+					Deferrals:   res.Sched.Deferrals,
+					Migrations:  res.Sched.MigrationsTotal(),
+					Completed:   res.Jobs.Completed,
+				}
+				switch mode {
+				case scheduler.ModeNone:
+					noneJoint = res.JointScore
+				default:
+					if noneJoint > 0 {
+						row.JointDeltaPct = 100 * (res.JointScore - noneJoint) / noneJoint
+					}
+				}
+				rep.Rows = append(rep.Rows, row)
+				fmt.Fprintf(w, "  %5d %-10s %-6s %7d %10.0f %9.2f %8.2f %7.2f %+6.1f %6d %5d\n",
+					rooms, policy, mode, res.TotalSteps, res.StepsPerSec, res.CoolingKWh,
+					100*res.TrueTSVFrac, res.JointScore, row.JointDeltaPct,
+					res.Sched.Deferrals, res.Sched.MigrationsTotal())
+
+				// In-harness non-regression gate.
+				if mode == scheduler.ModeFull && res.JointScore > noneJoint {
+					return fmt.Errorf(
+						"scheduler bench REGRESSION: rooms=%d policy=%s full joint %.3f worse than none %.3f",
+						rooms, policy, res.JointScore, noneJoint)
+				}
+			}
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  baseline written to %s\n", outPath)
+	}
+	return nil
+}
+
+// schedBenchPolicy builds the sweep's per-room policy factory.
+func schedBenchPolicy(name string) fleet.PolicyFactory {
+	return func(room int, seed uint64) (control.Policy, error) {
+		switch name {
+		case "fixed":
+			return control.Fixed{SetpointC: 23}, nil
+		case "modelfree":
+			cfg := testbed.DefaultConfig()
+			return experiment.NewModelFreePolicy(cfg.ACU.SetpointMinC, cfg.ACU.SetpointMaxC)
+		}
+		return nil, fmt.Errorf("scheduler bench: unknown policy %q", name)
+	}
+}

@@ -7,8 +7,6 @@ import (
 	"net/http"
 	"time"
 
-	"tesla"
-	"tesla/internal/control"
 	"tesla/internal/controlplane"
 	"tesla/internal/fleet"
 	"tesla/internal/telemetry"
@@ -32,24 +30,9 @@ type cpOptions struct {
 // lets any shard host any room, and the coordinator validates placements
 // against its own copy.
 func roleFleetConfig(rooms, minutes int, seed uint64, policyName string, dur durOptions) (fleet.Config, error) {
-	var factory fleet.PolicyFactory
-	switch policyName {
-	case "tesla":
-		fmt.Println("teslad: training models (ci scale)...")
-		sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
-		if err != nil {
-			return fleet.Config{}, err
-		}
-		a := sys.Artifacts()
-		factory = func(room int, polSeed uint64) (control.Policy, error) {
-			return a.NewTESLAPolicy(polSeed)
-		}
-	case "fixed":
-		factory = func(room int, polSeed uint64) (control.Policy, error) {
-			return control.Fixed{SetpointC: 23}, nil
-		}
-	default:
-		return fleet.Config{}, fmt.Errorf("unknown policy %q", policyName)
+	factory, err := policyFactory(policyName)
+	if err != nil {
+		return fleet.Config{}, err
 	}
 	cfg := fleet.DefaultConfig(rooms, seed, factory)
 	if minutes > 0 {

@@ -8,6 +8,7 @@
 //
 //	teslad -listen 127.0.0.1:8844 -load medium -minutes 120 [-speedup 0]
 //	teslad -listen 127.0.0.1:8844 -rooms 8 -minutes 120 [-seed 11]
+//	teslad -rooms 6 -scheduler full -policy modelfree -minutes 60
 //	teslad -datadir /var/lib/teslad -checkpoint 15 [-walsync 0] ...
 //	teslad -role coordinator -rooms 8 -seed 11 -listen 127.0.0.1:9000
 //	teslad -role shard -id shard-a -datadir /var/lib/teslad/a \
@@ -24,14 +25,25 @@
 // checkpointed controller and the operator counters, and resumes counting
 // where the durable record ends instead of re-maturing from scratch.
 // -walsync batches WAL fsyncs (0 = every record, n = every n records,
-// negative = never; the shutdown flush always syncs). -policy fixed swaps
-// the single-room controller for the constant-set-point baseline, which
-// boots without training.
+// negative = never; the shutdown flush always syncs). -policy selects the
+// room controller: tesla (default) and mpc train models at CI scale before
+// the loop starts; fixed (constant set-point) and modelfree (training-free
+// intelligent-P) boot cold.
 //
 // -rooms N (N > 1) switches to fleet mode: N concurrent room control loops —
 // heterogeneous diurnal loads, per-room TESLA policies and safety
 // supervisors seeded from per-room substreams of -seed — feed a bounded
 // per-room telemetry queue pipeline whose rollup backs the fleet endpoints.
+//
+// -scheduler none|defer|full runs the lockstep scheduled fleet instead: N
+// heterogeneous rooms (the scheduling study's standard/weak/large archetypes
+// tiled out) advance in lockstep while a global batch scheduler places,
+// defers and migrates two heavy deferrable jobs per room at every step
+// barrier. The run is deterministic in (-rooms, -seed, -policy, -scheduler);
+// /fleet serves the per-room snapshots next to the scheduler counters, and
+// /metrics adds tesla_sched_placements_total, tesla_sched_deferrals_total,
+// tesla_sched_migrations_total{reason} and per-room queue-depth gauges.
+// Requires a finite -minutes horizon; -datadir is not supported here.
 //
 // -role coordinator|shard switches to the sharded control plane: one
 // coordinator process places rooms on shard workers via consistent hashing,
@@ -85,7 +97,6 @@ import (
 	"syscall"
 	"time"
 
-	"tesla"
 	"tesla/internal/control"
 	"tesla/internal/dataset"
 	"tesla/internal/gateway"
@@ -104,7 +115,8 @@ func main() {
 	speedup := flag.Float64("speedup", 0, "0 = run flat out; N = pace at N× real time")
 	rooms := flag.Int("rooms", 1, "machine rooms to run; > 1 switches to fleet mode")
 	seed := flag.Uint64("seed", 11, "master seed (fleet substreams and the single-room policy)")
-	policyName := flag.String("policy", "tesla", "single-room controller: tesla|fixed")
+	policyName := flag.String("policy", "tesla", "room controller: tesla|fixed|mpc|modelfree")
+	schedMode := flag.String("scheduler", "", "fleet batch scheduler: none|defer|full (empty disables; runs the lockstep scheduled fleet)")
 	datadir := flag.String("datadir", "", "directory for the durable WAL + snapshot store (empty disables durability)")
 	checkpoint := flag.Int("checkpoint", 15, "checkpoint controller state every N control steps")
 	walsync := flag.Int("walsync", 0, "WAL fsync batch: 0 = every record, n = every n records, negative = never")
@@ -128,6 +140,8 @@ func main() {
 		cp := cpOptions{role: *role, id: *shardID, coordinator: *coordURL, advertise: *advertise, stepDelay: *stepDelay, inputs: *inputs,
 			gateway: *gatewayOn, ingOpts: ingestOptions{gatherEvery: *gatherEvery, compactEvery: *compactEvery, dynamic: true}}
 		err = runControlPlane(ctx, *listen, *rooms, *minutes, *seed, *policyName, dur, cp)
+	} else if *schedMode != "" {
+		err = runSchedFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed, *policyName, *schedMode, dur)
 	} else if *rooms > 1 {
 		err = runFleet(ctx, *listen, *rooms, *minutes, *speedup, *seed, dur)
 	} else {
@@ -166,22 +180,15 @@ func run(ctx context.Context, listen, loadName, policyName string, minutes int, 
 		return fmt.Errorf("unknown load %q", loadName)
 	}
 
-	var controller control.Policy
-	switch policyName {
-	case "tesla":
-		fmt.Println("teslad: training models (ci scale)...")
-		sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
-		if err != nil {
-			return err
-		}
-		controller, err = sys.Artifacts().NewTESLAPolicy(seed)
-		if err != nil {
-			return err
-		}
-	case "fixed":
-		controller = control.Fixed{SetpointC: 23}
-	default:
-		return fmt.Errorf("unknown policy %q", policyName)
+	// The same factory backs every mode: -policy tesla and mpc train once at
+	// CI scale, fixed and modelfree boot cold.
+	factory, err := policyFactory(policyName)
+	if err != nil {
+		return err
+	}
+	controller, err := factory(0, seed)
+	if err != nil {
+		return err
 	}
 
 	// Plant + buses.

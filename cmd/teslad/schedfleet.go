@@ -1,0 +1,315 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"tesla"
+	"tesla/internal/control"
+	"tesla/internal/experiment"
+	"tesla/internal/fleet"
+	"tesla/internal/scheduler"
+	"tesla/internal/testbed"
+)
+
+// policyFactory maps -policy to a per-room controller factory. tesla and mpc
+// need trained artifacts (one CI-scale Prepare shared across every room);
+// fixed and modelfree boot cold, which is what makes them deployable on a
+// fleet with no training pipeline attached.
+func policyFactory(policyName string) (fleet.PolicyFactory, error) {
+	switch policyName {
+	case "tesla", "mpc":
+		fmt.Println("teslad: training models (ci scale)...")
+		sys, err := tesla.PrepareWithBaselines(tesla.ScaleCI, false)
+		if err != nil {
+			return nil, err
+		}
+		a := sys.Artifacts()
+		if policyName == "mpc" {
+			return func(room int, polSeed uint64) (control.Policy, error) {
+				return a.NewMPCPolicy()
+			}, nil
+		}
+		return func(room int, polSeed uint64) (control.Policy, error) {
+			return a.NewTESLAPolicy(polSeed)
+		}, nil
+	case "fixed":
+		return func(room int, polSeed uint64) (control.Policy, error) {
+			return control.Fixed{SetpointC: 23}, nil
+		}, nil
+	case "modelfree":
+		cfg := testbed.DefaultConfig()
+		return func(room int, polSeed uint64) (control.Policy, error) {
+			return experiment.NewModelFreePolicy(cfg.ACU.SetpointMinC, cfg.ACU.SetpointMaxC)
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want tesla, fixed, mpc or modelfree)", policyName)
+}
+
+// schedRoomStatus is the operator snapshot of one room in the scheduled
+// fleet, refreshed at every step barrier from the room's delivered telemetry.
+type schedRoomStatus struct {
+	Room       int     `json:"room"`
+	Name       string  `json:"name"`
+	SetpointC  float64 `json:"setpoint_c"`
+	MaxColdC   float64 `json:"max_cold_c"`
+	ACUDuty    float64 `json:"acu_duty"`
+	ACUPowerKW float64 `json:"acu_power_kw"`
+	ITPowerKW  float64 `json:"it_power_kw"`
+	EnergyKWh  float64 `json:"energy_kwh"`
+	Violations int     `json:"violation_minutes"`
+	// QueueDepth counts the batch jobs currently placed on this room.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// schedDaemon is the shared state behind `teslad -scheduler`: per-room
+// snapshots plus the scheduler's counters and queue outcome, published by the
+// lockstep loop once a barrier and read by the operator endpoints.
+type schedDaemon struct {
+	mu      sync.RWMutex
+	mode    string
+	periodS float64
+	step    int
+	rooms   []schedRoomStatus
+	sched   scheduler.Counters
+	jobs    scheduler.JobStats
+}
+
+func newSchedDaemon(mode string, names []string, periodS float64) *schedDaemon {
+	sd := &schedDaemon{mode: mode, periodS: periodS, rooms: make([]schedRoomStatus, len(names))}
+	for i, name := range names {
+		sd.rooms[i] = schedRoomStatus{Room: i, Name: name}
+	}
+	return sd
+}
+
+// publish refreshes the snapshot from the harness at a step barrier. The
+// harness is quiescent between Step calls, so reading it here is race-free.
+func (sd *schedDaemon) publish(h *scheduler.Harness) {
+	c := h.Scheduler().Counters()
+	js := h.Scheduler().Stats(h.Now())
+	sd.mu.Lock()
+	sd.step++
+	sd.sched = c
+	sd.jobs = js
+	for i := range sd.rooms {
+		s := h.LastSample(i)
+		rs := &sd.rooms[i]
+		rs.SetpointC = s.SetpointC
+		rs.MaxColdC = s.MaxColdAisle
+		rs.ACUDuty = s.ACUDuty
+		rs.ACUPowerKW = s.ACUPowerKW
+		rs.ITPowerKW = s.TotalIT
+		rs.EnergyKWh += s.ACUPowerKW * sd.periodS / 3600
+		if s.MaxColdAisle > coldLimitC {
+			rs.Violations++
+		}
+		rs.QueueDepth = c.RoomQueue[rs.Name]
+	}
+	sd.mu.Unlock()
+}
+
+// handleFleet serves the scheduled-fleet estate view: every room's snapshot
+// next to the scheduler's counters and the job queue's outcome.
+func (sd *schedDaemon) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	sd.mu.RLock()
+	out := struct {
+		Mode        string             `json:"scheduler_mode"`
+		StepMinutes int                `json:"step_minutes"`
+		Rooms       []schedRoomStatus  `json:"rooms"`
+		Sched       scheduler.Counters `json:"sched"`
+		Jobs        scheduler.JobStats `json:"jobs"`
+	}{
+		Mode:        sd.mode,
+		StepMinutes: sd.step,
+		Rooms:       append([]schedRoomStatus(nil), sd.rooms...),
+		Sched:       sd.sched.Clone(),
+		Jobs:        sd.jobs,
+	}
+	sd.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleHealthz is the readiness probe: 503 until the first barrier publishes.
+func (sd *schedDaemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	sd.mu.RLock()
+	step := sd.step
+	sd.mu.RUnlock()
+	if step == 0 {
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the scheduler's Prometheus exposition: the
+// placement/deferral/migration counters, the queue gauges (fleet-wide and
+// per room) and the per-room thermal state the decisions are based on.
+func (sd *schedDaemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	sd.mu.RLock()
+	c := sd.sched.Clone()
+	jobs := sd.jobs
+	rooms := append([]schedRoomStatus(nil), sd.rooms...)
+	step := sd.step
+	sd.mu.RUnlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE tesla_sched_step_minutes counter\ntesla_sched_step_minutes %d\n", step)
+	fmt.Fprintf(w, "# TYPE tesla_sched_placements_total counter\ntesla_sched_placements_total %d\n", c.Placements)
+	fmt.Fprintf(w, "# TYPE tesla_sched_deferrals_total counter\ntesla_sched_deferrals_total %d\n", c.Deferrals)
+	writeSchedMigrations(w, c)
+	fmt.Fprintf(w, "# TYPE tesla_sched_waiting_jobs gauge\ntesla_sched_waiting_jobs %d\n", c.Waiting)
+	fmt.Fprintf(w, "# TYPE tesla_sched_running_jobs gauge\ntesla_sched_running_jobs %d\n", c.RunningJobs)
+	fmt.Fprintf(w, "# TYPE tesla_sched_completed_jobs gauge\ntesla_sched_completed_jobs %d\n", c.CompletedJobs)
+	fmt.Fprintf(w, "# TYPE tesla_sched_mean_wait_seconds gauge\ntesla_sched_mean_wait_seconds %g\n", jobs.MeanWaitS)
+	fmt.Fprintf(w, "# TYPE tesla_sched_room_queue_depth gauge\n")
+	for _, rs := range rooms {
+		fmt.Fprintf(w, "tesla_sched_room_queue_depth{room=%q} %d\n", rs.Name, rs.QueueDepth)
+	}
+	for _, rs := range rooms {
+		fmt.Fprintf(w, "tesla_room_setpoint_celsius{room=%q} %g\n", rs.Name, rs.SetpointC)
+		fmt.Fprintf(w, "tesla_room_max_cold_aisle_celsius{room=%q} %g\n", rs.Name, rs.MaxColdC)
+		fmt.Fprintf(w, "tesla_room_acu_duty{room=%q} %g\n", rs.Name, rs.ACUDuty)
+		fmt.Fprintf(w, "tesla_room_it_power_kw{room=%q} %g\n", rs.Name, rs.ITPowerKW)
+		fmt.Fprintf(w, "tesla_room_cooling_energy_kwh{room=%q} %g\n", rs.Name, rs.EnergyKWh)
+	}
+}
+
+// writeSchedMigrations emits the migration counter with its reason label.
+// The two built-in reasons always appear (zero-valued before any migration)
+// so dashboards can rate() them from the start; extra reasons follow sorted.
+func writeSchedMigrations(w http.ResponseWriter, c scheduler.Counters) {
+	fmt.Fprintf(w, "# TYPE tesla_sched_migrations_total counter\n")
+	known := []string{scheduler.ReasonThermal, scheduler.ReasonCapacity}
+	for _, r := range known {
+		fmt.Fprintf(w, "tesla_sched_migrations_total{reason=%q} %d\n", r, c.Migrations[r])
+	}
+	extra := make([]string, 0, len(c.Migrations))
+	for r := range c.Migrations {
+		if r != scheduler.ReasonThermal && r != scheduler.ReasonCapacity {
+			extra = append(extra, r)
+		}
+	}
+	sort.Strings(extra)
+	for _, r := range extra {
+		fmt.Fprintf(w, "tesla_sched_migrations_total{reason=%q} %d\n", r, c.Migrations[r])
+	}
+}
+
+// runSchedFleet is `teslad -rooms N -scheduler none|defer|full`: the lockstep
+// scheduled fleet. Heterogeneous rooms (the study's standard/weak/large
+// archetypes tiled out to N) advance in lockstep; at every step barrier the
+// global batch scheduler reads each room's telemetry and places, defers or
+// migrates jobs before the fleet steps again. The run is deterministic in
+// (-rooms, -seed, -policy, -scheduler) and independent of the worker count.
+func runSchedFleet(ctx context.Context, listen string, rooms, minutes int, speedup float64, seed uint64, policyName, schedMode string, dur durOptions) error {
+	mode, err := scheduler.ParseMode(schedMode)
+	if err != nil {
+		return err
+	}
+	if minutes <= 0 {
+		return fmt.Errorf("-scheduler needs a finite horizon: set -minutes > 0")
+	}
+	if dur.dir != "" {
+		return fmt.Errorf("-scheduler does not support -datadir: the lockstep fleet is in-memory")
+	}
+	factory, err := policyFactory(policyName)
+	if err != nil {
+		return err
+	}
+
+	evalS := float64(minutes) * 60
+	fc := fleet.Config{
+		Testbed:    testbed.DefaultConfig(),
+		Rooms:      experiment.TiledSpecs(rooms, seed),
+		Seed:       seed,
+		WarmupS:    600,
+		EvalS:      evalS,
+		InitSpC:    23,
+		ColdLimitC: coldLimitC,
+		NewPolicy:  factory,
+	}
+	jobs := experiment.ScaledSchedJobs(rooms, evalS)
+	h, err := scheduler.NewHarness(scheduler.FleetConfig{
+		Fleet: fc,
+		Sched: scheduler.DefaultConfig(mode),
+		Jobs:  jobs,
+	})
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, rooms)
+	for i := range names {
+		names[i] = fc.RoomName(i)
+	}
+	sd := newSchedDaemon(mode.String(), names, fc.Testbed.SamplePeriodS)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", sd.handleFleet)
+	mux.HandleFunc("/status", sd.handleFleet)
+	mux.HandleFunc("/metrics", sd.handleMetrics)
+	mux.HandleFunc("/healthz", sd.handleHealthz)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		h.Abandon()
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- httpSrv.Serve(ln) }()
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}()
+	fmt.Printf("teslad: scheduled fleet of %d rooms (scheduler %s, policy %s), %d batch jobs queued, operator http://%s\n",
+		rooms, mode, policyName, len(jobs), ln.Addr())
+
+	for !h.Done() {
+		select {
+		case <-ctx.Done():
+			fmt.Println("teslad: signal received, abandoning scheduled fleet")
+			h.Abandon()
+			c := h.Scheduler().Counters()
+			fmt.Printf("teslad: scheduler at abandon: %d placements, %d deferrals, %d migrations, %d waiting\n",
+				c.Placements, c.Deferrals, c.MigrationsTotal(), c.Waiting)
+			return nil
+		case err := <-srvErr:
+			h.Abandon()
+			return fmt.Errorf("operator endpoint: %w", err)
+		default:
+		}
+		if err := h.Step(); err != nil {
+			h.Abandon()
+			return err
+		}
+		sd.publish(h)
+		if speedup > 0 {
+			if !sleepCtx(ctx, time.Duration(fc.Testbed.SamplePeriodS/speedup*float64(time.Second))) {
+				fmt.Println("teslad: signal received, abandoning scheduled fleet")
+				h.Abandon()
+				return nil
+			}
+		}
+	}
+	res, err := h.Finish()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("teslad: scheduled fleet done: %d rooms × %d steps, %.2f kWh cooling, %.2f%% true TSV, joint %.2f\n",
+		rooms, minutes, res.CoolingKWh, 100*res.TrueTSVFrac, res.JointScore)
+	fmt.Printf("teslad: scheduler: %d placements, %d deferrals, %d migrations; %d/%d jobs completed, mean wait %.0fs\n",
+		res.Sched.Placements, res.Sched.Deferrals, res.Sched.MigrationsTotal(),
+		res.Jobs.Completed, res.Jobs.Submitted, res.Jobs.MeanWaitS)
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tesla/internal/scheduler"
+)
+
+func TestPolicyFactoryColdPoliciesBootWithoutTraining(t *testing.T) {
+	for _, name := range []string{"fixed", "modelfree"} {
+		factory, err := policyFactory(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := factory(0, 42); err != nil {
+			t.Fatalf("%s: building room policy: %v", name, err)
+		}
+	}
+	if _, err := policyFactory("nope"); err == nil {
+		t.Fatal("unknown policy must be rejected")
+	}
+}
+
+// testSchedDaemon fabricates a published scheduled-fleet snapshot.
+func testSchedDaemon() *schedDaemon {
+	sd := newSchedDaemon("full", []string{"room-0", "room-1"}, 60)
+	sd.step = 7
+	sd.sched = scheduler.Counters{
+		Placements: 4, Deferrals: 2, Waiting: 1, RunningJobs: 2, CompletedJobs: 1,
+		Migrations: map[string]uint64{scheduler.ReasonThermal: 1},
+		RoomQueue:  map[string]int{"room-0": 2},
+	}
+	sd.jobs = scheduler.JobStats{Submitted: 5, Completed: 1, MeanWaitS: 120}
+	sd.rooms[0].MaxColdC = 21.4
+	sd.rooms[0].QueueDepth = 2
+	sd.rooms[1].MaxColdC = 22.3
+	return sd
+}
+
+func TestSchedFleetEndpointServesCountersAndRooms(t *testing.T) {
+	sd := testSchedDaemon()
+	rec := httptest.NewRecorder()
+	sd.handleFleet(rec, httptest.NewRequest("GET", "/fleet", nil))
+	var out struct {
+		Mode  string             `json:"scheduler_mode"`
+		Rooms []schedRoomStatus  `json:"rooms"`
+		Sched scheduler.Counters `json:"sched"`
+		Jobs  scheduler.JobStats `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad /fleet body: %v", err)
+	}
+	if out.Mode != "full" || len(out.Rooms) != 2 {
+		t.Fatalf("fleet view = %+v", out)
+	}
+	if out.Sched.Placements != 4 || out.Sched.Migrations[scheduler.ReasonThermal] != 1 {
+		t.Fatalf("sched counters = %+v", out.Sched)
+	}
+	if out.Jobs.Submitted != 5 || out.Rooms[0].QueueDepth != 2 {
+		t.Fatalf("jobs/queue = %+v / %+v", out.Jobs, out.Rooms[0])
+	}
+}
+
+func TestSchedFleetMetricsExposeSchedulerCounters(t *testing.T) {
+	sd := testSchedDaemon()
+	rec := httptest.NewRecorder()
+	sd.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"tesla_sched_placements_total 4",
+		"tesla_sched_deferrals_total 2",
+		`tesla_sched_migrations_total{reason="thermal"} 1`,
+		`tesla_sched_migrations_total{reason="capacity"} 0`,
+		"tesla_sched_waiting_jobs 1",
+		"tesla_sched_running_jobs 2",
+		`tesla_sched_room_queue_depth{room="room-0"} 2`,
+		`tesla_sched_room_queue_depth{room="room-1"} 0`,
+		`tesla_room_max_cold_aisle_celsius{room="room-1"} 22.3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestSchedFleetHealthzWaitsForFirstBarrier(t *testing.T) {
+	sd := newSchedDaemon("defer", []string{"room-0"}, 60)
+	rec := httptest.NewRecorder()
+	sd.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("pre-first-barrier healthz -> %d, want 503", rec.Code)
+	}
+	sd.step = 1
+	rec = httptest.NewRecorder()
+	sd.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("post-first-barrier healthz -> %d, want 200", rec.Code)
+	}
+}
+
+// TestRunSchedFleetCompletes runs the whole -scheduler mode end to end on a
+// tiny horizon with the training-free policy: warm-up, lockstep stepping with
+// scheduler barriers, operator endpoints bound, clean summary.
+func TestRunSchedFleetCompletes(t *testing.T) {
+	err := runSchedFleet(context.Background(), "127.0.0.1:0", 2, 3, 0, 77, "fixed", "full", durOptions{})
+	if err != nil {
+		t.Fatalf("runSchedFleet: %v", err)
+	}
+}
+
+func TestRunSchedFleetRejectsBadFlags(t *testing.T) {
+	if err := runSchedFleet(context.Background(), "127.0.0.1:0", 2, 0, 0, 77, "fixed", "full", durOptions{}); err == nil {
+		t.Fatal("minutes 0 must be rejected")
+	}
+	if err := runSchedFleet(context.Background(), "127.0.0.1:0", 2, 3, 0, 77, "fixed", "bogus", durOptions{}); err == nil {
+		t.Fatal("bad scheduler mode must be rejected")
+	}
+	if err := runSchedFleet(context.Background(), "127.0.0.1:0", 2, 3, 0, 77, "fixed", "full", durOptions{dir: t.TempDir()}); err == nil {
+		t.Fatal("-datadir must be rejected in scheduler mode")
+	}
+}

@@ -91,13 +91,29 @@ type Cluster struct {
 // NewTestbed builds the paper's fleet: 21 servers over 4 racks
 // (6+5+5+5), interleaving the two SKUs the way a real deployment racks them.
 func NewTestbed() *Cluster {
+	return New(21)
+}
+
+// New builds a cluster of n servers by scaling the paper's racking scheme:
+// the servers spread over the room's 4 racks as evenly as possible (earlier
+// racks absorb the remainder) and the two SKUs keep the testbed's 11:10
+// Gold-6330:E5-2699 mix. New(21) is bit-identical to the paper testbed.
+func New(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
 	c := &Cluster{}
-	rackSizes := []int{6, 5, 5, 5}
+	base, rem := n/thermo.NumRacks, n%thermo.NumRacks
+	goldCount := (11*n + 20) / 21 // ceil(11n/21): 11 of 21 at paper scale
 	idx := 0
-	for rack, n := range rackSizes {
-		for k := 0; k < n; k++ {
+	for rack := 0; rack < thermo.NumRacks; rack++ {
+		size := base
+		if rack < rem {
+			size++
+		}
+		for k := 0; k < size; k++ {
 			class := ClassGold6330
-			if idx >= 11 {
+			if idx >= goldCount {
 				class = ClassE52699
 			}
 			srv := &Server{

@@ -1,0 +1,160 @@
+package control
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"tesla/internal/dataset"
+)
+
+// ModelFreeConfig parameterizes the model-free intelligent-P baseline
+// (Fliess & Join style): control built on an ultra-local model
+//
+//	Δy ≈ F + b·Δu
+//
+// where y is the maximum cold-aisle temperature, u the ACU set-point, b a
+// single assumed gain, and F everything else (load, weather, dynamics),
+// re-estimated from the last measurement at every step. No plant model is
+// trained — the controller is usable on a cold deployment.
+type ModelFreeConfig struct {
+	// SpMin and SpMax bound the set-point.
+	SpMin, SpMax float64
+	// ColdLimitC is the cold-aisle constraint; the controller regulates the
+	// measured maximum toward ColdLimitC − MarginC, riding as close to the
+	// limit (and therefore as energy-lean) as the margin allows.
+	ColdLimitC float64
+	MarginC    float64
+	// GainPerC is b: the assumed steady response of the max cold-aisle
+	// temperature to a 1 °C set-point move over one control step.
+	GainPerC float64
+	// Kp is the proportional gain on the tracking error.
+	Kp float64
+	// Alpha smooths the F estimate (1 = use only the newest residual).
+	Alpha float64
+	// MaxStepC slew-limits the set-point between steps.
+	MaxStepC float64
+	// InitialSetpointC is commanded until one measurement pair is available.
+	InitialSetpointC float64
+	// ColdIdx are the cold-aisle sensor indices within the DC series.
+	ColdIdx []int
+}
+
+// DefaultModelFreeConfig returns the deployment-default tuning.
+func DefaultModelFreeConfig(spMin, spMax float64, coldIdx []int) ModelFreeConfig {
+	return ModelFreeConfig{
+		SpMin: spMin, SpMax: spMax,
+		ColdLimitC:       22,
+		MarginC:          0.5,
+		GainPerC:         0.35,
+		Kp:               0.6,
+		Alpha:            0.5,
+		MaxStepC:         1.0,
+		InitialSetpointC: 23,
+		ColdIdx:          coldIdx,
+	}
+}
+
+// ModelFree is the intelligent-P controller on the ultra-local model: each
+// step it measures the realized temperature delta, attributes the part its
+// assumed gain explains to its own last move and the rest to the disturbance
+// estimate F̂, then commands the move that cancels F̂ and closes a fraction
+// Kp of the remaining tracking error.
+type ModelFree struct {
+	cfg ModelFreeConfig
+
+	have  bool // one (y, u) pair recorded
+	prevY float64
+	prevU float64
+	fHat  float64
+}
+
+// NewModelFree validates the configuration.
+func NewModelFree(cfg ModelFreeConfig) (*ModelFree, error) {
+	if cfg.SpMin >= cfg.SpMax {
+		return nil, fmt.Errorf("control: model-free set-point range [%g,%g] is empty", cfg.SpMin, cfg.SpMax)
+	}
+	if cfg.GainPerC <= 0 || cfg.Kp <= 0 || cfg.MaxStepC <= 0 {
+		return nil, fmt.Errorf("control: invalid model-free config %+v", cfg)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("control: model-free alpha %g outside (0,1]", cfg.Alpha)
+	}
+	if len(cfg.ColdIdx) == 0 {
+		return nil, fmt.Errorf("control: model-free needs cold-aisle sensor indices")
+	}
+	return &ModelFree{cfg: cfg}, nil
+}
+
+// Name implements Policy.
+func (mf *ModelFree) Name() string { return "modelfree" }
+
+// maxColdAt reads the maximum cold-aisle measurement at step t.
+func (mf *ModelFree) maxColdAt(tr *dataset.Trace, t int) float64 {
+	maxCold := -1e30
+	for _, k := range mf.cfg.ColdIdx {
+		if v := tr.DCTemps[k][t]; v > maxCold {
+			maxCold = v
+		}
+	}
+	return maxCold
+}
+
+// Decide implements Policy.
+func (mf *ModelFree) Decide(tr *dataset.Trace, t int) float64 {
+	if t < 0 || t >= tr.Len() {
+		return mf.cfg.InitialSetpointC
+	}
+	y := mf.maxColdAt(tr, t)
+	u := clampF(tr.Setpoint[t], mf.cfg.SpMin, mf.cfg.SpMax)
+	if !mf.have {
+		mf.have, mf.prevY, mf.prevU = true, y, u
+		return clampF(mf.cfg.InitialSetpointC, mf.cfg.SpMin, mf.cfg.SpMax)
+	}
+
+	// Ultra-local model update: the realized Δy minus what our own last
+	// set-point move explains is the disturbance estimate.
+	residual := (y - mf.prevY) - mf.cfg.GainPerC*(u-mf.prevU)
+	mf.fHat = mf.cfg.Alpha*residual + (1-mf.cfg.Alpha)*mf.fHat
+
+	// Intelligent-P law: pick Δu so that F̂ + b·Δu = Kp·(ref − y), i.e. the
+	// disturbance is cancelled and a fraction of the error closed per step.
+	ref := mf.cfg.ColdLimitC - mf.cfg.MarginC
+	du := (mf.cfg.Kp*(ref-y) - mf.fHat) / mf.cfg.GainPerC
+	du = clampF(du, -mf.cfg.MaxStepC, mf.cfg.MaxStepC)
+	next := clampF(u+du, mf.cfg.SpMin, mf.cfg.SpMax)
+
+	mf.prevY, mf.prevU = y, u
+	return next
+}
+
+// modelFreeState is the controller's mutable state for checkpointing.
+type modelFreeState struct {
+	Version      int
+	Have         bool
+	PrevY, PrevU float64
+	FHat         float64
+}
+
+// Snapshot implements Durable.
+func (mf *ModelFree) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	st := modelFreeState{Version: 1, Have: mf.have, PrevY: mf.prevY, PrevU: mf.prevU, FHat: mf.fHat}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("control: model-free snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Durable.
+func (mf *ModelFree) Restore(blob []byte) error {
+	var st modelFreeState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("control: model-free restore: %w", err)
+	}
+	if st.Version != 1 {
+		return fmt.Errorf("control: model-free snapshot version %d unsupported", st.Version)
+	}
+	mf.have, mf.prevY, mf.prevU, mf.fHat = st.Have, st.PrevY, st.PrevU, st.FHat
+	return nil
+}

@@ -1,0 +1,263 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"tesla/internal/baselines"
+	"tesla/internal/dataset"
+	"tesla/internal/testbed"
+)
+
+func TestMPCValidation(t *testing.T) {
+	tr := learnableTrace(500, 11)
+	train, _ := tr.Split(0.8)
+	rec, err := baselines.TrainLazic(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMPC(nil, DefaultMPCConfig(20, 35, []int{0})); err == nil {
+		t.Fatalf("nil model accepted")
+	}
+	bad := DefaultMPCConfig(20, 35, []int{0})
+	bad.Passes = 0
+	if _, err := NewMPC(rec, bad); err == nil {
+		t.Fatalf("zero passes accepted")
+	}
+	bad = DefaultMPCConfig(20, 35, nil)
+	if _, err := NewMPC(rec, bad); err == nil {
+		t.Fatalf("empty cold set accepted")
+	}
+	bad = DefaultMPCConfig(35, 20, []int{0})
+	if _, err := NewMPC(rec, bad); err == nil {
+		t.Fatalf("empty set-point range accepted")
+	}
+}
+
+func TestMPCTracksBoundaryWithMargin(t *testing.T) {
+	tr := learnableTrace(700, 12)
+	train, test := tr.Split(0.8)
+	rec, err := baselines.TrainLazic(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMPCConfig(20, 35, []int{0, 1, 2})
+	cfg.L = 6
+	m, err := NewMPC(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "mpc" {
+		t.Fatalf("name %q", m.Name())
+	}
+	// Decide from a cool plant state (a hot state legitimately triggers the
+	// S_min backstop, because not even maximum cooling clears the predicted
+	// transient). In the synthetic dynamics cold ≈ inlet − 4 + …, so limit
+	// 22 puts the feasibility boundary around set-point 25–26; the margin
+	// keeps MPC at or below it.
+	cool := -1
+	for s := rec.W; s < test.Len(); s++ {
+		if test.MaxCold[s] < 20.5 {
+			cool = s
+		}
+	}
+	if cool < 0 {
+		t.Fatalf("no cool step in the synthetic test trace")
+	}
+	got := m.Decide(test, cool)
+	if got < 22 || got > 27.5 {
+		t.Fatalf("MPC decision %g outside the plausible band [22,27.5]", got)
+	}
+
+	// A larger safety margin must not pick a higher (riskier) set-point.
+	tight := cfg
+	tight.MarginC = 1.2
+	mt, err := NewMPC(rec, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tighter := mt.Decide(test, cool); tighter > got+1e-9 {
+		t.Fatalf("margin 1.2 picked %g, above margin %g pick %g", tighter, cfg.MarginC, got)
+	}
+
+	// Infeasible limit: the S_min backstop must fire.
+	hard := cfg
+	hard.ColdLimitC = 5
+	mh, err := NewMPC(rec, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mh.Decide(test, cool); got != 20 {
+		t.Fatalf("infeasible limit should trigger S_min, got %g", got)
+	}
+
+	// Too little history: the initial set-point.
+	short := learnableTrace(2, 13)
+	if got := m.Decide(short, 0); got != cfg.InitialSetpointC {
+		t.Fatalf("pre-history MPC decision %g", got)
+	}
+}
+
+func TestMPCDurableRoundTrip(t *testing.T) {
+	tr := learnableTrace(700, 14)
+	train, test := tr.Split(0.8)
+	rec, err := baselines.TrainLazic(train, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMPCConfig(20, 35, []int{0, 1, 2})
+	cfg.L = 6
+	ref, err := NewMPC(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewMPC(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 10; step < 20; step++ {
+		ref.Decide(test, step)
+		live.Decide(test, step)
+	}
+	blob, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewMPC(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	for step := 20; step < 30; step++ {
+		want := ref.Decide(test, step)
+		if got := restored.Decide(test, step); got != want {
+			t.Fatalf("step %d: restored MPC decided %g, uninterrupted %g", step, got, want)
+		}
+	}
+	if err := restored.Restore([]byte("garbage")); err == nil {
+		t.Fatalf("garbage snapshot accepted")
+	}
+}
+
+func TestModelFreeValidation(t *testing.T) {
+	if _, err := NewModelFree(DefaultModelFreeConfig(35, 20, []int{0})); err == nil {
+		t.Fatalf("empty set-point range accepted")
+	}
+	bad := DefaultModelFreeConfig(20, 35, []int{0})
+	bad.GainPerC = 0
+	if _, err := NewModelFree(bad); err == nil {
+		t.Fatalf("zero gain accepted")
+	}
+	bad = DefaultModelFreeConfig(20, 35, []int{0})
+	bad.Alpha = 1.5
+	if _, err := NewModelFree(bad); err == nil {
+		t.Fatalf("alpha > 1 accepted")
+	}
+	if _, err := NewModelFree(DefaultModelFreeConfig(20, 35, nil)); err == nil {
+		t.Fatalf("empty cold set accepted")
+	}
+}
+
+// modelFreeLoop closes the intelligent-P controller over a toy first-order
+// plant (cold-aisle temperature relaxes toward set-point − offset + load)
+// and returns the trace it produced.
+func modelFreeLoop(mf *ModelFree, steps int, load func(i int) float64) *dataset.Trace {
+	tr := dataset.NewTrace(60, 1, 1)
+	y, sp := 21.0, 23.0
+	for i := 0; i < steps; i++ {
+		y = 0.7*y + 0.3*(sp-4+load(i))
+		tr.Append(testbed.Sample{
+			TimeS: float64(i) * 60, SetpointC: sp,
+			ACUTemps: []float64{sp}, DCTemps: []float64{y}, MaxColdAisle: y,
+		})
+		sp = mf.Decide(tr, tr.Len()-1)
+	}
+	return tr
+}
+
+func TestModelFreeRegulatesTowardReference(t *testing.T) {
+	cfg := DefaultModelFreeConfig(20, 35, []int{0})
+	mf, err := NewModelFree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Name() != "modelfree" {
+		t.Fatalf("name %q", mf.Name())
+	}
+	tr := modelFreeLoop(mf, 80, func(int) float64 { return 0.5 })
+	ref := cfg.ColdLimitC - cfg.MarginC
+	tail := tr.MaxCold[tr.Len()-10:]
+	for i, y := range tail {
+		if math.Abs(y-ref) > 0.6 {
+			t.Fatalf("settled cold-aisle %g at tail step %d, want within 0.6 of reference %g", y, i, ref)
+		}
+	}
+	// The settled max stays under the hard limit — the margin is the hedge.
+	for _, y := range tail {
+		if y > cfg.ColdLimitC {
+			t.Fatalf("settled cold-aisle %g above the %g limit", y, cfg.ColdLimitC)
+		}
+	}
+}
+
+func TestModelFreeRejectsLoadDisturbance(t *testing.T) {
+	cfg := DefaultModelFreeConfig(20, 35, []int{0})
+	mf, err := NewModelFree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A load step of +1.5 °C equivalent at step 60: F̂ must absorb it and
+	// the loop re-settle at the reference.
+	tr := modelFreeLoop(mf, 160, func(i int) float64 {
+		if i >= 60 {
+			return 2.0
+		}
+		return 0.5
+	})
+	ref := cfg.ColdLimitC - cfg.MarginC
+	for i := tr.Len() - 10; i < tr.Len(); i++ {
+		if math.Abs(tr.MaxCold[i]-ref) > 0.6 {
+			t.Fatalf("post-disturbance cold-aisle %g at step %d, want near %g", tr.MaxCold[i], i, ref)
+		}
+	}
+	// Slew limit: consecutive executed set-points never jump more than
+	// MaxStepC.
+	for i := 1; i < tr.Len(); i++ {
+		if d := math.Abs(tr.Setpoint[i] - tr.Setpoint[i-1]); d > cfg.MaxStepC+1e-9 {
+			t.Fatalf("set-point slew %g at step %d exceeds %g", d, i, cfg.MaxStepC)
+		}
+	}
+}
+
+func TestModelFreeDurableRoundTrip(t *testing.T) {
+	cfg := DefaultModelFreeConfig(20, 35, []int{0})
+	ref, _ := NewModelFree(cfg)
+	live, _ := NewModelFree(cfg)
+	tr := modelFreeLoop(ref, 40, func(int) float64 { return 0.5 })
+	for step := 0; step < 30; step++ {
+		live.Decide(tr, step)
+	}
+	refDup, _ := NewModelFree(cfg)
+	for step := 0; step < 30; step++ {
+		refDup.Decide(tr, step)
+	}
+	blob, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewModelFree(cfg)
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	for step := 30; step < 40; step++ {
+		want := refDup.Decide(tr, step)
+		if got := restored.Decide(tr, step); got != want {
+			t.Fatalf("step %d: restored model-free decided %g, uninterrupted %g", step, got, want)
+		}
+	}
+	if err := restored.Restore([]byte{0x01}); err == nil {
+		t.Fatalf("garbage snapshot accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"tesla/internal/fleet"
 	"tesla/internal/gateway"
 	"tesla/internal/ingest"
+	"tesla/internal/scheduler"
 	"tesla/internal/telemetry"
 )
 
@@ -68,6 +69,7 @@ type shardState struct {
 	gateway  *gateway.Stats
 	ingest   *ingest.Stats
 	field    *telemetry.Rollup
+	sched    *scheduler.Counters
 }
 
 // roomState is the coordinator's view of one room's placement.
@@ -82,13 +84,13 @@ type roomState struct {
 
 // ShardInfo is a shard's externally visible state.
 type ShardInfo struct {
-	ID           string      `json:"id"`
-	Addr         string      `json:"addr"`
-	Health       ShardHealth `json:"health"`
-	Epoch        uint64      `json:"epoch"`
-	BeatAgeMs    int64       `json:"beat_age_ms"`
-	Rooms        int         `json:"rooms"`
-	RollupRooms  int         `json:"rollup_rooms"`
+	ID          string      `json:"id"`
+	Addr        string      `json:"addr"`
+	Health      ShardHealth `json:"health"`
+	Epoch       uint64      `json:"epoch"`
+	BeatAgeMs   int64       `json:"beat_age_ms"`
+	Rooms       int         `json:"rooms"`
+	RollupRooms int         `json:"rollup_rooms"`
 }
 
 // RoomPlacement is a room's externally visible placement.
@@ -108,28 +110,32 @@ type RoomPlacement struct {
 // every room's placement. It is built entirely from the last heartbeats, so
 // it keeps serving (with growing beat ages) when shards go quiet.
 type FleetView struct {
-	Rooms    int             `json:"rooms"`
-	Placed   int             `json:"placed"`
-	Done     int             `json:"done"`
-	Unplaced int             `json:"unplaced"`
-	Shards   []ShardInfo     `json:"shards"`
+	Rooms    int              `json:"rooms"`
+	Placed   int              `json:"placed"`
+	Done     int              `json:"done"`
+	Unplaced int              `json:"unplaced"`
+	Shards   []ShardInfo      `json:"shards"`
 	Rollup   telemetry.Rollup `json:"rollup"`
-	Gateway  *gateway.Stats  `json:"gateway,omitempty"`
-	Ingest   *ingest.Stats   `json:"ingest,omitempty"`
+	Gateway  *gateway.Stats   `json:"gateway,omitempty"`
+	Ingest   *ingest.Stats    `json:"ingest,omitempty"`
 	// Field is the fleet-wide field-bus poll ledger: every live shard's
 	// per-room Modbus poller rollups merged. Absent when no shard runs a
 	// field bus.
 	Field *telemetry.Rollup `json:"field,omitempty"`
-	Placements []RoomPlacement `json:"placements"`
+	// Sched is the fleet-wide batch-scheduler ledger: every live shard's
+	// placement/deferral/migration counters and queue depths merged. Absent
+	// when no shard runs a scheduler.
+	Sched      *scheduler.Counters `json:"sched,omitempty"`
+	Placements []RoomPlacement     `json:"placements"`
 }
 
 // Counters are the coordinator's control-plane event totals.
 type Counters struct {
-	Failovers        uint64 `json:"failovers"`         // shard-death events that re-placed rooms
-	RoomFailovers    uint64 `json:"room_failovers"`    // rooms re-placed by those events
-	MigrationsOK     uint64 `json:"migrations_ok"`
-	MigrationsFailed uint64 `json:"migrations_failed"`
-	FencedHeartbeats uint64 `json:"fenced_heartbeats"` // zombie beats rejected
+	Failovers         uint64 `json:"failovers"`      // shard-death events that re-placed rooms
+	RoomFailovers     uint64 `json:"room_failovers"` // rooms re-placed by those events
+	MigrationsOK      uint64 `json:"migrations_ok"`
+	MigrationsFailed  uint64 `json:"migrations_failed"`
+	FencedHeartbeats  uint64 `json:"fenced_heartbeats"` // zombie beats rejected
 	FencedRoomReports uint64 `json:"fenced_room_reports"`
 }
 
@@ -404,6 +410,8 @@ func (c *Coordinator) Fleet() FleetView {
 	haveIng := false
 	var fld telemetry.Rollup
 	haveFld := false
+	var sched scheduler.Counters
+	haveSched := false
 	ids := make([]string, 0, len(c.shards))
 	for id := range c.shards {
 		ids = append(ids, id)
@@ -437,6 +445,10 @@ func (c *Coordinator) Fleet() FleetView {
 				fld.Merge(*sh.field)
 				haveFld = true
 			}
+			if sh.sched != nil {
+				sched.Merge(*sh.sched)
+				haveSched = true
+			}
 		}
 	}
 	// The merged Rooms field counts per-shard ingestor instances over time;
@@ -450,6 +462,9 @@ func (c *Coordinator) Fleet() FleetView {
 	}
 	if haveFld {
 		v.Field = &fld
+	}
+	if haveSched {
+		v.Sched = &sched
 	}
 	for i := range c.rooms {
 		rm := &c.rooms[i]
@@ -539,6 +554,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	sh.gateway = req.Gateway
 	sh.ingest = req.Ingest
 	sh.field = req.Field
+	sh.sched = req.Sched
 
 	var resp HeartbeatResponse
 	for _, st := range req.Rooms {
@@ -637,6 +653,20 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if v.Field != nil {
 		fmt.Fprintf(w, "# TYPE tesla_fleet_field_samples_total counter\ntesla_fleet_field_samples_total %d\n", v.Field.Samples)
 		fmt.Fprintf(w, "# TYPE tesla_fleet_field_seq_gaps_total counter\ntesla_fleet_field_seq_gaps_total %d\n", v.Field.Gaps)
+	}
+	if v.Sched != nil {
+		fmt.Fprintf(w, "# TYPE tesla_fleet_sched_placements_total counter\ntesla_fleet_sched_placements_total %d\n", v.Sched.Placements)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_sched_deferrals_total counter\ntesla_fleet_sched_deferrals_total %d\n", v.Sched.Deferrals)
+		fmt.Fprintf(w, "# TYPE tesla_fleet_sched_migrations_total counter\n")
+		reasons := make([]string, 0, len(v.Sched.Migrations))
+		for r := range v.Sched.Migrations {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(w, "tesla_fleet_sched_migrations_total{reason=%q} %d\n", r, v.Sched.Migrations[r])
+		}
+		fmt.Fprintf(w, "# TYPE tesla_fleet_sched_waiting_jobs gauge\ntesla_fleet_sched_waiting_jobs %d\n", v.Sched.Waiting)
 	}
 	fmt.Fprintf(w, "# TYPE tesla_fleet_max_cold_aisle_celsius gauge\ntesla_fleet_max_cold_aisle_celsius %g\n", v.Rollup.MaxColdC)
 }

@@ -1,0 +1,102 @@
+package controlplane
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tesla/internal/scheduler"
+)
+
+// TestHeartbeatCarriesSchedCounters: shards running a batch scheduler sample
+// its ledger into every heartbeat, and the coordinator's fleet view merges
+// placements, deferrals, per-reason migrations and queue depths fleet-wide.
+func TestHeartbeatCarriesSchedCounters(t *testing.T) {
+	fcfg := testFleetCfg(2, 11)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Fleet:          fcfg,
+		SuspectAfter:   40 * time.Millisecond,
+		DeadAfter:      90 * time.Millisecond,
+		ReconcileEvery: 10 * time.Millisecond,
+		RPC:            fastRPC(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+	coord.Start()
+	defer coord.Stop()
+
+	counters := []scheduler.Counters{
+		{
+			Placements: 7, Deferrals: 3, Waiting: 1, RunningJobs: 2, CompletedJobs: 4,
+			Migrations: map[string]uint64{scheduler.ReasonThermal: 2},
+			RoomQueue:  map[string]int{"room-0": 2},
+		},
+		{
+			Placements: 5, Deferrals: 1, Waiting: 0, RunningJobs: 1, CompletedJobs: 3,
+			Migrations: map[string]uint64{scheduler.ReasonThermal: 1, scheduler.ReasonCapacity: 4},
+			RoomQueue:  map[string]int{"room-1": 1},
+		},
+	}
+	for i, id := range []string{"a", "b"} {
+		c := counters[i]
+		sh, err := NewShard(ShardConfig{
+			ID:             id,
+			Fleet:          fcfg,
+			DataDir:        t.TempDir(),
+			Coordinator:    coordSrv.URL,
+			HeartbeatEvery: 10 * time.Millisecond,
+			RPC:            fastRPC(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.SetSchedCounters(func() scheduler.Counters { return c.Clone() })
+		srv := httptest.NewServer(sh.Handler())
+		sh.SetAdvertise(srv.URL)
+		sh.Start()
+		defer func() { sh.Stop(); srv.Close() }()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var got *scheduler.Counters
+	for {
+		v := coord.Fleet()
+		if v.Sched != nil && v.Sched.Placements == 12 {
+			got = v.Sched
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet view never merged both shards' sched counters: %+v", v.Sched)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	want := counters[0].Clone()
+	want.Merge(counters[1])
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("merged sched counters = %+v, want %+v", *got, want)
+	}
+	if got.Migrations[scheduler.ReasonThermal] != 3 || got.Migrations[scheduler.ReasonCapacity] != 4 {
+		t.Fatalf("per-reason migrations not merged: %+v", got.Migrations)
+	}
+	if got.RoomQueue["room-0"] != 2 || got.RoomQueue["room-1"] != 1 {
+		t.Fatalf("queue depths not merged: %+v", got.RoomQueue)
+	}
+
+	_, body := httpGet(t, coordSrv.URL+"/metrics")
+	for _, line := range []string{
+		"tesla_fleet_sched_placements_total 12",
+		"tesla_fleet_sched_deferrals_total 4",
+		`tesla_fleet_sched_migrations_total{reason="thermal"} 3`,
+		`tesla_fleet_sched_migrations_total{reason="capacity"} 4`,
+		"tesla_fleet_sched_waiting_jobs 1",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("coordinator /metrics missing %q in:\n%s", line, body)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"tesla/internal/gateway"
 	"tesla/internal/ingest"
 	"tesla/internal/modbus"
+	"tesla/internal/scheduler"
 	"tesla/internal/telemetry"
 	"tesla/internal/testbed"
 )
@@ -58,6 +59,10 @@ type ShardConfig struct {
 	// coordinator's fleet view includes this shard's telemetry-ingest
 	// pipeline (inputs, exact drop/gap ledger, TSDB tier sizes).
 	IngestStats func() ingest.Stats
+	// SchedCounters, when set, is sampled into every heartbeat so the
+	// coordinator's fleet view rolls up this shard's batch-scheduler ledger
+	// (placements, deferrals, migrations by reason, queue depths).
+	SchedCounters func() scheduler.Counters
 	// FieldBus puts a real Modbus field path under every hosted room: one
 	// in-process ACU device sim per room served over TCP, a shared shard
 	// gateway actuating set-points and polling telemetry across that wire,
@@ -327,6 +332,15 @@ func (s *Shard) Gateway() *gateway.Gateway { return s.gw }
 func (s *Shard) SetIngestStats(f func() ingest.Stats) {
 	s.mu.Lock()
 	s.cfg.IngestStats = f
+	s.mu.Unlock()
+}
+
+// SetSchedCounters wires the heartbeat's batch-scheduler sampler after
+// construction, for hosts that run a job scheduler alongside the shard's
+// rooms. Call before Start.
+func (s *Shard) SetSchedCounters(f func() scheduler.Counters) {
+	s.mu.Lock()
+	s.cfg.SchedCounters = f
 	s.mu.Unlock()
 }
 
@@ -698,7 +712,7 @@ func (s *Shard) beat() bool {
 		st := h.status
 		req.Rooms = append(req.Rooms, st)
 	}
-	gwStats, ingStats := s.cfg.GatewayStats, s.cfg.IngestStats
+	gwStats, ingStats, schedStats := s.cfg.GatewayStats, s.cfg.IngestStats, s.cfg.SchedCounters
 	s.mu.Unlock()
 	req.Rollup = s.Rollup()
 	if gwStats != nil {
@@ -715,6 +729,10 @@ func (s *Shard) beat() bool {
 	if s.gw != nil {
 		fr := s.FieldRollup()
 		req.Field = &fr
+	}
+	if schedStats != nil {
+		sc := schedStats()
+		req.Sched = &sc
 	}
 
 	var resp HeartbeatResponse

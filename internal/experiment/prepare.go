@@ -108,10 +108,11 @@ func (a *Artifacts) NewTESLAPolicy(seed uint64) (*control.TESLA, error) {
 }
 
 // NewPolicy builds a fresh policy instance by table name ("fixed", "tesla",
-// "lazic", "tsrl"). Sweeps that fan runs out in parallel call it once per
-// run: tesla and lazic controllers carry per-run state so each run needs its
-// own instance, while the returned TSRL policy is the shared trained table
-// (its Decide only reads) and Fixed is a value.
+// "lazic", "tsrl", "mpc", "modelfree"). Sweeps that fan runs out in parallel
+// call it once per run: tesla, lazic, mpc and modelfree controllers carry
+// per-run state so each run needs its own instance, while the returned TSRL
+// policy is the shared trained table (its Decide only reads) and Fixed is a
+// value.
 func (a *Artifacts) NewPolicy(name string, seed uint64) (control.Policy, error) {
 	switch name {
 	case "fixed":
@@ -122,6 +123,10 @@ func (a *Artifacts) NewPolicy(name string, seed uint64) (control.Policy, error) 
 		return a.NewLazicPolicy()
 	case "tsrl":
 		return a.TSRL, nil
+	case "mpc":
+		return a.NewMPCPolicy()
+	case "modelfree":
+		return a.NewModelFreePolicy()
 	}
 	return nil, fmt.Errorf("experiment: unknown policy %q", name)
 }

@@ -20,6 +20,7 @@ type Report struct {
 	Study  *AblationStudy
 	Fault  *FaultInjectionResult
 	Matrix *FaultMatrix
+	Sched  *FleetSchedulingStudy
 }
 
 // WriteMarkdown renders every populated section.
@@ -153,6 +154,35 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		}
 		if err := writeMDTable(w,
 			[]string{"Scenario", "Class", "TSV (%)", "True TSV (%)", "ΔCE (kWh)", "Recovery", "Escalations", "Max level"},
+			rows); err != nil {
+			return err
+		}
+	}
+	if r.Sched != nil {
+		if _, err := fmt.Fprintf(w, "\n## Fleet scheduling study — %d heterogeneous rooms × %d batch jobs\n\n"+
+			"Joint score = cooling energy (kWh) + 0.25 × true-violation room-steps: the\n"+
+			"co-optimization objective. Scheduler modes: none = immediate round-robin\n"+
+			"placement, defer = round-robin + thermal deferral, full = headroom-aware\n"+
+			"placement + deferral + migration off stressed rooms. Under TESLA the full\n"+
+			"scheduler improves the joint score by %.1f%% over no scheduler.\n\n",
+			r.Sched.Rooms, r.Sched.Jobs, r.Sched.JointImprovementPct("tesla")); err != nil {
+			return err
+		}
+		rows := make([][]string, 0, len(r.Sched.Cells))
+		for _, c := range r.Sched.Cells {
+			rows = append(rows, []string{
+				c.Policy, c.Mode,
+				fmt.Sprintf("%.2f", c.CoolingKWh),
+				fmt.Sprintf("%.2f", c.PeakITKW),
+				fmt.Sprintf("%.2f", 100*c.TrueTSVFrac),
+				fmt.Sprintf("%.2f", c.JointScore),
+				fmt.Sprintf("%d", c.Completed),
+				fmt.Sprintf("%.0f", c.MeanWaitS),
+				fmt.Sprintf("%d", c.Migrations),
+			})
+		}
+		if err := writeMDTable(w,
+			[]string{"Policy", "Scheduler", "CE (kWh)", "Peak IT (kW)", "True TSV (%)", "Joint", "Done", "Wait (s)", "Migr"},
 			rows); err != nil {
 			return err
 		}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPolicyKnowsNewBaselines(t *testing.T) {
+	a := sharedArtifacts(t)
+	for name, want := range map[string]string{"mpc": "mpc", "modelfree": "modelfree"} {
+		p, err := a.NewPolicy(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+}
+
+func TestHeterogeneousSpecsValidate(t *testing.T) {
+	specs := HeterogeneousSpecs(11)
+	if len(specs) != 3 {
+		t.Fatalf("%d rooms", len(specs))
+	}
+	weak := specs[1]
+	if weak.ACUCoolKW >= 13 || weak.ThermalMass >= 1 {
+		t.Fatalf("weak room is not weak: %+v", weak)
+	}
+	if specs[2].Servers <= 21 {
+		t.Fatalf("big room is not big: %+v", specs[2])
+	}
+}
+
+// TestFleetSchedulingStudy is the PR's acceptance gate: the full
+// place+defer+migrate scheduler under TESLA must strictly improve the joint
+// (cooling energy + violation) score over the scheduler-less cell on the
+// heterogeneous fleet, and the MPC and model-free columns must be present
+// in the rendered report.
+func TestFleetSchedulingStudy(t *testing.T) {
+	a := sharedArtifacts(t)
+	study, err := RunFleetSchedulingStudy(a, 3, 1800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Cells) != len(SchedModes)*len(SchedPolicies) {
+		t.Fatalf("%d cells", len(study.Cells))
+	}
+
+	none := study.Cell("none", "tesla")
+	full := study.Cell("full", "tesla")
+	if none == nil || full == nil {
+		t.Fatalf("missing TESLA cells")
+	}
+	if full.JointScore >= none.JointScore {
+		t.Fatalf("full×tesla joint %.3f not strictly better than none×tesla %.3f",
+			full.JointScore, none.JointScore)
+	}
+	if full.Placements == 0 || none.Placements == 0 {
+		t.Fatalf("jobs were not placed: none=%d full=%d", none.Placements, full.Placements)
+	}
+	// Every policy column exists and every cell actually ran its horizon.
+	for _, policy := range SchedPolicies {
+		for _, mode := range []string{"none", "defer", "full"} {
+			c := study.Cell(mode, policy)
+			if c == nil {
+				t.Fatalf("missing cell %s×%s", mode, policy)
+			}
+			if c.CoolingKWh <= 0 || c.TrajectoryHash == 0 {
+				t.Fatalf("cell %s×%s looks unrun: %+v", mode, policy, c)
+			}
+		}
+	}
+
+	var b strings.Builder
+	rep := Report{ScaleName: "ci", Sched: study}
+	if err := rep.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	md := b.String()
+	for _, want := range []string{"Fleet scheduling study", "| mpc |", "| modelfree |", "| tesla |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report lacks %q:\n%s", want, md)
+		}
+	}
+}

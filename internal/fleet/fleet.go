@@ -63,6 +63,22 @@ type RoomSpec struct {
 	// every control step. Wall-clock only — the simulated trajectory is
 	// unaffected, which is exactly the isolation property worth testing.
 	StallPerStep time.Duration
+
+	// The remaining fields make fleets heterogeneous: each zero value keeps
+	// the Config.Testbed template untouched, so existing configurations (and
+	// their golden trajectory hashes) are unaffected.
+
+	// Servers overrides the room's cluster size (0 = template, i.e. 21).
+	Servers int
+	// ACUCoolKW overrides the room ACU's peak cooling capacity in kW
+	// (0 = template, i.e. 13): under-provisioned rooms saturate their
+	// compressor under batch load — the thermally weak rooms a fleet
+	// scheduler must route work away from.
+	ACUCoolKW float64
+	// ThermalMass scales the room's air/structure/rack heat capacitances
+	// (0 or 1 = template): lighter rooms heat faster and give the cooling
+	// loop less slack.
+	ThermalMass float64
 }
 
 // Config assembles a fleet run.
@@ -208,6 +224,15 @@ func (c *Config) Validate() error {
 	for i, spec := range c.Rooms {
 		if spec.Profile == nil {
 			return fmt.Errorf("fleet: room %d has no workload profile", i)
+		}
+		if spec.Servers < 0 {
+			return fmt.Errorf("fleet: room %d server override %d must be non-negative", i, spec.Servers)
+		}
+		if spec.ACUCoolKW < 0 {
+			return fmt.Errorf("fleet: room %d ACU capacity override %g must be non-negative", i, spec.ACUCoolKW)
+		}
+		if spec.ThermalMass < 0 {
+			return fmt.Errorf("fleet: room %d thermal-mass scale %g must be non-negative", i, spec.ThermalMass)
 		}
 		s := c.streamOf(i)
 		if prev, dup := seen[s]; dup {

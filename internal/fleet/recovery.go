@@ -188,6 +188,7 @@ func (rr *roomRun) replay() error {
 		rr.tb.SetSetpoint(rec.Setpoint)
 		s := rr.tb.Advance()
 		rr.tr.Append(s)
+		rr.last = s
 		rr.checkSample(&rec.Sample, &s)
 	}
 	for j := snap; j < len(rr.recSteps); j++ {
@@ -205,6 +206,7 @@ func (rr *roomRun) replay() error {
 		rr.tb.SetSetpoint(sp)
 		s := rr.tb.Advance()
 		rr.tr.Append(s)
+		rr.last = s
 		rr.checkSample(&rec.Sample, &s)
 		rr.applyStep(sp, &s)
 		info.ReplayedSteps++

@@ -37,6 +37,10 @@ type roomRun struct {
 
 	res  RoomResult
 	hash uint64
+	// last is the most recent plant sample (warm-up, replay or live) — what
+	// a fleet-level scheduler reads at the step barrier to judge the room's
+	// thermal headroom and cooling capacity.
+	last testbed.Sample
 
 	warmSteps int
 	evalSteps int
@@ -139,6 +143,18 @@ func newRoomRun(cfg *Config, idx int, q *telemetry.Queue) (*roomRun, error) {
 
 	rr.tbCfg = cfg.Testbed
 	rr.tbCfg.Seed = rng.SeedFor(cfg.Seed, testbedStream(stream))
+	// Per-room heterogeneity overrides; zero values keep the fleet template.
+	if spec.Servers > 0 {
+		rr.tbCfg.Servers = spec.Servers
+	}
+	if spec.ACUCoolKW > 0 {
+		rr.tbCfg.ACU.MaxCoolKW = spec.ACUCoolKW
+	}
+	if spec.ThermalMass > 0 && spec.ThermalMass != 1 {
+		rr.tbCfg.Room.ColdCapKJPerK *= spec.ThermalMass
+		rr.tbCfg.Room.HotCapKJPerK *= spec.ThermalMass
+		rr.tbCfg.Room.RackCapKJPerK *= spec.ThermalMass
+	}
 	tb, err := testbed.New(rr.tbCfg)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: room %s: %w", rr.res.Name, err)
@@ -171,6 +187,7 @@ func (rr *roomRun) warmup() error {
 	for i := 0; i < rr.warmSteps; i++ {
 		s := rr.tb.Advance()
 		rr.tr.Append(s)
+		rr.last = s
 		switch {
 		case i < len(rr.recWarm):
 			rr.checkSample(&rr.recWarm[i].Sample, &s)
@@ -235,6 +252,7 @@ func (rr *roomRun) stepOnce(i int, d control.Durable, durable bool, snapEvery in
 	}
 	s := rr.tb.Advance()
 	rr.tr.Append(s)
+	rr.last = s
 	if rr.cfg.Publish != nil {
 		rr.cfg.Publish(rr.res.Room, s)
 	}

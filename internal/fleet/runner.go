@@ -109,6 +109,15 @@ func (r *Runner) Recovery() RecoveryInfo { return r.rr.res.Recovery }
 // once Config.Actuate is set.
 func (r *Runner) Plant() *testbed.Testbed { return r.rr.tb }
 
+// LastSample returns the most recent plant sample (from warm-up, recovery
+// replay or the last Step) — the per-room observation a fleet-level
+// scheduler reads at its step barrier: cold-aisle headroom
+// (ColdLimitC − MaxColdAisle), compressor duty, IT power. The sample is the
+// delivered telemetry view (fault hooks applied), which is exactly what a
+// real scheduler would see. The returned sample shares its slices with the
+// runner; callers must not mutate them.
+func (r *Runner) LastSample() testbed.Sample { return r.rr.last }
+
 // Step executes one evaluation step — identical, bit for bit, to the same
 // step inside a batch fleet run.
 func (r *Runner) Step() error {

@@ -31,6 +31,9 @@ type Config struct {
 	// Seed drives all stochastic components (sensor noise, power noise,
 	// load jitter).
 	Seed uint64
+	// Servers sizes the compute cluster; 0 selects the paper's 21-server
+	// testbed. Heterogeneous fleets override it per room.
+	Servers int
 }
 
 // acu1Room aliases the room config to keep the struct literal readable.
@@ -117,6 +120,9 @@ func New(cfg Config) (*Testbed, error) {
 	if cfg.SamplePeriodS < cfg.PhysicsDtS {
 		return nil, fmt.Errorf("testbed: sample period %gs below physics step %gs", cfg.SamplePeriodS, cfg.PhysicsDtS)
 	}
+	if cfg.Servers < 0 {
+		return nil, fmt.Errorf("testbed: server count %d must be non-negative", cfg.Servers)
+	}
 	room, err := thermo.NewRoom(cfg.Room)
 	if err != nil {
 		return nil, err
@@ -125,9 +131,13 @@ func New(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	servers := cfg.Servers
+	if servers == 0 {
+		servers = 21
+	}
 	tb := &Testbed{
 		cfg:       cfg,
-		Cluster:   cluster.NewTestbed(),
+		Cluster:   cluster.New(servers),
 		Room:      room,
 		ACU:       unit,
 		Sensors:   thermo.DefaultArray(),
@@ -158,6 +168,17 @@ func (t *Testbed) UseProfile(p workload.Profile) {
 func (t *Testbed) UseOrchestrator(o *workload.Orchestrator) {
 	t.orch = o
 	t.driver = nil
+}
+
+// AttachOrchestrator runs a job orchestrator ALONGSIDE the installed profile
+// driver: each physics step the driver applies the profile's base targets
+// first and the orchestrator then layers its committed pod load on top. The
+// orchestrator must be in Additive mode — a replacing orchestrator would
+// overwrite the driver's targets — and with no pods bound the trajectory is
+// bit-identical to the profile-only run, which is what lets the fleet
+// scheduler attach to rooms after warm-up without perturbing golden hashes.
+func (t *Testbed) AttachOrchestrator(o *workload.Orchestrator) {
+	t.orch = o
 }
 
 // SetSetpoint commands the ACU set-point (clamped to the unit's range) and

@@ -89,6 +89,65 @@ func TestMaxDeferBoundsStarvation(t *testing.T) {
 	}
 }
 
+// TestStarvationBoundUnderSustainedStress pins the MaxDeferS contract
+// exactly: under permanent thermal stress every bounded job is admitted at
+// the first tick at or past its bound — no earlier, no later — with the
+// deferral counters accounting for every waiting tick, while an unbounded
+// job waits forever.
+func TestStarvationBoundUnderSustainedStress(t *testing.T) {
+	c := cluster.NewTestbed()
+	s := NewDeferringScheduler(NewOrchestrator(c), func() float64 { return -2 }) // never clears
+	jobs := []DeferredJob{
+		{Job: Job{Name: "tight", Level: 0.2, DurationS: 3000, Parallelism: 1}, Deferrable: true, MaxDeferS: 120},
+		{Job: Job{Name: "loose", Level: 0.2, DurationS: 3000, Parallelism: 1}, Deferrable: true, MaxDeferS: 300},
+		{Job: Job{Name: "unbounded", Level: 0.2, DurationS: 3000, Parallelism: 1}, Deferrable: true},
+	}
+	for _, j := range jobs {
+		if err := s.Submit(j, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	admittedAt := map[string]float64{}
+	for step := 1; step <= 10; step++ {
+		now := float64(step) * 60
+		if err := s.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if _, seen := admittedAt[j.Name]; !seen && s.Admitted(j.Name) == 1 {
+				admittedAt[j.Name] = now
+			}
+		}
+	}
+	// Bounds bind exactly: first tick with now − submittedAt ≥ MaxDeferS.
+	if admittedAt["tight"] != 120 {
+		t.Fatalf("tight admitted at %gs, want exactly 120", admittedAt["tight"])
+	}
+	if admittedAt["loose"] != 300 {
+		t.Fatalf("loose admitted at %gs, want exactly 300", admittedAt["loose"])
+	}
+	if _, ok := admittedAt["unbounded"]; ok {
+		t.Fatalf("unbounded job admitted under permanent stress at %gs", admittedAt["unbounded"])
+	}
+	// Exact counter accounting: tight waited ticks 60s (1), loose waited
+	// 60..240s (4), unbounded waited all 10 ticks; exactly one job remains.
+	if got := s.DeferTicks("tight"); got != 1 {
+		t.Fatalf("tight DeferTicks = %d, want 1", got)
+	}
+	if got := s.DeferTicks("loose"); got != 4 {
+		t.Fatalf("loose DeferTicks = %d, want 4", got)
+	}
+	if got := s.DeferTicks("unbounded"); got != 10 {
+		t.Fatalf("unbounded DeferTicks = %d, want 10", got)
+	}
+	if s.Waiting() != 1 {
+		t.Fatalf("queue = %d jobs, want only the unbounded one", s.Waiting())
+	}
+	if s.Admitted("tight")+s.Admitted("loose") != 2 {
+		t.Fatalf("admitted: tight=%d loose=%d, want one each", s.Admitted("tight"), s.Admitted("loose"))
+	}
+}
+
 func TestAdmissionOrderFIFO(t *testing.T) {
 	c := cluster.NewTestbed()
 	headroom := 0.0

@@ -43,10 +43,18 @@ type pod struct {
 
 // Orchestrator is a minimal scheduler: pods are bound to the nodes with the
 // lowest current committed load (spreading), run for their duration and are
-// then reaped. It owns the servers' target utilization while in use.
+// then reaped. It owns the servers' target utilization while in use —
+// unless Additive is set, in which case it layers on top of whatever the
+// profile driver already commanded.
 type Orchestrator struct {
 	cluster *cluster.Cluster
 	pods    []pod
+	// Additive makes Tick add the committed pod load to each server's
+	// current target utilization instead of replacing it. That composes
+	// batch jobs with a profile-driven base load, but it requires something
+	// (a workload.Driver) to re-set the base targets before every Tick —
+	// standalone additive use would compound its own contribution.
+	Additive bool
 	// Completed counts pods that ran to completion, per job name.
 	Completed map[string]int
 }
@@ -112,11 +120,38 @@ func (o *Orchestrator) Tick(now float64) {
 	committed := o.committed()
 	for i, s := range o.cluster.Servers {
 		u := committed[i]
+		if o.Additive {
+			u += s.TargetUtil()
+		}
 		if u > 0.98 {
 			u = 0.98
 		}
 		s.SetTargetUtil(u)
 	}
+}
+
+// Evict removes every live pod of the named job — the migration primitive:
+// the caller re-submits the job elsewhere with the remaining duration. It
+// returns the number of pods evicted and the longest remaining runtime among
+// them (0 when the job has no live pods). The freed capacity takes effect at
+// the next Tick.
+func (o *Orchestrator) Evict(name string, now float64) (pods int, remainS float64) {
+	kept := o.pods[:0]
+	for _, p := range o.pods {
+		if p.job == name {
+			pods++
+			if r := p.endsAt - now; r > remainS {
+				remainS = r
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(o.pods); i++ {
+		o.pods[i] = pod{}
+	}
+	o.pods = kept
+	return pods, remainS
 }
 
 // Running returns the number of live pods.
